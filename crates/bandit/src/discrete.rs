@@ -1,0 +1,194 @@
+//! Discrete-arm comparators for the E-UCB ablation benches: a classic
+//! discounted UCB over a fixed ratio grid, and ε-greedy.
+
+use crate::Bandit;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Discounted UCB1 over a fixed grid of pruning ratios — what "UCB
+/// without the adaptive partition tree" looks like.
+#[derive(Debug, Clone)]
+pub struct DiscreteUcb {
+    arms: Vec<f32>,
+    lambda: f32,
+    /// Exploration weight ξ (see `EUcbConfig::explore_weight`).
+    explore_weight: f32,
+    /// `(arm index, reward)` history, oldest first.
+    history: Vec<(usize, f32)>,
+    pending: Option<usize>,
+}
+
+impl DiscreteUcb {
+    /// A uniform grid of `n_arms` ratios over `[0, alpha_max)`.
+    pub fn new(n_arms: usize, alpha_max: f32, lambda: f32) -> Self {
+        assert!(n_arms >= 2, "need at least two arms");
+        let arms = (0..n_arms).map(|i| alpha_max * i as f32 / n_arms as f32).collect();
+        DiscreteUcb { arms, lambda, explore_weight: 0.1, history: Vec::new(), pending: None }
+    }
+
+    fn counts_and_means(&self) -> (Vec<f32>, Vec<f32>) {
+        let k = self.history.len();
+        let mut n = vec![0.0f32; self.arms.len()];
+        let mut sum = vec![0.0f32; self.arms.len()];
+        for (s, (arm, r)) in self.history.iter().enumerate() {
+            let w = self.lambda.powi((k - s) as i32);
+            n[*arm] += w;
+            sum[*arm] += w * r;
+        }
+        let means = n.iter().zip(sum.iter()).map(|(&n, &s)| if n > 0.0 { s / n } else { 0.0 }).collect();
+        (n, means)
+    }
+}
+
+impl Bandit for DiscreteUcb {
+    fn select(&mut self) -> f32 {
+        assert!(self.pending.is_none(), "select() called twice without observe()");
+        let (n, means) = self.counts_and_means();
+        let total: f32 = n.iter().sum();
+        let scale = {
+            let k = self.history.len();
+            let mut num = 0.0f32;
+            let mut den = 0.0f32;
+            for (s, (_, r)) in self.history.iter().enumerate() {
+                let w = self.lambda.powi((k - s) as i32);
+                num += w * r.abs();
+                den += w;
+            }
+            if den > 0.0 {
+                (num / den).max(1e-6)
+            } else {
+                1.0
+            }
+        };
+        let mut best = 0usize;
+        let mut best_u = f32::NEG_INFINITY;
+        for i in 0..self.arms.len() {
+            let u = if n[i] <= 0.0 {
+                f32::INFINITY
+            } else {
+                means[i] + self.explore_weight * scale * (2.0 * total.max(1.0).ln() / n[i]).sqrt()
+            };
+            if u > best_u {
+                best_u = u;
+                best = i;
+            }
+        }
+        self.pending = Some(best);
+        self.arms[best]
+    }
+
+    fn observe(&mut self, reward: f32) {
+        let arm = self.pending.take().expect("observe() without a pending select()");
+        self.history.push((arm, reward));
+    }
+}
+
+/// ε-greedy over a fixed ratio grid: with probability ε explore
+/// uniformly, otherwise exploit the best (discount-free) empirical mean.
+#[derive(Debug, Clone)]
+pub struct EpsilonGreedy {
+    arms: Vec<f32>,
+    epsilon: f32,
+    counts: Vec<u32>,
+    sums: Vec<f32>,
+    pending: Option<usize>,
+    rng: StdRng,
+}
+
+impl EpsilonGreedy {
+    /// A uniform grid of `n_arms` ratios over `[0, alpha_max)`.
+    pub fn new(n_arms: usize, alpha_max: f32, epsilon: f32, seed: u64) -> Self {
+        assert!(n_arms >= 2, "need at least two arms");
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
+        EpsilonGreedy {
+            arms: (0..n_arms).map(|i| alpha_max * i as f32 / n_arms as f32).collect(),
+            epsilon,
+            counts: vec![0; n_arms],
+            sums: vec![0.0; n_arms],
+            pending: None,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Bandit for EpsilonGreedy {
+    fn select(&mut self) -> f32 {
+        assert!(self.pending.is_none(), "select() called twice without observe()");
+        let explore = self.rng.gen::<f32>() < self.epsilon;
+        let arm = if explore || self.counts.iter().all(|&c| c == 0) {
+            self.rng.gen_range(0..self.arms.len())
+        } else {
+            (0..self.arms.len())
+                .max_by(|&a, &b| {
+                    let ma = if self.counts[a] > 0 { self.sums[a] / self.counts[a] as f32 } else { f32::NEG_INFINITY };
+                    let mb = if self.counts[b] > 0 { self.sums[b] / self.counts[b] as f32 } else { f32::NEG_INFINITY };
+                    ma.partial_cmp(&mb).expect("finite means")
+                })
+                .expect("non-empty arms")
+        };
+        self.pending = Some(arm);
+        self.arms[arm]
+    }
+
+    fn observe(&mut self, reward: f32) {
+        let arm = self.pending.take().expect("observe() without a pending select()");
+        self.counts[arm] += 1;
+        self.sums[arm] += reward;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn best_arm_frequency(bandit: &mut dyn Bandit, optimum: f32, rounds: usize) -> f32 {
+        let mut near = 0usize;
+        let mut arms = Vec::new();
+        for _ in 0..rounds {
+            let a = bandit.select();
+            arms.push(a);
+            bandit.observe(1.0 - 2.0 * (a - optimum).abs());
+        }
+        for &a in &arms[rounds / 2..] {
+            if (a - optimum).abs() < 0.15 {
+                near += 1;
+            }
+        }
+        near as f32 / (rounds - rounds / 2) as f32
+    }
+
+    #[test]
+    fn discrete_ucb_finds_best_arm() {
+        let mut b = DiscreteUcb::new(9, 0.9, 0.95);
+        let f = best_arm_frequency(&mut b, 0.5, 300);
+        assert!(f > 0.5, "best-arm frequency {f}");
+    }
+
+    #[test]
+    fn epsilon_greedy_finds_best_arm() {
+        let mut b = EpsilonGreedy::new(9, 0.9, 0.1, 1);
+        let f = best_arm_frequency(&mut b, 0.5, 300);
+        assert!(f > 0.5, "best-arm frequency {f}");
+    }
+
+    #[test]
+    fn discrete_ucb_tries_every_arm_first() {
+        let mut b = DiscreteUcb::new(5, 0.9, 0.95);
+        let mut seen = Vec::new();
+        for _ in 0..5 {
+            seen.push(b.select());
+            b.observe(0.0);
+        }
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        seen.dedup();
+        assert_eq!(seen.len(), 5, "initial sweep skipped an arm");
+    }
+
+    #[test]
+    fn arms_span_requested_range() {
+        let b = DiscreteUcb::new(10, 0.8, 0.9);
+        assert_eq!(b.arms[0], 0.0);
+        assert!(*b.arms.last().unwrap() < 0.8);
+    }
+}

@@ -1,0 +1,80 @@
+//! The E-UCB reward function (paper Eq. 8).
+
+use serde::{Deserialize, Serialize};
+
+/// Reward shaping parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RewardConfig {
+    /// Floor for the completion-time gap `|Tₙ − T̄|`, preventing division
+    /// blow-up when a worker lands exactly on the average (the paper
+    /// leaves this case implicit).
+    pub gap_floor: f32,
+    /// Cap on the reward magnitude so one lucky round cannot dominate
+    /// the discounted mean.
+    pub reward_cap: f32,
+}
+
+impl Default for RewardConfig {
+    fn default() -> Self {
+        RewardConfig { gap_floor: 0.05, reward_cap: 100.0 }
+    }
+}
+
+/// Eq. 8: `R(αₙ) = ΔLoss / |Tₙ − T̄|`.
+///
+/// * `delta_loss` — the round's loss improvement (the worker's
+///   contribution to convergence); negative improvements yield negative
+///   rewards, discouraging ratios that hurt the model.
+/// * `t_n` — this worker's completion time for the round.
+/// * `t_avg` — the mean completion time over all workers.
+///
+/// The gap in the denominator is floored at `cfg.gap_floor · t_avg` and
+/// the result clamped to `±cfg.reward_cap`.
+pub fn eucb_reward(delta_loss: f32, t_n: f64, t_avg: f64, cfg: &RewardConfig) -> f32 {
+    assert!(t_n >= 0.0 && t_avg >= 0.0, "times must be non-negative");
+    let gap = (t_n - t_avg).abs().max(cfg.gap_floor as f64 * t_avg.max(1e-9)) as f32;
+    let r = delta_loss / gap.max(1e-9);
+    r.clamp(-cfg.reward_cap, cfg.reward_cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smaller_gap_means_bigger_reward() {
+        let cfg = RewardConfig::default();
+        let near = eucb_reward(1.0, 10.5, 10.0, &cfg);
+        let far = eucb_reward(1.0, 20.0, 10.0, &cfg);
+        assert!(near > far, "{near} vs {far}");
+    }
+
+    #[test]
+    fn negative_progress_is_penalised() {
+        let cfg = RewardConfig::default();
+        assert!(eucb_reward(-0.5, 12.0, 10.0, &cfg) < 0.0);
+    }
+
+    #[test]
+    fn zero_gap_does_not_explode() {
+        let cfg = RewardConfig::default();
+        let r = eucb_reward(1.0, 10.0, 10.0, &cfg);
+        assert!(r.is_finite());
+        assert!(r <= cfg.reward_cap);
+    }
+
+    #[test]
+    fn reward_is_capped() {
+        let cfg = RewardConfig { gap_floor: 1e-6, reward_cap: 50.0 };
+        let r = eucb_reward(1000.0, 10.0 + 1e-7, 10.0, &cfg);
+        assert_eq!(r, 50.0);
+    }
+
+    #[test]
+    fn reward_scales_with_loss_progress() {
+        let cfg = RewardConfig::default();
+        let small = eucb_reward(0.1, 12.0, 10.0, &cfg);
+        let big = eucb_reward(0.4, 12.0, 10.0, &cfg);
+        assert!((big / small - 4.0).abs() < 1e-4);
+    }
+}

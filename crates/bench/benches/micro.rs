@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the hot paths: tensor kernels, the
+//! pruning pipeline, E-UCB decisions and R2SP aggregation. These back
+//! the Fig. 11 overhead claims and the §5 design-choice ablations in
+//! DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedmp_bandit::{Bandit, EUcbAgent, EUcbConfig};
+use fedmp_nn::{model_cost, state_sub, zoo};
+use fedmp_pruning::{extract_sequential, plan_sequential, recover_state, sparse_state};
+use fedmp_tensor::{conv2d_forward, seeded_rng, Conv2dSpec, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = seeded_rng(0);
+    let mut group = c.benchmark_group("tensor/matmul");
+    for n in [32usize, 64, 128] {
+        let a = Tensor::randn(&[n, n], &mut rng);
+        let b = Tensor::randn(&[n, n], &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = seeded_rng(1);
+    let spec = Conv2dSpec { kh: 5, kw: 5, stride: 1, padding: 2 };
+    let input = Tensor::randn(&[4, 8, 28, 28], &mut rng);
+    let weight = Tensor::randn(&[16, 8, 5, 5], &mut rng);
+    let bias = Tensor::zeros(&[16]);
+    c.bench_function("tensor/conv2d_5x5_28x28", |b| {
+        b.iter(|| std::hint::black_box(conv2d_forward(&input, &weight, &bias, &spec)));
+    });
+}
+
+fn bench_pruning_pipeline(c: &mut Criterion) {
+    let mut rng = seeded_rng(2);
+    let model = zoo::cnn_mnist(0.5, &mut rng);
+    let mut group = c.benchmark_group("pruning/plan+extract");
+    for ratio in [0.3f32, 0.6] {
+        group.bench_with_input(BenchmarkId::from_parameter(ratio), &ratio, |b, &r| {
+            b.iter(|| {
+                let plan = plan_sequential(&model, (1, 28, 28), r);
+                std::hint::black_box(extract_sequential(&model, &plan))
+            });
+        });
+    }
+    group.finish();
+
+    let plan = plan_sequential(&model, (1, 28, 28), 0.5);
+    let sub = extract_sequential(&model, &plan);
+    c.bench_function("pruning/recover", |b| {
+        b.iter(|| std::hint::black_box(recover_state(&sub, &plan, &model)));
+    });
+    c.bench_function("pruning/residual", |b| {
+        b.iter(|| {
+            let sparse = sparse_state(&model, &plan);
+            std::hint::black_box(state_sub(&model.state(), &sparse))
+        });
+    });
+}
+
+fn bench_eucb(c: &mut Criterion) {
+    c.bench_function("bandit/eucb_200_rounds", |b| {
+        b.iter(|| {
+            let mut agent = EUcbAgent::new(EUcbConfig::default());
+            for k in 0..200 {
+                let a = agent.select();
+                agent.observe(1.0 - (a - 0.5).abs() + (k % 7) as f32 * 0.01);
+            }
+            std::hint::black_box(agent.num_regions())
+        });
+    });
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let mut rng = seeded_rng(3);
+    let model = zoo::resnet_tiny(0.25, &mut rng);
+    c.bench_function("nn/model_cost_resnet", |b| {
+        b.iter(|| std::hint::black_box(model_cost(&model, (3, 64, 64))));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_conv,
+    bench_pruning_pipeline,
+    bench_eucb,
+    bench_cost_model
+);
+criterion_main!(benches);

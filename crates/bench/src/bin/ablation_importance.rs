@@ -1,0 +1,54 @@
+//! Ablation (paper §VI / DESIGN.md §5): the pruning importance metric.
+//!
+//! FedMP's §VI argues the pruning strategy is pluggable. This bench
+//! swaps the paper's L1 metric for L2 and for seeded-random selection
+//! and measures the end-to-end effect. Expected shape: L1 ≈ L2 (both
+//! weight-magnitude based) and both clearly beat random pruning.
+
+use fedmp_bench::{bench_spec, fmt_time, save_result};
+use fedmp_core::{print_table, run_fedmp_custom, TaskKind};
+use fedmp_fl::FedMpOptions;
+use fedmp_pruning::Importance;
+use serde_json::json;
+
+fn main() {
+    let spec = bench_spec(TaskKind::CnnMnist);
+    let metrics = [
+        ("L1 (paper)", Importance::L1),
+        ("L2", Importance::L2),
+        ("random", Importance::Random { seed: 7 }),
+    ];
+
+    // All runs use a fixed moderate ratio so only the metric varies.
+    let histories: Vec<_> = metrics
+        .iter()
+        .map(|&(_, importance)| {
+            let opts = FedMpOptions { importance, fixed_ratio: Some(0.5), ..Default::default() };
+            run_fedmp_custom(&spec, &opts)
+        })
+        .collect();
+    let min_final = histories
+        .iter()
+        .filter_map(|h| h.final_accuracy())
+        .fold(f32::INFINITY, f32::min);
+    let target = min_final * 0.95;
+
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for ((name, _), h) in metrics.iter().zip(histories.iter()) {
+        let final_acc = h.final_accuracy().unwrap_or(0.0);
+        let t = h.time_to_accuracy(target);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}%", final_acc * 100.0),
+            fmt_time(t),
+        ]);
+        results.push(json!({"metric": name, "final_acc": final_acc, "time_to_target": t}));
+    }
+    print_table(
+        &format!("Ablation — importance metric (alpha=0.5 fixed, target {:.0}%)", target * 100.0),
+        &["metric", "final accuracy", "time to target"],
+        &rows,
+    );
+    save_result("ablation_importance", &results);
+}

@@ -1,0 +1,44 @@
+//! Ablation (DESIGN.md §5): the Eq. 8 reward-denominator guard.
+//!
+//! The paper's reward divides by `|Tₙ − T̄|`, which explodes as a worker
+//! approaches the fleet average. We floor the gap at
+//! `gap_floor · T̄`; this ablation shows what each floor does to FedMP's
+//! end-to-end time-to-target on the default task.
+
+use fedmp_bandit::RewardConfig;
+use fedmp_bench::{bench_spec, fmt_time, save_result};
+use fedmp_core::{print_table, run_fedmp_custom, TaskKind};
+use fedmp_fl::FedMpOptions;
+use serde_json::json;
+
+fn main() {
+    let spec = bench_spec(TaskKind::CnnMnist);
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+
+    // Reference target from the default configuration.
+    let base = run_fedmp_custom(&spec, &FedMpOptions::default());
+    let target = base.final_accuracy().unwrap_or(0.5) * 0.9;
+
+    for gap_floor in [0.0f32, 0.05, 0.5] {
+        let opts = FedMpOptions {
+            reward: RewardConfig { gap_floor: gap_floor.max(1e-6), ..Default::default() },
+            ..Default::default()
+        };
+        let h = run_fedmp_custom(&spec, &opts);
+        let t = h.time_to_accuracy(target);
+        let final_acc = h.final_accuracy().unwrap_or(0.0);
+        rows.push(vec![
+            format!("{gap_floor}"),
+            fmt_time(t),
+            format!("{:.1}%", final_acc * 100.0),
+        ]);
+        results.push(json!({"gap_floor": gap_floor, "time_to_target": t, "final_acc": final_acc}));
+    }
+    print_table(
+        &format!("Ablation — Eq. 8 gap floor (CNN/MNIST-like, target {:.0}%)", target * 100.0),
+        &["gap floor", "time to target", "final accuracy"],
+        &rows,
+    );
+    save_result("ablation_reward", &results);
+}

@@ -1,0 +1,51 @@
+//! Extension experiment: fleet energy per method. FlexCom's motivation
+//! [13] is energy-efficient FL; FedMP should cut *both* compute and
+//! radio energy (smaller trained models, smaller transfers), while
+//! compression-only methods cut radio energy alone and FedProx mainly
+//! trims barrier idle time.
+
+use fedmp_bench::{bench_spec, save_result};
+use fedmp_core::{print_table, run_method, Method, TaskKind};
+use fedmp_edgesim::EnergyModel;
+use serde_json::json;
+
+fn main() {
+    let spec = bench_spec(TaskKind::CnnMnist);
+    let built = spec.build();
+    let mean_flops =
+        built.devices.iter().map(|d| d.flops()).sum::<f64>() / built.devices.len() as f64;
+    let energy = EnergyModel::default();
+
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for method in Method::paper_five() {
+        let h = run_method(&spec, method);
+        let report = energy.estimate_run(
+            h.rounds.iter().map(|r| (r.round_time, r.mean_comp, r.mean_comm)),
+            spec.workers,
+            mean_flops,
+        );
+        rows.push(vec![
+            h.method.clone(),
+            format!("{:.0}J", report.compute_j),
+            format!("{:.0}J", report.comm_j),
+            format!("{:.0}J", report.idle_j),
+            format!("{:.0}J", report.total_j()),
+            format!("{:.1}%", 100.0 * h.final_accuracy().unwrap_or(0.0)),
+        ]);
+        results.push(json!({
+            "method": h.method,
+            "compute_j": report.compute_j,
+            "comm_j": report.comm_j,
+            "idle_j": report.idle_j,
+            "total_j": report.total_j(),
+            "final_acc": h.final_accuracy(),
+        }));
+    }
+    print_table(
+        "Extension — fleet energy over the full run (CNN/MNIST-like, equal rounds)",
+        &["method", "compute", "radio", "barrier idle", "total", "final acc"],
+        &rows,
+    );
+    save_result("energy", &results);
+}

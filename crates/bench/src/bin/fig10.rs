@@ -1,0 +1,41 @@
+//! Fig. 10: scalability — completion time to a target accuracy as the
+//! worker count grows from 10 to 30 (AlexNet/CIFAR-like, A+B mix). The
+//! paper's shape: FedMP's completion time grows only slightly and stays
+//! the fastest.
+
+use fedmp_bench::{bench_spec, common_target, fmt_speedup, fmt_time, profile, save_result, Profile};
+use fedmp_core::{print_table, run_method, speedup_table, Method, TaskKind};
+use serde_json::json;
+
+fn main() {
+    let methods = Method::paper_five();
+    let mut results = Vec::new();
+
+    let full = profile() == Profile::Full;
+    let counts: &[usize] = if full { &[10, 20, 30] } else { &[10, 30] };
+    let task = if full { TaskKind::AlexnetCifar } else { TaskKind::CnnMnist };
+    for &workers in counts {
+        let mut spec = bench_spec(task);
+        spec.workers = workers;
+        let histories: Vec<_> = methods.iter().map(|&m| run_method(&spec, m)).collect();
+        let target = common_target(&histories);
+        let table = speedup_table(&histories, target);
+        let rows: Vec<Vec<String>> = table
+            .iter()
+            .map(|(n, t, s)| vec![n.clone(), fmt_time(*t), fmt_speedup(*s)])
+            .collect();
+        print_table(
+            &format!("Fig. 10 — {workers} workers (target {:.0}%)", target * 100.0),
+            &["method", "time to target", "speedup vs Syn-FL"],
+            &rows,
+        );
+        results.push(json!({
+            "workers": workers,
+            "target": target,
+            "rows": table.iter().map(|(n, t, s)| json!({
+                "method": n, "time": t, "speedup": s,
+            })).collect::<Vec<_>>(),
+        }));
+    }
+    save_result("fig10", &results);
+}

@@ -1,0 +1,39 @@
+//! Fig. 11: average per-round algorithm overhead (pruning-ratio decision
+//! time + model pruning time) vs the number of workers. The paper's
+//! shape: overhead grows with the worker count but stays negligible
+//! next to training/transfer times.
+
+use fedmp_bench::{bench_spec, save_result};
+use fedmp_core::{measure_overhead, print_table, TaskKind};
+use serde_json::json;
+
+fn main() {
+    let spec = bench_spec(TaskKind::AlexnetCifar);
+    let built = spec.build();
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for workers in [10usize, 15, 20, 25, 30] {
+        let report = measure_overhead(&built.model, built.task.input_chw, workers, 5);
+        rows.push(vec![
+            workers.to_string(),
+            format!("{:.2}ms", report.decision_secs * 1e3),
+            format!("{:.2}ms", report.pruning_secs * 1e3),
+            format!("{:.2}ms", report.total_secs() * 1e3),
+        ]);
+        series.push(json!({
+            "workers": workers,
+            "decision_ms": report.decision_secs * 1e3,
+            "pruning_ms": report.pruning_secs * 1e3,
+        }));
+    }
+    print_table(
+        "Fig. 11 — PS algorithm overhead per round (wall clock)",
+        &["workers", "ratio decision", "model pruning", "total"],
+        &rows,
+    );
+    println!(
+        "(for scale: simulated per-round training/transfer times are tens to hundreds of virtual seconds)"
+    );
+    save_result("fig11", &series);
+}

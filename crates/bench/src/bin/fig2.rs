@@ -1,0 +1,47 @@
+//! Fig. 2: effect of a **fixed** pruning ratio on test accuracy under a
+//! given time budget. The paper's shape: accuracy first rises with the
+//! ratio (cheaper rounds ⇒ more rounds inside the budget) then falls
+//! (important filters removed).
+//!
+//! Quick profile sweeps the CNN task; `FEDMP_BENCH_PROFILE=full` adds
+//! AlexNet/CIFAR-like and a denser ratio grid, matching the paper's two
+//! panels.
+
+use fedmp_bench::{bench_spec, profile, save_result, Profile};
+use fedmp_core::{print_table, run_method, Method, TaskKind};
+use serde_json::json;
+
+fn main() {
+    let full = profile() == Profile::Full;
+    let ratios: &[f32] = if full {
+        &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
+    } else {
+        &[0.0, 0.2, 0.4, 0.6, 0.8]
+    };
+    let tasks: &[TaskKind] = &[TaskKind::CnnMnist, TaskKind::AlexnetCifar];
+    let _ = full;
+    let mut results = Vec::new();
+
+    for &task in tasks {
+        let spec = bench_spec(task);
+        // The ratio-0 run doubles as the budget baseline.
+        let base = run_method(&spec, Method::FedMpFixed(0.0));
+        let budget = base.total_time() * 0.6;
+
+        let mut rows = Vec::new();
+        let mut series = Vec::new();
+        for &ratio in ratios {
+            let h = if ratio == 0.0 { base.clone() } else { run_method(&spec, Method::FedMpFixed(ratio)) };
+            let acc = h.best_accuracy_within(budget).unwrap_or(0.0);
+            rows.push(vec![format!("{ratio:.1}"), format!("{:.1}%", acc * 100.0)]);
+            series.push(json!({"ratio": ratio, "accuracy": acc}));
+        }
+        print_table(
+            &format!("Fig. 2 — {} (budget {budget:.0}s virtual)", task.name()),
+            &["pruning ratio", "accuracy in budget"],
+            &rows,
+        );
+        results.push(json!({"task": task.name(), "budget": budget, "series": series}));
+    }
+    save_result("fig2", &results);
+}

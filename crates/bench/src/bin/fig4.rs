@@ -1,0 +1,73 @@
+//! Fig. 4: effect of the pruning granularity θ on training performance.
+//! The paper's shape: completion time is flat for θ ∈ [0.01, 0.05] and
+//! rises drastically for larger θ. Times are normalised per model, as in
+//! the paper.
+//!
+//! Quick profile sweeps the CNN task over three θ values;
+//! `FEDMP_BENCH_PROFILE=full` runs all four models over the paper's grid.
+
+use fedmp_bench::{bench_spec, profile, save_result, Profile};
+use fedmp_core::{print_table, run_fedmp_custom, TaskKind};
+use fedmp_fl::FedMpOptions;
+use serde_json::json;
+
+fn main() {
+    let full = profile() == Profile::Full;
+    let thetas: &[f32] =
+        if full { &[0.01, 0.02, 0.05, 0.1, 0.15, 0.25] } else { &[0.02, 0.05, 0.1, 0.25] };
+    let tasks: &[TaskKind] = if full {
+        &TaskKind::all()
+    } else {
+        &[TaskKind::CnnMnist, TaskKind::AlexnetCifar]
+    };
+    let mut results = Vec::new();
+
+    for &task in tasks {
+        let spec = bench_spec(task);
+        // The smallest-θ run doubles as the target probe.
+        let mut first_opts = FedMpOptions::default();
+        first_opts.eucb.theta = thetas[0];
+        let first_run = run_fedmp_custom(&spec, &first_opts);
+        let target = first_run
+            .best_accuracy_within(first_run.total_time() * 0.7)
+            .unwrap_or(0.3)
+            * 0.95;
+
+        let mut times = Vec::new();
+        for (i, &theta) in thetas.iter().enumerate() {
+            let h = if i == 0 {
+                first_run.clone()
+            } else {
+                let mut opts = FedMpOptions::default();
+                opts.eucb.theta = theta;
+                run_fedmp_custom(&spec, &opts)
+            };
+            // Completion time to target; if missed, charge the full run
+            // plus a penalty proportional to the shortfall (the paper's
+            // largest-θ points simply take much longer).
+            let t = h.time_to_accuracy(target).unwrap_or_else(|| {
+                let short = target - h.final_accuracy().unwrap_or(0.0);
+                h.total_time() * (1.0 + 4.0 * short.max(0.0) as f64)
+            });
+            times.push(t);
+        }
+        let t_min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let rows: Vec<Vec<String>> = thetas
+            .iter()
+            .zip(times.iter())
+            .map(|(th, t)| vec![format!("{th}"), format!("{:.2}", t / t_min)])
+            .collect();
+        print_table(
+            &format!("Fig. 4 — {} (target {:.0}%)", task.name(), target * 100.0),
+            &["theta", "normalised completion time"],
+            &rows,
+        );
+        results.push(json!({
+            "task": task.name(),
+            "target": target,
+            "thetas": thetas,
+            "normalised_times": times.iter().map(|t| t / t_min).collect::<Vec<_>>(),
+        }));
+    }
+    save_result("fig4", &results);
+}

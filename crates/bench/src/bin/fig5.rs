@@ -1,0 +1,39 @@
+//! Fig. 5: average per-round computation and communication time vs the
+//! pruning ratio. The paper's shape: both components fall monotonically
+//! as the ratio grows.
+
+use fedmp_bench::{bench_spec, save_result};
+use fedmp_core::{print_table, run_method, Method, TaskKind};
+use serde_json::json;
+
+fn main() {
+    let ratios = [0.0f32, 0.2, 0.4, 0.6, 0.8];
+    let spec = {
+        let mut s = bench_spec(TaskKind::AlexnetCifar);
+        s.fl.rounds = 6; // timing only; no need to converge
+        s
+    };
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for &ratio in &ratios {
+        let h = run_method(&spec, Method::FedMpFixed(ratio));
+        let comp: f64 =
+            h.rounds.iter().map(|r| r.mean_comp).sum::<f64>() / h.rounds.len() as f64;
+        let comm: f64 =
+            h.rounds.iter().map(|r| r.mean_comm).sum::<f64>() / h.rounds.len() as f64;
+        rows.push(vec![
+            format!("{ratio:.1}"),
+            format!("{comp:.2}s"),
+            format!("{comm:.2}s"),
+            format!("{:.2}s", comp + comm),
+        ]);
+        series.push(json!({"ratio": ratio, "comp": comp, "comm": comm}));
+    }
+    print_table(
+        "Fig. 5 — per-round time vs pruning ratio (AlexNet/CIFAR-like)",
+        &["pruning ratio", "computation", "communication", "total"],
+        &rows,
+    );
+    save_result("fig5", &series);
+}

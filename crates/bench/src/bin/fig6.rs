@@ -1,0 +1,68 @@
+//! Fig. 6 + Table III (they share the same runs): accuracy vs virtual
+//! training time for the five methods on all four tasks, plus the
+//! accuracy each method reaches within a fixed budget.
+//!
+//! The paper's shape: FedMP's curve dominates, Syn-FL is slowest, the
+//! heterogeneity-aware baselines sit in between, and FedMP's Table III
+//! column leads every row.
+
+use fedmp_bench::{bench_spec, common_target, fmt_speedup, fmt_time, save_result};
+use fedmp_core::{print_table, run_method, speedup_table, Method, TaskKind};
+use serde_json::json;
+
+fn main() {
+    let methods = Method::paper_five();
+    let mut fig6_results = Vec::new();
+    let mut table3_rows = Vec::new();
+    let mut table3_results = Vec::new();
+
+    for task in TaskKind::all() {
+        let spec = bench_spec(task);
+        let histories: Vec<_> = methods.iter().map(|&m| run_method(&spec, m)).collect();
+
+        // --- Fig. 6: time to the common target.
+        let target = common_target(&histories);
+        let table = speedup_table(&histories, target);
+        let rows: Vec<Vec<String>> = table
+            .iter()
+            .map(|(name, t, s)| vec![name.clone(), fmt_time(*t), fmt_speedup(*s)])
+            .collect();
+        print_table(
+            &format!("Fig. 6 — {} (time to {:.0}% accuracy)", task.name(), target * 100.0),
+            &["method", "time to target", "speedup vs Syn-FL"],
+            &rows,
+        );
+        fig6_results.push(json!({
+            "task": task.name(),
+            "target": target,
+            "curves": histories.iter().map(|h| json!({
+                "method": h.method,
+                "series": h.accuracy_curve(),
+            })).collect::<Vec<_>>(),
+            "time_to_target": table.iter().map(|(n, t, s)| json!({
+                "method": n, "time": t, "speedup": s,
+            })).collect::<Vec<_>>(),
+        }));
+
+        // --- Table III: accuracy within the earliest finisher's budget.
+        let budget =
+            histories.iter().map(|h| h.total_time()).fold(f64::INFINITY, f64::min);
+        let mut row = vec![task.name().to_string(), format!("{budget:.0}s")];
+        let mut cells = Vec::new();
+        for h in &histories {
+            let acc = h.best_accuracy_within(budget).unwrap_or(0.0);
+            row.push(format!("{:.1}%", acc * 100.0));
+            cells.push(json!({"method": h.method, "accuracy": acc}));
+        }
+        table3_rows.push(row);
+        table3_results.push(json!({"task": task.name(), "budget": budget, "cells": cells}));
+    }
+
+    print_table(
+        "Table III — accuracy within a fixed virtual-time budget",
+        &["model", "budget", "Syn-FL", "UP-FL", "FedProx", "FlexCom", "FedMP"],
+        &table3_rows,
+    );
+    save_result("fig6", &fig6_results);
+    save_result("table3", &table3_results);
+}

@@ -1,0 +1,40 @@
+//! Fig. 7: R2SP vs traditional BSP on FedMP, accuracy vs rounds. The
+//! paper's shape: R2SP converges higher on every model; BSP damages the
+//! final accuracy because pruned parameters never recover.
+
+use fedmp_bench::{bench_spec, profile, save_result, Profile};
+use fedmp_core::{print_table, run_method, Method, TaskKind};
+use serde_json::json;
+
+fn main() {
+    let mut results = Vec::new();
+    let mut rows = Vec::new();
+    let tasks: Vec<TaskKind> = TaskKind::all().to_vec();
+    let _ = (profile(), Profile::Full);
+    for task in tasks {
+        let spec = bench_spec(task);
+        let r2sp = run_method(&spec, Method::FedMp);
+        let bsp = run_method(&spec, Method::FedMpBsp);
+        let a = r2sp.final_accuracy().unwrap_or(0.0);
+        let b = bsp.final_accuracy().unwrap_or(0.0);
+        rows.push(vec![
+            task.name().into(),
+            format!("{:.1}%", a * 100.0),
+            format!("{:.1}%", b * 100.0),
+            format!("{:+.1}pp", (a - b) * 100.0),
+        ]);
+        results.push(json!({
+            "task": task.name(),
+            "r2sp_curve": r2sp.accuracy_by_round(),
+            "bsp_curve": bsp.accuracy_by_round(),
+            "r2sp_final": a,
+            "bsp_final": b,
+        }));
+    }
+    print_table(
+        "Fig. 7 — synchronisation scheme (final accuracy after equal rounds)",
+        &["model", "R2SP", "BSP", "R2SP advantage"],
+        &rows,
+    );
+    save_result("fig7", &results);
+}

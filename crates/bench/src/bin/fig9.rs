@@ -1,0 +1,58 @@
+//! Fig. 9: completion time to a target accuracy under increasing
+//! non-IID levels. The paper's shape: every method slows down as y
+//! grows; FedMP stays fastest at every level.
+
+use fedmp_bench::{bench_spec, fmt_speedup, fmt_time, profile, save_result, Profile};
+use fedmp_core::{print_table, run_method, speedup_table, Method, TaskKind};
+use serde_json::json;
+
+fn main() {
+    let methods = Method::paper_five();
+    let mut results = Vec::new();
+
+    // Label-skew tasks use y ∈ {0, 30, 60}%; missing-classes tasks use
+    // y missing classes scaled to the class count.
+    let settings: Vec<(TaskKind, [u32; 3])> = if profile() == Profile::Full {
+        vec![(TaskKind::CnnMnist, [0, 30, 60]), (TaskKind::VggEmnist, [0, 10, 20])]
+    } else {
+        vec![(TaskKind::CnnMnist, [0, 30, 60])]
+    };
+
+    for (task, levels) in settings {
+        // Fixed target per task so times are comparable across levels:
+        // derived from the IID baseline runs.
+        let mut iid_spec = bench_spec(task);
+        iid_spec.non_iid = 0;
+        let iid_histories: Vec<_> = methods.iter().map(|&m| run_method(&iid_spec, m)).collect();
+        let target = fedmp_bench::common_target(&iid_histories) * 0.9;
+
+        for &y in &levels {
+            let mut spec = bench_spec(task);
+            spec.non_iid = y;
+            let histories: Vec<_> = if y == 0 {
+                iid_histories.clone()
+            } else {
+                methods.iter().map(|&m| run_method(&spec, m)).collect()
+            };
+            let table = speedup_table(&histories, target);
+            let rows: Vec<Vec<String>> = table
+                .iter()
+                .map(|(n, t, s)| vec![n.clone(), fmt_time(*t), fmt_speedup(*s)])
+                .collect();
+            print_table(
+                &format!("Fig. 9 — {} @ non-IID y={y} (target {:.0}%)", task.name(), target * 100.0),
+                &["method", "time to target", "speedup vs Syn-FL"],
+                &rows,
+            );
+            results.push(json!({
+                "task": task.name(),
+                "y": y,
+                "target": target,
+                "rows": table.iter().map(|(n, t, s)| json!({
+                    "method": n, "time": t, "speedup": s,
+                })).collect::<Vec<_>>(),
+            }));
+        }
+    }
+    save_result("fig9", &results);
+}

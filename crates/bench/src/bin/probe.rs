@@ -1,0 +1,33 @@
+//! Calibration probe: quick Syn-FL vs FedMP comparison per task,
+//! printing final accuracy, time-to-90%-of-final and the round-time
+//! split. Use this after changing dataset difficulty, model widths or
+//! simulator calibration to verify every task still (a) learns and
+//! (b) discriminates between methods.
+
+use fedmp_bench::bench_spec;
+use fedmp_core::{print_table, run_method, Method, TaskKind};
+
+fn main() {
+    let mut rows = Vec::new();
+    for task in TaskKind::all() {
+        let spec = bench_spec(task);
+        for method in [Method::SynFl, Method::FedMp] {
+            let h = run_method(&spec, method);
+            let final_acc = h.final_accuracy().unwrap_or(0.0);
+            let target = final_acc * 0.9;
+            let ttt = h.time_to_accuracy(target);
+            rows.push(vec![
+                task.name().into(),
+                method.name(),
+                format!("{:.1}%", final_acc * 100.0),
+                ttt.map_or("-".into(), |t| format!("{t:.0}s")),
+                format!("{:.0}s", h.total_time()),
+            ]);
+        }
+    }
+    print_table(
+        "calibration probe",
+        &["task", "method", "final acc", "time to 0.9x final", "total time"],
+        &rows,
+    );
+}

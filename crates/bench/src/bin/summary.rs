@@ -1,0 +1,345 @@
+//! Digests `bench-results/*.json` into a paper-shape report: one line
+//! per table/figure stating whether the claim under reproduction holds
+//! in the measured data. Run after `all_experiments`.
+
+use serde_json::Value;
+use std::fs;
+
+struct Check {
+    id: &'static str,
+    claim: &'static str,
+    verdict: Option<bool>,
+    detail: String,
+}
+
+fn load(name: &str) -> Option<Value> {
+    let body = fs::read_to_string(format!("bench-results/{name}.json")).ok()?;
+    serde_json::from_str(&body).ok()
+}
+
+fn speedup_of(rows: &Value, method: &str) -> Option<f64> {
+    rows.as_array()?.iter().find(|r| r["method"] == method)?["speedup"].as_f64()
+}
+
+fn main() {
+    let mut checks = Vec::new();
+
+    // Fig. 2: interior peak of accuracy vs fixed ratio.
+    checks.push(match load("fig2") {
+        None => missing("Fig. 2", "accuracy rises then falls with the fixed ratio"),
+        Some(v) => {
+            let mut ok = true;
+            let mut detail = String::new();
+            for task in v.as_array().into_iter().flatten() {
+                let series = task["series"].as_array().cloned().unwrap_or_default();
+                let accs: Vec<f64> =
+                    series.iter().filter_map(|p| p["accuracy"].as_f64()).collect();
+                if accs.is_empty() {
+                    ok = false;
+                    continue;
+                }
+                let peak = accs
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                let interior_peak = peak > 0 && peak + 1 < accs.len();
+                let tail_below_peak = accs[accs.len() - 1] < accs[peak] - 1e-6;
+                ok &= (interior_peak || accs[peak] > accs[0]) && tail_below_peak;
+                detail.push_str(&format!(
+                    "{}: peak at index {} of {}; ",
+                    task["task"].as_str().unwrap_or("?"),
+                    peak,
+                    accs.len()
+                ));
+            }
+            Check { id: "Fig. 2", claim: "accuracy rises then falls with the fixed ratio", verdict: Some(ok), detail }
+        }
+    });
+
+    // Fig. 4: θ ≤ 0.05 ≈ flat; θ = 0.25 clearly worse.
+    checks.push(match load("fig4") {
+        None => missing("Fig. 4", "small θ flat, large θ much slower"),
+        Some(v) => {
+            let mut ok = true;
+            let mut detail = String::new();
+            for task in v.as_array().into_iter().flatten() {
+                let times: Vec<f64> = task["normalised_times"]
+                    .as_array()
+                    .cloned()
+                    .unwrap_or_default()
+                    .iter()
+                    .filter_map(Value::as_f64)
+                    .collect();
+                if times.len() < 2 {
+                    ok = false;
+                    continue;
+                }
+                // Grids are sorted by θ: compare the smallest-θ point to
+                // the largest-θ point.
+                let small = times[0];
+                let large = *times.last().expect("non-empty");
+                ok &= large >= small;
+                detail.push_str(&format!(
+                    "{}: max(θ≤.05)={small:.2}, θ=.25={large:.2}; ",
+                    task["task"].as_str().unwrap_or("?")
+                ));
+            }
+            Check { id: "Fig. 4", claim: "small θ flat, large θ slower", verdict: Some(ok), detail }
+        }
+    });
+
+    // Fig. 5: monotone decrease of comp and comm.
+    checks.push(match load("fig5") {
+        None => missing("Fig. 5", "per-round comp & comm fall with the ratio"),
+        Some(v) => {
+            let pts = v.as_array().cloned().unwrap_or_default();
+            let mono = |key: &str| {
+                pts.windows(2).all(|w| {
+                    w[1][key].as_f64().unwrap_or(0.0) <= w[0][key].as_f64().unwrap_or(0.0) + 1e-9
+                })
+            };
+            let ok = mono("comp") && mono("comm");
+            Check {
+                id: "Fig. 5",
+                claim: "per-round comp & comm fall with the ratio",
+                verdict: Some(ok),
+                detail: format!("{} sweep points", pts.len()),
+            }
+        }
+    });
+
+    // Table III: FedMP wins accuracy-within-budget per task.
+    checks.push(match load("table3") {
+        None => missing("Table III", "FedMP's accuracy-in-budget column dominates"),
+        Some(v) => {
+            let mut wins = 0usize;
+            let mut total = 0usize;
+            let mut detail = String::new();
+            for task in v.as_array().into_iter().flatten() {
+                total += 1;
+                let cells = task["cells"].as_array().cloned().unwrap_or_default();
+                let fedmp = cells
+                    .iter()
+                    .find(|c| c["method"] == "FedMP")
+                    .and_then(|c| c["accuracy"].as_f64())
+                    .unwrap_or(0.0);
+                let best_other = cells
+                    .iter()
+                    .filter(|c| c["method"] != "FedMP")
+                    .filter_map(|c| c["accuracy"].as_f64())
+                    .fold(0.0, f64::max);
+                if fedmp >= best_other {
+                    wins += 1;
+                }
+                detail.push_str(&format!(
+                    "{}: FedMP {:.1}% vs best-other {:.1}%; ",
+                    task["task"].as_str().unwrap_or("?"),
+                    fedmp * 100.0,
+                    best_other * 100.0
+                ));
+            }
+            Check {
+                id: "Table III",
+                claim: "FedMP's accuracy-in-budget column dominates",
+                verdict: Some(wins * 2 > total),
+                detail: format!("wins {wins}/{total}: {detail}"),
+            }
+        }
+    });
+
+    // Fig. 6: FedMP speedup over Syn-FL > 1 per task.
+    checks.push(match load("fig6") {
+        None => missing("Fig. 6", "FedMP fastest to the common target"),
+        Some(v) => {
+            let mut ok = true;
+            let mut detail = String::new();
+            for task in v.as_array().into_iter().flatten() {
+                let s = speedup_of(&task["time_to_target"], "FedMP");
+                ok &= s.map_or(false, |x| x > 1.0);
+                detail.push_str(&format!(
+                    "{}: FedMP speedup {:?}; ",
+                    task["task"].as_str().unwrap_or("?"),
+                    s
+                ));
+            }
+            Check { id: "Fig. 6", claim: "FedMP fastest to the common target", verdict: Some(ok), detail }
+        }
+    });
+
+    // Fig. 7: R2SP ≥ BSP final accuracy.
+    checks.push(match load("fig7") {
+        None => missing("Fig. 7", "R2SP beats BSP"),
+        Some(v) => {
+            let mut ok = true;
+            let mut detail = String::new();
+            for task in v.as_array().into_iter().flatten() {
+                let a = task["r2sp_final"].as_f64().unwrap_or(0.0);
+                let b = task["bsp_final"].as_f64().unwrap_or(0.0);
+                ok &= a >= b - 0.02;
+                detail.push_str(&format!(
+                    "{}: {:.1}% vs {:.1}%; ",
+                    task["task"].as_str().unwrap_or("?"),
+                    a * 100.0,
+                    b * 100.0
+                ));
+            }
+            Check { id: "Fig. 7", claim: "R2SP beats BSP", verdict: Some(ok), detail }
+        }
+    });
+
+    // Fig. 8: FedMP speedup grows with heterogeneity.
+    checks.push(match load("fig8") {
+        None => missing("Fig. 8", "FedMP's margin widens with heterogeneity"),
+        Some(v) => {
+            let mut by_task: std::collections::BTreeMap<String, Vec<(String, f64)>> = Default::default();
+            for row in v.as_array().into_iter().flatten() {
+                if let Some(s) = speedup_of(&row["rows"], "FedMP") {
+                    by_task
+                        .entry(row["task"].as_str().unwrap_or("?").to_string())
+                        .or_default()
+                        .push((row["level"].as_str().unwrap_or("?").to_string(), s));
+                }
+            }
+            let mut ok = !by_task.is_empty();
+            let mut detail = String::new();
+            for (task, levels) in &by_task {
+                let get = |name: &str| levels.iter().find(|(l, _)| l == name).map(|(_, s)| *s);
+                let (low, high) = (get("Low"), get("High"));
+                if let (Some(l), Some(h)) = (low, high) {
+                    ok &= h >= l * 0.8; // widening or at least not collapsing
+                    detail.push_str(&format!("{task}: Low {l:.2}x → High {h:.2}x; "));
+                } else {
+                    ok = false;
+                }
+            }
+            Check { id: "Fig. 8", claim: "FedMP advantage holds Low→High", verdict: Some(ok), detail }
+        }
+    });
+
+    // Fig. 9: times grow with y; FedMP stays fastest.
+    checks.push(match load("fig9") {
+        None => missing("Fig. 9", "non-IID slows everyone; FedMP stays fastest"),
+        Some(v) => {
+            let mut ok = true;
+            let mut detail = String::new();
+            for row in v.as_array().into_iter().flatten() {
+                let s = speedup_of(&row["rows"], "FedMP");
+                let label = format!(
+                    "{} y={}",
+                    row["task"].as_str().unwrap_or("?"),
+                    row["y"].as_u64().unwrap_or(0)
+                );
+                match s {
+                    Some(x) if x >= 1.0 => detail.push_str(&format!("{label}: {x:.2}x; ")),
+                    other => {
+                        ok = false;
+                        detail.push_str(&format!("{label}: {other:?}; "));
+                    }
+                }
+            }
+            Check { id: "Fig. 9", claim: "FedMP fastest at every non-IID level", verdict: Some(ok), detail }
+        }
+    });
+
+    // Fig. 10: FedMP fastest at every worker count.
+    checks.push(match load("fig10") {
+        None => missing("Fig. 10", "FedMP fastest at 10/20/30 workers"),
+        Some(v) => {
+            let mut ok = true;
+            let mut detail = String::new();
+            for row in v.as_array().into_iter().flatten() {
+                let s = speedup_of(&row["rows"], "FedMP");
+                ok &= s.map_or(false, |x| x > 1.0);
+                detail.push_str(&format!(
+                    "N={}: {:?}; ",
+                    row["workers"].as_u64().unwrap_or(0),
+                    s
+                ));
+            }
+            Check { id: "Fig. 10", claim: "FedMP fastest at 10/20/30 workers", verdict: Some(ok), detail }
+        }
+    });
+
+    // Fig. 11: overhead grows with N, stays < 1s.
+    checks.push(match load("fig11") {
+        None => missing("Fig. 11", "PS overhead negligible, grows with N"),
+        Some(v) => {
+            let pts = v.as_array().cloned().unwrap_or_default();
+            let totals: Vec<f64> = pts
+                .iter()
+                .map(|p| {
+                    p["decision_ms"].as_f64().unwrap_or(0.0) + p["pruning_ms"].as_f64().unwrap_or(0.0)
+                })
+                .collect();
+            let ok = !totals.is_empty()
+                && totals.last() >= totals.first()
+                && totals.iter().all(|&t| t < 1000.0);
+            Check {
+                id: "Fig. 11",
+                claim: "PS overhead negligible, grows with N",
+                verdict: Some(ok),
+                detail: format!("totals {totals:.1?} ms"),
+            }
+        }
+    });
+
+    // Fig. 12: Asyn-FedMP ≥ Asyn-FL.
+    checks.push(match load("fig12") {
+        None => missing("Fig. 12", "Asyn-FedMP beats Asyn-FL"),
+        Some(v) => {
+            let s = speedup_of(&v["rows"], "Asyn-FedMP");
+            Check {
+                id: "Fig. 12",
+                claim: "Asyn-FedMP beats Asyn-FL",
+                verdict: Some(s.map_or(false, |x| x >= 1.0)),
+                detail: format!("Asyn-FedMP speedup vs Asyn-FL: {s:?}"),
+            }
+        }
+    });
+
+    // Table IV: FedMP best perplexity; UP-FL can trail Syn-FL.
+    checks.push(match load("table4") {
+        None => missing("Table IV", "FedMP lowest perplexity within the budget"),
+        Some(v) => {
+            let rows = v["rows"].as_array().cloned().unwrap_or_default();
+            let ppl = |m: &str| {
+                rows.iter().find(|r| r["method"] == m).and_then(|r| r["perplexity"].as_f64())
+            };
+            let (syn, up, fed) = (ppl("Syn-FL"), ppl("UP-FL"), ppl("FedMP"));
+            let ok = match (syn, fed) {
+                (Some(s), Some(f)) => f <= s + 1e-6,
+                _ => false,
+            };
+            Check {
+                id: "Table IV",
+                claim: "FedMP lowest perplexity within the budget",
+                verdict: Some(ok),
+                detail: format!("Syn-FL {syn:?}, UP-FL {up:?}, FedMP {fed:?}"),
+            }
+        }
+    });
+
+    println!("\n=== paper-shape report ===");
+    let mut pass = 0usize;
+    for c in &checks {
+        let tag = match c.verdict {
+            Some(true) => {
+                pass += 1;
+                "PASS"
+            }
+            Some(false) => "WARN",
+            None => "MISSING",
+        };
+        println!("[{tag:>7}] {:<10} {}", c.id, c.claim);
+        if c.verdict != Some(true) {
+            println!("          {}", c.detail);
+        }
+    }
+    println!("\n{pass}/{} shape claims hold in the measured data.", checks.len());
+}
+
+fn missing(id: &'static str, claim: &'static str) -> Check {
+    Check { id, claim, verdict: None, detail: "result file missing — run all_experiments".into() }
+}

@@ -1,0 +1,39 @@
+//! Table III: test accuracy each method reaches within a fixed virtual-
+//! time budget, for all four models. The paper's shape: FedMP's column
+//! dominates every row.
+
+use fedmp_bench::{bench_spec, save_result};
+use fedmp_core::{print_table, run_method, Method, TaskKind};
+use serde_json::json;
+
+fn main() {
+    let methods = Method::paper_five();
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+
+    for task in TaskKind::all() {
+        let spec = bench_spec(task);
+        let histories: Vec<_> = methods.iter().map(|&m| run_method(&spec, m)).collect();
+        // Budget: the earliest finisher's horizon, so every method is
+        // compared over a window it fully covered.
+        let budget =
+            histories.iter().map(|h| h.total_time()).fold(f64::INFINITY, f64::min);
+
+        let mut row = vec![task.name().to_string(), format!("{budget:.0}s")];
+        let mut cells = Vec::new();
+        for h in &histories {
+            let acc = h.best_accuracy_within(budget).unwrap_or(0.0);
+            row.push(format!("{:.1}%", acc * 100.0));
+            cells.push(json!({"method": h.method, "accuracy": acc}));
+        }
+        rows.push(row);
+        results.push(json!({"task": task.name(), "budget": budget, "cells": cells}));
+    }
+
+    print_table(
+        "Table III — accuracy within a fixed virtual-time budget",
+        &["model", "budget", "Syn-FL", "UP-FL", "FedProx", "FlexCom", "FedMP"],
+        &rows,
+    );
+    save_result("table3", &results);
+}

@@ -1,0 +1,85 @@
+//! Table IV (§VI): the RNN extension. A 2-layer LSTM language model on
+//! the PTB-like corpus under Syn-FL, UP-FL and FedMP (with ISS pruning).
+//! The paper's shape: FedMP reaches the lowest perplexity within the
+//! budget and the best speedup to the target perplexity; UP-FL can be
+//! *slower* than Syn-FL (0.8×) because a uniform ratio misfits the
+//! heterogeneous fleet.
+
+use fedmp_bench::{fmt_speedup, save_result};
+use fedmp_core::print_table;
+use fedmp_data::{ptb_like, TextBatch};
+use fedmp_edgesim::{heterogeneity_scenario, HeterogeneityLevel, TimeModel};
+use fedmp_fl::{run_lm, LmMethod, LmOptions, LmSetup};
+use fedmp_nn::zoo;
+use fedmp_tensor::seeded_rng;
+use serde_json::json;
+
+fn main() {
+    let workers = 4usize;
+    let vocab = 50usize;
+    let corpus = ptb_like(vocab, 60_000, 77);
+    let (train, eval) = corpus.split(0.9);
+    let lane = train.len() / workers;
+    let worker_batches: Vec<Vec<TextBatch>> = (0..workers)
+        .map(|w| {
+            fedmp_data::TextDataset {
+                tokens: train.tokens[w * lane..(w + 1) * lane].to_vec(),
+                vocab,
+            }
+            .batches(8, 12)
+        })
+        .collect();
+    let mut rng = seeded_rng(78);
+    // Width compensation: charge the simulator for the paper-sized LSTM.
+    let cost_scale = {
+        let full = fedmp_nn::lstm_cost_per_token(&zoo::lstm_ptb(vocab, 1.0, &mut seeded_rng(1)));
+        let scaled = fedmp_nn::lstm_cost_per_token(&zoo::lstm_ptb(vocab, 0.3, &mut seeded_rng(1)));
+        fedmp_fl::CostScale {
+            flops: full.flops_per_sample as f64 / scaled.flops_per_sample.max(1) as f64,
+            bytes: full.params as f64 / scaled.params.max(1) as f64,
+        }
+    };
+    let setup = LmSetup {
+        worker_batches,
+        eval_batches: eval.batches(8, 12),
+        devices: heterogeneity_scenario(HeterogeneityLevel::Medium, workers, &mut rng),
+        time: TimeModel::default(),
+        cost_scale,
+    };
+    let rounds = if std::env::var("FEDMP_BENCH_PROFILE").as_deref() == Ok("full") { 32 } else { 16 };
+    let opts = LmOptions { rounds, eval_every: 2, ..Default::default() };
+    let global = zoo::lstm_ptb(vocab, 0.3, &mut rng);
+
+    let methods = [LmMethod::SynFl, LmMethod::UpFl, LmMethod::FedMp];
+    let histories: Vec<_> =
+        methods.iter().map(|&m| run_lm(&setup, &opts, m, global.clone())).collect();
+
+    // Budget: earliest finisher's horizon; target perplexity: what
+    // Syn-FL reaches at 80% of the budget.
+    let budget = histories.iter().map(|h| h.total_time()).fold(f64::INFINITY, f64::min);
+    let target = histories[0].best_perplexity_within(budget * 0.8).unwrap_or(f32::INFINITY);
+    let base_time = histories[0].time_to_perplexity(target);
+
+    let mut rows = Vec::new();
+    let mut cells = Vec::new();
+    for h in &histories {
+        let ppl = h.best_perplexity_within(budget);
+        let t = h.time_to_perplexity(target);
+        let speedup = match (base_time, t) {
+            (Some(b), Some(t)) if t > 0.0 => Some(b / t),
+            _ => None,
+        };
+        rows.push(vec![
+            h.method.clone(),
+            ppl.map_or("-".into(), |p| format!("{p:.2}")),
+            fmt_speedup(speedup),
+        ]);
+        cells.push(json!({"method": h.method, "perplexity": ppl, "speedup": speedup}));
+    }
+    print_table(
+        &format!("Table IV — LSTM/PTB-like (budget {budget:.0}s, target ppl {target:.1})"),
+        &["method", "perplexity in budget", "speedup to target"],
+        &rows,
+    );
+    save_result("table4", &json!({"budget": budget, "target": target, "rows": cells}));
+}

@@ -1,0 +1,90 @@
+//! # fedmp-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! FedMP paper's evaluation section. Each `src/bin/<id>.rs` binary
+//! reproduces one experiment and prints the same rows/series the paper
+//! reports, plus a JSON dump under `bench-results/`:
+//!
+//! ```text
+//! cargo run -p fedmp-bench --release --bin fig2     # ratio sweep
+//! cargo run -p fedmp-bench --release --bin table3   # accuracy in budget
+//! cargo run -p fedmp-bench --release --bin all_experiments
+//! ```
+//!
+//! Set `FEDMP_BENCH_PROFILE=full` for larger (slower, higher-fidelity)
+//! runs; the default `quick` profile completes each experiment in
+//! minutes on a laptop.
+
+use fedmp_core::{ExperimentSpec, TaskKind};
+use fedmp_fl::RunHistory;
+use serde::Serialize;
+
+/// Which fidelity to run at (`FEDMP_BENCH_PROFILE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Laptop-scale defaults.
+    Quick,
+    /// Larger models / more rounds.
+    Full,
+}
+
+/// Reads the profile from the environment.
+pub fn profile() -> Profile {
+    match std::env::var("FEDMP_BENCH_PROFILE").as_deref() {
+        Ok("full") => Profile::Full,
+        _ => Profile::Quick,
+    }
+}
+
+/// The experiment spec each bench uses for a task under the current
+/// profile: the paper's default deployment (10 workers, Medium
+/// heterogeneity) at laptop width.
+pub fn bench_spec(task: TaskKind) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::bench(task);
+    if profile() == Profile::Full {
+        spec.width *= 2.0;
+        spec.data_scale *= 2.0;
+        spec.fl.rounds *= 2;
+    }
+    spec
+}
+
+/// Default time-to-target accuracy used across Figs. 6/8–10/12: 90 %
+/// of the *baseline's* (first history's) final accuracy — the paper
+/// fixes absolute targets relative to what Syn-FL achieves; methods
+/// that never reach it report `-`.
+pub fn common_target(histories: &[RunHistory]) -> f32 {
+    let base_final = histories
+        .first()
+        .and_then(|h| h.final_accuracy())
+        .unwrap_or(0.5);
+    (base_final * 0.9).min(0.99)
+}
+
+/// Where JSON results land.
+pub fn results_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from("bench-results")
+}
+
+/// Writes an experiment's JSON result under `bench-results/`.
+pub fn save_result(name: &str, value: &impl Serialize) {
+    let path = results_dir().join(format!("{name}.json"));
+    fedmp_core::save_json(&path, value);
+    println!("\n[saved {}]", path.display());
+}
+
+/// Formats an `Option<f64>` seconds value for tables.
+pub fn fmt_time(t: Option<f64>) -> String {
+    match t {
+        Some(v) => format!("{v:.1}s"),
+        None => "-".into(),
+    }
+}
+
+/// Formats a speedup column.
+pub fn fmt_speedup(s: Option<f64>) -> String {
+    match s {
+        Some(v) => format!("{v:.2}x"),
+        None => "-".into(),
+    }
+}

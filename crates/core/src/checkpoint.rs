@@ -1,0 +1,82 @@
+//! Model checkpointing: save and restore global-model snapshots as
+//! JSON. The PS uses this to persist training state between experiment
+//! phases, and the examples use it to hand models across processes.
+
+use fedmp_nn::{LstmLm, Sequential, StateEntry};
+use std::fs;
+use std::path::Path;
+
+/// Saves a model snapshot (its full named state) to `path`.
+pub fn save_model(path: impl AsRef<Path>, state: &[StateEntry]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let body = serde_json::to_vec(state).expect("serialise model state");
+    fs::write(path, body)
+}
+
+/// Loads a snapshot previously written by [`save_model`].
+pub fn load_state(path: impl AsRef<Path>) -> std::io::Result<Vec<StateEntry>> {
+    let body = fs::read(path.as_ref())?;
+    Ok(serde_json::from_slice(&body).expect("parse model state"))
+}
+
+/// Restores a checkpoint into a model of identical architecture.
+pub fn restore_model(path: impl AsRef<Path>, model: &mut Sequential) -> std::io::Result<()> {
+    let state = load_state(path)?;
+    model.load_state(&state);
+    Ok(())
+}
+
+/// Restores a checkpoint into a language model of identical
+/// architecture.
+pub fn restore_lm(path: impl AsRef<Path>, model: &mut LstmLm) -> std::io::Result<()> {
+    let state = load_state(path)?;
+    model.load_state(&state);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedmp_nn::zoo;
+    use fedmp_tensor::seeded_rng;
+
+    #[test]
+    fn sequential_roundtrip() {
+        let dir = std::env::temp_dir().join("fedmp-ckpt-test");
+        let path = dir.join("cnn.json");
+        let mut rng = seeded_rng(240);
+        let m = zoo::cnn_mnist(0.1, &mut rng);
+        save_model(&path, &m.state()).unwrap();
+
+        let mut m2 = zoo::cnn_mnist(0.1, &mut seeded_rng(999));
+        assert_ne!(m2.state()[0].tensor, m.state()[0].tensor);
+        restore_model(&path, &mut m2).unwrap();
+        for (a, b) in m2.state().iter().zip(m.state().iter()) {
+            assert_eq!(a.tensor, b.tensor, "{}", a.name);
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lm_roundtrip() {
+        let dir = std::env::temp_dir().join("fedmp-ckpt-lm-test");
+        let path = dir.join("lm.json");
+        let mut rng = seeded_rng(241);
+        let lm = zoo::lstm_ptb(20, 0.1, &mut rng);
+        save_model(&path, &lm.state()).unwrap();
+        let mut lm2 = zoo::lstm_ptb(20, 0.1, &mut seeded_rng(5));
+        restore_lm(&path, &mut lm2).unwrap();
+        assert_eq!(lm2.state()[2].tensor, lm.state()[2].tensor);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let mut rng = seeded_rng(242);
+        let mut m = zoo::cnn_mnist(0.1, &mut rng);
+        assert!(restore_model("/nonexistent/fedmp.json", &mut m).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! # fedmp-core
+//!
+//! The FedMP orchestrator: experiment specifications, the method
+//! dispatcher, overhead instrumentation and report output. This crate is
+//! the public face of the reproduction — `fedmp-bench` and the examples
+//! only talk to this API.
+//!
+//! ```no_run
+//! use fedmp_core::{ExperimentSpec, Method, TaskKind};
+//!
+//! let spec = ExperimentSpec::small(TaskKind::CnnMnist);
+//! let history = fedmp_core::run_method(&spec, Method::FedMp);
+//! println!("time to 70% accuracy: {:?}", history.time_to_accuracy(0.7));
+//! ```
+
+mod checkpoint;
+mod config;
+mod overhead;
+mod report;
+mod runner;
+
+pub use checkpoint::{load_state, restore_lm, restore_model, save_model};
+pub use config::{BuiltExperiment, ExperimentSpec, TaskKind};
+pub use overhead::{measure_overhead, OverheadReport};
+pub use report::{ensure_dir, print_table, save_json};
+pub use runner::{run_fedmp_custom, run_method, speedup_table, Method};

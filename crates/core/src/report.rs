@@ -1,0 +1,71 @@
+//! Result output: aligned console tables and JSON files for
+//! EXPERIMENTS.md.
+
+use serde::Serialize;
+use std::fs;
+use std::path::Path;
+
+/// Creates a directory (and parents) if missing.
+pub fn ensure_dir(path: impl AsRef<Path>) {
+    fs::create_dir_all(path.as_ref()).expect("create results directory");
+}
+
+/// Serialises `value` as pretty JSON at `path` (parent directories are
+/// created).
+pub fn save_json(path: impl AsRef<Path>, value: &impl Serialize) {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).expect("create parent directory");
+    }
+    let json = serde_json::to_string_pretty(value).expect("serialise result");
+    fs::write(path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}
+
+/// Prints an aligned console table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_json_roundtrip() {
+        let dir = std::env::temp_dir().join("fedmp-report-test");
+        let path = dir.join("x/y.json");
+        save_json(&path, &serde_json::json!({"a": 1}));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"a\": 1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "demo",
+            &["method", "time"],
+            &[vec!["FedMP".into(), "1.0".into()], vec!["Syn-FL".into(), "4.1".into()]],
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Method dispatch: run any of the paper's methods against a built
+//! experiment and compare outcomes.
+
+use crate::config::ExperimentSpec;
+use fedmp_fl::{
+    run_async, run_fedmp, run_fedprox, run_flexcom, run_synfl, run_upfl, AsyncMode, AsyncOptions,
+    FedMpOptions, FedProxOptions, FlSetup, FlexComOptions, RunHistory, SyncScheme, UpFlOptions,
+};
+use serde::{Deserialize, Serialize};
+
+/// Every training method the evaluation section compares.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Method {
+    /// Full-model synchronous FedAvg [5].
+    SynFl,
+    /// Uniform adaptive pruning [15].
+    UpFl,
+    /// Proximal + capability-scaled local iterations [19].
+    FedProx,
+    /// Heterogeneous upload compression [13].
+    FlexCom,
+    /// The paper's system.
+    FedMp,
+    /// FedMP with traditional BSP instead of R2SP (Fig. 7 ablation).
+    FedMpBsp,
+    /// FedMP at a fixed uniform ratio (Fig. 2 / Fig. 5 sweeps).
+    FedMpFixed(f32),
+    /// Asynchronous FedAvg [43], aggregating `m` arrivals per round.
+    AsynFl {
+        /// Arrivals per aggregation.
+        m: usize,
+    },
+    /// Algorithm 2: asynchronous FedMP.
+    AsynFedMp {
+        /// Arrivals per aggregation.
+        m: usize,
+    },
+}
+
+impl Method {
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> String {
+        match self {
+            Method::SynFl => "Syn-FL".into(),
+            Method::UpFl => "UP-FL".into(),
+            Method::FedProx => "FedProx".into(),
+            Method::FlexCom => "FlexCom".into(),
+            Method::FedMp => "FedMP".into(),
+            Method::FedMpBsp => "FedMP-BSP".into(),
+            Method::FedMpFixed(r) => format!("FedMP(α={r})"),
+            Method::AsynFl { .. } => "Asyn-FL".into(),
+            Method::AsynFedMp { .. } => "Asyn-FedMP".into(),
+        }
+    }
+
+    /// The five synchronous methods of Table III / Fig. 6 / Fig. 8 /
+    /// Fig. 9 / Fig. 10, in the paper's column order.
+    pub fn paper_five() -> [Method; 5] {
+        [Method::SynFl, Method::UpFl, Method::FedProx, Method::FlexCom, Method::FedMp]
+    }
+}
+
+/// Builds the experiment described by `spec` and runs `method` on it.
+pub fn run_method(spec: &ExperimentSpec, method: Method) -> RunHistory {
+    let built = spec.build();
+    let setup = FlSetup::with_cost_scale(
+        &built.task,
+        built.devices.clone(),
+        built.time,
+        built.cost_scale,
+    );
+    match method {
+        Method::SynFl => run_synfl(&spec.fl, &setup, built.model),
+        Method::UpFl => run_upfl(&spec.fl, &setup, built.model, &UpFlOptions::default()),
+        Method::FedProx => run_fedprox(&spec.fl, &setup, built.model, &FedProxOptions::default()),
+        Method::FlexCom => run_flexcom(&spec.fl, &setup, built.model, &FlexComOptions::default()),
+        Method::FedMp => run_fedmp(&spec.fl, &setup, built.model, &FedMpOptions::default()),
+        Method::FedMpBsp => {
+            let opts = FedMpOptions { sync: SyncScheme::BSP, ..Default::default() };
+            run_fedmp(&spec.fl, &setup, built.model, &opts)
+        }
+        Method::FedMpFixed(ratio) => {
+            let opts = FedMpOptions { fixed_ratio: Some(ratio), ..Default::default() };
+            run_fedmp(&spec.fl, &setup, built.model, &opts)
+        }
+        Method::AsynFl { m } => {
+            let opts = AsyncOptions { mode: AsyncMode::AsynFl, m, ..Default::default() };
+            run_async(&spec.fl, &setup, built.model, &opts)
+        }
+        Method::AsynFedMp { m } => {
+            let opts = AsyncOptions { mode: AsyncMode::AsynFedMp, m, ..Default::default() };
+            run_async(&spec.fl, &setup, built.model, &opts)
+        }
+    }
+}
+
+/// Runs FedMP with caller-supplied options (θ sweeps, custom reward
+/// shaping, BSP ablations) on the experiment described by `spec`.
+pub fn run_fedmp_custom(spec: &ExperimentSpec, opts: &FedMpOptions) -> RunHistory {
+    let built = spec.build();
+    let setup = FlSetup::with_cost_scale(
+        &built.task,
+        built.devices.clone(),
+        built.time,
+        built.cost_scale,
+    );
+    run_fedmp(&spec.fl, &setup, built.model, opts)
+}
+
+/// Speedups relative to the first (baseline) history, by
+/// time-to-target-accuracy. `None` appears when a method never reached
+/// the target.
+pub fn speedup_table(histories: &[RunHistory], target: f32) -> Vec<(String, Option<f64>, Option<f64>)> {
+    let base = histories.first().and_then(|h| h.time_to_accuracy(target));
+    histories
+        .iter()
+        .map(|h| {
+            let t = h.time_to_accuracy(target);
+            let speedup = match (base, t) {
+                (Some(b), Some(t)) if t > 0.0 => Some(b / t),
+                _ => None,
+            };
+            (h.method.clone(), t, speedup)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TaskKind;
+
+    #[test]
+    fn every_method_runs_end_to_end() {
+        let mut spec = ExperimentSpec::small(TaskKind::CnnMnist);
+        spec.fl.rounds = 3;
+        spec.fl.eval_every = 2;
+        for method in [
+            Method::SynFl,
+            Method::UpFl,
+            Method::FedProx,
+            Method::FlexCom,
+            Method::FedMp,
+            Method::FedMpBsp,
+            Method::FedMpFixed(0.5),
+            Method::AsynFl { m: 2 },
+            Method::AsynFedMp { m: 2 },
+        ] {
+            let h = run_method(&spec, method);
+            assert_eq!(h.rounds.len(), 3, "{}", method.name());
+            assert!(h.final_accuracy().is_some(), "{}", method.name());
+        }
+    }
+
+    #[test]
+    fn speedup_table_is_relative_to_first() {
+        let mut fast = RunHistory::new("fast");
+        let mut slow = RunHistory::new("slow");
+        for (h, scale) in [(&mut slow, 10.0f64), (&mut fast, 5.0)] {
+            for i in 0..3 {
+                h.rounds.push(fedmp_fl::RoundRecord {
+                    round: i,
+                    sim_time: scale * (i + 1) as f64,
+                    round_time: scale,
+                    mean_comp: 0.0,
+                    mean_comm: 0.0,
+                    train_loss: 0.0,
+                    eval: Some((0.0, 0.3 * (i + 1) as f32)),
+                    ratios: vec![],
+                });
+            }
+        }
+        let table = speedup_table(&[slow, fast], 0.6);
+        assert_eq!(table[0].2, Some(1.0));
+        assert_eq!(table[1].2, Some(2.0));
+    }
+}

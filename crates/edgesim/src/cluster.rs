@@ -1,0 +1,134 @@
+//! Worker clusters (paper Fig. 3) and the §V-E heterogeneity scenarios.
+
+use crate::device::{ComputeMode, DeviceProfile, LinkQuality};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The three clusters of Fig. 3, partitioning devices by computing mode
+/// (X-axis) and location (Y-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cluster {
+    /// Strong devices close to the PS: modes 0–1, near/mid links.
+    A,
+    /// Mid devices: modes 1–2, mid links.
+    B,
+    /// Weak, far devices: modes 2–3, far links.
+    C,
+}
+
+/// Samples a device uniformly from a cluster's mode/link ranges.
+pub fn sample_cluster_device(cluster: Cluster, rng: &mut StdRng) -> DeviceProfile {
+    let (modes, links): (&[ComputeMode], &[LinkQuality]) = match cluster {
+        Cluster::A => (
+            &[ComputeMode::Mode0, ComputeMode::Mode1],
+            &[LinkQuality::Near, LinkQuality::Mid],
+        ),
+        Cluster::B => (&[ComputeMode::Mode1, ComputeMode::Mode2], &[LinkQuality::Mid]),
+        Cluster::C => (&[ComputeMode::Mode2, ComputeMode::Mode3], &[LinkQuality::Far]),
+    };
+    DeviceProfile {
+        mode: modes[rng.gen_range(0..modes.len())],
+        link: links[rng.gen_range(0..links.len())],
+    }
+}
+
+/// The heterogeneity levels of §V-E.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeterogeneityLevel {
+    /// 10 workers from cluster A.
+    Low,
+    /// 5 from A + 5 from B (the paper's default setting).
+    Medium,
+    /// 3 from A + 3 from B + 4 from C.
+    High,
+}
+
+/// Builds the worker fleet for a heterogeneity level, scaled to
+/// `workers` devices while preserving the paper's cluster proportions.
+pub fn heterogeneity_scenario(
+    level: HeterogeneityLevel,
+    workers: usize,
+    rng: &mut StdRng,
+) -> Vec<DeviceProfile> {
+    assert!(workers > 0, "need at least one worker");
+    let fractions: [(Cluster, f64); 3] = match level {
+        HeterogeneityLevel::Low => [(Cluster::A, 1.0), (Cluster::B, 0.0), (Cluster::C, 0.0)],
+        HeterogeneityLevel::Medium => [(Cluster::A, 0.5), (Cluster::B, 0.5), (Cluster::C, 0.0)],
+        HeterogeneityLevel::High => [(Cluster::A, 0.3), (Cluster::B, 0.3), (Cluster::C, 0.4)],
+    };
+    let mut fleet = Vec::with_capacity(workers);
+    for (cluster, frac) in fractions {
+        let count = (workers as f64 * frac).round() as usize;
+        for _ in 0..count {
+            fleet.push(sample_cluster_device(cluster, rng));
+        }
+    }
+    // Rounding may drop or add a worker; fix up from cluster A.
+    while fleet.len() < workers {
+        fleet.push(sample_cluster_device(Cluster::A, rng));
+    }
+    fleet.truncate(workers);
+    fleet
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn cluster_a_is_strong_and_near() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let d = sample_cluster_device(Cluster::A, &mut r);
+            assert!(matches!(d.mode, ComputeMode::Mode0 | ComputeMode::Mode1));
+            assert!(matches!(d.link, LinkQuality::Near | LinkQuality::Mid));
+        }
+    }
+
+    #[test]
+    fn cluster_c_is_weak_and_far() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let d = sample_cluster_device(Cluster::C, &mut r);
+            assert!(matches!(d.mode, ComputeMode::Mode2 | ComputeMode::Mode3));
+            assert_eq!(d.link, LinkQuality::Far);
+        }
+    }
+
+    #[test]
+    fn scenarios_have_requested_size() {
+        let mut r = rng();
+        for level in [HeterogeneityLevel::Low, HeterogeneityLevel::Medium, HeterogeneityLevel::High] {
+            for n in [10usize, 13, 30] {
+                assert_eq!(heterogeneity_scenario(level, n, &mut r).len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_level_means_weaker_slowest_worker() {
+        let mut r = rng();
+        let min_flops = |fleet: &[DeviceProfile]| {
+            fleet.iter().map(|d| d.flops()).fold(f64::INFINITY, f64::min)
+        };
+        let low = heterogeneity_scenario(HeterogeneityLevel::Low, 10, &mut r);
+        let high = heterogeneity_scenario(HeterogeneityLevel::High, 10, &mut r);
+        assert!(min_flops(&low) > min_flops(&high));
+    }
+
+    #[test]
+    fn medium_is_half_a_half_b() {
+        let mut r = rng();
+        let fleet = heterogeneity_scenario(HeterogeneityLevel::Medium, 10, &mut r);
+        // Cluster B devices have Mid links and mode 1/2; count non-A-only
+        // characteristics loosely: at least some devices must be mode 2.
+        let weak = fleet.iter().filter(|d| matches!(d.mode, ComputeMode::Mode2)).count();
+        assert!(weak > 0, "no cluster-B-grade devices in Medium scenario");
+    }
+}

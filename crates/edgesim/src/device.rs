@@ -1,0 +1,125 @@
+//! Device profiles derived from the paper's Table II computing modes.
+
+use serde::{Deserialize, Serialize};
+
+/// The four Jetson TX2 computing modes of Table II. Capability decreases
+/// from mode 0 to mode 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComputeMode {
+    /// Denver2 2×2.0 GHz + A57 4×2.0 GHz + GPU 1.30 GHz.
+    Mode0,
+    /// A57 4×2.0 GHz + GPU 1.12 GHz (Denver cluster off).
+    Mode1,
+    /// Denver2 2×1.4 GHz + A57 4×1.4 GHz + GPU 1.12 GHz.
+    Mode2,
+    /// A57 4×1.2 GHz + GPU 0.85 GHz.
+    Mode3,
+}
+
+impl ComputeMode {
+    /// Effective sustained training throughput in FLOP/s.
+    ///
+    /// Calibration: a TX2 GPU peaks around 1.3 TFLOP/s (FP16) at mode 0,
+    /// but sustained f32 *training* throughput — framework overhead,
+    /// small batches, memory-bound layers — is well under 1 % of peak
+    /// (the paper's AlexNet rounds take minutes on a TX2). The mode
+    /// ratios follow the GPU clocks of Table II (1.30 / 1.12 / 1.12 /
+    /// 0.85 GHz) with CPU-cluster differences nudging modes 1 and 2
+    /// apart.
+    pub fn effective_flops(self) -> f64 {
+        match self {
+            ComputeMode::Mode0 => 6.5e9,
+            ComputeMode::Mode1 => 5.2e9,
+            ComputeMode::Mode2 => 4.5e9,
+            ComputeMode::Mode3 => 2.8e9,
+        }
+    }
+
+    /// All modes, strongest first.
+    pub fn all() -> [ComputeMode; 4] {
+        [ComputeMode::Mode0, ComputeMode::Mode1, ComputeMode::Mode2, ComputeMode::Mode3]
+    }
+}
+
+/// Wireless-link quality tiers, standing in for the paper's physical
+/// placement of devices at different distances from the PS (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkQuality {
+    /// Close to the access point.
+    Near,
+    /// Mid-range placement.
+    Mid,
+    /// Far placement / weak signal.
+    Far,
+}
+
+impl LinkQuality {
+    /// Sustained link bandwidth in bits per second. WAN-constrained FL
+    /// links are an order of magnitude slower than LAN (Hsieh et al.,
+    /// NSDI'17, cited by the paper as the 15× gap).
+    pub fn bandwidth_bps(self) -> f64 {
+        match self {
+            LinkQuality::Near => 80.0e6,
+            LinkQuality::Mid => 40.0e6,
+            LinkQuality::Far => 12.0e6,
+        }
+    }
+}
+
+/// A simulated edge worker: computing mode plus link quality.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Computing mode (Table II).
+    pub mode: ComputeMode,
+    /// Link quality tier (placement).
+    pub link: LinkQuality,
+}
+
+impl DeviceProfile {
+    /// Effective training throughput, FLOP/s.
+    pub fn flops(&self) -> f64 {
+        self.mode.effective_flops()
+    }
+
+    /// Link bandwidth, bit/s.
+    pub fn bandwidth(&self) -> f64 {
+        self.link.bandwidth_bps()
+    }
+}
+
+/// Convenience constructor matching the paper's tables.
+pub fn tx2_profile(mode: ComputeMode, link: LinkQuality) -> DeviceProfile {
+    DeviceProfile { mode, link }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_are_ordered_by_capability() {
+        let f: Vec<f64> = ComputeMode::all().iter().map(|m| m.effective_flops()).collect();
+        assert!(f.windows(2).all(|w| w[0] > w[1]), "modes not monotonically decreasing: {f:?}");
+    }
+
+    #[test]
+    fn mode_ratio_tracks_table_ii_clocks() {
+        // Mode0/Mode3 GPU clocks are 1.30/0.85 ≈ 1.53; with the CPU
+        // cluster fully on, the overall gap should be at least that.
+        let ratio = ComputeMode::Mode0.effective_flops() / ComputeMode::Mode3.effective_flops();
+        assert!(ratio > 1.5 && ratio < 4.0, "mode0/mode3 = {ratio}");
+    }
+
+    #[test]
+    fn link_tiers_are_ordered() {
+        assert!(LinkQuality::Near.bandwidth_bps() > LinkQuality::Mid.bandwidth_bps());
+        assert!(LinkQuality::Mid.bandwidth_bps() > LinkQuality::Far.bandwidth_bps());
+    }
+
+    #[test]
+    fn profile_accessors() {
+        let p = tx2_profile(ComputeMode::Mode1, LinkQuality::Far);
+        assert_eq!(p.flops(), ComputeMode::Mode1.effective_flops());
+        assert_eq!(p.bandwidth(), LinkQuality::Far.bandwidth_bps());
+    }
+}

@@ -1,0 +1,118 @@
+//! Dynamic capability drift.
+//!
+//! The paper's §I motivates adaptivity with capabilities that "vary
+//! significantly and even **dynamically**" — thermal throttling,
+//! background load, radio fading. [`DriftModel`] produces a slowly
+//! varying multiplier per worker per round (a mean-reverting random
+//! walk), which the caller applies to a device's effective throughput
+//! and bandwidth. The E-UCB discount factor λ exists precisely to track
+//! this drift (tested in `fedmp-bandit`'s non-stationary test).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Mean-reverting multiplicative drift (Ornstein–Uhlenbeck in log
+/// space): `log m ← (1 − κ)·log m + σ·ε`, clamped to `[floor, ceil]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftModel {
+    /// Reversion strength κ ∈ (0, 1]: higher snaps back to 1 faster.
+    pub reversion: f64,
+    /// Per-round innovation σ.
+    pub sigma: f64,
+    /// Lower clamp on the multiplier.
+    pub floor: f64,
+    /// Upper clamp on the multiplier.
+    pub ceil: f64,
+    /// Current log-multiplier per worker.
+    state: Vec<f64>,
+}
+
+impl DriftModel {
+    /// A drift model for `workers` devices, starting at multiplier 1.
+    pub fn new(workers: usize, reversion: f64, sigma: f64) -> Self {
+        assert!((0.0..=1.0).contains(&reversion), "reversion must be in (0, 1]");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        DriftModel { reversion, sigma, floor: 0.3, ceil: 2.0, state: vec![0.0; workers] }
+    }
+
+    /// A disabled drift model (multiplier 1 forever).
+    pub fn none(workers: usize) -> Self {
+        DriftModel::new(workers, 1.0, 0.0)
+    }
+
+    /// Advances one round; returns the capability multiplier per worker.
+    pub fn step(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        self.state
+            .iter_mut()
+            .map(|s| {
+                // Box–Muller standard normal.
+                let u1: f64 = 1.0 - rng.gen::<f64>();
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                *s = (1.0 - self.reversion) * *s + self.sigma * z;
+                let m = s.exp();
+                m.clamp(self.floor, self.ceil)
+            })
+            .collect()
+    }
+
+    /// Number of tracked workers.
+    pub fn workers(&self) -> usize {
+        self.state.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn disabled_drift_is_identity() {
+        let mut d = DriftModel::none(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert!(d.step(&mut rng).iter().all(|&m| (m - 1.0).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn drift_stays_in_bounds_and_varies() {
+        let mut d = DriftModel::new(4, 0.1, 0.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..500 {
+            for &m in &d.step(&mut rng) {
+                assert!((0.3..=2.0).contains(&m), "multiplier {m} out of bounds");
+                if m < 0.9 {
+                    seen_low = true;
+                }
+                if m > 1.1 {
+                    seen_high = true;
+                }
+            }
+        }
+        assert!(seen_low && seen_high, "drift never moved");
+    }
+
+    #[test]
+    fn mean_reversion_pulls_back_to_one() {
+        let mut d = DriftModel::new(1, 0.5, 0.0);
+        d.state[0] = 1.0; // multiplier e ≈ 2.72 before clamping
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut last = f64::INFINITY;
+        for _ in 0..10 {
+            let m = d.step(&mut rng)[0];
+            assert!(m <= last + 1e-12, "not reverting: {m} after {last}");
+            last = m;
+        }
+        assert!((last - 1.0).abs() < 0.1, "did not revert near 1: {last}");
+    }
+
+    #[test]
+    fn workers_tracked() {
+        assert_eq!(DriftModel::none(7).workers(), 7);
+    }
+}

@@ -1,0 +1,119 @@
+//! Arrival-ordered completion queue for asynchronous FedMP
+//! (paper Algorithm 2): the PS aggregates the first `m` arrivals of each
+//! round while the rest keep training.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A worker's pending completion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Completion {
+    /// Virtual-clock time at which the worker's upload arrives.
+    pub at: f64,
+    /// Worker index.
+    pub worker: usize,
+}
+
+// Min-heap ordering by arrival time (BinaryHeap is a max-heap, so
+// reverse). Ties break by worker index for determinism.
+impl Eq for Completion {}
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .partial_cmp(&self.at)
+            .expect("finite completion times")
+            .then_with(|| other.worker.cmp(&self.worker))
+    }
+}
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The PS-side arrival queue of asynchronous FL.
+#[derive(Debug, Clone, Default)]
+pub struct ArrivalQueue {
+    heap: BinaryHeap<Completion>,
+}
+
+impl ArrivalQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        ArrivalQueue { heap: BinaryHeap::new() }
+    }
+
+    /// Schedules a worker's completion.
+    pub fn push(&mut self, at: f64, worker: usize) {
+        assert!(at.is_finite() && at >= 0.0, "completion time must be non-negative");
+        self.heap.push(Completion { at, worker });
+    }
+
+    /// Pops the earliest completion.
+    pub fn pop(&mut self) -> Option<Completion> {
+        self.heap.pop()
+    }
+
+    /// Pops the earliest `m` completions (fewer if the queue drains).
+    pub fn pop_first(&mut self, m: usize) -> Vec<Completion> {
+        let mut out = Vec::with_capacity(m);
+        while out.len() < m {
+            match self.heap.pop() {
+                Some(c) => out.push(c),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Number of pending completions.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_arrival_order() {
+        let mut q = ArrivalQueue::new();
+        q.push(5.0, 0);
+        q.push(1.0, 1);
+        q.push(3.0, 2);
+        assert_eq!(q.pop().unwrap().worker, 1);
+        assert_eq!(q.pop().unwrap().worker, 2);
+        assert_eq!(q.pop().unwrap().worker, 0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_first_m() {
+        let mut q = ArrivalQueue::new();
+        for (t, w) in [(4.0, 0), (2.0, 1), (6.0, 2), (1.0, 3)] {
+            q.push(t, w);
+        }
+        let first = q.pop_first(2);
+        assert_eq!(first.iter().map(|c| c.worker).collect::<Vec<_>>(), vec![3, 1]);
+        assert_eq!(q.len(), 2);
+        let rest = q.pop_first(10);
+        assert_eq!(rest.len(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let mut q = ArrivalQueue::new();
+        q.push(1.0, 5);
+        q.push(1.0, 2);
+        assert_eq!(q.pop().unwrap().worker, 2);
+    }
+}

@@ -1,0 +1,147 @@
+//! The paper's Eq. 5 completion-time model on a virtual clock.
+
+use crate::device::DeviceProfile;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What a worker must pay for one round: training compute plus model
+/// transfer in both directions. Produced by the FL engine from the
+/// *actual* sub-model it trains (so pruning automatically shrinks both
+/// terms).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RoundCost {
+    /// Total training FLOPs for the round (per-sample train FLOPs ×
+    /// batch size × local iterations).
+    pub train_flops: f64,
+    /// Bytes received from the PS (the pruned sub-model).
+    pub download_bytes: f64,
+    /// Bytes sent to the PS (the trained sub-model, or a sparse update).
+    pub upload_bytes: f64,
+}
+
+/// One worker's simulated round time, split as the paper reports it
+/// (Fig. 5 separates computation and communication).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundTime {
+    /// Local computation seconds.
+    pub comp: f64,
+    /// Transfer seconds (down + up).
+    pub comm: f64,
+}
+
+impl RoundTime {
+    /// Total completion time `Tₙ = Tₙ_comp + Tₙ_comm` (Eq. 5).
+    pub fn total(&self) -> f64 {
+        self.comp + self.comm
+    }
+}
+
+/// Evaluates Eq. 5 with multiplicative log-normal jitter.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TimeModel {
+    /// Log-normal σ of the per-round jitter (0 disables jitter). Models
+    /// OS scheduling, thermal throttling and radio variance.
+    pub jitter_sigma: f64,
+}
+
+impl Default for TimeModel {
+    fn default() -> Self {
+        TimeModel { jitter_sigma: 0.08 }
+    }
+}
+
+impl TimeModel {
+    /// A jitter-free model (unit tests, analytic sweeps).
+    pub fn deterministic() -> Self {
+        TimeModel { jitter_sigma: 0.0 }
+    }
+
+    /// Simulates one round for one worker.
+    pub fn round_time(&self, device: &DeviceProfile, cost: &RoundCost, rng: &mut StdRng) -> RoundTime {
+        assert!(cost.train_flops >= 0.0 && cost.download_bytes >= 0.0 && cost.upload_bytes >= 0.0);
+        let comp = cost.train_flops / device.flops();
+        let comm = (cost.download_bytes + cost.upload_bytes) * 8.0 / device.bandwidth();
+        RoundTime { comp: comp * self.jitter(rng), comm: comm * self.jitter(rng) }
+    }
+
+    fn jitter(&self, rng: &mut StdRng) -> f64 {
+        if self.jitter_sigma == 0.0 {
+            return 1.0;
+        }
+        // Box–Muller log-normal with mean ≈ 1.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.jitter_sigma * z - 0.5 * self.jitter_sigma * self.jitter_sigma).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{tx2_profile, ComputeMode, LinkQuality};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn cost(flops: f64, bytes: f64) -> RoundCost {
+        RoundCost { train_flops: flops, download_bytes: bytes, upload_bytes: bytes }
+    }
+
+    #[test]
+    fn deterministic_times_match_hand_computation() {
+        let model = TimeModel::deterministic();
+        let dev = tx2_profile(ComputeMode::Mode0, LinkQuality::Near);
+        let t = model.round_time(&dev, &cost(6.5e9, 10.0e6), &mut rng());
+        assert!((t.comp - 1.0).abs() < 1e-9, "comp {}", t.comp);
+        // 20 MB total · 8 bits / 80 Mbps = 2 s
+        assert!((t.comm - 2.0).abs() < 1e-9, "comm {}", t.comm);
+        assert!((t.total() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weaker_devices_take_longer() {
+        let model = TimeModel::deterministic();
+        let strong = tx2_profile(ComputeMode::Mode0, LinkQuality::Near);
+        let weak = tx2_profile(ComputeMode::Mode3, LinkQuality::Far);
+        let c = cost(1.0e12, 20.0e6);
+        let mut r = rng();
+        assert!(model.round_time(&weak, &c, &mut r).total() > model.round_time(&strong, &c, &mut r).total());
+    }
+
+    #[test]
+    fn cost_scales_linearly() {
+        let model = TimeModel::deterministic();
+        let dev = tx2_profile(ComputeMode::Mode1, LinkQuality::Mid);
+        let mut r = rng();
+        let t1 = model.round_time(&dev, &cost(1.0e11, 5.0e6), &mut r);
+        let t2 = model.round_time(&dev, &cost(2.0e11, 10.0e6), &mut r);
+        assert!((t2.comp / t1.comp - 2.0).abs() < 1e-9);
+        assert!((t2.comm / t1.comm - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_has_mean_near_one_and_is_positive() {
+        let model = TimeModel { jitter_sigma: 0.2 };
+        let dev = tx2_profile(ComputeMode::Mode0, LinkQuality::Near);
+        let mut r = rng();
+        let c = cost(6.5e9, 0.0);
+        let times: Vec<f64> = (0..4000).map(|_| model.round_time(&dev, &c, &mut r).comp).collect();
+        assert!(times.iter().all(|&t| t > 0.0));
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        assert!((mean - 1.0).abs() < 0.05, "jitter mean {mean}");
+    }
+
+    #[test]
+    fn jitter_is_seed_deterministic() {
+        let model = TimeModel::default();
+        let dev = tx2_profile(ComputeMode::Mode2, LinkQuality::Mid);
+        let c = cost(1.0e11, 1.0e6);
+        let a = model.round_time(&dev, &c, &mut StdRng::seed_from_u64(1));
+        let b = model.round_time(&dev, &c, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+}

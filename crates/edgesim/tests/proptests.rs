@@ -1,0 +1,84 @@
+//! Property tests of the edge simulator.
+
+use fedmp_edgesim::{
+    deadline_for, heterogeneity_scenario, tx2_profile, ArrivalQueue, ComputeMode,
+    HeterogeneityLevel, LinkQuality, RoundCost, TimeModel,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Time is monotone in every cost component.
+    #[test]
+    fn time_monotone_in_cost(flops in 1.0e6f64..1.0e12, bytes in 1.0e3f64..1.0e8) {
+        let model = TimeModel::deterministic();
+        let dev = tx2_profile(ComputeMode::Mode1, LinkQuality::Mid);
+        let mut rng = StdRng::seed_from_u64(0);
+        let base = RoundCost { train_flops: flops, download_bytes: bytes, upload_bytes: bytes };
+        let bigger = RoundCost { train_flops: flops * 1.5, download_bytes: bytes * 2.0, upload_bytes: bytes };
+        let t1 = model.round_time(&dev, &base, &mut rng).total();
+        let t2 = model.round_time(&dev, &bigger, &mut rng).total();
+        prop_assert!(t2 > t1);
+    }
+
+    /// Deadline is at least `factor ×` the fastest completion and no more
+    /// than `factor ×` the slowest.
+    #[test]
+    fn deadline_bounds(times in prop::collection::vec(0.1f64..1000.0, 1..40),
+                       frac in 0.1f64..1.0, factor in 1.0f64..3.0) {
+        let d = deadline_for(&times, frac, factor).unwrap();
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(0.0, f64::max);
+        prop_assert!(d >= min * factor - 1e-9);
+        prop_assert!(d <= max * factor + 1e-9);
+    }
+
+    /// The arrival queue dequeues in non-decreasing time order.
+    #[test]
+    fn queue_orders_arrivals(times in prop::collection::vec(0.0f64..100.0, 1..30)) {
+        let mut q = ArrivalQueue::new();
+        for (w, &t) in times.iter().enumerate() {
+            q.push(t, w);
+        }
+        let mut last = f64::NEG_INFINITY;
+        while let Some(c) = q.pop() {
+            prop_assert!(c.at >= last);
+            last = c.at;
+        }
+    }
+
+    /// Scenario fleets always match the requested size and only contain
+    /// profiles from the defined mode/link ranges.
+    #[test]
+    fn scenarios_well_formed(n in 1usize..40, seed in 0u64..500, level in 0u8..3) {
+        let level = match level {
+            0 => HeterogeneityLevel::Low,
+            1 => HeterogeneityLevel::Medium,
+            _ => HeterogeneityLevel::High,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fleet = heterogeneity_scenario(level, n, &mut rng);
+        prop_assert_eq!(fleet.len(), n);
+        for d in &fleet {
+            prop_assert!(d.flops() > 0.0);
+            prop_assert!(d.bandwidth() > 0.0);
+        }
+    }
+
+    /// Jitter keeps times strictly positive and finite.
+    #[test]
+    fn jitter_times_positive(seed in 0u64..1000, sigma in 0.0f64..0.5) {
+        let model = TimeModel { jitter_sigma: sigma };
+        let dev = tx2_profile(ComputeMode::Mode3, LinkQuality::Far);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cost = RoundCost { train_flops: 1.0e9, download_bytes: 1.0e6, upload_bytes: 1.0e6 };
+        for _ in 0..20 {
+            let t = model.round_time(&dev, &cost, &mut rng);
+            prop_assert!(t.comp > 0.0 && t.comp.is_finite());
+            prop_assert!(t.comm > 0.0 && t.comm.is_finite());
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! In-memory labelled image dataset.
+
+use fedmp_tensor::Tensor;
+
+/// A dense labelled image dataset: all samples in one contiguous buffer.
+#[derive(Debug, Clone)]
+pub struct ImageDataset {
+    /// Flat sample buffer, `len × channels × height × width`.
+    data: Vec<f32>,
+    /// One label per sample.
+    labels: Vec<usize>,
+    /// Channels per image.
+    pub channels: usize,
+    /// Image height.
+    pub height: usize,
+    /// Image width.
+    pub width: usize,
+    /// Number of distinct classes.
+    pub num_classes: usize,
+}
+
+impl ImageDataset {
+    /// Builds a dataset from a flat buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer length is not `labels.len() × c × h × w`, or
+    /// any label is out of range.
+    pub fn new(
+        data: Vec<f32>,
+        labels: Vec<usize>,
+        channels: usize,
+        height: usize,
+        width: usize,
+        num_classes: usize,
+    ) -> Self {
+        let sample = channels * height * width;
+        assert_eq!(data.len(), labels.len() * sample, "image dataset: buffer length mismatch");
+        assert!(labels.iter().all(|&l| l < num_classes), "image dataset: label out of range");
+        ImageDataset { data, labels, channels, height, width, num_classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Elements per sample.
+    pub fn sample_numel(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// Label of sample `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Raw pixels of sample `i`.
+    pub fn sample(&self, i: usize) -> &[f32] {
+        let s = self.sample_numel();
+        &self.data[i * s..(i + 1) * s]
+    }
+
+    /// Gathers the given samples into a `[batch, c, h, w]` tensor plus
+    /// label vector.
+    pub fn gather(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let s = self.sample_numel();
+        let mut buf = Vec::with_capacity(indices.len() * s);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            buf.extend_from_slice(self.sample(i));
+            labels.push(self.labels[i]);
+        }
+        let t = Tensor::from_vec(buf, &[indices.len(), self.channels, self.height, self.width])
+            .expect("gather: internal shape error");
+        (t, labels)
+    }
+
+    /// Indices of all samples with the given label.
+    pub fn indices_of_class(&self, class: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| (l == class).then_some(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ImageDataset {
+        // 4 samples, 1×2×2 images.
+        let data: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        ImageDataset::new(data, vec![0, 1, 0, 1], 1, 2, 2, 2)
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.sample_numel(), 4);
+        assert_eq!(d.sample(1), &[4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(d.label(2), 0);
+        assert_eq!(d.indices_of_class(1), vec![1, 3]);
+    }
+
+    #[test]
+    fn gather_builds_batch() {
+        let d = tiny();
+        let (x, y) = d.gather(&[3, 0]);
+        assert_eq!(x.dims(), &[2, 1, 2, 2]);
+        assert_eq!(x.data()[0..4], [12.0, 13.0, 14.0, 15.0]);
+        assert_eq!(y, vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length mismatch")]
+    fn bad_length_panics() {
+        let _ = ImageDataset::new(vec![0.0; 10], vec![0, 1], 1, 2, 2, 2);
+    }
+}

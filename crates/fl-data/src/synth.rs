@@ -1,0 +1,307 @@
+//! Synthetic image-classification tasks.
+//!
+//! Each class is defined by a **smooth spatial prototype**: a coarse
+//! random grid upsampled bilinearly to the target resolution. A sample is
+//! its class prototype plus (a) a small random per-sample brightness/
+//! contrast jitter and (b) i.i.d. pixel noise. The signal lives in
+//! low-frequency spatial structure, so a convolutional model genuinely
+//! benefits from its inductive bias, accuracy improves with training,
+//! label-skew hurts aggregation, and over-pruning visibly destroys
+//! accuracy — the three behaviours the FedMP evaluation depends on.
+
+use crate::image::ImageDataset;
+use fedmp_tensor::{normal, seeded_rng};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Specification of a synthetic image task.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SynthSpec {
+    /// Dataset name (reports/logs only).
+    pub name: String,
+    /// Image channels.
+    pub channels: usize,
+    /// Image height.
+    pub height: usize,
+    /// Image width.
+    pub width: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class.
+    pub test_per_class: usize,
+    /// Pixel-noise standard deviation (signal amplitude is ~1).
+    pub noise: f32,
+    /// Class separation in (0, 1]: each class prototype is
+    /// `shared + class_sep · own`, so smaller values overlap the classes
+    /// and slow convergence without making the task unlearnable. This is
+    /// the primary difficulty knob — convolution + pooling average out
+    /// i.i.d. pixel noise, but cannot manufacture separation.
+    pub class_sep: f32,
+    /// Coarse prototype grid size (smaller ⇒ smoother, easier task).
+    pub proto_grid: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl SynthSpec {
+    /// Generates the train and test datasets.
+    pub fn generate(&self) -> (ImageDataset, ImageDataset) {
+        let mut rng = seeded_rng(self.seed);
+        // Shared background structure per channel, plus a class-specific
+        // deviation scaled by `class_sep`.
+        let grid = self.proto_grid;
+        let (h, w) = (self.height, self.width);
+        let smooth_field = |rng: &mut rand::rngs::StdRng| {
+            let coarse: Vec<f32> = (0..grid * grid).map(|_| normal(0.0, 1.0, rng)).collect();
+            upsample_bilinear(&coarse, grid, grid, h, w)
+        };
+        let shared: Vec<Vec<f32>> = (0..self.channels).map(|_| smooth_field(&mut rng)).collect();
+        let protos: Vec<Vec<f32>> = (0..self.classes * self.channels)
+            .map(|i| {
+                let own = smooth_field(&mut rng);
+                shared[i % self.channels]
+                    .iter()
+                    .zip(own.iter())
+                    .map(|(s, o)| s + self.class_sep * o)
+                    .collect()
+            })
+            .collect();
+
+        let train = self.render(&protos, self.train_per_class, self.seed.wrapping_add(1));
+        let test = self.render(&protos, self.test_per_class, self.seed.wrapping_add(2));
+        (train, test)
+    }
+
+    fn render(&self, protos: &[Vec<f32>], per_class: usize, seed: u64) -> ImageDataset {
+        let mut rng = seeded_rng(seed);
+        let n = per_class * self.classes;
+        let sample = self.channels * self.height * self.width;
+        let mut data = Vec::with_capacity(n * sample);
+        let mut labels = Vec::with_capacity(n);
+        for class in 0..self.classes {
+            for _ in 0..per_class {
+                // Per-sample jitter: brightness shift and contrast scale.
+                let gain = 1.0 + normal(0.0, 0.15, &mut rng);
+                let shift = normal(0.0, 0.1, &mut rng);
+                for ch in 0..self.channels {
+                    let proto = &protos[class * self.channels + ch];
+                    for &p in proto {
+                        data.push(gain * p + shift + normal(0.0, self.noise, &mut rng));
+                    }
+                }
+                labels.push(class);
+            }
+        }
+        // Shuffle so class blocks don't bias batching.
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut shuffled = Vec::with_capacity(n * sample);
+        let mut shuffled_labels = Vec::with_capacity(n);
+        for &i in &order {
+            shuffled.extend_from_slice(&data[i * sample..(i + 1) * sample]);
+            shuffled_labels.push(labels[i]);
+        }
+        ImageDataset::new(
+            shuffled,
+            shuffled_labels,
+            self.channels,
+            self.height,
+            self.width,
+            self.classes,
+        )
+    }
+}
+
+/// Bilinear upsampling of a `sh × sw` grid to `dh × dw`.
+fn upsample_bilinear(src: &[f32], sh: usize, sw: usize, dh: usize, dw: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(dh * dw);
+    for y in 0..dh {
+        let fy = y as f32 * (sh - 1) as f32 / (dh - 1).max(1) as f32;
+        let y0 = fy.floor() as usize;
+        let y1 = (y0 + 1).min(sh - 1);
+        let ty = fy - y0 as f32;
+        for x in 0..dw {
+            let fx = x as f32 * (sw - 1) as f32 / (dw - 1).max(1) as f32;
+            let x0 = fx.floor() as usize;
+            let x1 = (x0 + 1).min(sw - 1);
+            let tx = fx - x0 as f32;
+            let v = src[y0 * sw + x0] * (1.0 - ty) * (1.0 - tx)
+                + src[y0 * sw + x1] * (1.0 - ty) * tx
+                + src[y1 * sw + x0] * ty * (1.0 - tx)
+                + src[y1 * sw + x1] * ty * tx;
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// MNIST stand-in: 1×28×28, 10 classes.
+///
+/// `scale` multiplies the per-class sample counts (1.0 ⇒ 200 train + 40
+/// test per class, sized so the full experiment suite runs on a laptop).
+pub fn mnist_like(scale: f32, seed: u64) -> SynthSpec {
+    SynthSpec {
+        name: "mnist-like".into(),
+        channels: 1,
+        height: 28,
+        width: 28,
+        classes: 10,
+        train_per_class: scaled_count(200, scale),
+        test_per_class: scaled_count(40, scale),
+        noise: 1.0,
+        class_sep: 0.30,
+        proto_grid: 7,
+        seed,
+    }
+}
+
+/// CIFAR-10 stand-in: 3×32×32, 10 classes. Noisier and higher-frequency
+/// than the MNIST stand-in, so it is a genuinely harder task.
+pub fn cifar_like(scale: f32, seed: u64) -> SynthSpec {
+    SynthSpec {
+        name: "cifar-like".into(),
+        channels: 3,
+        height: 32,
+        width: 32,
+        classes: 10,
+        train_per_class: scaled_count(200, scale),
+        test_per_class: scaled_count(40, scale),
+        noise: 1.2,
+        class_sep: 0.4,
+        proto_grid: 8,
+        seed,
+    }
+}
+
+/// EMNIST stand-in: 1×28×28, 62 classes.
+pub fn emnist_like(scale: f32, seed: u64) -> SynthSpec {
+    SynthSpec {
+        name: "emnist-like".into(),
+        channels: 1,
+        height: 28,
+        width: 28,
+        classes: 62,
+        train_per_class: scaled_count(40, scale),
+        test_per_class: scaled_count(8, scale),
+        noise: 1.0,
+        class_sep: 0.9,
+        proto_grid: 7,
+        seed,
+    }
+}
+
+/// Tiny-ImageNet stand-in: 3×64×64, 200 classes.
+pub fn tiny_imagenet_like(scale: f32, seed: u64) -> SynthSpec {
+    SynthSpec {
+        name: "tiny-imagenet-like".into(),
+        channels: 3,
+        height: 64,
+        width: 64,
+        classes: 200,
+        train_per_class: scaled_count(20, scale),
+        test_per_class: scaled_count(4, scale),
+        noise: 0.5,
+        class_sep: 1.5,
+        proto_grid: 6,
+        seed,
+    }
+}
+
+fn scaled_count(base: usize, scale: f32) -> usize {
+    ((base as f32 * scale).round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = mnist_like(0.05, 7);
+        let (a, _) = spec.generate();
+        let (b, _) = spec.generate();
+        assert_eq!(a.sample(0), b.sample(0));
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn shapes_and_counts() {
+        let spec = cifar_like(0.05, 8);
+        let (train, test) = spec.generate();
+        assert_eq!(train.channels, 3);
+        assert_eq!(train.len(), spec.train_per_class * 10);
+        assert_eq!(test.len(), spec.test_per_class * 10);
+        assert_eq!(train.sample_numel(), 3 * 32 * 32);
+    }
+
+    #[test]
+    fn every_class_present() {
+        let (train, _) = mnist_like(0.05, 9).generate();
+        for class in 0..10 {
+            assert!(!train.indices_of_class(class).is_empty(), "class {class} missing");
+        }
+    }
+
+    #[test]
+    fn classes_are_separable_by_nearest_prototype() {
+        // A nearest-class-mean classifier on raw pixels should beat chance
+        // by a wide margin — otherwise the task is unlearnable noise.
+        let (train, test) = mnist_like(0.1, 10).generate();
+        let sample = train.sample_numel();
+        let mut means = vec![vec![0.0f32; sample]; 10];
+        let mut counts = vec![0usize; 10];
+        for i in 0..train.len() {
+            let l = train.label(i);
+            counts[l] += 1;
+            for (m, &v) in means[l].iter_mut().zip(train.sample(i).iter()) {
+                *m += v;
+            }
+        }
+        for (m, &c) in means.iter_mut().zip(counts.iter()) {
+            for v in m.iter_mut() {
+                *v /= c as f32;
+            }
+        }
+        let mut correct = 0usize;
+        for i in 0..test.len() {
+            let x = test.sample(i);
+            let best = (0..10)
+                .min_by(|&a, &b| {
+                    let da: f32 = means[a].iter().zip(x.iter()).map(|(m, v)| (m - v).powi(2)).sum();
+                    let db: f32 = means[b].iter().zip(x.iter()).map(|(m, v)| (m - v).powi(2)).sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            if best == test.label(i) {
+                correct += 1;
+            }
+        }
+        let acc = correct as f32 / test.len() as f32;
+        assert!(acc > 0.5, "nearest-prototype accuracy only {acc}");
+    }
+
+    #[test]
+    fn upsample_constant_grid_is_constant() {
+        let up = upsample_bilinear(&[2.0; 9], 3, 3, 8, 8);
+        assert!(up.iter().all(|&v| (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn all_presets_generate() {
+        for spec in [
+            mnist_like(0.02, 1),
+            cifar_like(0.02, 2),
+            emnist_like(0.05, 3),
+            tiny_imagenet_like(0.2, 4),
+        ] {
+            let (train, test) = spec.generate();
+            assert!(train.len() > 0);
+            assert!(test.len() > 0);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Synthetic language-modelling task standing in for Penn TreeBank
+//! (paper §VI, Table IV).
+//!
+//! Tokens are drawn from a first-order Markov chain whose transition rows
+//! are sparse Dirichlet-like mixtures over a Zipfian unigram
+//! distribution. The result is a corpus with realistic statistics: a
+//! heavy-tailed vocabulary, strong local predictability (so an LSTM can
+//! reduce perplexity well below the unigram baseline) and enough entropy
+//! that perplexity stays meaningfully above 1.
+
+use fedmp_tensor::seeded_rng;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A token stream plus its vocabulary size.
+#[derive(Debug, Clone)]
+pub struct TextDataset {
+    /// The token stream.
+    pub tokens: Vec<usize>,
+    /// Vocabulary size.
+    pub vocab: usize,
+}
+
+/// One LM training batch: inputs `[batch][seq]` and time-major targets
+/// (matching the stacking order of `LstmLm::forward` logits).
+#[derive(Debug, Clone)]
+pub struct TextBatch {
+    /// Input token grid, `batch` rows of `seq` tokens.
+    pub inputs: Vec<Vec<usize>>,
+    /// Next-token targets in time-major order (`seq × batch` entries).
+    pub targets: Vec<usize>,
+}
+
+impl TextDataset {
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Splits the stream into `batch`-way parallel sequences of length
+    /// `seq` (the standard truncated-BPTT batching). Leftover tokens are
+    /// dropped.
+    pub fn batches(&self, batch: usize, seq: usize) -> Vec<TextBatch> {
+        assert!(batch > 0 && seq > 0, "batch and seq must be positive");
+        // Split the stream into `batch` contiguous lanes.
+        let lane = self.tokens.len() / batch;
+        if lane < seq + 1 {
+            return Vec::new();
+        }
+        let n_batches = (lane - 1) / seq;
+        let mut out = Vec::with_capacity(n_batches);
+        for b in 0..n_batches {
+            let mut inputs = Vec::with_capacity(batch);
+            let mut targets = vec![0usize; seq * batch];
+            for r in 0..batch {
+                let base = r * lane + b * seq;
+                inputs.push(self.tokens[base..base + seq].to_vec());
+                for t in 0..seq {
+                    targets[t * batch + r] = self.tokens[base + t + 1];
+                }
+            }
+            out.push(TextBatch { inputs, targets });
+        }
+        out
+    }
+
+    /// Splits into train/test streams at `ratio` (e.g. 0.9).
+    pub fn split(&self, ratio: f32) -> (TextDataset, TextDataset) {
+        let cut = (self.tokens.len() as f32 * ratio) as usize;
+        (
+            TextDataset { tokens: self.tokens[..cut].to_vec(), vocab: self.vocab },
+            TextDataset { tokens: self.tokens[cut..].to_vec(), vocab: self.vocab },
+        )
+    }
+}
+
+/// Samples from a Zipf(1.0) distribution over `0..vocab` via inverse CDF.
+fn zipf_sample(cdf: &[f32], rng: &mut StdRng) -> usize {
+    let u: f32 = rng.gen();
+    match cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf")) {
+        Ok(i) | Err(i) => i.min(cdf.len() - 1),
+    }
+}
+
+/// Generates a PTB-like corpus: `n_tokens` tokens over a `vocab`-word
+/// Zipfian vocabulary with Markov structure.
+pub fn ptb_like(vocab: usize, n_tokens: usize, seed: u64) -> TextDataset {
+    assert!(vocab >= 4, "vocab too small");
+    let mut rng = seeded_rng(seed);
+
+    // Zipfian unigram CDF.
+    let weights: Vec<f32> = (1..=vocab).map(|r| 1.0 / r as f32).collect();
+    let total: f32 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(vocab);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+
+    // Sparse Markov successors: each token has a handful of preferred
+    // successors sampled from the unigram distribution.
+    let branch = 4usize;
+    let successors: Vec<Vec<usize>> = (0..vocab)
+        .map(|_| (0..branch).map(|_| zipf_sample(&cdf, &mut rng)).collect())
+        .collect();
+
+    let mut tokens = Vec::with_capacity(n_tokens);
+    let mut cur = zipf_sample(&cdf, &mut rng);
+    for _ in 0..n_tokens {
+        tokens.push(cur);
+        // 85% follow the Markov structure, 15% back off to unigram noise.
+        cur = if rng.gen::<f32>() < 0.85 {
+            successors[cur][rng.gen_range(0..branch)]
+        } else {
+            zipf_sample(&cdf, &mut rng)
+        };
+    }
+    TextDataset { tokens, vocab }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_in_range() {
+        let a = ptb_like(50, 2000, 3);
+        let b = ptb_like(50, 2000, 3);
+        assert_eq!(a.tokens, b.tokens);
+        assert!(a.tokens.iter().all(|&t| t < 50));
+        assert_eq!(a.len(), 2000);
+    }
+
+    #[test]
+    fn corpus_has_markov_structure() {
+        // Bigram conditional entropy must be well below unigram entropy.
+        let d = ptb_like(30, 50_000, 4);
+        let mut uni = vec![0f64; 30];
+        let mut bi = vec![vec![0f64; 30]; 30];
+        for w in d.tokens.windows(2) {
+            uni[w[0]] += 1.0;
+            bi[w[0]][w[1]] += 1.0;
+        }
+        let n: f64 = uni.iter().sum();
+        let h_uni: f64 = uni
+            .iter()
+            .filter(|&&c| c > 0.0)
+            .map(|&c| {
+                let p = c / n;
+                -p * p.log2()
+            })
+            .sum();
+        let mut h_bi = 0.0f64;
+        for (ctx, row) in bi.iter().enumerate() {
+            let ctx_n: f64 = row.iter().sum();
+            if ctx_n == 0.0 {
+                continue;
+            }
+            let p_ctx = uni[ctx] / n;
+            for &c in row.iter().filter(|&&c| c > 0.0) {
+                let p = c / ctx_n;
+                h_bi += p_ctx * (-p * p.log2());
+            }
+        }
+        assert!(h_bi < h_uni * 0.8, "H(bigram)={h_bi:.2} vs H(unigram)={h_uni:.2}");
+    }
+
+    #[test]
+    fn batching_shapes_and_targets() {
+        let d = TextDataset { tokens: (0..101).map(|i| i % 7).collect(), vocab: 7 };
+        let batches = d.batches(2, 10);
+        // lane = 50, (50-1)/10 = 4 batches
+        assert_eq!(batches.len(), 4);
+        let b0 = &batches[0];
+        assert_eq!(b0.inputs.len(), 2);
+        assert_eq!(b0.inputs[0].len(), 10);
+        assert_eq!(b0.targets.len(), 20);
+        // Target of (row r, step t) is the next token of that lane.
+        assert_eq!(b0.targets[0], d.tokens[1]); // t=0, r=0
+        assert_eq!(b0.targets[1], d.tokens[51]); // t=0, r=1
+    }
+
+    #[test]
+    fn split_preserves_total() {
+        let d = ptb_like(20, 1000, 5);
+        let (tr, te) = d.split(0.9);
+        assert_eq!(tr.len() + te.len(), 1000);
+        assert_eq!(tr.vocab, 20);
+    }
+
+    #[test]
+    fn too_short_stream_yields_no_batches() {
+        let d = TextDataset { tokens: vec![1, 2, 3], vocab: 5 };
+        assert!(d.batches(2, 10).is_empty());
+    }
+}

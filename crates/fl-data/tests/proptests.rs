@@ -1,0 +1,67 @@
+//! Property tests of the data crate: every partitioner must assign each
+//! sample at most once and cover the dataset reasonably.
+
+use fedmp_data::{
+    iid_partition, label_skew_partition, missing_classes_partition, mnist_like, ptb_like,
+};
+use fedmp_tensor::seeded_rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn iid_partition_is_exact_cover(workers in 1usize..12, seed in 0u64..500) {
+        let (train, _) = mnist_like(0.1, seed).generate();
+        let parts = iid_partition(&train, workers, &mut seeded_rng(seed));
+        let mut all: Vec<usize> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..train.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn label_skew_never_duplicates(workers in 2usize..10, y in 0u32..90, seed in 0u64..500) {
+        let (train, _) = mnist_like(0.1, seed).generate();
+        let parts = label_skew_partition(&train, workers, y, &mut seeded_rng(seed));
+        let mut all: Vec<usize> = parts.iter().flatten().copied().collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), n, "duplicate assignment");
+        prop_assert!(n <= train.len());
+        // Coverage stays high: at most `workers` stragglers dropped by
+        // integer division.
+        prop_assert!(n + workers >= train.len());
+    }
+
+    #[test]
+    fn missing_classes_cover_union(workers in 2usize..8, y in 1usize..5, seed in 0u64..500) {
+        let (train, _) = mnist_like(0.1, seed).generate();
+        let parts = missing_classes_partition(&train, workers, y, &mut seeded_rng(seed));
+        let mut covered = vec![false; train.num_classes];
+        let mut all: Vec<usize> = Vec::new();
+        for part in &parts {
+            for &i in part {
+                covered[train.label(i)] = true;
+                all.push(i);
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c), "some class lost entirely");
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), n, "duplicate assignment");
+        prop_assert_eq!(n, train.len(), "missing-classes must cover every sample");
+    }
+
+    #[test]
+    fn text_batches_are_shape_consistent(batch in 1usize..6, seq in 2usize..16, seed in 0u64..200) {
+        let corpus = ptb_like(25, 4000, seed);
+        for b in corpus.batches(batch, seq) {
+            prop_assert_eq!(b.inputs.len(), batch);
+            prop_assert!(b.inputs.iter().all(|row| row.len() == seq));
+            prop_assert_eq!(b.targets.len(), batch * seq);
+            prop_assert!(b.targets.iter().all(|&t| t < 25));
+        }
+    }
+}

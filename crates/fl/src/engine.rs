@@ -1,0 +1,235 @@
+//! Shared engine plumbing: configuration, per-round worker execution and
+//! cost accounting.
+
+use crate::local::LocalTrainConfig;
+use crate::task::ImageTask;
+use fedmp_data::BatchIter;
+use fedmp_edgesim::{DeviceProfile, RoundCost, TimeModel};
+use fedmp_nn::{model_cost, Sequential};
+use fedmp_tensor::seeded_rng;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Engine-level configuration shared by every method.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FlConfig {
+    /// Number of aggregation rounds K.
+    pub rounds: usize,
+    /// Local-update hyper-parameters.
+    pub local: LocalTrainConfig,
+    /// Evaluate the global model every this many rounds (1 = every
+    /// round).
+    pub eval_every: usize,
+    /// Evaluation batch size.
+    pub eval_batch: usize,
+    /// Cap on evaluated test samples (keeps the experiment suite fast).
+    pub eval_max_samples: usize,
+    /// Master seed; all per-worker/per-round randomness derives from it.
+    pub seed: u64,
+}
+
+impl Default for FlConfig {
+    fn default() -> Self {
+        FlConfig {
+            rounds: 30,
+            local: LocalTrainConfig::default(),
+            eval_every: 1,
+            eval_batch: 64,
+            eval_max_samples: 512,
+            seed: 0,
+        }
+    }
+}
+
+/// Scale factors mapping a width-reduced model's costs back to the
+/// paper-sized architecture's, so simulated completion times stay in a
+/// realistic range while training remains laptop-scale. Relative results
+/// (speedups, crossovers) are unaffected — every method is scaled
+/// identically.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CostScale {
+    /// Multiplier on training FLOPs.
+    pub flops: f64,
+    /// Multiplier on transferred bytes.
+    pub bytes: f64,
+}
+
+impl Default for CostScale {
+    fn default() -> Self {
+        CostScale { flops: 1.0, bytes: 1.0 }
+    }
+}
+
+/// The simulated deployment an engine runs against.
+#[derive(Debug, Clone)]
+pub struct FlSetup<'a> {
+    /// The federated task (data + partition).
+    pub task: &'a ImageTask,
+    /// One device profile per worker (must match the partition width).
+    pub devices: Vec<DeviceProfile>,
+    /// The virtual-clock time model.
+    pub time: TimeModel,
+    /// Width-compensation factors applied to every simulated cost.
+    pub cost_scale: CostScale,
+}
+
+impl<'a> FlSetup<'a> {
+    /// Builds a setup, checking worker counts agree.
+    pub fn new(task: &'a ImageTask, devices: Vec<DeviceProfile>, time: TimeModel) -> Self {
+        assert_eq!(devices.len(), task.workers(), "device count must match partition");
+        FlSetup { task, devices, time, cost_scale: CostScale::default() }
+    }
+
+    /// Same, with explicit cost-scale factors.
+    pub fn with_cost_scale(
+        task: &'a ImageTask,
+        devices: Vec<DeviceProfile>,
+        time: TimeModel,
+        cost_scale: CostScale,
+    ) -> Self {
+        let mut s = Self::new(task, devices, time);
+        s.cost_scale = cost_scale;
+        s
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Simulates one worker round after applying the cost scale.
+    pub fn simulate_round(
+        &self,
+        worker: usize,
+        cost: &RoundCost,
+        rng: &mut StdRng,
+    ) -> fedmp_edgesim::RoundTime {
+        let scaled = RoundCost {
+            train_flops: cost.train_flops * self.cost_scale.flops,
+            download_bytes: cost.download_bytes * self.cost_scale.bytes,
+            upload_bytes: cost.upload_bytes * self.cost_scale.bytes,
+        };
+        self.time.round_time(&self.devices[worker], &scaled, rng)
+    }
+}
+
+/// Synchronisation scheme toggle for the FedMP engine (Fig. 7 compares
+/// R2SP against BSP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncScheme {
+    /// Residual Recovery Synchronous Parallel (the paper's scheme).
+    R2SP,
+    /// Traditional BSP: average recovered models without residuals.
+    BSP,
+}
+
+/// Deterministic per-(seed, round, worker) RNG, independent of rayon
+/// scheduling.
+pub(crate) fn worker_rng(seed: u64, round: usize, worker: usize) -> StdRng {
+    // SplitMix-style mixing of the three coordinates.
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(round as u64 + 1))
+        .wrapping_add(0xBF58_476D_1CE4_E5B9u64.wrapping_mul(worker as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    seeded_rng(z ^ (z >> 31))
+}
+
+/// Builds a fresh mini-batch iterator over a worker's shard for one
+/// round.
+pub(crate) fn worker_batches<'d>(
+    task: &'d ImageTask,
+    worker: usize,
+    batch: usize,
+    seed: u64,
+    round: usize,
+) -> BatchIter<'d> {
+    BatchIter::new(&task.train, task.partition[worker].clone(), batch, worker_rng(seed, round, worker))
+}
+
+/// The Eq. 5 cost of one round with the given (sub-)model: download +
+/// upload of its parameters, and τ training iterations at the model's
+/// *actual* FLOP count.
+pub(crate) fn model_round_cost(
+    model: &Sequential,
+    chw: (usize, usize, usize),
+    local: &LocalTrainConfig,
+) -> RoundCost {
+    let report = model_cost(model, chw);
+    RoundCost {
+        train_flops: report.train_flops_per_sample() as f64
+            * local.batch as f64
+            * local.tau as f64,
+        download_bytes: report.param_bytes() as f64,
+        upload_bytes: report.param_bytes() as f64,
+    }
+}
+
+/// Per-worker completion times for a round; returns `(times, comp, comm)`
+/// column-wise.
+pub(crate) fn round_times(
+    setup: &FlSetup<'_>,
+    costs: &[RoundCost],
+    seed: u64,
+    round: usize,
+) -> (Vec<f64>, f64, f64) {
+    let mut times = Vec::with_capacity(costs.len());
+    let mut comp_sum = 0.0;
+    let mut comm_sum = 0.0;
+    for (w, cost) in costs.iter().enumerate() {
+        let mut rng = worker_rng(seed ^ 0xA5A5, round, w);
+        let t = setup.simulate_round(w, cost, &mut rng);
+        comp_sum += t.comp;
+        comm_sum += t.comm;
+        times.push(t.total());
+    }
+    let n = costs.len().max(1) as f64;
+    (times, comp_sum / n, comm_sum / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedmp_data::{iid_partition, mnist_like};
+    use fedmp_nn::zoo;
+
+    #[test]
+    fn worker_rng_is_coordinate_deterministic() {
+        use rand::Rng;
+        let a: u64 = worker_rng(1, 2, 3).gen();
+        let b: u64 = worker_rng(1, 2, 3).gen();
+        let c: u64 = worker_rng(1, 2, 4).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pruned_model_has_cheaper_round_cost() {
+        let mut rng = seeded_rng(60);
+        let m = zoo::cnn_mnist(0.25, &mut rng);
+        let local = LocalTrainConfig::default();
+        let full = model_round_cost(&m, (1, 28, 28), &local);
+        let plan = fedmp_pruning::plan_sequential(&m, (1, 28, 28), 0.6);
+        let sub = fedmp_pruning::extract_sequential(&m, &plan);
+        let pruned = model_round_cost(&sub, (1, 28, 28), &local);
+        assert!(pruned.train_flops < full.train_flops);
+        assert!(pruned.upload_bytes < full.upload_bytes);
+    }
+
+    #[test]
+    fn setup_validates_device_count() {
+        let (train, test) = mnist_like(0.05, 61).generate();
+        let mut rng = seeded_rng(62);
+        let part = iid_partition(&train, 3, &mut rng);
+        let task = ImageTask::new(train, test, part);
+        let devices = vec![
+            fedmp_edgesim::tx2_profile(
+                fedmp_edgesim::ComputeMode::Mode0,
+                fedmp_edgesim::LinkQuality::Near,
+            );
+            3
+        ];
+        let setup = FlSetup::new(&task, devices, TimeModel::deterministic());
+        assert_eq!(setup.workers(), 3);
+    }
+}

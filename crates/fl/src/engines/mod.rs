@@ -1,0 +1,8 @@
+//! One engine module per training method the paper evaluates.
+
+pub mod r#async;
+pub mod fedmp;
+pub mod fedprox;
+pub mod flexcom;
+pub mod synfl;
+pub mod upfl;

@@ -1,0 +1,131 @@
+//! UP-FL: uniform-pruning FL (Jiang et al. [15] adapted to structured
+//! pruning). One pruning ratio is chosen **for all workers** each round
+//! — it adapts over rounds (a single shared E-UCB agent) but ignores
+//! heterogeneity, so the weakest worker still gates every round.
+
+use crate::aggregate::r2sp_aggregate;
+use crate::engine::{model_round_cost, round_times, worker_batches, FlConfig, FlSetup};
+use crate::eval::evaluate_image;
+use crate::history::{RoundRecord, RunHistory};
+use crate::local::local_train;
+use fedmp_bandit::{Bandit, EUcbAgent, EUcbConfig};
+use fedmp_nn::{state_sub, Sequential};
+use fedmp_pruning::{extract_sequential, plan_sequential, recover_state, sparse_state};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// UP-FL options.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct UpFlOptions {
+    /// Shared E-UCB configuration for the single round-ratio agent.
+    pub eucb: EUcbConfig,
+}
+
+impl Default for UpFlOptions {
+    fn default() -> Self {
+        UpFlOptions { eucb: EUcbConfig::default() }
+    }
+}
+
+/// Runs UP-FL. The shared agent's reward is the mean local loss
+/// improvement per unit of round time — the natural uniform-ratio
+/// analogue of Eq. 8 (there is no per-worker completion-time gap to
+/// measure when everyone trains the same model).
+pub fn run_upfl(
+    cfg: &FlConfig,
+    setup: &FlSetup<'_>,
+    mut global: Sequential,
+    opts: &UpFlOptions,
+) -> RunHistory {
+    let workers = setup.workers();
+    let mut history = RunHistory::new("UP-FL");
+    let mut sim_time = 0.0f64;
+    let mut agent = {
+        let mut c = opts.eucb;
+        c.seed = c.seed.wrapping_add(cfg.seed);
+        EUcbAgent::new(c)
+    };
+
+    for round in 0..cfg.rounds {
+        let ratio = agent.select();
+        let plan = plan_sequential(&global, setup.task.input_chw, ratio);
+        let sub = extract_sequential(&global, &plan);
+        let residual = state_sub(&global.state(), &sparse_state(&global, &plan));
+
+        let results: Vec<_> = (0..workers)
+            .into_par_iter()
+            .map(|w| {
+                let mut model = sub.clone();
+                let mut batches = worker_batches(setup.task, w, cfg.local.batch, cfg.seed, round);
+                let outcome = local_train(&mut model, &mut batches, &cfg.local);
+                (model, outcome)
+            })
+            .collect();
+
+        let cost = model_round_cost(&sub, setup.task.input_chw, &cfg.local);
+        let costs = vec![cost; workers];
+        let (times, mean_comp, mean_comm) = round_times(setup, &costs, cfg.seed, round);
+        let round_time = times.iter().copied().fold(0.0, f64::max);
+        sim_time += round_time;
+
+        let mean_delta = results.iter().map(|(_, o)| o.delta_loss()).sum::<f32>() / workers as f32;
+        agent.observe(mean_delta / round_time.max(1e-6) as f32);
+
+        let recovered: Vec<_> =
+            results.iter().map(|(m, _)| recover_state(m, &plan, &global)).collect();
+        let residuals = vec![residual; workers];
+        global.load_state(&r2sp_aggregate(&recovered, &residuals));
+
+        let train_loss = results.iter().map(|(_, o)| o.mean_loss).sum::<f32>() / workers as f32;
+        let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
+            let r = evaluate_image(&mut global, &setup.task.test, cfg.eval_batch, cfg.eval_max_samples);
+            Some((r.loss, r.accuracy))
+        } else {
+            None
+        };
+        history.rounds.push(RoundRecord {
+            round,
+            sim_time,
+            round_time,
+            mean_comp,
+            mean_comm,
+            train_loss,
+            eval,
+            ratios: vec![ratio; workers],
+        });
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::ImageTask;
+    use fedmp_data::{iid_partition, mnist_like};
+    use fedmp_edgesim::{tx2_profile, ComputeMode, LinkQuality, TimeModel};
+    use fedmp_nn::zoo;
+    use fedmp_tensor::seeded_rng;
+
+    #[test]
+    fn upfl_learns_and_uses_one_ratio_per_round() {
+        let (train, test) = mnist_like(0.1, 90).generate();
+        let mut rng = seeded_rng(91);
+        let part = iid_partition(&train, 3, &mut rng);
+        let task = ImageTask::new(train, test, part);
+        let devices = vec![
+            tx2_profile(ComputeMode::Mode0, LinkQuality::Near),
+            tx2_profile(ComputeMode::Mode1, LinkQuality::Mid),
+            tx2_profile(ComputeMode::Mode3, LinkQuality::Far),
+        ];
+        let setup = FlSetup::new(&task, devices, TimeModel::deterministic());
+        let global = zoo::cnn_mnist(0.15, &mut rng);
+        let cfg = FlConfig { rounds: 14, eval_every: 7, ..Default::default() };
+        let h = run_upfl(&cfg, &setup, global, &UpFlOptions::default());
+
+        assert!(h.final_accuracy().unwrap() > 0.25, "{:?}", h.final_accuracy());
+        for r in &h.rounds {
+            let first = r.ratios[0];
+            assert!(r.ratios.iter().all(|&x| x == first), "non-uniform ratios in UP-FL");
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Threaded PS/worker runtime: the closest in-process analogue of the
+//! paper's physical prototype (one PS process + 30 Jetson workers).
+//!
+//! Unlike the in-process loop engines, this runtime spawns **one OS
+//! thread per worker** and moves models over channels as real
+//! [`crate::wire`] frames — every sub-model download and trained-model
+//! upload is serialised, checksummed and deserialised, exactly as a
+//! networked deployment would. Simulated time still comes from
+//! `fedmp-edgesim` (threads run as fast as the host allows; the virtual
+//! clock stays authoritative for completion-time results).
+//!
+//! Determinism: per-(seed, round, worker) RNGs and worker-indexed
+//! aggregation make the threaded runtime produce **bit-identical
+//! histories** to [`crate::run_fedmp`] under the same options — tested
+//! below.
+
+use crate::aggregate::{bsp_aggregate, r2sp_aggregate};
+use crate::engine::{model_round_cost, worker_batches, worker_rng, FlConfig, FlSetup, SyncScheme};
+use crate::engines::fedmp::FedMpOptions;
+use crate::eval::evaluate_image;
+use crate::history::{RoundRecord, RunHistory};
+use crate::local::{local_train, LocalOutcome};
+use crate::wire::{decode_state, encode_state};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use fedmp_bandit::{eucb_reward, Bandit, EUcbAgent};
+use fedmp_nn::{state_sub, Sequential};
+use fedmp_pruning::{extract_sequential, plan_sequential_with, recover_state, sparse_state};
+use parking_lot::Mutex;
+
+/// A sub-model dispatch to one worker.
+struct DownlinkMsg {
+    round: usize,
+    frame: Bytes,
+    /// Architecture template the worker instantiates the frame into.
+    template: Sequential,
+}
+
+/// A trained upload from one worker.
+struct UplinkMsg {
+    worker: usize,
+    frame: Bytes,
+    template: Sequential,
+    outcome: LocalOutcome,
+}
+
+/// Runs FedMP on the threaded runtime. Produces the same history as
+/// [`crate::run_fedmp`] for the supported option set.
+///
+/// # Panics
+/// Panics if `opts.faults` is set (fault injection is a loop-engine
+/// feature) — everything else is supported.
+pub fn run_fedmp_threaded(
+    cfg: &FlConfig,
+    setup: &FlSetup<'_>,
+    mut global: Sequential,
+    opts: &FedMpOptions,
+) -> RunHistory {
+    assert!(opts.faults.is_none(), "threaded runtime does not support fault injection");
+    let workers = setup.workers();
+    let mut history = RunHistory::new(match opts.sync {
+        SyncScheme::R2SP => "FedMP",
+        SyncScheme::BSP => "FedMP-BSP",
+    });
+    let mut sim_time = 0.0f64;
+
+    let mut agents: Vec<EUcbAgent> = (0..workers)
+        .map(|w| {
+            let mut c = opts.eucb;
+            c.seed = c.seed.wrapping_add(w as u64).wrapping_add(cfg.seed);
+            EUcbAgent::new(c)
+        })
+        .collect();
+
+    // Channels: one downlink per worker, one shared uplink.
+    let downlinks: Vec<(Sender<DownlinkMsg>, Receiver<DownlinkMsg>)> =
+        (0..workers).map(|_| bounded(1)).collect();
+    let (uplink_tx, uplink_rx) = bounded::<UplinkMsg>(workers);
+    let uplink_count = Mutex::new(0usize);
+
+    std::thread::scope(|scope| {
+        // Worker threads: receive a frame, train, upload.
+        for (w, (_, down_rx)) in downlinks.iter().enumerate() {
+            let down_rx = down_rx.clone();
+            let uplink_tx = uplink_tx.clone();
+            let task = setup.task;
+            let local = cfg.local;
+            let seed = cfg.seed;
+            let uplink_count = &uplink_count;
+            scope.spawn(move || {
+                while let Ok(msg) = down_rx.recv() {
+                    let mut model = msg.template;
+                    let state = decode_state(&msg.frame).expect("valid downlink frame");
+                    model.load_state(&state);
+                    let mut batches = worker_batches(task, w, local.batch, seed, msg.round);
+                    let outcome = local_train(&mut model, &mut batches, &local);
+                    let frame = encode_state(&model.state());
+                    *uplink_count.lock() += 1;
+                    uplink_tx
+                        .send(UplinkMsg { worker: w, frame, template: model, outcome })
+                        .expect("uplink open");
+                }
+            });
+        }
+        drop(uplink_tx);
+
+        for round in 0..cfg.rounds {
+            // ① PS side: ratios, plans, sub-models, residuals.
+            let ratios: Vec<f32> = (0..workers)
+                .map(|w| match opts.fixed_ratio {
+                    Some(r) => r,
+                    None => agents[w].select(),
+                })
+                .collect();
+            let plans: Vec<_> = ratios
+                .iter()
+                .map(|&r| plan_sequential_with(&global, setup.task.input_chw, r, opts.importance))
+                .collect();
+            let residuals: Vec<_> = plans
+                .iter()
+                .map(|p| state_sub(&global.state(), &sparse_state(&global, p)))
+                .collect();
+
+            // Dispatch frames.
+            for (w, plan) in plans.iter().enumerate() {
+                let sub = extract_sequential(&global, plan);
+                let frame = encode_state(&sub.state());
+                downlinks[w]
+                    .0
+                    .send(DownlinkMsg { round, frame, template: sub })
+                    .expect("worker alive");
+            }
+
+            // Collect all uploads, then order by worker index for
+            // deterministic aggregation.
+            let mut uploads: Vec<Option<UplinkMsg>> = (0..workers).map(|_| None).collect();
+            for _ in 0..workers {
+                let msg = uplink_rx.recv().expect("uplink open");
+                let w = msg.worker;
+                uploads[w] = Some(msg);
+            }
+            let uploads: Vec<UplinkMsg> =
+                uploads.into_iter().map(|m| m.expect("one upload per worker")).collect();
+
+            // Virtual-clock accounting (same formulas as the loop engine).
+            let mut times = Vec::with_capacity(workers);
+            let mut mean_comp = 0.0;
+            let mut mean_comm = 0.0;
+            for (w, up) in uploads.iter().enumerate() {
+                let cost = model_round_cost(&up.template, setup.task.input_chw, &cfg.local);
+                let mut rng = worker_rng(cfg.seed ^ 0xA5A5, round, w);
+                let t = setup.simulate_round(w, &cost, &mut rng);
+                mean_comp += t.comp;
+                mean_comm += t.comm;
+                times.push(t.total());
+            }
+            mean_comp /= workers as f64;
+            mean_comm /= workers as f64;
+            let round_time = times.iter().copied().fold(0.0, f64::max);
+            sim_time += round_time;
+
+            if opts.fixed_ratio.is_none() {
+                let t_avg = times.iter().sum::<f64>() / workers as f64;
+                for (w, agent) in agents.iter_mut().enumerate() {
+                    agent.observe(eucb_reward(
+                        uploads[w].outcome.delta_loss(),
+                        times[w],
+                        t_avg,
+                        &opts.reward,
+                    ));
+                }
+            }
+
+            // ③ Decode uploads and aggregate.
+            let recovered: Vec<_> = uploads
+                .iter()
+                .zip(plans.iter())
+                .map(|(up, plan)| {
+                    let mut model = up.template.clone();
+                    model.load_state(&decode_state(&up.frame).expect("valid uplink frame"));
+                    recover_state(&model, plan, &global)
+                })
+                .collect();
+            let new_state = match opts.sync {
+                SyncScheme::R2SP => r2sp_aggregate(&recovered, &residuals),
+                SyncScheme::BSP => bsp_aggregate(&recovered),
+            };
+            global.load_state(&new_state);
+
+            let train_loss =
+                uploads.iter().map(|u| u.outcome.mean_loss).sum::<f32>() / workers as f32;
+            let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
+                let r = evaluate_image(
+                    &mut global,
+                    &setup.task.test,
+                    cfg.eval_batch,
+                    cfg.eval_max_samples,
+                );
+                Some((r.loss, r.accuracy))
+            } else {
+                None
+            };
+            history.rounds.push(RoundRecord {
+                round,
+                sim_time,
+                round_time,
+                mean_comp,
+                mean_comm,
+                train_loss,
+                eval,
+                ratios,
+            });
+        }
+
+        // Closing the downlinks ends the worker loops.
+        for (tx, _) in &downlinks {
+            drop(tx.clone());
+        }
+        drop(downlinks);
+    });
+
+    assert_eq!(*uplink_count.lock(), cfg.rounds * workers, "upload bookkeeping");
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::fedmp::run_fedmp;
+    use crate::task::ImageTask;
+    use fedmp_data::{iid_partition, mnist_like};
+    use fedmp_edgesim::{tx2_profile, ComputeMode, LinkQuality, TimeModel};
+    use fedmp_nn::zoo;
+    use fedmp_tensor::seeded_rng;
+
+    fn setup_task(seed: u64) -> (ImageTask, Vec<fedmp_edgesim::DeviceProfile>) {
+        let (train, test) = mnist_like(0.1, seed).generate();
+        let mut rng = seeded_rng(seed);
+        let part = iid_partition(&train, 3, &mut rng);
+        let task = ImageTask::new(train, test, part);
+        let devices = vec![
+            tx2_profile(ComputeMode::Mode0, LinkQuality::Near),
+            tx2_profile(ComputeMode::Mode1, LinkQuality::Mid),
+            tx2_profile(ComputeMode::Mode3, LinkQuality::Far),
+        ];
+        (task, devices)
+    }
+
+    #[test]
+    fn threaded_runtime_matches_loop_engine_exactly() {
+        let (task, devices) = setup_task(260);
+        let setup = FlSetup::new(&task, devices, TimeModel::default());
+        let mut rng = seeded_rng(261);
+        let global = zoo::cnn_mnist(0.12, &mut rng);
+        let cfg = FlConfig { rounds: 4, eval_every: 2, ..Default::default() };
+        let opts = FedMpOptions::default();
+
+        let sequential = run_fedmp(&cfg, &setup, global.clone(), &opts);
+        let threaded = run_fedmp_threaded(&cfg, &setup, global, &opts);
+
+        assert_eq!(sequential.rounds.len(), threaded.rounds.len());
+        for (a, b) in sequential.rounds.iter().zip(threaded.rounds.iter()) {
+            assert_eq!(a.ratios, b.ratios, "round {}", a.round);
+            assert_eq!(a.train_loss, b.train_loss, "round {}", a.round);
+            assert_eq!(a.sim_time, b.sim_time, "round {}", a.round);
+            assert_eq!(a.eval, b.eval, "round {}", a.round);
+        }
+    }
+
+    #[test]
+    fn threaded_runtime_bsp_and_fixed_ratio_work() {
+        let (task, devices) = setup_task(262);
+        let setup = FlSetup::new(&task, devices, TimeModel::deterministic());
+        let mut rng = seeded_rng(263);
+        let global = zoo::cnn_mnist(0.1, &mut rng);
+        let cfg = FlConfig { rounds: 2, ..Default::default() };
+        let opts = FedMpOptions {
+            sync: SyncScheme::BSP,
+            fixed_ratio: Some(0.4),
+            ..Default::default()
+        };
+        let h = run_fedmp_threaded(&cfg, &setup, global, &opts);
+        assert_eq!(h.rounds.len(), 2);
+        assert!(h.rounds.iter().all(|r| r.ratios.iter().all(|&x| x == 0.4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support fault injection")]
+    fn faults_are_rejected() {
+        let (task, devices) = setup_task(264);
+        let setup = FlSetup::new(&task, devices, TimeModel::deterministic());
+        let mut rng = seeded_rng(265);
+        let global = zoo::cnn_mnist(0.1, &mut rng);
+        let cfg = FlConfig { rounds: 1, ..Default::default() };
+        let opts = FedMpOptions {
+            faults: Some(crate::engines::fedmp::FaultOptions::default()),
+            ..Default::default()
+        };
+        let _ = run_fedmp_threaded(&cfg, &setup, global, &opts);
+    }
+}

@@ -1,0 +1,67 @@
+//! The federated image-classification task bundle.
+
+use fedmp_data::{ImageDataset, Partition};
+
+/// A complete federated task: train/test data, the input geometry the
+/// model expects, and the per-worker index partition.
+#[derive(Debug, Clone)]
+pub struct ImageTask {
+    /// Pooled training data (sharded by `partition`).
+    pub train: ImageDataset,
+    /// Held-out test data (evaluated at the PS).
+    pub test: ImageDataset,
+    /// Input geometry `(channels, height, width)`.
+    pub input_chw: (usize, usize, usize),
+    /// Per-worker sample indices into `train`.
+    pub partition: Partition,
+}
+
+impl ImageTask {
+    /// Builds a task, validating the partition against the dataset.
+    pub fn new(
+        train: ImageDataset,
+        test: ImageDataset,
+        partition: Partition,
+    ) -> Self {
+        assert!(!partition.is_empty(), "task needs at least one worker shard");
+        for (w, shard) in partition.iter().enumerate() {
+            assert!(!shard.is_empty(), "worker {w} has an empty shard");
+            assert!(
+                shard.iter().all(|&i| i < train.len()),
+                "worker {w} shard references out-of-range samples"
+            );
+        }
+        let input_chw = (train.channels, train.height, train.width);
+        assert_eq!(test.channels, train.channels, "train/test channel mismatch");
+        ImageTask { train, test, input_chw, partition }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.partition.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedmp_data::{iid_partition, mnist_like};
+    use fedmp_tensor::seeded_rng;
+
+    #[test]
+    fn task_builds_and_validates() {
+        let (train, test) = mnist_like(0.05, 30).generate();
+        let mut rng = seeded_rng(0);
+        let part = iid_partition(&train, 4, &mut rng);
+        let task = ImageTask::new(train, test, part);
+        assert_eq!(task.workers(), 4);
+        assert_eq!(task.input_chw, (1, 28, 28));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty shard")]
+    fn empty_shard_rejected() {
+        let (train, test) = mnist_like(0.05, 31).generate();
+        let _ = ImageTask::new(train, test, vec![vec![0, 1], vec![]]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Binary wire format for PS ↔ worker model exchange.
+//!
+//! The loop engines account for communication analytically (4 bytes per
+//! parameter); this module is the *actual* serialisation used by the
+//! threaded runtime ([`crate::runtime`]): a length-prefixed,
+//! checksummed frame holding a model snapshot. Encoding a snapshot and
+//! measuring `frame.len()` also gives the engines an exact wire size
+//! (name table + tensors) instead of the parameter-only approximation.
+//!
+//! Frame layout (little-endian):
+//!
+//! ```text
+//! magic  u32 = 0xFED_77A1E
+//! entry_count u32
+//! per entry:
+//!   name_len u16, name bytes (UTF-8)
+//!   trainable u8
+//!   rank u8, dims u32 × rank
+//!   payload f32 × numel
+//! checksum u32 (FNV-1a over everything after the magic)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fedmp_nn::StateEntry;
+use fedmp_tensor::Tensor;
+
+const MAGIC: u32 = 0xFED7_7A1E;
+
+/// Errors while decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame does not start with the protocol magic.
+    BadMagic,
+    /// Frame ended before the declared content.
+    Truncated,
+    /// Checksum mismatch (corrupted frame).
+    BadChecksum,
+    /// Malformed entry (bad UTF-8 name or impossible shape).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadChecksum => write!(f, "frame checksum mismatch"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut hash = 0x811C_9DC5u32;
+    for &b in bytes {
+        hash ^= b as u32;
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Encodes a model snapshot into a wire frame.
+pub fn encode_state(state: &[StateEntry]) -> Bytes {
+    let payload: usize = state
+        .iter()
+        .map(|e| 2 + e.name.len() + 1 + 1 + 4 * e.tensor.dims().len() + 4 * e.tensor.numel())
+        .sum();
+    let mut buf = BytesMut::with_capacity(8 + payload + 4);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(state.len() as u32);
+    for e in state {
+        assert!(e.name.len() <= u16::MAX as usize, "entry name too long");
+        buf.put_u16_le(e.name.len() as u16);
+        buf.put_slice(e.name.as_bytes());
+        buf.put_u8(e.trainable as u8);
+        let dims = e.tensor.dims();
+        assert!(dims.len() <= u8::MAX as usize, "tensor rank too high");
+        buf.put_u8(dims.len() as u8);
+        for &d in dims {
+            buf.put_u32_le(d as u32);
+        }
+        for &v in e.tensor.data() {
+            buf.put_f32_le(v);
+        }
+    }
+    let checksum = fnv1a(&buf[4..]);
+    buf.put_u32_le(checksum);
+    buf.freeze()
+}
+
+/// Decodes a frame produced by [`encode_state`].
+pub fn decode_state(frame: &[u8]) -> Result<Vec<StateEntry>, WireError> {
+    if frame.len() < 12 {
+        return Err(WireError::Truncated);
+    }
+    let mut buf = frame;
+    if buf.get_u32_le() != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let body = &frame[4..frame.len() - 4];
+    let declared =
+        u32::from_le_bytes(frame[frame.len() - 4..].try_into().expect("4-byte checksum"));
+    if fnv1a(body) != declared {
+        return Err(WireError::BadChecksum);
+    }
+
+    let count = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count);
+    // `buf` still includes the trailing checksum; track remaining
+    // content length explicitly.
+    let mut remaining = frame.len() - 8 - 4;
+    let need = |n: usize, remaining: &mut usize| -> Result<(), WireError> {
+        if *remaining < n {
+            return Err(WireError::Truncated);
+        }
+        *remaining -= n;
+        Ok(())
+    };
+    for _ in 0..count {
+        need(2, &mut remaining)?;
+        let name_len = buf.get_u16_le() as usize;
+        need(name_len + 2, &mut remaining)?;
+        let name = std::str::from_utf8(&buf[..name_len])
+            .map_err(|_| WireError::Malformed("entry name is not UTF-8"))?
+            .to_string();
+        buf.advance(name_len);
+        let trainable = match buf.get_u8() {
+            0 => false,
+            1 => true,
+            _ => return Err(WireError::Malformed("trainable flag")),
+        };
+        let rank = buf.get_u8() as usize;
+        if rank == 0 {
+            return Err(WireError::Malformed("zero-rank tensor"));
+        }
+        need(4 * rank, &mut remaining)?;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(buf.get_u32_le() as usize);
+        }
+        let numel: usize = dims.iter().product();
+        need(4 * numel, &mut remaining)?;
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(buf.get_f32_le());
+        }
+        let tensor =
+            Tensor::from_vec(data, &dims).map_err(|_| WireError::Malformed("tensor shape"))?;
+        out.push(StateEntry { name, tensor, trainable });
+    }
+    if remaining != 0 {
+        return Err(WireError::Malformed("trailing bytes"));
+    }
+    Ok(out)
+}
+
+/// Exact wire size of a snapshot, in bytes.
+pub fn wire_size(state: &[StateEntry]) -> usize {
+    encode_state(state).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedmp_nn::zoo;
+    use fedmp_tensor::seeded_rng;
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let mut rng = seeded_rng(250);
+        let m = zoo::cnn_mnist(0.1, &mut rng);
+        let state = m.state();
+        let frame = encode_state(&state);
+        let back = decode_state(&frame).expect("decode");
+        assert_eq!(back.len(), state.len());
+        for (a, b) in state.iter().zip(back.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.trainable, b.trainable);
+            assert_eq!(a.tensor, b.tensor);
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_is_detected() {
+        let mut rng = seeded_rng(251);
+        let m = zoo::cnn_mnist(0.1, &mut rng);
+        let frame = encode_state(&m.state());
+        let mut bad = frame.to_vec();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        assert!(matches!(decode_state(&bad), Err(WireError::BadChecksum)));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(decode_state(&[0u8; 16]), Err(WireError::BadMagic)));
+        assert!(matches!(decode_state(&[1, 2, 3]), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn wire_size_close_to_analytic_estimate() {
+        let mut rng = seeded_rng(252);
+        let m = zoo::cnn_mnist(0.25, &mut rng);
+        let state = m.state();
+        let params: usize = state.iter().map(|e| e.tensor.numel()).sum();
+        let size = wire_size(&state);
+        // Overhead (names, dims, framing) is small relative to payload.
+        assert!(size >= params * 4);
+        assert!(size < params * 4 + 4096, "framing overhead too large: {size}");
+    }
+
+    #[test]
+    fn pruned_submodel_frame_is_smaller() {
+        let mut rng = seeded_rng(253);
+        let m = zoo::cnn_mnist(0.25, &mut rng);
+        let plan = fedmp_pruning::plan_sequential(&m, (1, 28, 28), 0.6);
+        let sub = fedmp_pruning::extract_sequential(&m, &plan);
+        assert!(wire_size(&sub.state()) < wire_size(&m.state()) / 2);
+    }
+}

@@ -1,0 +1,224 @@
+//! Adam optimizer and learning-rate schedules.
+//!
+//! The paper trains with SGD; Adam and the schedules below are provided
+//! for downstream users of the library (and exercised by the test
+//! suite) — a training stack without them would not be adoptable.
+
+use crate::optim::ParamVisitor;
+use crate::param::Param;
+use fedmp_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+///
+/// Like [`crate::Sgd`], moment buffers are keyed by parameter visit
+/// order, so one instance must stay paired with one model architecture.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Numerical-stability ε.
+    pub eps: f32,
+    /// Decoupled weight decay (AdamW style; 0 disables).
+    pub weight_decay: f32,
+    step: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the standard defaults (β₁ = 0.9, β₂ = 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, step: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// AdamW: decoupled weight decay.
+    pub fn with_weight_decay(lr: f32, weight_decay: f32) -> Self {
+        Adam { weight_decay, ..Adam::new(lr) }
+    }
+
+    /// Applies one update step to every parameter of `model`.
+    pub fn step(&mut self, model: &mut impl ParamVisitor) {
+        self.step += 1;
+        let t = self.step as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        let mut idx = 0usize;
+        model.visit_params(&mut |p: &mut Param| {
+            if ms.len() == idx {
+                ms.push(Tensor::zeros(p.value.dims()));
+                vs.push(Tensor::zeros(p.value.dims()));
+            }
+            let m = &mut ms[idx];
+            let v = &mut vs[idx];
+            assert_eq!(m.dims(), p.value.dims(), "Adam buffer shape drift: re-create after model change");
+            for (((w, &g), mi), vi) in p
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data().iter())
+                .zip(m.data_mut().iter_mut())
+                .zip(v.data_mut().iter_mut())
+            {
+                *mi = b1 * *mi + (1.0 - b1) * g;
+                *vi = b2 * *vi + (1.0 - b2) * g * g;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                // Decoupled decay applies to the weight directly.
+                *w -= lr * (m_hat / (v_hat.sqrt() + eps) + wd * *w);
+            }
+            idx += 1;
+        });
+    }
+}
+
+/// A learning-rate schedule: maps a step index to a multiplier of the
+/// base learning rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant multiplier 1.
+    Constant,
+    /// Multiply by `gamma` every `every` steps.
+    Step {
+        /// Steps between decays.
+        every: u64,
+        /// Decay factor per boundary.
+        gamma: f32,
+    },
+    /// Cosine annealing from 1 to `floor` over `total` steps, constant
+    /// at `floor` afterwards.
+    Cosine {
+        /// Annealing horizon.
+        total: u64,
+        /// Terminal multiplier.
+        floor: f32,
+    },
+    /// Linear warmup from 0 over `warmup` steps, then constant 1.
+    Warmup {
+        /// Warmup length.
+        warmup: u64,
+    },
+}
+
+impl LrSchedule {
+    /// The multiplier at step `t` (0-based).
+    pub fn factor(&self, t: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Step { every, gamma } => {
+                assert!(every > 0, "step schedule needs a positive period");
+                gamma.powi((t / every) as i32)
+            }
+            LrSchedule::Cosine { total, floor } => {
+                if t >= total {
+                    floor
+                } else {
+                    let progress = t as f32 / total.max(1) as f32;
+                    floor
+                        + (1.0 - floor)
+                            * 0.5
+                            * (1.0 + (std::f32::consts::PI * progress).cos())
+                }
+            }
+            LrSchedule::Warmup { warmup } => {
+                if warmup == 0 || t >= warmup {
+                    1.0
+                } else {
+                    (t + 1) as f32 / warmup as f32
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::{LayerNode, Sequential};
+    use crate::linear::Linear;
+    use fedmp_tensor::{cross_entropy_loss, seeded_rng, Tensor};
+
+    fn model() -> Sequential {
+        Sequential::new(vec![LayerNode::Linear(Linear::new(6, 3, &mut seeded_rng(300)))])
+    }
+
+    #[test]
+    fn adam_reduces_loss() {
+        let mut m = model();
+        let mut opt = Adam::new(0.05);
+        let mut rng = seeded_rng(301);
+        let x = Tensor::randn(&[12, 6], &mut rng);
+        let labels: Vec<usize> = (0..12).map(|i| i % 3).collect();
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for k in 0..60 {
+            m.zero_grad();
+            let out = cross_entropy_loss(&m.forward(&x, true), &labels);
+            m.backward(&out.grad_logits);
+            opt.step(&mut m);
+            if k == 0 {
+                first = out.loss;
+            }
+            last = out.loss;
+        }
+        assert!(last < first * 0.3, "{first} -> {last}");
+    }
+
+    #[test]
+    fn adamw_decay_shrinks_weights_without_gradients() {
+        let mut m = model();
+        let before: f32 = fedmp_tensor::Tensor::zeros(&[1]).sum()
+            + {
+                let mut s = 0.0;
+                m.for_each_param_mut(&mut |p| s += p.value.l2_norm());
+                s
+            };
+        let mut opt = Adam::with_weight_decay(0.1, 0.5);
+        for _ in 0..30 {
+            m.zero_grad();
+            opt.step(&mut m);
+        }
+        let mut after = 0.0;
+        m.for_each_param_mut(&mut |p| after += p.value.l2_norm());
+        assert!(after < before * 0.5, "{before} -> {after}");
+    }
+
+    #[test]
+    fn step_schedule_decays_at_boundaries() {
+        let s = LrSchedule::Step { every: 10, gamma: 0.5 };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+    }
+
+    #[test]
+    fn cosine_schedule_monotone_to_floor() {
+        let s = LrSchedule::Cosine { total: 100, floor: 0.1 };
+        assert!((s.factor(0) - 1.0).abs() < 1e-6);
+        let mut prev = 1.0f32;
+        for t in (0..100).step_by(10) {
+            let f = s.factor(t);
+            assert!(f <= prev + 1e-6, "not monotone at {t}");
+            prev = f;
+        }
+        assert!((s.factor(100) - 0.1).abs() < 1e-6);
+        assert!((s.factor(10_000) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup { warmup: 4 };
+        assert_eq!(s.factor(0), 0.25);
+        assert_eq!(s.factor(1), 0.5);
+        assert_eq!(s.factor(3), 1.0);
+        assert_eq!(s.factor(100), 1.0);
+        assert_eq!(LrSchedule::Constant.factor(5), 1.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Flatten: NCHW activations → `[batch, features]` for the FC head.
+
+use fedmp_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Reshapes `[n, c, h, w]` to `[n, c*h*w]`, remembering the original shape
+/// for the backward pass.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Flatten {
+    #[serde(skip)]
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// A fresh flatten layer.
+    pub fn new() -> Self {
+        Flatten { input_dims: None }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        let d = input.dims();
+        assert!(d.len() >= 2, "flatten expects at least rank-2 input");
+        self.input_dims = Some(d.to_vec());
+        let batch = d[0];
+        let features: usize = d[1..].iter().product();
+        input.reshape(&[batch, features])
+    }
+
+    /// Backward pass: un-flattens the gradient.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let dims = self.input_dims.as_ref().expect("flatten backward before forward");
+        grad_out.reshape(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::ones(&[2, 3, 4, 4]);
+        let y = f.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 48]);
+        let g = f.backward(&y);
+        assert_eq!(g.dims(), &[2, 3, 4, 4]);
+    }
+}

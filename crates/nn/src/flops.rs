@@ -1,0 +1,249 @@
+//! Analytic cost model: FLOPs per sample and parameter bytes per model.
+//!
+//! The edge simulator converts these numbers into computation and
+//! communication time (paper Eq. 5). Costs are computed from the *actual*
+//! instantiated architecture, so a pruned sub-model automatically reports
+//! proportionally smaller costs — exactly the effect FedMP exploits.
+
+use crate::container::{LayerNode, ResidualBlock, Sequential};
+use crate::lstm::LstmLm;
+use serde::{Deserialize, Serialize};
+
+/// Cost of one layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Human-readable layer path.
+    pub name: String,
+    /// Multiply–add FLOPs per input sample (2 × MACs for conv/linear).
+    pub flops: u64,
+    /// Trainable + tracked parameter count.
+    pub params: u64,
+}
+
+/// Whole-model cost report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Per-layer breakdown in forward order.
+    pub layers: Vec<LayerCost>,
+    /// Total FLOPs per sample (forward pass; training ≈ 3× this).
+    pub flops_per_sample: u64,
+    /// Total parameter count.
+    pub params: u64,
+}
+
+impl CostReport {
+    /// Model size on the wire in bytes (f32 parameters).
+    pub fn param_bytes(&self) -> u64 {
+        self.params * 4
+    }
+
+    /// Approximate training FLOPs per sample (forward + backward ≈ 3×
+    /// forward, the standard rule of thumb).
+    pub fn train_flops_per_sample(&self) -> u64 {
+        self.flops_per_sample * 3
+    }
+}
+
+/// Shape as it flows through the network: channels×h×w or flat features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    Chw(usize, usize, usize),
+    Flat(usize),
+}
+
+/// Computes the cost report of `model` for one sample of shape
+/// `[channels, height, width]`.
+///
+/// # Panics
+/// Panics if the model's layer shapes are inconsistent with the input.
+pub fn model_cost(model: &Sequential, input_chw: (usize, usize, usize)) -> CostReport {
+    let mut flow = Flow::Chw(input_chw.0, input_chw.1, input_chw.2);
+    let mut layers = Vec::new();
+    for (i, l) in model.layers.iter().enumerate() {
+        flow = node_cost(l, flow, &i.to_string(), &mut layers);
+    }
+    let flops_per_sample = layers.iter().map(|l| l.flops).sum();
+    let params = layers.iter().map(|l| l.params).sum();
+    CostReport { layers, flops_per_sample, params }
+}
+
+fn node_cost(node: &LayerNode, flow: Flow, name: &str, out: &mut Vec<LayerCost>) -> Flow {
+    match node {
+        LayerNode::Conv2d(conv) => {
+            let (c, h, w) = expect_chw(flow, name);
+            assert_eq!(c, conv.in_channels(), "cost: conv {name} in-channel mismatch");
+            let (oh, ow) = conv.spec.out_hw(h, w);
+            let oc = conv.out_channels();
+            let macs = (oc * c * conv.spec.kh * conv.spec.kw * oh * ow) as u64;
+            let params = (conv.weight.value.numel() + conv.bias.value.numel()) as u64;
+            out.push(LayerCost { name: format!("{name}:conv"), flops: 2 * macs, params });
+            Flow::Chw(oc, oh, ow)
+        }
+        LayerNode::Linear(lin) => {
+            let f = expect_flat(flow, name);
+            assert_eq!(f, lin.in_features(), "cost: linear {name} feature mismatch");
+            let macs = (lin.in_features() * lin.out_features()) as u64;
+            let params = (lin.weight.value.numel() + lin.bias.value.numel()) as u64;
+            out.push(LayerCost { name: format!("{name}:linear"), flops: 2 * macs, params });
+            Flow::Flat(lin.out_features())
+        }
+        LayerNode::BatchNorm2d(bn) => {
+            let (c, h, w) = expect_chw(flow, name);
+            assert_eq!(c, bn.channels(), "cost: bn {name} channel mismatch");
+            out.push(LayerCost {
+                name: format!("{name}:bn"),
+                flops: (4 * c * h * w) as u64,
+                params: (4 * c) as u64,
+            });
+            flow
+        }
+        LayerNode::ReLU(_) => {
+            let n = flow_numel(flow);
+            out.push(LayerCost { name: format!("{name}:relu"), flops: n as u64, params: 0 });
+            flow
+        }
+        LayerNode::Dropout(_) => {
+            out.push(LayerCost { name: format!("{name}:dropout"), flops: 0, params: 0 });
+            flow
+        }
+        LayerNode::MaxPool2d(p) => {
+            let (c, h, w) = expect_chw(flow, name);
+            let (oh, ow) = p.spec.out_hw(h, w);
+            out.push(LayerCost {
+                name: format!("{name}:maxpool"),
+                flops: (c * oh * ow * p.spec.kh * p.spec.kw) as u64,
+                params: 0,
+            });
+            Flow::Chw(c, oh, ow)
+        }
+        LayerNode::AvgPool2d(p) => {
+            let (c, h, w) = expect_chw(flow, name);
+            let (oh, ow) = p.spec.out_hw(h, w);
+            out.push(LayerCost {
+                name: format!("{name}:avgpool"),
+                flops: (c * oh * ow * p.spec.kh * p.spec.kw) as u64,
+                params: 0,
+            });
+            Flow::Chw(c, oh, ow)
+        }
+        LayerNode::Flatten(_) => {
+            let n = flow_numel(flow);
+            Flow::Flat(n)
+        }
+        LayerNode::Residual(block) => residual_cost(block, flow, name, out),
+    }
+}
+
+fn residual_cost(block: &ResidualBlock, flow: Flow, name: &str, out: &mut Vec<LayerCost>) -> Flow {
+    let mut body_flow = flow;
+    for (i, l) in block.body.iter().enumerate() {
+        body_flow = node_cost(l, body_flow, &format!("{name}.body.{i}"), out);
+    }
+    let mut side_flow = flow;
+    for (i, l) in block.shortcut.iter().enumerate() {
+        side_flow = node_cost(l, side_flow, &format!("{name}.shortcut.{i}"), out);
+    }
+    assert_eq!(body_flow, side_flow, "cost: residual {name} branch shapes differ");
+    // The add + final relu.
+    out.push(LayerCost {
+        name: format!("{name}:residual-join"),
+        flops: 2 * flow_numel(body_flow) as u64,
+        params: 0,
+    });
+    body_flow
+}
+
+fn expect_chw(flow: Flow, name: &str) -> (usize, usize, usize) {
+    match flow {
+        Flow::Chw(c, h, w) => (c, h, w),
+        Flow::Flat(_) => panic!("cost: layer {name} expects spatial input after flatten"),
+    }
+}
+
+fn expect_flat(flow: Flow, name: &str) -> usize {
+    match flow {
+        Flow::Flat(f) => f,
+        Flow::Chw(..) => panic!("cost: linear {name} before flatten"),
+    }
+}
+
+fn flow_numel(flow: Flow) -> usize {
+    match flow {
+        Flow::Chw(c, h, w) => c * h * w,
+        Flow::Flat(f) => f,
+    }
+}
+
+/// Cost of an [`LstmLm`] for one token step (per sample): gate GEMMs plus
+/// decoder.
+pub fn lstm_cost_per_token(lm: &LstmLm) -> CostReport {
+    let mut layers = Vec::new();
+    layers.push(LayerCost {
+        name: "embedding".into(),
+        flops: 0, // lookup
+        params: lm.embedding.weight.value.numel() as u64,
+    });
+    for (i, l) in lm.lstms.iter().enumerate() {
+        let h = l.hidden();
+        let inp = l.input_size();
+        let macs = (4 * h * (inp + h)) as u64;
+        let params = (l.w_x.value.numel() + l.w_h.value.numel() + l.bias.value.numel()) as u64;
+        layers.push(LayerCost { name: format!("lstm.{i}"), flops: 2 * macs, params });
+    }
+    let dec_macs = (lm.decoder.in_features() * lm.decoder.out_features()) as u64;
+    layers.push(LayerCost {
+        name: "decoder".into(),
+        flops: 2 * dec_macs,
+        params: (lm.decoder.weight.value.numel() + lm.decoder.bias.value.numel()) as u64,
+    });
+    let flops_per_sample = layers.iter().map(|l| l.flops).sum();
+    let params = layers.iter().map(|l| l.params).sum();
+    CostReport { layers, flops_per_sample, params }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+    use fedmp_tensor::seeded_rng;
+
+    #[test]
+    fn cnn_cost_matches_hand_computation() {
+        let mut rng = seeded_rng(110);
+        let m = zoo::cnn_mnist(1.0, &mut rng);
+        let report = model_cost(&m, (1, 28, 28));
+        // conv1: 2*32*1*25*28*28
+        assert_eq!(report.layers[0].flops, 2 * 32 * 25 * 28 * 28);
+        // Params: conv1 832, conv2 51264, fc1 3136*256+256, fc2 2570
+        let expected_params = (32 * 25 + 32) + (64 * 32 * 25 + 64) + (3136 * 256 + 256) + (256 * 10 + 10);
+        assert_eq!(report.params, expected_params as u64);
+        assert_eq!(report.param_bytes(), expected_params as u64 * 4);
+        assert!(report.train_flops_per_sample() == report.flops_per_sample * 3);
+    }
+
+    #[test]
+    fn smaller_width_means_lower_cost() {
+        let mut rng = seeded_rng(111);
+        let big = model_cost(&zoo::cnn_mnist(1.0, &mut rng), (1, 28, 28));
+        let small = model_cost(&zoo::cnn_mnist(0.5, &mut rng), (1, 28, 28));
+        assert!(small.flops_per_sample < big.flops_per_sample);
+        assert!(small.params < big.params);
+    }
+
+    #[test]
+    fn resnet_cost_walks_residual_blocks() {
+        let mut rng = seeded_rng(112);
+        let m = zoo::resnet_tiny(0.5, &mut rng);
+        let report = model_cost(&m, (3, 64, 64));
+        assert!(report.flops_per_sample > 0);
+        assert!(report.layers.iter().any(|l| l.name.contains("residual-join")));
+    }
+
+    #[test]
+    fn lstm_cost_scales_with_hidden() {
+        let mut rng = seeded_rng(113);
+        let small = lstm_cost_per_token(&LstmLm::new(50, 16, 32, 2, &mut rng));
+        let big = lstm_cost_per_token(&LstmLm::new(50, 16, 64, 2, &mut rng));
+        assert!(big.flops_per_sample > 2 * small.flops_per_sample);
+    }
+}

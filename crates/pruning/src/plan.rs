@@ -1,0 +1,508 @@
+//! Prune-plan construction: which filters/neurons survive at a given
+//! pruning ratio.
+
+use fedmp_nn::{LayerNode, ResidualBlock, Sequential};
+use serde::{Deserialize, Serialize};
+
+/// Per-layer pruning decision, aligned with the model's layer traversal.
+///
+/// All index lists are **sorted ascending** and refer to positions in the
+/// *full* (global) model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerPlan {
+    /// Convolution: which output filters and input channels survive.
+    Conv {
+        /// Kept output-filter indices.
+        kept_out: Vec<usize>,
+        /// Kept input-channel indices (inherited from the previous layer).
+        kept_in: Vec<usize>,
+    },
+    /// Fully connected layer: which output neurons and input features
+    /// survive.
+    Linear {
+        /// Kept output-neuron indices.
+        kept_out: Vec<usize>,
+        /// Kept input-feature indices.
+        kept_in: Vec<usize>,
+    },
+    /// Batch norm: which channels survive (mirrors the preceding conv).
+    BatchNorm {
+        /// Kept channel indices.
+        kept: Vec<usize>,
+    },
+    /// Layer untouched by pruning (activations, pooling, flatten…).
+    Passthrough,
+    /// Residual block: nested plans for body and shortcut.
+    Residual {
+        /// Plans for the body layers.
+        body: Vec<LayerPlan>,
+        /// Plans for the shortcut layers.
+        shortcut: Vec<LayerPlan>,
+    },
+}
+
+/// A complete pruning plan for one model at one ratio.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrunePlan {
+    /// Per-layer decisions, aligned with `Sequential::layers`.
+    pub layers: Vec<LayerPlan>,
+    /// The pruning ratio α ∈ [0, 1) the plan was built for.
+    pub ratio: f32,
+}
+
+/// Number of units kept at ratio α out of `total`: `⌈(1−α)·total⌉`,
+/// floored at 1 so a layer never vanishes entirely.
+pub fn ratio_keep_count(total: usize, ratio: f32) -> usize {
+    assert!((0.0..1.0).contains(&ratio), "pruning ratio must be in [0, 1), got {ratio}");
+    (((1.0 - ratio) * total as f32).ceil() as usize).clamp(1, total)
+}
+
+/// Filter/neuron importance metric. The paper uses L1 (§III-B) and
+/// notes in §VI that FedMP "can be extended … by easily replacing
+/// different pruning strategies"; L2 and seeded-random comparators back
+/// the importance-metric ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Importance {
+    /// Sum of absolute weights (the paper's metric).
+    L1,
+    /// Euclidean norm of the unit's weights.
+    L2,
+    /// Seeded random scores — the "pruning does not look at weights at
+    /// all" control.
+    Random {
+        /// Score seed.
+        seed: u64,
+    },
+}
+
+impl Default for Importance {
+    fn default() -> Self {
+        Importance::L1
+    }
+}
+
+impl Importance {
+    /// Scores `units` weight groups, where group `u` occupies
+    /// `weights[u·stride..(u+1)·stride]`.
+    fn score_groups(&self, weights: &[f32], units: usize, stride: usize) -> Vec<f32> {
+        match self {
+            Importance::L1 => (0..units)
+                .map(|u| weights[u * stride..(u + 1) * stride].iter().map(|v| v.abs()).sum())
+                .collect(),
+            Importance::L2 => (0..units)
+                .map(|u| {
+                    weights[u * stride..(u + 1) * stride]
+                        .iter()
+                        .map(|v| v * v)
+                        .sum::<f32>()
+                        .sqrt()
+                })
+                .collect(),
+            Importance::Random { seed } => {
+                // Stable pseudo-random score per unit index.
+                (0..units)
+                    .map(|u| {
+                        let mut z = seed
+                            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u as u64 + 1));
+                        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                        (z >> 11) as f32 / (1u64 << 53) as f32
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// What flows between layers during planning: the surviving positions of
+/// the previous layer's output.
+#[derive(Debug, Clone)]
+enum Flow {
+    /// Spatial activations: kept channel indices, spatial size, and the
+    /// full channel count.
+    Chw { kept: Vec<usize>, total: usize, h: usize, w: usize },
+    /// Flat features: kept feature indices and the full feature count.
+    Flat { kept: Vec<usize>, total: usize },
+}
+
+/// Builds a pruning plan: every prunable layer keeps the
+/// `⌈(1−α)·total⌉` highest-L1 units (paper §III-B). The model's final
+/// linear layer (the classifier head) is never pruned on its output side.
+pub fn plan_sequential(model: &Sequential, input_chw: (usize, usize, usize), ratio: f32) -> PrunePlan {
+    plan_sequential_with(model, input_chw, ratio, Importance::L1)
+}
+
+/// [`plan_sequential`] with a custom importance metric (§VI extension).
+pub fn plan_sequential_with(
+    model: &Sequential,
+    input_chw: (usize, usize, usize),
+    ratio: f32,
+    importance: Importance,
+) -> PrunePlan {
+    let (c, h, w) = input_chw;
+    let mut flow = Flow::Chw { kept: (0..c).collect(), total: c, h, w };
+    let last_linear = model
+        .layers
+        .iter()
+        .rposition(|l| matches!(l, LayerNode::Linear(_)))
+        .unwrap_or(usize::MAX);
+    let mut layers = Vec::with_capacity(model.layers.len());
+    for (i, node) in model.layers.iter().enumerate() {
+        let pin_output = i == last_linear;
+        let (plan, new_flow) = plan_node(node, flow, ratio, pin_output, importance);
+        layers.push(plan);
+        flow = new_flow;
+    }
+    PrunePlan { layers, ratio }
+}
+
+fn plan_node(
+    node: &LayerNode,
+    flow: Flow,
+    ratio: f32,
+    pin_output: bool,
+    importance: Importance,
+) -> (LayerPlan, Flow) {
+    match node {
+        LayerNode::Conv2d(conv) => {
+            let (kept_in, _total_c, h, w) = expect_chw(&flow, "conv");
+            let kept_out = if pin_output {
+                (0..conv.out_channels()).collect()
+            } else {
+                top_filters(conv, ratio, importance)
+            };
+            let (oh, ow) = conv.spec.out_hw(h, w);
+            let new_flow = Flow::Chw { kept: kept_out.clone(), total: conv.out_channels(), h: oh, w: ow };
+            (LayerPlan::Conv { kept_out, kept_in }, new_flow)
+        }
+        LayerNode::Linear(lin) => {
+            let (kept_in, _total) = expect_flat(&flow, "linear");
+            let kept_out = if pin_output {
+                (0..lin.out_features()).collect()
+            } else {
+                top_neurons(lin, ratio, importance)
+            };
+            let new_flow = Flow::Flat { kept: kept_out.clone(), total: lin.out_features() };
+            (LayerPlan::Linear { kept_out, kept_in }, new_flow)
+        }
+        LayerNode::BatchNorm2d(_) => {
+            let (kept, _, _, _) = expect_chw(&flow, "batchnorm");
+            (LayerPlan::BatchNorm { kept }, flow)
+        }
+        LayerNode::ReLU(_) | LayerNode::Dropout(_) => (LayerPlan::Passthrough, flow),
+        LayerNode::MaxPool2d(p) => {
+            let (kept, total, h, w) = expect_chw(&flow, "maxpool");
+            let (oh, ow) = p.spec.out_hw(h, w);
+            (LayerPlan::Passthrough, Flow::Chw { kept, total, h: oh, w: ow })
+        }
+        LayerNode::AvgPool2d(p) => {
+            let (kept, total, h, w) = expect_chw(&flow, "avgpool");
+            let (oh, ow) = p.spec.out_hw(h, w);
+            (LayerPlan::Passthrough, Flow::Chw { kept, total, h: oh, w: ow })
+        }
+        LayerNode::Flatten(_) => {
+            let (kept, total, h, w) = expect_chw(&flow, "flatten");
+            // Channel c occupies features [c·h·w, (c+1)·h·w).
+            let hw = h * w;
+            let mut feat = Vec::with_capacity(kept.len() * hw);
+            for &c in &kept {
+                feat.extend(c * hw..(c + 1) * hw);
+            }
+            (LayerPlan::Passthrough, Flow::Flat { kept: feat, total: total * hw })
+        }
+        LayerNode::Residual(block) => plan_residual(block, flow, ratio, importance),
+    }
+}
+
+/// Plans a residual block. Internal convolutions prune freely; the
+/// block's *last* prunable site on each path is pinned so the two paths
+/// stay addable:
+///
+/// * identity shortcut — the body's final conv must reproduce exactly the
+///   incoming channel set;
+/// * projection shortcut — both the projection conv and the body's final
+///   conv keep the full output width.
+fn plan_residual(
+    block: &ResidualBlock,
+    flow: Flow,
+    ratio: f32,
+    importance: Importance,
+) -> (LayerPlan, Flow) {
+    let (in_kept, _in_total, h, w) = expect_chw(&flow, "residual");
+
+    // Which channel set must both paths end with?
+    let (out_kept, out_total): (Vec<usize>, usize) = if block.shortcut.is_empty() {
+        (in_kept.clone(), expect_chw(&flow, "residual").1)
+    } else {
+        // Full width of the projection conv's output.
+        let oc = block
+            .shortcut
+            .iter()
+            .find_map(|l| match l {
+                LayerNode::Conv2d(c) => Some(c.out_channels()),
+                _ => None,
+            })
+            .expect("projection shortcut must contain a conv");
+        ((0..oc).collect(), oc)
+    };
+
+    // Index of the last conv in the body — its outputs are pinned.
+    let last_conv = block
+        .body
+        .iter()
+        .rposition(|l| matches!(l, LayerNode::Conv2d(_)))
+        .expect("residual body must contain a conv");
+
+    let mut body_plans = Vec::with_capacity(block.body.len());
+    let mut bflow = flow.clone();
+    for (i, node) in block.body.iter().enumerate() {
+        if i == last_conv {
+            // Pin the final conv's outputs to `out_kept`.
+            if let LayerNode::Conv2d(conv) = node {
+                let (kept_in, _, bh, bw) = expect_chw(&bflow, "residual body");
+                let (oh, ow) = conv.spec.out_hw(bh, bw);
+                body_plans.push(LayerPlan::Conv { kept_out: out_kept.clone(), kept_in });
+                bflow = Flow::Chw { kept: out_kept.clone(), total: out_total, h: oh, w: ow };
+                continue;
+            }
+            unreachable!("last_conv points at a conv");
+        }
+        let (p, f) = plan_node(node, bflow, ratio, false, importance);
+        body_plans.push(p);
+        bflow = f;
+    }
+
+    let mut shortcut_plans = Vec::with_capacity(block.shortcut.len());
+    let mut sflow = Flow::Chw { kept: in_kept, total: expect_chw(&flow, "residual").1, h, w };
+    for node in &block.shortcut {
+        // The projection conv keeps its full output width.
+        let (p, f) = plan_node(node, sflow, 0.0, matches!(node, LayerNode::Conv2d(_)), importance);
+        shortcut_plans.push(p);
+        sflow = f;
+    }
+
+    let out_flow = bflow;
+    (LayerPlan::Residual { body: body_plans, shortcut: shortcut_plans }, out_flow)
+}
+
+/// Kept filter indices of a conv at ratio α: the top `⌈(1−α)·oc⌉`
+/// filters by L1 norm of their kernel weights (paper's importance
+/// metric), returned sorted ascending.
+fn top_filters(conv: &fedmp_nn::Conv2d, ratio: f32, importance: Importance) -> Vec<usize> {
+    let oc = conv.out_channels();
+    let per_filter = conv.weight.value.numel() / oc;
+    let scores = importance.score_groups(conv.weight.value.data(), oc, per_filter);
+    top_indices(&scores, ratio_keep_count(oc, ratio))
+}
+
+/// Kept neuron indices of a linear layer at ratio α: the top rows by L1
+/// norm of incoming weights.
+fn top_neurons(lin: &fedmp_nn::Linear, ratio: f32, importance: Importance) -> Vec<usize> {
+    let of = lin.out_features();
+    let stride = lin.in_features();
+    let scores = importance.score_groups(lin.weight.value.data(), of, stride);
+    top_indices(&scores, ratio_keep_count(of, ratio))
+}
+
+/// Indices of the `k` largest scores, sorted ascending. Stable under
+/// ties (lower index wins), so plans are deterministic.
+pub(crate) fn top_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).expect("finite scores").then(a.cmp(&b))
+    });
+    let mut kept: Vec<usize> = order.into_iter().take(k).collect();
+    kept.sort_unstable();
+    kept
+}
+
+fn expect_chw(flow: &Flow, what: &str) -> (Vec<usize>, usize, usize, usize) {
+    match flow {
+        Flow::Chw { kept, total, h, w } => (kept.clone(), *total, *h, *w),
+        Flow::Flat { .. } => panic!("plan: {what} needs spatial input but flow is flat"),
+    }
+}
+
+fn expect_flat(flow: &Flow, what: &str) -> (Vec<usize>, usize) {
+    match flow {
+        Flow::Flat { kept, total } => (kept.clone(), *total),
+        Flow::Chw { .. } => panic!("plan: {what} needs flat input (missing Flatten?)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedmp_nn::zoo;
+    use fedmp_tensor::seeded_rng;
+
+    #[test]
+    fn keep_count_formula() {
+        assert_eq!(ratio_keep_count(10, 0.0), 10);
+        assert_eq!(ratio_keep_count(10, 0.5), 5);
+        assert_eq!(ratio_keep_count(10, 0.25), 8);
+        assert_eq!(ratio_keep_count(10, 0.99), 1);
+        assert_eq!(ratio_keep_count(3, 0.9), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "pruning ratio must be in")]
+    fn ratio_one_rejected() {
+        let _ = ratio_keep_count(10, 1.0);
+    }
+
+    #[test]
+    fn top_indices_sorted_and_correct() {
+        let scores = [0.5f32, 3.0, 1.0, 2.0];
+        assert_eq!(top_indices(&scores, 2), vec![1, 3]);
+        assert_eq!(top_indices(&scores, 4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_ratio_keeps_everything() {
+        let mut rng = seeded_rng(200);
+        let m = zoo::cnn_mnist(0.25, &mut rng);
+        let plan = plan_sequential(&m, (1, 28, 28), 0.0);
+        match &plan.layers[0] {
+            LayerPlan::Conv { kept_out, kept_in } => {
+                assert_eq!(kept_out.len(), 8); // 32·0.25
+                assert_eq!(kept_in, &vec![0]);
+            }
+            other => panic!("expected conv plan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classifier_head_never_pruned() {
+        let mut rng = seeded_rng(201);
+        let m = zoo::cnn_mnist(0.25, &mut rng);
+        let plan = plan_sequential(&m, (1, 28, 28), 0.8);
+        match plan.layers.last().unwrap() {
+            LayerPlan::Linear { kept_out, .. } => assert_eq!(kept_out.len(), 10),
+            other => panic!("expected linear plan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn channel_propagation_through_flatten() {
+        let mut rng = seeded_rng(202);
+        let m = zoo::cnn_mnist(0.5, &mut rng); // conv2 out = 32, 7×7 spatial
+        let plan = plan_sequential(&m, (1, 28, 28), 0.5);
+        let conv2_kept = match &plan.layers[3] {
+            LayerPlan::Conv { kept_out, .. } => kept_out.clone(),
+            other => panic!("layer 3 should be conv, got {other:?}"),
+        };
+        assert_eq!(conv2_kept.len(), 16);
+        match &plan.layers[7] {
+            LayerPlan::Linear { kept_in, .. } => {
+                assert_eq!(kept_in.len(), conv2_kept.len() * 49);
+                // First kept channel maps to features [c·49, (c+1)·49).
+                assert_eq!(kept_in[0], conv2_kept[0] * 49);
+                assert_eq!(kept_in[48], conv2_kept[0] * 49 + 48);
+            }
+            other => panic!("layer 7 should be linear, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batchnorm_mirrors_preceding_conv() {
+        let mut rng = seeded_rng(203);
+        let m = zoo::vgg_emnist(0.125, &mut rng);
+        let plan = plan_sequential(&m, (1, 28, 28), 0.5);
+        let conv_kept = match &plan.layers[0] {
+            LayerPlan::Conv { kept_out, .. } => kept_out.clone(),
+            other => panic!("expected conv, got {other:?}"),
+        };
+        match &plan.layers[1] {
+            LayerPlan::BatchNorm { kept } => assert_eq!(kept, &conv_kept),
+            other => panic!("expected bn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn residual_identity_block_pins_last_conv_to_input_set() {
+        let mut rng = seeded_rng(204);
+        let m = zoo::resnet_tiny(0.25, &mut rng);
+        let plan = plan_sequential(&m, (3, 64, 64), 0.5);
+        // Layer 0 is the stem conv; layer 4 is the first identity block.
+        let stem_kept = match &plan.layers[0] {
+            LayerPlan::Conv { kept_out, .. } => kept_out.clone(),
+            other => panic!("expected conv, got {other:?}"),
+        };
+        match &plan.layers[4] {
+            LayerPlan::Residual { body, shortcut } => {
+                assert!(shortcut.is_empty());
+                // Body: conv, bn, relu, conv, bn
+                match &body[0] {
+                    LayerPlan::Conv { kept_in, kept_out } => {
+                        assert_eq!(kept_in, &stem_kept);
+                        assert!(kept_out.len() < stem_kept.len().max(2) * 2); // pruned freely
+                    }
+                    other => panic!("expected conv, got {other:?}"),
+                }
+                match &body[3] {
+                    LayerPlan::Conv { kept_out, .. } => assert_eq!(kept_out, &stem_kept),
+                    other => panic!("expected conv, got {other:?}"),
+                }
+            }
+            other => panic!("expected residual, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn residual_projection_block_keeps_full_width() {
+        let mut rng = seeded_rng(205);
+        let m = zoo::resnet_tiny(0.25, &mut rng);
+        let plan = plan_sequential(&m, (3, 64, 64), 0.5);
+        // Layer 6 is the first downsampling (projection) block: 8→16 ch.
+        match &plan.layers[6] {
+            LayerPlan::Residual { body, shortcut } => {
+                let full = match &shortcut[0] {
+                    LayerPlan::Conv { kept_out, .. } => {
+                        // Projection keeps full width.
+                        kept_out.clone()
+                    }
+                    other => panic!("expected conv, got {other:?}"),
+                };
+                assert_eq!(full, (0..full.len()).collect::<Vec<_>>());
+                match &body[3] {
+                    LayerPlan::Conv { kept_out, .. } => assert_eq!(kept_out, &full),
+                    other => panic!("expected conv, got {other:?}"),
+                }
+            }
+            other => panic!("expected residual, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn higher_ratio_keeps_fewer_units_everywhere() {
+        let mut rng = seeded_rng(206);
+        let m = zoo::alexnet_cifar(0.125, &mut rng);
+        let lo = plan_sequential(&m, (3, 32, 32), 0.2);
+        let hi = plan_sequential(&m, (3, 32, 32), 0.7);
+        fn kept_counts(plans: &[LayerPlan], out: &mut Vec<usize>) {
+            for p in plans {
+                match p {
+                    LayerPlan::Conv { kept_out, .. } | LayerPlan::Linear { kept_out, .. } => {
+                        out.push(kept_out.len())
+                    }
+                    LayerPlan::Residual { body, shortcut } => {
+                        kept_counts(body, out);
+                        kept_counts(shortcut, out);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        kept_counts(&lo.layers, &mut a);
+        kept_counts(&hi.layers, &mut b);
+        assert_eq!(a.len(), b.len());
+        // Every prunable layer keeps at least as many units at the lower
+        // ratio; the head stays identical.
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!(x >= y);
+        }
+        assert!(a.iter().sum::<usize>() > b.iter().sum::<usize>());
+    }
+}

@@ -1,0 +1,180 @@
+//! Top-k gradient sparsification with error feedback — the compression
+//! substrate of the FlexCom baseline (Li et al., INFOCOM'21), which
+//! assigns *different* compression ratios to heterogeneous workers.
+
+use fedmp_nn::StateEntry;
+use serde::{Deserialize, Serialize};
+
+/// A sparsified model update: the `k` largest-magnitude coordinates of a
+/// flattened update vector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SparseUpdate {
+    /// Flat coordinates of the transmitted values.
+    pub indices: Vec<u32>,
+    /// Transmitted values.
+    pub values: Vec<f32>,
+    /// Length of the dense vector this sparsifies.
+    pub dense_len: usize,
+}
+
+impl SparseUpdate {
+    /// Wire size in bytes: 4-byte index + 4-byte value per coordinate.
+    pub fn wire_bytes(&self) -> u64 {
+        (self.indices.len() * 8) as u64
+    }
+
+    /// Densifies back to a full vector (zeros elsewhere).
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dense_len];
+        for (&i, &v) in self.indices.iter().zip(self.values.iter()) {
+            out[i as usize] = v;
+        }
+        out
+    }
+}
+
+/// Sparsifies `dense` to its `k` largest-magnitude coordinates.
+pub fn topk_sparsify(dense: &[f32], k: usize) -> SparseUpdate {
+    let k = k.min(dense.len());
+    let mut order: Vec<usize> = (0..dense.len()).collect();
+    order.sort_by(|&a, &b| {
+        dense[b].abs().partial_cmp(&dense[a].abs()).expect("finite update").then(a.cmp(&b))
+    });
+    let mut picks: Vec<usize> = order.into_iter().take(k).collect();
+    picks.sort_unstable();
+    SparseUpdate {
+        indices: picks.iter().map(|&i| i as u32).collect(),
+        values: picks.iter().map(|&i| dense[i]).collect(),
+        dense_len: dense.len(),
+    }
+}
+
+/// Per-worker top-k compressor with **error feedback**: coordinates not
+/// transmitted accumulate locally and are added to the next round's
+/// update, so nothing is permanently lost.
+#[derive(Debug, Clone)]
+pub struct TopKCompressor {
+    /// Fraction of coordinates transmitted per round, in (0, 1].
+    pub keep_fraction: f32,
+    error: Vec<f32>,
+}
+
+impl TopKCompressor {
+    /// A compressor keeping `keep_fraction` of coordinates per round.
+    pub fn new(keep_fraction: f32) -> Self {
+        assert!(keep_fraction > 0.0 && keep_fraction <= 1.0, "keep fraction must be in (0, 1]");
+        TopKCompressor { keep_fraction, error: Vec::new() }
+    }
+
+    /// Compresses a model update expressed as state entries. The
+    /// flattening order is the entry order, so both ends must use the
+    /// same snapshot layout.
+    pub fn compress(&mut self, update: &[StateEntry]) -> SparseUpdate {
+        let dense: Vec<f32> =
+            update.iter().flat_map(|e| e.tensor.data().iter().copied()).collect();
+        if self.error.len() != dense.len() {
+            self.error = vec![0.0; dense.len()];
+        }
+        let corrected: Vec<f32> =
+            dense.iter().zip(self.error.iter()).map(|(d, e)| d + e).collect();
+        let k = ((corrected.len() as f32 * self.keep_fraction).ceil() as usize).max(1);
+        let sparse = topk_sparsify(&corrected, k);
+        // Error feedback: remember what was left behind.
+        let sent = sparse.to_dense();
+        for ((e, &c), &s) in self.error.iter_mut().zip(corrected.iter()).zip(sent.iter()) {
+            *e = c - s;
+        }
+        sparse
+    }
+
+    /// Accumulated (untransmitted) error magnitude — for tests and
+    /// diagnostics.
+    pub fn error_l1(&self) -> f32 {
+        self.error.iter().map(|e| e.abs()).sum()
+    }
+}
+
+/// Reassembles a dense vector into state entries shaped like `template`.
+pub fn densify_into_state(dense: &[f32], template: &[StateEntry]) -> Vec<StateEntry> {
+    let total: usize = template.iter().map(|e| e.tensor.numel()).sum();
+    assert_eq!(dense.len(), total, "densify: length mismatch");
+    let mut out = Vec::with_capacity(template.len());
+    let mut off = 0usize;
+    for e in template {
+        let n = e.tensor.numel();
+        let t = fedmp_tensor::Tensor::from_vec(dense[off..off + n].to_vec(), e.tensor.dims())
+            .expect("densify: shape error");
+        out.push(StateEntry { name: e.name.clone(), tensor: t, trainable: e.trainable });
+        off += n;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedmp_tensor::Tensor;
+
+    fn entries(vals: &[f32]) -> Vec<StateEntry> {
+        vec![StateEntry::trainable("w", Tensor::from_vec(vals.to_vec(), &[vals.len()]).unwrap())]
+    }
+
+    #[test]
+    fn topk_picks_largest_magnitudes() {
+        let s = topk_sparsify(&[0.1, -5.0, 2.0, 0.0, 3.0], 2);
+        assert_eq!(s.indices, vec![1, 4]);
+        assert_eq!(s.values, vec![-5.0, 3.0]);
+        assert_eq!(s.to_dense(), vec![0.0, -5.0, 0.0, 0.0, 3.0]);
+        assert_eq!(s.wire_bytes(), 16);
+    }
+
+    #[test]
+    fn error_feedback_conserves_mass_exactly() {
+        // Error feedback's defining invariant: over any number of rounds,
+        // (total transmitted) + (residual error) == (total generated),
+        // coordinate by coordinate. Nothing is ever lost.
+        let mut comp = TopKCompressor::new(0.25);
+        let u = [1.0f32, 0.8, 0.6, 0.4];
+        let update = entries(&u);
+        let rounds = 16;
+        let mut received = vec![0.0f32; 4];
+        for _ in 0..rounds {
+            let s = comp.compress(&update);
+            for (r, v) in received.iter_mut().zip(s.to_dense().iter()) {
+                *r += v;
+            }
+        }
+        for (i, (&r, &ui)) in received.iter().zip(u.iter()).enumerate() {
+            let residual = comp.error[i];
+            let generated = rounds as f32 * ui;
+            assert!(
+                (r + residual - generated).abs() < 1e-4,
+                "coord {i}: sent {r} + residual {residual} != generated {generated}"
+            );
+        }
+        // And the dominant coordinate is transmitted most often.
+        assert!(received[0] >= received[3]);
+    }
+
+    #[test]
+    fn full_fraction_is_lossless() {
+        let mut comp = TopKCompressor::new(1.0);
+        let update = entries(&[0.5, -0.25, 0.0, 2.0]);
+        let s = comp.compress(&update);
+        assert_eq!(s.to_dense(), vec![0.5, -0.25, 0.0, 2.0]);
+        assert_eq!(comp.error_l1(), 0.0);
+    }
+
+    #[test]
+    fn densify_roundtrip() {
+        let template = vec![
+            StateEntry::trainable("a", Tensor::zeros(&[2, 2])),
+            StateEntry::tracked("b", Tensor::zeros(&[3])),
+        ];
+        let dense: Vec<f32> = (0..7).map(|i| i as f32).collect();
+        let state = densify_into_state(&dense, &template);
+        assert_eq!(state[0].tensor.dims(), &[2, 2]);
+        assert_eq!(state[1].tensor.data(), &[4.0, 5.0, 6.0]);
+        assert!(!state[1].trainable);
+    }
+}

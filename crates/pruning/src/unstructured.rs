@@ -1,0 +1,126 @@
+//! Unstructured (magnitude) pruning — the approach of Jiang et al.
+//! [15] that FedMP's §II-B argues against. Included as a comparator: it
+//! produces sparse masks rather than smaller dense models, so it reduces
+//! wire size but not dense-kernel compute.
+
+use fedmp_nn::StateEntry;
+use serde::{Deserialize, Serialize};
+
+/// A per-entry boolean keep-mask over a model snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeightMask {
+    /// One keep-flag vector per state entry (aligned by order).
+    pub keep: Vec<Vec<bool>>,
+}
+
+impl WeightMask {
+    /// Number of kept weights.
+    pub fn kept_count(&self) -> usize {
+        self.keep.iter().map(|v| v.iter().filter(|&&k| k).count()).sum()
+    }
+
+    /// Total number of weights.
+    pub fn total(&self) -> usize {
+        self.keep.iter().map(Vec::len).sum()
+    }
+}
+
+/// Builds a global-threshold magnitude mask keeping the largest
+/// `1 − sparsity` fraction of **trainable** weights (tracked statistics
+/// are always kept).
+pub fn magnitude_mask(state: &[StateEntry], sparsity: f32) -> WeightMask {
+    assert!((0.0..1.0).contains(&sparsity), "sparsity must be in [0, 1)");
+    // Global threshold over trainable weights.
+    let mut mags: Vec<f32> = state
+        .iter()
+        .filter(|e| e.trainable)
+        .flat_map(|e| e.tensor.data().iter().map(|v| v.abs()))
+        .collect();
+    if mags.is_empty() {
+        return WeightMask { keep: state.iter().map(|e| vec![true; e.tensor.numel()]).collect() };
+    }
+    mags.sort_by(|a, b| a.partial_cmp(b).expect("finite weights"));
+    let cut = ((mags.len() as f32) * sparsity) as usize;
+    let threshold = if cut == 0 { f32::NEG_INFINITY } else { mags[cut.min(mags.len() - 1)] };
+
+    let keep = state
+        .iter()
+        .map(|e| {
+            if e.trainable {
+                e.tensor.data().iter().map(|v| v.abs() >= threshold).collect()
+            } else {
+                vec![true; e.tensor.numel()]
+            }
+        })
+        .collect();
+    WeightMask { keep }
+}
+
+/// Zeroes masked-out weights in place.
+pub fn apply_mask(state: &mut [StateEntry], mask: &WeightMask) {
+    assert_eq!(state.len(), mask.keep.len(), "mask entry count mismatch");
+    for (e, keep) in state.iter_mut().zip(mask.keep.iter()) {
+        assert_eq!(e.tensor.numel(), keep.len(), "mask length mismatch for {}", e.name);
+        for (v, &k) in e.tensor.data_mut().iter_mut().zip(keep.iter()) {
+            if !k {
+                *v = 0.0;
+            }
+        }
+    }
+}
+
+/// Fraction of weights kept by the mask.
+pub fn mask_density(mask: &WeightMask) -> f32 {
+    mask.kept_count() as f32 / mask.total().max(1) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedmp_tensor::Tensor;
+
+    fn state() -> Vec<StateEntry> {
+        vec![
+            StateEntry::trainable(
+                "w",
+                Tensor::from_vec(vec![0.1, -0.9, 0.5, -0.2, 0.7, 0.05], &[6]).unwrap(),
+            ),
+            StateEntry::tracked("rv", Tensor::from_vec(vec![0.01, 0.02], &[2]).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn mask_keeps_requested_density() {
+        let s = state();
+        let mask = magnitude_mask(&s, 0.5);
+        // 3 of 6 trainable weights kept (+2 tracked always kept).
+        let kept_trainable = mask.keep[0].iter().filter(|&&k| k).count();
+        assert_eq!(kept_trainable, 3);
+        assert!(mask.keep[1].iter().all(|&k| k));
+        assert!((mask_density(&mask) - 5.0 / 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mask_keeps_largest_magnitudes() {
+        let s = state();
+        let mask = magnitude_mask(&s, 0.5);
+        // Largest three: -0.9, 0.7, 0.5
+        assert_eq!(mask.keep[0], vec![false, true, true, false, true, false]);
+    }
+
+    #[test]
+    fn apply_zeroes_masked_weights() {
+        let mut s = state();
+        let mask = magnitude_mask(&s, 0.5);
+        apply_mask(&mut s, &mask);
+        assert_eq!(s[0].tensor.data(), &[0.0, -0.9, 0.5, 0.0, 0.7, 0.0]);
+        assert_eq!(s[1].tensor.data(), &[0.01, 0.02]);
+    }
+
+    #[test]
+    fn zero_sparsity_keeps_everything() {
+        let s = state();
+        let mask = magnitude_mask(&s, 0.0);
+        assert_eq!(mask.kept_count(), mask.total());
+    }
+}

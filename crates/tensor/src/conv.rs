@@ -1,0 +1,349 @@
+//! 2-D convolution via im2col/col2im.
+//!
+//! Layouts follow the usual deep-learning convention:
+//! * activations: `[batch, channels, height, width]` (NCHW)
+//! * filters: `[out_channels, in_channels, kh, kw]`
+//!
+//! The im2col transform turns convolution into one GEMM per image, which
+//! keeps the hot loop inside [`Tensor::matmul`]. The same column buffer is
+//! reused by the backward passes.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Static geometry of a conv2d: kernel size, stride and zero padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Conv2dSpec {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Output spatial size for an input of `h × w`.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding - self.kh) / self.stride + 1;
+        let ow = (w + 2 * self.padding - self.kw) / self.stride + 1;
+        (oh, ow)
+    }
+}
+
+/// Unfolds one image `[c, h, w]` into columns `[c*kh*kw, oh*ow]`.
+///
+/// Out-of-bounds taps (from padding) contribute zeros.
+pub fn im2col(image: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec) -> Tensor {
+    let (oh, ow) = spec.out_hw(h, w);
+    let col_rows = c * spec.kh * spec.kw;
+    let col_cols = oh * ow;
+    let mut cols = Tensor::zeros(&[col_rows, col_cols]);
+    let data = cols.data_mut();
+
+    for ch in 0..c {
+        let img_ch = &image[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..spec.kh {
+            for kx in 0..spec.kw {
+                let row = (ch * spec.kh + ky) * spec.kw + kx;
+                let out_row = &mut data[row * col_cols..(row + 1) * col_cols];
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out_row[oy * ow + ox] = img_ch[iy * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// Folds columns `[c*kh*kw, oh*ow]` back into an image `[c, h, w]`,
+/// accumulating overlapping taps — the adjoint of [`im2col`].
+pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: &Conv2dSpec) -> Vec<f32> {
+    let (oh, ow) = spec.out_hw(h, w);
+    let col_cols = oh * ow;
+    let data = cols.data();
+    let mut image = vec![0.0f32; c * h * w];
+
+    for ch in 0..c {
+        let img_ch = &mut image[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..spec.kh {
+            for kx in 0..spec.kw {
+                let row = (ch * spec.kh + ky) * spec.kw + kx;
+                let col_row = &data[row * col_cols..(row + 1) * col_cols];
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        img_ch[iy * w + ix as usize] += col_row[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    image
+}
+
+/// Convolution forward pass.
+///
+/// * `input` — `[n, c, h, w]`
+/// * `weight` — `[oc, c, kh, kw]`
+/// * `bias` — `[oc]`
+///
+/// Returns `[n, oc, oh, ow]`.
+pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &Conv2dSpec) -> Tensor {
+    let (n, c, h, w) = nchw(input);
+    let oc = weight.dims()[0];
+    assert_eq!(weight.dims()[1], c, "conv2d: weight in-channels mismatch");
+    assert_eq!(weight.dims()[2], spec.kh);
+    assert_eq!(weight.dims()[3], spec.kw);
+    assert_eq!(bias.numel(), oc, "conv2d: bias length mismatch");
+    let (oh, ow) = spec.out_hw(h, w);
+
+    let w_mat = weight.reshape(&[oc, c * spec.kh * spec.kw]);
+    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+    let out_img = oc * oh * ow;
+    for i in 0..n {
+        let cols = im2col(&input.data()[i * c * h * w..(i + 1) * c * h * w], c, h, w, spec);
+        let res = w_mat.matmul(&cols); // [oc, oh*ow]
+        let dst = &mut out.data_mut()[i * out_img..(i + 1) * out_img];
+        for f in 0..oc {
+            let b = bias.data()[f];
+            let src = &res.data()[f * oh * ow..(f + 1) * oh * ow];
+            let d = &mut dst[f * oh * ow..(f + 1) * oh * ow];
+            for (dv, &sv) in d.iter_mut().zip(src.iter()) {
+                *dv = sv + b;
+            }
+        }
+    }
+    out
+}
+
+/// Gradient of the loss with respect to the convolution input.
+///
+/// * `grad_out` — `[n, oc, oh, ow]`
+///
+/// Returns `[n, c, h, w]`.
+pub fn conv2d_backward_input(
+    grad_out: &Tensor,
+    weight: &Tensor,
+    input_dims: &[usize],
+    spec: &Conv2dSpec,
+) -> Tensor {
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let oc = weight.dims()[0];
+    let (oh, ow) = spec.out_hw(h, w);
+    assert_eq!(grad_out.dims(), &[n, oc, oh, ow], "conv2d bwd: grad_out shape");
+
+    let w_mat = weight.reshape(&[oc, c * spec.kh * spec.kw]);
+    let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+    for i in 0..n {
+        let go =
+            Tensor::from_vec(grad_out.data()[i * oc * oh * ow..(i + 1) * oc * oh * ow].to_vec(), &[oc, oh * ow])
+                .expect("grad slice");
+        let cols_grad = w_mat.matmul_tn(&go); // [c*kh*kw, oh*ow]
+        let img = col2im(&cols_grad, c, h, w, spec);
+        grad_in.data_mut()[i * c * h * w..(i + 1) * c * h * w].copy_from_slice(&img);
+    }
+    grad_in
+}
+
+/// Gradients of the loss with respect to the filters and bias.
+///
+/// Returns `(grad_weight [oc, c, kh, kw], grad_bias [oc])`, summed over the
+/// batch.
+pub fn conv2d_backward_weight(
+    grad_out: &Tensor,
+    input: &Tensor,
+    weight_dims: &[usize],
+    spec: &Conv2dSpec,
+) -> (Tensor, Tensor) {
+    let (n, c, h, w) = nchw(input);
+    let oc = weight_dims[0];
+    let (oh, ow) = spec.out_hw(h, w);
+    assert_eq!(grad_out.dims(), &[n, oc, oh, ow], "conv2d bwd: grad_out shape");
+
+    let mut gw = Tensor::zeros(&[oc, c * spec.kh * spec.kw]);
+    let mut gb = Tensor::zeros(&[oc]);
+    for i in 0..n {
+        let cols = im2col(&input.data()[i * c * h * w..(i + 1) * c * h * w], c, h, w, spec);
+        let go =
+            Tensor::from_vec(grad_out.data()[i * oc * oh * ow..(i + 1) * oc * oh * ow].to_vec(), &[oc, oh * ow])
+                .expect("grad slice");
+        gw.add_assign(&go.matmul_nt(&cols));
+        for f in 0..oc {
+            gb.data_mut()[f] += go.row(f).iter().sum::<f32>();
+        }
+    }
+    (gw.reshape(weight_dims), gb)
+}
+
+fn nchw(t: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(t.shape().rank(), 4, "expected an NCHW tensor, got {}", t.shape());
+    let d = t.dims();
+    (d[0], d[1], d[2], d[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    fn naive_conv(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: &Tensor,
+        spec: &Conv2dSpec,
+    ) -> Tensor {
+        let (n, c, h, w) = nchw(input);
+        let oc = weight.dims()[0];
+        let (oh, ow) = spec.out_hw(h, w);
+        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+        for i in 0..n {
+            for f in 0..oc {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias.data()[f];
+                        for ch in 0..c {
+                            for ky in 0..spec.kh {
+                                for kx in 0..spec.kw {
+                                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                    let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                        continue;
+                                    }
+                                    acc += input.at(&[i, ch, iy as usize, ix as usize])
+                                        * weight.at(&[f, ch, ky, kx]);
+                                }
+                            }
+                        }
+                        out.set(&[i, f, oy, ox], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn forward_matches_naive_no_padding() {
+        let mut rng = seeded_rng(11);
+        let spec = Conv2dSpec { kh: 3, kw: 3, stride: 1, padding: 0 };
+        let input = Tensor::randn(&[2, 3, 6, 6], &mut rng);
+        let weight = Tensor::randn(&[4, 3, 3, 3], &mut rng);
+        let bias = Tensor::randn(&[4], &mut rng);
+        assert_close(
+            &conv2d_forward(&input, &weight, &bias, &spec),
+            &naive_conv(&input, &weight, &bias, &spec),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn forward_matches_naive_padded_strided() {
+        let mut rng = seeded_rng(12);
+        let spec = Conv2dSpec { kh: 5, kw: 5, stride: 2, padding: 2 };
+        let input = Tensor::randn(&[1, 2, 9, 9], &mut rng);
+        let weight = Tensor::randn(&[3, 2, 5, 5], &mut rng);
+        let bias = Tensor::zeros(&[3]);
+        assert_close(
+            &conv2d_forward(&input, &weight, &bias, &spec),
+            &naive_conv(&input, &weight, &bias, &spec),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn out_hw_formula() {
+        let spec = Conv2dSpec { kh: 5, kw: 5, stride: 1, padding: 2 };
+        assert_eq!(spec.out_hw(28, 28), (28, 28));
+        let spec2 = Conv2dSpec { kh: 2, kw: 2, stride: 2, padding: 0 };
+        assert_eq!(spec2.out_hw(28, 28), (14, 14));
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property the backward pass relies on.
+        let mut rng = seeded_rng(13);
+        let spec = Conv2dSpec { kh: 3, kw: 3, stride: 2, padding: 1 };
+        let (c, h, w) = (2, 5, 5);
+        let (oh, ow) = spec.out_hw(h, w);
+        let x = Tensor::randn(&[c, h, w], &mut rng);
+        let y = Tensor::randn(&[c * 9, oh * ow], &mut rng);
+        let cols = im2col(x.data(), c, h, w, &spec);
+        let lhs: f32 = cols.data().iter().zip(y.data().iter()).map(|(a, b)| a * b).sum();
+        let folded = col2im(&y, c, h, w, &spec);
+        let rhs: f32 = x.data().iter().zip(folded.iter()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = seeded_rng(14);
+        let spec = Conv2dSpec { kh: 3, kw: 3, stride: 1, padding: 1 };
+        let input = Tensor::randn(&[1, 2, 4, 4], &mut rng);
+        let weight = Tensor::randn(&[2, 2, 3, 3], &mut rng).scale(0.5);
+        let bias = Tensor::randn(&[2], &mut rng);
+
+        // Scalar loss = sum of outputs; so grad_out = ones.
+        let out = conv2d_forward(&input, &weight, &bias, &spec);
+        let grad_out = Tensor::ones(out.dims());
+        let gi = conv2d_backward_input(&grad_out, &weight, input.dims(), &spec);
+        let (gw, gb) = conv2d_backward_weight(&grad_out, &input, weight.dims(), &spec);
+
+        let eps = 1e-2f32;
+        let loss = |inp: &Tensor, wt: &Tensor, b: &Tensor| conv2d_forward(inp, wt, b, &spec).sum();
+
+        for idx in [0usize, 7, 15, 31] {
+            let mut ip = input.clone();
+            ip.data_mut()[idx] += eps;
+            let mut im = input.clone();
+            im.data_mut()[idx] -= eps;
+            let num = (loss(&ip, &weight, &bias) - loss(&im, &weight, &bias)) / (2.0 * eps);
+            assert!((num - gi.data()[idx]).abs() < 0.05, "input grad {idx}: {num} vs {}", gi.data()[idx]);
+        }
+        for idx in [0usize, 9, 17, 35] {
+            let mut wp = weight.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = weight.clone();
+            wm.data_mut()[idx] -= eps;
+            let num = (loss(&input, &wp, &bias) - loss(&input, &wm, &bias)) / (2.0 * eps);
+            assert!((num - gw.data()[idx]).abs() < 0.05, "weight grad {idx}: {num} vs {}", gw.data()[idx]);
+        }
+        for idx in 0..2 {
+            let mut bp = bias.clone();
+            bp.data_mut()[idx] += eps;
+            let mut bm = bias.clone();
+            bm.data_mut()[idx] -= eps;
+            let num = (loss(&input, &weight, &bp) - loss(&input, &weight, &bm)) / (2.0 * eps);
+            assert!((num - gb.data()[idx]).abs() < 0.1, "bias grad {idx}: {num} vs {}", gb.data()[idx]);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for fallible tensor construction.
+
+use std::fmt;
+
+/// Errors returned by fallible tensor constructors.
+///
+/// In-library shape mismatches (e.g. adding a `[2, 3]` tensor to a
+/// `[3, 2]` tensor) are programming errors and panic instead; this type
+/// only covers the boundary where external data enters the library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided buffer length does not match the product of the
+    /// requested dimensions.
+    LengthMismatch {
+        /// Number of elements supplied.
+        got: usize,
+        /// Number of elements the shape requires.
+        expected: usize,
+    },
+    /// A shape with zero dimensions or a zero-sized axis was requested
+    /// where it is not meaningful.
+    EmptyShape,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { got, expected } => write!(
+                f,
+                "buffer length {got} does not match shape volume {expected}"
+            ),
+            TensorError::EmptyShape => write!(f, "tensor shape must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch { got: 3, expected: 4 };
+        assert_eq!(e.to_string(), "buffer length 3 does not match shape volume 4");
+    }
+
+    #[test]
+    fn display_empty_shape() {
+        assert_eq!(TensorError::EmptyShape.to_string(), "tensor shape must be non-empty");
+    }
+}

@@ -1,0 +1,163 @@
+//! Matrix multiplication kernels.
+//!
+//! The training stack only needs rank-2 GEMM in three transpose
+//! configurations (forward pass, weight gradient, input gradient). The
+//! kernels below use the i-k-j loop order so the inner loop streams both
+//! operands — fast enough for the scaled model zoo without bringing in a
+//! BLAS dependency.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// `self @ other` for rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// # Panics
+    /// Panics if either operand is not rank-2 or the inner dimensions
+    /// disagree.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "matmul lhs must be rank-2");
+        assert_eq!(other.shape().rank(), 2, "matmul rhs must be rank-2");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+
+        let a = self.data();
+        let b = other.data();
+        let mut out = Tensor::zeros(&[m, n]);
+        let c = out.data_mut();
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c_ij += a_ip * b_pj;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ otherᵀ`: `[m, k] x [n, k] -> [m, n]` without materialising
+    /// the transpose. This is the input-gradient GEMM of a linear layer.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "matmul_nt lhs must be rank-2");
+        assert_eq!(other.shape().rank(), 2, "matmul_nt rhs must be rank-2");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul_nt inner dimension mismatch: {k} vs {k2}");
+
+        let a = self.data();
+        let b = other.data();
+        let mut out = Tensor::zeros(&[m, n]);
+        let c = out.data_mut();
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                    acc += x * y;
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ @ other`: `[k, m] x [k, n] -> [m, n]` without materialising
+    /// the transpose. This is the weight-gradient GEMM of a linear layer.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "matmul_tn lhs must be rank-2");
+        assert_eq!(other.shape().rank(), 2, "matmul_tn rhs must be rank-2");
+        let (k, m) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul_tn inner dimension mismatch: {k} vs {k2}");
+
+        let a = self.data();
+        let b = other.data();
+        let mut out = Tensor::zeros(&[m, n]);
+        let c = out.data_mut();
+        for p in 0..k {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (i, &a_pi) in a_row.iter().enumerate() {
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c_ij += a_pi * b_pj;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = seeded_rng(5);
+        let a = Tensor::randn(&[4, 4], &mut rng);
+        assert_close(&a.matmul(&Tensor::eye(4)), &a, 1e-6);
+        assert_close(&Tensor::eye(4).matmul(&a), &a, 1e-6);
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let mut rng = seeded_rng(6);
+        let a = Tensor::randn(&[3, 5], &mut rng);
+        let b = Tensor::randn(&[4, 5], &mut rng);
+        assert_close(&a.matmul_nt(&b), &a.matmul(&b.transpose()), 1e-5);
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let mut rng = seeded_rng(7);
+        let a = Tensor::randn(&[5, 3], &mut rng);
+        let b = Tensor::randn(&[5, 4], &mut rng);
+        assert_close(&a.matmul_tn(&b), &a.transpose().matmul(&b), 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn associativity_with_identity_chain() {
+        let mut rng = seeded_rng(8);
+        let a = Tensor::randn(&[2, 6], &mut rng);
+        let b = Tensor::randn(&[6, 3], &mut rng);
+        let c = Tensor::randn(&[3, 4], &mut rng);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        assert_close(&left, &right, 1e-4);
+    }
+}

@@ -1,0 +1,173 @@
+//! Softmax and cross-entropy, the loss head shared by every classifier in
+//! the model zoo (and, via perplexity, the LSTM language model).
+
+use crate::tensor::Tensor;
+
+/// Row-wise softmax of a `[batch, classes]` tensor, computed with the
+/// max-subtraction trick for numerical stability.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().rank(), 2, "softmax_rows requires rank-2 logits");
+    let (rows, cols) = (logits.dims()[0], logits.dims()[1]);
+    let mut out = Tensor::zeros(&[rows, cols]);
+    for r in 0..rows {
+        let src = logits.row(r);
+        let m = src.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let dst = out.row_mut(r);
+        let mut sum = 0.0f32;
+        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+            let e = (s - m).exp();
+            *d = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for d in dst.iter_mut() {
+            *d *= inv;
+        }
+    }
+    out
+}
+
+/// Row-wise log-softmax.
+pub fn log_softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().rank(), 2, "log_softmax_rows requires rank-2 logits");
+    let (rows, cols) = (logits.dims()[0], logits.dims()[1]);
+    let mut out = Tensor::zeros(&[rows, cols]);
+    for r in 0..rows {
+        let src = logits.row(r);
+        let m = src.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = src.iter().map(|&s| (s - m).exp()).sum::<f32>().ln() + m;
+        for (d, &s) in out.row_mut(r).iter_mut().zip(src.iter()) {
+            *d = s - lse;
+        }
+    }
+    out
+}
+
+/// Result of a fused softmax-cross-entropy evaluation.
+#[derive(Debug, Clone)]
+pub struct CrossEntropyOutput {
+    /// Mean negative log-likelihood over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss with respect to the logits:
+    /// `(softmax - onehot) / batch`.
+    pub grad_logits: Tensor,
+    /// Number of rows whose argmax equals the label.
+    pub correct: usize,
+}
+
+/// Fused softmax + cross-entropy with labels, returning loss, logit
+/// gradient and correct-prediction count in one pass.
+///
+/// # Panics
+/// Panics if `labels.len()` differs from the batch size or any label is
+/// out of range.
+pub fn cross_entropy_loss(logits: &Tensor, labels: &[usize]) -> CrossEntropyOutput {
+    assert_eq!(logits.shape().rank(), 2, "cross_entropy requires rank-2 logits");
+    let (rows, cols) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), rows, "cross_entropy: label count mismatch");
+
+    let probs = softmax_rows(logits);
+    let mut grad = probs.clone();
+    let inv_batch = 1.0 / rows as f32;
+    let mut loss = 0.0f32;
+    let mut correct = 0usize;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < cols, "label {label} out of range for {cols} classes");
+        let p = probs.row(r)[label].max(1e-12);
+        loss -= p.ln();
+        let row = grad.row_mut(r);
+        row[label] -= 1.0;
+        for g in row.iter_mut() {
+            *g *= inv_batch;
+        }
+        let pred = probs
+            .row(r)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+            .map(|(i, _)| i)
+            .expect("non-empty row");
+        if pred == label {
+            correct += 1;
+        }
+    }
+    CrossEntropyOutput { loss: loss * inv_batch, grad_logits: grad, correct }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = seeded_rng(30);
+        let logits = Tensor::randn(&[8, 10], &mut rng).scale(3.0);
+        let p = softmax_rows(&logits);
+        for r in 0..8 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(p.row(r).iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_huge_logits() {
+        let logits = Tensor::from_vec(vec![1000.0, 1001.0, 999.0], &[1, 3]).unwrap();
+        let p = softmax_rows(&logits);
+        assert!(p.all_finite());
+        assert!((p.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let mut rng = seeded_rng(31);
+        let logits = Tensor::randn(&[4, 6], &mut rng);
+        let p = softmax_rows(&logits);
+        let lp = log_softmax_rows(&logits);
+        for (a, b) in p.data().iter().zip(lp.data().iter()) {
+            assert!((a.ln() - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let out = cross_entropy_loss(&logits, &[0, 3]);
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(32);
+        let logits = Tensor::randn(&[3, 5], &mut rng);
+        let labels = vec![1usize, 4, 0];
+        let out = cross_entropy_loss(&logits, &labels);
+        let eps = 1e-3f32;
+        for idx in 0..15 {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let num = (cross_entropy_loss(&lp, &labels).loss - cross_entropy_loss(&lm, &labels).loss)
+                / (2.0 * eps);
+            let ana = out.grad_logits.data()[idx];
+            assert!((num - ana).abs() < 1e-3, "idx {idx}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn accuracy_counting() {
+        let logits =
+            Tensor::from_vec(vec![2.0, 0.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0, 1.0], &[3, 3]).unwrap();
+        let out = cross_entropy_loss(&logits, &[0, 1, 0]);
+        assert_eq!(out.correct, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let logits = Tensor::zeros(&[1, 3]);
+        let _ = cross_entropy_loss(&logits, &[3]);
+    }
+}

@@ -1,0 +1,221 @@
+//! 2-D max and average pooling with backward passes.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pool2dSpec {
+    /// Window height.
+    pub kh: usize,
+    /// Window width.
+    pub kw: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+}
+
+impl Pool2dSpec {
+    /// A square window with stride equal to its size (the common case).
+    pub fn square(k: usize) -> Self {
+        Pool2dSpec { kh: k, kw: k, stride: k }
+    }
+
+    /// Output spatial size for an `h × w` input.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        ((h - self.kh) / self.stride + 1, (w - self.kw) / self.stride + 1)
+    }
+}
+
+/// Max-pool forward. Returns the pooled tensor and the argmax indices
+/// (flat offsets into the input) needed by the backward pass.
+pub fn max_pool2d_forward(input: &Tensor, spec: &Pool2dSpec) -> (Tensor, Vec<usize>) {
+    let d = input.dims();
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let (oh, ow) = spec.out_hw(h, w);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let src = input.data();
+    let dst = out.data_mut();
+
+    let mut o = 0usize;
+    for i in 0..n {
+        for ch in 0..c {
+            let base = (i * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..spec.kh {
+                        let iy = oy * spec.stride + ky;
+                        for kx in 0..spec.kw {
+                            let ix = ox * spec.stride + kx;
+                            let idx = base + iy * w + ix;
+                            if src[idx] > best {
+                                best = src[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    dst[o] = best;
+                    argmax[o] = best_idx;
+                    o += 1;
+                }
+            }
+        }
+    }
+    (out, argmax)
+}
+
+/// Max-pool backward: routes each output gradient to its argmax input.
+pub fn max_pool2d_backward(grad_out: &Tensor, argmax: &[usize], input_dims: &[usize]) -> Tensor {
+    assert_eq!(grad_out.numel(), argmax.len(), "max-pool backward: argmax length");
+    let mut grad_in = Tensor::zeros(input_dims);
+    let gi = grad_in.data_mut();
+    for (&g, &idx) in grad_out.data().iter().zip(argmax.iter()) {
+        gi[idx] += g;
+    }
+    grad_in
+}
+
+/// Average-pool forward.
+pub fn avg_pool2d_forward(input: &Tensor, spec: &Pool2dSpec) -> Tensor {
+    let d = input.dims();
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let (oh, ow) = spec.out_hw(h, w);
+    let inv = 1.0 / (spec.kh * spec.kw) as f32;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let src = input.data();
+    let dst = out.data_mut();
+
+    let mut o = 0usize;
+    for i in 0..n {
+        for ch in 0..c {
+            let base = (i * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ky in 0..spec.kh {
+                        let iy = oy * spec.stride + ky;
+                        for kx in 0..spec.kw {
+                            acc += src[base + iy * w + ox * spec.stride + kx];
+                        }
+                    }
+                    dst[o] = acc * inv;
+                    o += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Average-pool backward: spreads each output gradient uniformly over its
+/// window.
+pub fn avg_pool2d_backward(grad_out: &Tensor, input_dims: &[usize], spec: &Pool2dSpec) -> Tensor {
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let (oh, ow) = spec.out_hw(h, w);
+    assert_eq!(grad_out.dims(), &[n, c, oh, ow], "avg-pool backward: grad shape");
+    let inv = 1.0 / (spec.kh * spec.kw) as f32;
+    let mut grad_in = Tensor::zeros(input_dims);
+    let gi = grad_in.data_mut();
+    let go = grad_out.data();
+
+    let mut o = 0usize;
+    for i in 0..n {
+        for ch in 0..c {
+            let base = (i * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = go[o] * inv;
+                    o += 1;
+                    for ky in 0..spec.kh {
+                        let iy = oy * spec.stride + ky;
+                        for kx in 0..spec.kw {
+                            gi[base + iy * w + ox * spec.stride + kx] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    grad_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn max_pool_known_values() {
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let (out, argmax) = max_pool2d_forward(&input, &Pool2dSpec::square(2));
+        assert_eq!(out.data(), &[6.0, 8.0, 14.0, 16.0]);
+        assert_eq!(argmax, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let input = Tensor::from_vec(vec![1.0, 2.0, 4.0, 3.0], &[1, 1, 2, 2]).unwrap();
+        let spec = Pool2dSpec::square(2);
+        let (_, argmax) = max_pool2d_forward(&input, &spec);
+        let grad_out = Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap();
+        let gi = max_pool2d_backward(&grad_out, &argmax, input.dims());
+        assert_eq!(gi.data(), &[0.0, 0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_pool_known_values() {
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let out = avg_pool2d_forward(&input, &Pool2dSpec::square(2));
+        assert_eq!(out.data(), &[2.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads_uniformly() {
+        let grad_out = Tensor::from_vec(vec![8.0], &[1, 1, 1, 1]).unwrap();
+        let gi = avg_pool2d_backward(&grad_out, &[1, 1, 2, 2], &Pool2dSpec::square(2));
+        assert_eq!(gi.data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn pooling_preserves_batch_and_channel_structure() {
+        let mut rng = seeded_rng(20);
+        let input = Tensor::randn(&[3, 4, 8, 8], &mut rng);
+        let spec = Pool2dSpec::square(2);
+        let (out, _) = max_pool2d_forward(&input, &spec);
+        assert_eq!(out.dims(), &[3, 4, 4, 4]);
+        // Channel 2 of image 1 must only depend on channel 2 of image 1.
+        let mut input2 = input.clone();
+        // Perturb a different channel; pooled output for [1,2,..] unchanged.
+        for v in &mut input2.data_mut()[(0 * 4 + 1) * 64..(0 * 4 + 2) * 64] {
+            *v += 100.0;
+        }
+        let (out2, _) = max_pool2d_forward(&input2, &spec);
+        let off = (1 * 4 + 2) * 16;
+        assert_eq!(&out.data()[off..off + 16], &out2.data()[off..off + 16]);
+    }
+
+    #[test]
+    fn avg_pool_grad_matches_finite_difference() {
+        let mut rng = seeded_rng(21);
+        let input = Tensor::randn(&[1, 1, 4, 4], &mut rng);
+        let spec = Pool2dSpec::square(2);
+        let grad_out = Tensor::ones(&[1, 1, 2, 2]);
+        let gi = avg_pool2d_backward(&grad_out, input.dims(), &spec);
+        let eps = 1e-3f32;
+        for idx in 0..16 {
+            let mut ip = input.clone();
+            ip.data_mut()[idx] += eps;
+            let mut im = input.clone();
+            im.data_mut()[idx] -= eps;
+            let num = (avg_pool2d_forward(&ip, &spec).sum() - avg_pool2d_forward(&im, &spec).sum())
+                / (2.0 * eps);
+            assert!((num - gi.data()[idx]).abs() < 1e-2);
+        }
+    }
+}

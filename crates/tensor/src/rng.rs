@@ -1,0 +1,92 @@
+//! Seeded randomness helpers.
+//!
+//! Every stochastic component in the repository (weight init, data
+//! synthesis, SGD shuffling, bandit arm sampling, simulator jitter) draws
+//! from a seeded [`StdRng`] so experiments are bit-reproducible. The
+//! `rand` crate ships no normal distribution by itself, so we implement
+//! Box–Muller here rather than add a dependency.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a 64-bit seed.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// One sample from `N(mean, std²)` via the Box–Muller transform.
+pub fn normal(mean: f32, std: f32, rng: &mut StdRng) -> f32 {
+    // Draw u1 in (0, 1] to avoid ln(0).
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    let mag = (-2.0 * u1.ln()).sqrt();
+    mean + std * mag * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// `n` i.i.d. samples from the standard normal distribution.
+pub fn standard_normal_vec(n: usize, rng: &mut StdRng) -> Vec<f32> {
+    (0..n).map(|_| normal(0.0, 1.0, rng)).collect()
+}
+
+/// `n` i.i.d. samples from `U[lo, hi)`.
+pub fn uniform_vec(n: usize, lo: f32, hi: f32, rng: &mut StdRng) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// A Fisher–Yates-shuffled permutation of `0..n`.
+pub fn shuffled_indices(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let a = standard_normal_vec(16, &mut seeded_rng(42));
+        let b = standard_normal_vec(16, &mut seeded_rng(42));
+        assert_eq!(a, b);
+        let c = standard_normal_vec(16, &mut seeded_rng(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = seeded_rng(1);
+        let xs = standard_normal_vec(20_000, &mut rng);
+        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / xs.len() as f32;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = seeded_rng(2);
+        for x in uniform_vec(1000, -1.5, 2.5, &mut rng) {
+            assert!((-1.5..2.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = seeded_rng(3);
+        let mut p = shuffled_indices(100, &mut rng);
+        p.sort_unstable();
+        assert_eq!(p, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn normal_values_finite() {
+        let mut rng = seeded_rng(4);
+        for _ in 0..10_000 {
+            assert!(normal(0.0, 1.0, &mut rng).is_finite());
+        }
+    }
+}

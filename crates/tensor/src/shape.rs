@@ -1,0 +1,142 @@
+//! Shape bookkeeping: dimensions, volumes and row-major strides.
+
+use serde::{Deserialize, Serialize};
+
+/// The shape of a tensor: an ordered list of dimension sizes.
+///
+/// Shapes are immutable once created; reshaping a tensor produces a new
+/// `Shape`. The empty shape is disallowed — scalars are `[1]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a dimension list.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "tensor shape must have at least one dimension");
+        Shape(dims.to_vec())
+    }
+
+    /// The dimension sizes.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions (rank).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Size of dimension `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rank()`.
+    #[inline]
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Linear (row-major) offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the index rank or any coordinate is out
+    /// of range.
+    #[inline]
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for (i, (&idx, &dim)) in index.iter().zip(self.0.iter()).enumerate().rev() {
+            debug_assert!(idx < dim, "index {idx} out of range for dim {i} of size {dim}");
+            off += idx * stride;
+            stride *= dim;
+            let _ = i;
+        }
+        off
+    }
+
+    /// Whether two shapes are compatible for elementwise binary ops
+    /// (exact equality — this library does not broadcast implicitly).
+    #[inline]
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dim(1), 3);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        let s1 = Shape::new(&[5]);
+        assert_eq!(s1.strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+        assert_eq!(s.offset(&[1, 0, 1]), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_shape_panics() {
+        let _ = Shape::new(&[]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2, 3]");
+    }
+}

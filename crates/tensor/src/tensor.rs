@@ -1,0 +1,472 @@
+//! The dense tensor type and its elementwise / reduction operations.
+
+use crate::error::TensorError;
+use crate::rng::{standard_normal_vec, uniform_vec};
+use crate::shape::Shape;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// This is deliberately minimal: no views, no broadcasting, no lazy
+/// evaluation. Every operation either consumes slices directly or produces
+/// a fresh tensor. The simplicity keeps the pruning code (which rebuilds
+/// weight tensors with rows/columns removed) easy to audit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    /// A tensor of ones with the given shape.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Tensor { shape, data: vec![value; n] }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Builds a tensor from a flat buffer, checking the length.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
+        if dims.is_empty() {
+            return Err(TensorError::EmptyShape);
+        }
+        let shape = Shape::new(dims);
+        if data.len() != shape.numel() {
+            return Err(TensorError::LengthMismatch { got: data.len(), expected: shape.numel() });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Samples each element from `N(0, 1)` using the supplied RNG.
+    pub fn randn(dims: &[usize], rng: &mut StdRng) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Tensor { shape, data: standard_normal_vec(n, rng) }
+    }
+
+    /// Samples each element uniformly from `[lo, hi)`.
+    pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut StdRng) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Tensor { shape, data: uniform_vec(n, lo, hi, rng) }
+    }
+
+    /// Kaiming/He-normal initialisation: `N(0, sqrt(2 / fan_in))`.
+    ///
+    /// `fan_in` is the number of input connections of the unit this weight
+    /// feeds (e.g. `in_channels * kh * kw` for a conv filter).
+    pub fn kaiming(dims: &[usize], fan_in: usize, rng: &mut StdRng) -> Self {
+        let std = (2.0 / fan_in.max(1) as f32).sqrt();
+        let mut t = Self::randn(dims, rng);
+        t.scale_in_place(std);
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimension sizes.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only view of the underlying buffer (row-major).
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer (row-major).
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    #[inline]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    #[inline]
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    #[inline]
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Returns a tensor with the same data but a new shape of equal volume.
+    ///
+    /// # Panics
+    /// Panics if the volumes differ.
+    pub fn reshape(&self, dims: &[usize]) -> Tensor {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            shape.numel(),
+            self.numel(),
+            "reshape volume mismatch: {} -> {}",
+            self.shape,
+            shape
+        );
+        Tensor { shape, data: self.data.clone() }
+    }
+
+    /// Row `r` of a rank-2 tensor, as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert_eq!(self.shape.rank(), 2, "row() requires a rank-2 tensor");
+        let cols = self.shape.dim(1);
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Mutable row `r` of a rank-2 tensor.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert_eq!(self.shape.rank(), 2, "row_mut() requires a rank-2 tensor");
+        let cols = self.shape.dim(1);
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise arithmetic (allocating)
+    // ------------------------------------------------------------------
+
+    fn assert_same_shape(&self, other: &Tensor, op: &str) {
+        assert!(
+            self.shape.same_as(&other.shape),
+            "{op}: shape mismatch {} vs {}",
+            self.shape,
+            other.shape
+        );
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.assert_same_shape(other, "add");
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.assert_same_shape(other, "sub");
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.assert_same_shape(other, "mul");
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|a| a * s)
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&a| f(a)).collect() }
+    }
+
+    /// Combines two equal-shaped tensors elementwise.
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        self.assert_same_shape(other, "zip_with");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise arithmetic (in place — the SGD hot path)
+    // ------------------------------------------------------------------
+
+    /// `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        self.assert_same_shape(other, "add_assign");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `self -= other`.
+    pub fn sub_assign(&mut self, other: &Tensor) {
+        self.assert_same_shape(other, "sub_assign");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a -= b;
+        }
+    }
+
+    /// `self += alpha * other` — the fused update every optimizer uses.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        self.assert_same_shape(other, "axpy");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// `self *= s`.
+    pub fn scale_in_place(&mut self, s: f32) {
+        for a in self.data.iter_mut() {
+            *a *= s;
+        }
+    }
+
+    /// Sets every element to zero without reallocating.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.numel() as f32
+    }
+
+    /// Maximum element (NaN-propagating max is not needed here; inputs are
+    /// finite by construction).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Sum of absolute values (the paper's filter-importance metric).
+    pub fn l1_norm(&self) -> f32 {
+        self.data.iter().map(|a| a.abs()).sum()
+    }
+
+    /// Euclidean norm.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|a| a * a).sum::<f32>().sqrt()
+    }
+
+    /// Squared Euclidean distance to another tensor — the paper's pruning
+    /// error `Q = ||x - x_n||²`.
+    pub fn sq_distance(&self, other: &Tensor) -> f32 {
+        self.assert_same_shape(other, "sq_distance");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Index of the maximum element of each row of a rank-2 tensor.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.shape.rank(), 2, "argmax_rows requires a rank-2 tensor");
+        let (rows, cols) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            let mut best = 0usize;
+            let mut best_v = row[0];
+            for (i, &v) in row.iter().enumerate().skip(1) {
+                if v > best_v {
+                    best_v = v;
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+        out
+    }
+
+    /// Whether every element is finite. Training loops assert this to
+    /// catch divergence early.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|a| a.is_finite())
+    }
+
+    /// Transpose of a rank-2 tensor.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "transpose requires a rank-2 tensor");
+        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn constructors() {
+        let z = Tensor::zeros(&[2, 3]);
+        assert_eq!(z.numel(), 6);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        let o = Tensor::ones(&[4]);
+        assert_eq!(o.sum(), 4.0);
+        let f = Tensor::full(&[2, 2], 2.5);
+        assert_eq!(f.mean(), 2.5);
+        let e = Tensor::eye(3);
+        assert_eq!(e.sum(), 3.0);
+        assert_eq!(e.at(&[1, 1]), 1.0);
+        assert_eq!(e.at(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+        assert_eq!(
+            Tensor::from_vec(vec![], &[]),
+            Err(TensorError::EmptyShape)
+        );
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]).unwrap();
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn in_place_ops() {
+        let mut a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap();
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[11.0, 22.0]);
+        a.sub_assign(&b);
+        assert_eq!(a.data(), &[1.0, 2.0]);
+        a.axpy(-0.5, &b);
+        assert_eq!(a.data(), &[-4.0, -8.0]);
+        a.scale_in_place(0.0);
+        assert_eq!(a.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_vec(vec![-3.0, 4.0], &[2]).unwrap();
+        assert_eq!(a.l1_norm(), 7.0);
+        assert_eq!(a.l2_norm(), 5.0);
+        assert_eq!(a.max(), 4.0);
+        let b = Tensor::zeros(&[2]);
+        assert_eq!(a.sq_distance(&b), 25.0);
+    }
+
+    #[test]
+    fn argmax_rows() {
+        let a = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.7, 0.2, 0.1], &[2, 3]).unwrap();
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let mut rng = seeded_rng(7);
+        let a = Tensor::randn(&[3, 5], &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().at(&[4, 2]), a.at(&[2, 4]));
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = a.reshape(&[3, 2]);
+        assert_eq!(b.data(), a.data());
+        assert_eq!(b.dims(), &[3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn kaiming_scale_is_sane() {
+        let mut rng = seeded_rng(0);
+        let w = Tensor::kaiming(&[64, 32], 32, &mut rng);
+        let var = w.data().iter().map(|x| x * x).sum::<f32>() / w.numel() as f32;
+        // Expected variance 2/32 = 0.0625; allow generous tolerance.
+        assert!((var - 0.0625).abs() < 0.02, "var = {var}");
+    }
+
+    #[test]
+    fn rows_are_views() {
+        let mut a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        a.row_mut(1)[0] = 9.0;
+        assert_eq!(a.row(1), &[9.0, 4.0]);
+    }
+
+    #[test]
+    fn finite_check() {
+        let mut a = Tensor::ones(&[2]);
+        assert!(a.all_finite());
+        a.data_mut()[0] = f32::NAN;
+        assert!(!a.all_finite());
+    }
+}

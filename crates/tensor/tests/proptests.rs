@@ -1,0 +1,97 @@
+//! Property-based tests of tensor algebra laws.
+
+use fedmp_tensor::{seeded_rng, softmax_rows, Tensor};
+use proptest::prelude::*;
+
+fn tensor(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = seeded_rng(seed);
+    Tensor::randn(dims, &mut rng)
+}
+
+fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    a.dims() == b.dims()
+        && a.data().iter().zip(b.data().iter()).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn addition_commutes(r in 1usize..8, c in 1usize..8, s1 in 0u64..1000, s2 in 0u64..1000) {
+        let a = tensor(&[r, c], s1);
+        let b = tensor(&[r, c], s2);
+        prop_assert!(close(&a.add(&b), &b.add(&a), 1e-6));
+    }
+
+    #[test]
+    fn addition_associates(n in 1usize..32, s in 0u64..1000) {
+        let a = tensor(&[n], s);
+        let b = tensor(&[n], s + 1);
+        let c = tensor(&[n], s + 2);
+        prop_assert!(close(&a.add(&b).add(&c), &a.add(&b.add(&c)), 1e-5));
+    }
+
+    #[test]
+    fn sub_is_add_of_negation(n in 1usize..32, s in 0u64..1000) {
+        let a = tensor(&[n], s);
+        let b = tensor(&[n], s + 7);
+        prop_assert!(close(&a.sub(&b), &a.add(&b.scale(-1.0)), 1e-6));
+    }
+
+    #[test]
+    fn scaling_distributes_over_addition(n in 1usize..32, s in 0u64..1000, k in -3.0f32..3.0) {
+        let a = tensor(&[n], s);
+        let b = tensor(&[n], s + 3);
+        prop_assert!(close(&a.add(&b).scale(k), &a.scale(k).add(&b.scale(k)), 1e-4));
+    }
+
+    #[test]
+    fn matmul_distributes(m in 1usize..6, k in 1usize..6, n in 1usize..6, s in 0u64..500) {
+        let a = tensor(&[m, k], s);
+        let b = tensor(&[k, n], s + 1);
+        let c = tensor(&[k, n], s + 2);
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(close(&lhs, &rhs, 1e-4));
+    }
+
+    #[test]
+    fn matmul_transpose_identity(m in 1usize..6, k in 1usize..6, n in 1usize..6, s in 0u64..500) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ
+        let a = tensor(&[m, k], s);
+        let b = tensor(&[k, n], s + 9);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(close(&lhs, &rhs, 1e-4));
+    }
+
+    #[test]
+    fn axpy_matches_scale_add(n in 1usize..32, s in 0u64..1000, k in -2.0f32..2.0) {
+        let mut a = tensor(&[n], s);
+        let b = tensor(&[n], s + 5);
+        let expected = a.add(&b.scale(k));
+        a.axpy(k, &b);
+        prop_assert!(close(&a, &expected, 1e-5));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(r in 1usize..5, c in 2usize..8, s in 0u64..500, shift in -10.0f32..10.0) {
+        let a = tensor(&[r, c], s);
+        let shifted = a.map(|v| v + shift);
+        prop_assert!(close(&softmax_rows(&a), &softmax_rows(&shifted), 1e-5));
+    }
+
+    #[test]
+    fn l2_norm_triangle_inequality(n in 1usize..32, s in 0u64..1000) {
+        let a = tensor(&[n], s);
+        let b = tensor(&[n], s + 11);
+        prop_assert!(a.add(&b).l2_norm() <= a.l2_norm() + b.l2_norm() + 1e-4);
+    }
+
+    #[test]
+    fn reshape_preserves_sum(r in 1usize..8, c in 1usize..8, s in 0u64..500) {
+        let a = tensor(&[r, c], s);
+        let b = a.reshape(&[c, r]);
+        prop_assert!((a.sum() - b.sum()).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,44 @@
+//! Asynchronous FedMP (paper Algorithm 2): the PS aggregates the first
+//! `m` arrivals per round instead of waiting for stragglers. Compares
+//! Asyn-FL, Asyn-FedMP and synchronous FedMP — a miniature of Fig. 12.
+//!
+//! ```text
+//! cargo run --release --example async_federation
+//! ```
+
+use fedmp::prelude::*;
+
+fn main() {
+    let mut spec = ExperimentSpec::small(TaskKind::CnnMnist);
+    spec.workers = 4;
+    spec.level = HeterogeneityLevel::High; // stragglers make async shine
+    spec.fl.rounds = 16;
+    spec.fl.eval_every = 2;
+
+    let methods =
+        [Method::AsynFl { m: 2 }, Method::AsynFedMp { m: 2 }, Method::FedMp];
+    let histories: Vec<RunHistory> = methods.iter().map(|&m| run_method(&spec, m)).collect();
+
+    let min_final = histories
+        .iter()
+        .filter_map(|h| h.final_accuracy())
+        .fold(f32::INFINITY, f32::min);
+    let target = min_final * 0.9;
+
+    println!("m = 2 of {} workers, High heterogeneity", spec.workers);
+    println!("target accuracy: {:.0}%\n", target * 100.0);
+    for h in &histories {
+        let t = h.time_to_accuracy(target);
+        println!(
+            "  {:<11} final {:.1}%   time-to-target {}",
+            h.method,
+            h.final_accuracy().unwrap_or(0.0) * 100.0,
+            t.map_or("-".to_string(), |v| format!("{v:.0}s")),
+        );
+    }
+    println!(
+        "\nAsyn-FedMP's early rounds finish as soon as the {}-th worker arrives;",
+        2
+    );
+    println!("synchronous FedMP aggregates everyone and usually wins on information per round.");
+}

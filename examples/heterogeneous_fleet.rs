@@ -1,0 +1,48 @@
+//! Heterogeneity study: how the paper's five methods cope as the fleet
+//! degrades from Low (all cluster-A devices) to High (40% cluster C) —
+//! a miniature of Fig. 8.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_fleet
+//! ```
+
+use fedmp::prelude::*;
+
+fn main() {
+    let levels = [
+        ("Low", HeterogeneityLevel::Low),
+        ("Medium", HeterogeneityLevel::Medium),
+        ("High", HeterogeneityLevel::High),
+    ];
+    let methods = [Method::SynFl, Method::UpFl, Method::FedProx, Method::FlexCom, Method::FedMp];
+
+    for (label, level) in levels {
+        let mut spec = ExperimentSpec::small(TaskKind::CnnMnist);
+        spec.level = level;
+        spec.fl.rounds = 12;
+        spec.fl.eval_every = 2;
+
+        let histories: Vec<RunHistory> =
+            methods.iter().map(|&m| run_method(&spec, m)).collect();
+        let min_final = histories
+            .iter()
+            .filter_map(|h| h.final_accuracy())
+            .fold(f32::INFINITY, f32::min);
+        let target = min_final * 0.9;
+
+        println!("\nheterogeneity = {label} (target {:.0}% accuracy)", target * 100.0);
+        let base = histories[0].time_to_accuracy(target);
+        for h in &histories {
+            let t = h.time_to_accuracy(target);
+            let speedup = match (base, t) {
+                (Some(b), Some(t)) => format!("{:.2}x", b / t),
+                _ => "-".into(),
+            };
+            println!(
+                "  {:<10} time-to-target {:>10}   speedup vs Syn-FL {speedup}",
+                h.method,
+                t.map_or("-".to_string(), |v| format!("{v:.0}s")),
+            );
+        }
+    }
+}

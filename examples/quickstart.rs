@@ -1,0 +1,44 @@
+//! Quickstart: train a CNN with FedMP on a simulated heterogeneous edge
+//! fleet and compare it against full-model FedAvg.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fedmp::prelude::*;
+
+fn main() {
+    // A laptop-scale experiment: the paper's CNN on an MNIST-like
+    // synthetic task, 4 workers drawn from clusters A+B.
+    let mut spec = ExperimentSpec::small(TaskKind::CnnMnist);
+    spec.fl.rounds = 15;
+    spec.fl.eval_every = 3;
+
+    println!("Running Syn-FL (full-model FedAvg)…");
+    let synfl = run_method(&spec, Method::SynFl);
+    println!("Running FedMP (adaptive pruning + R2SP)…");
+    let fedmp = run_method(&spec, Method::FedMp);
+
+    println!("\n  round   Syn-FL acc   FedMP acc   FedMP ratios (first worker)");
+    for (a, b) in synfl.rounds.iter().zip(fedmp.rounds.iter()) {
+        if let (Some((_, sa)), Some((_, fa))) = (a.eval, b.eval) {
+            println!(
+                "  {:>5}   {:>9.1}%   {:>8.1}%   alpha = {:.2}",
+                a.round,
+                sa * 100.0,
+                fa * 100.0,
+                b.ratios.first().copied().unwrap_or(0.0)
+            );
+        }
+    }
+
+    let target = synfl.final_accuracy().unwrap_or(0.5) * 0.9;
+    let t_syn = synfl.time_to_accuracy(target);
+    let t_fed = fedmp.time_to_accuracy(target);
+    println!("\nTime to {:.0}% accuracy (virtual seconds):", target * 100.0);
+    println!("  Syn-FL: {:?}", t_syn);
+    println!("  FedMP:  {:?}", t_fed);
+    if let (Some(a), Some(b)) = (t_syn, t_fed) {
+        println!("  speedup: {:.2}x", a / b);
+    }
+}

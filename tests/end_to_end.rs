@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: full FedMP training loops exercising
+//! every subsystem together (data → models → pruning → bandit → edgesim
+//! → FL engine → metrics).
+
+use fedmp::prelude::*;
+use fedmp_core::run_fedmp_custom;
+use fedmp_fl::{FedMpOptions, SyncScheme};
+
+fn quick_spec(task: TaskKind, rounds: usize) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::small(task);
+    spec.fl.rounds = rounds;
+    spec.fl.eval_every = rounds.div_ceil(4).max(1);
+    spec
+}
+
+#[test]
+fn fedmp_improves_accuracy_on_every_task() {
+    for task in TaskKind::all() {
+        let rounds = if task == TaskKind::CnnMnist { 16 } else { 12 };
+        let spec = quick_spec(task, rounds);
+        let h = run_method(&spec, Method::FedMp);
+        let first = h.rounds.iter().find_map(|r| r.eval).expect("evaluated").1;
+        let best = h
+            .rounds
+            .iter()
+            .filter_map(|r| r.eval.map(|(_, a)| a))
+            .fold(0.0f32, f32::max);
+        // Short runs on the harder tasks are noisy; require that the best
+        // evaluation at least matches the starting point, and that the
+        // easy task genuinely learns.
+        assert!(
+            best >= first - 0.02,
+            "{}: accuracy regressed {first} -> best {best}",
+            task.name()
+        );
+        if task == TaskKind::CnnMnist {
+            assert!(best > 0.3, "{}: best accuracy only {best}", task.name());
+        }
+    }
+}
+
+#[test]
+fn fedmp_beats_synfl_in_time_to_target_on_heterogeneous_fleet() {
+    let mut spec = quick_spec(TaskKind::CnnMnist, 14);
+    spec.level = HeterogeneityLevel::High;
+    spec.fl.eval_every = 1;
+    let syn = run_method(&spec, Method::SynFl);
+    let fed = run_method(&spec, Method::FedMp);
+    let target = syn.final_accuracy().unwrap().min(fed.final_accuracy().unwrap()) * 0.9;
+    let t_syn = syn.time_to_accuracy(target).expect("Syn-FL reaches target");
+    let t_fed = fed.time_to_accuracy(target).expect("FedMP reaches target");
+    assert!(
+        t_fed < t_syn,
+        "FedMP ({t_fed:.0}s) should beat Syn-FL ({t_syn:.0}s) to {target:.2} accuracy"
+    );
+}
+
+#[test]
+fn r2sp_matches_or_beats_bsp_final_accuracy() {
+    // The fast-learning task separates the schemes within few rounds;
+    // fixed moderately-aggressive ratios make BSP's parameter loss bite.
+    let spec = quick_spec(TaskKind::CnnMnist, 14);
+    let r2sp = run_fedmp_custom(
+        &spec,
+        &FedMpOptions { fixed_ratio: Some(0.5), ..Default::default() },
+    );
+    let bsp = run_fedmp_custom(
+        &spec,
+        &FedMpOptions { fixed_ratio: Some(0.5), sync: SyncScheme::BSP, ..Default::default() },
+    );
+    let a = r2sp.final_accuracy().unwrap();
+    let b = bsp.final_accuracy().unwrap();
+    assert!(a >= b - 0.02, "R2SP {a} should not lose to BSP {b}");
+}
+
+#[test]
+fn pruned_methods_have_cheaper_rounds_than_synfl() {
+    let spec = quick_spec(TaskKind::CnnMnist, 4);
+    let syn = run_method(&spec, Method::SynFl);
+    let fixed = run_method(&spec, Method::FedMpFixed(0.7));
+    let syn_mean: f64 =
+        syn.rounds.iter().map(|r| r.round_time).sum::<f64>() / syn.rounds.len() as f64;
+    let fixed_mean: f64 =
+        fixed.rounds.iter().map(|r| r.round_time).sum::<f64>() / fixed.rounds.len() as f64;
+    assert!(
+        fixed_mean < syn_mean * 0.7,
+        "alpha=0.7 rounds should be well under Syn-FL's: {fixed_mean:.1} vs {syn_mean:.1}"
+    );
+}
+
+#[test]
+fn async_engine_uses_m_arrivals_and_advances_clock() {
+    let mut spec = quick_spec(TaskKind::CnnMnist, 6);
+    spec.workers = 4;
+    let h = run_method(&spec, Method::AsynFedMp { m: 2 });
+    assert_eq!(h.rounds.len(), 6);
+    for r in &h.rounds {
+        assert_eq!(r.ratios.len(), 2, "must aggregate exactly m=2 arrivals");
+    }
+    assert!(h.rounds.windows(2).all(|w| w[1].sim_time >= w[0].sim_time));
+}
+
+#[test]
+fn histories_serialise_to_json() {
+    let spec = quick_spec(TaskKind::CnnMnist, 3);
+    let h = run_method(&spec, Method::FedMp);
+    let json = serde_json::to_string(&h).expect("serialise history");
+    let back: RunHistory = serde_json::from_str(&json).expect("deserialise history");
+    assert_eq!(back.rounds.len(), h.rounds.len());
+    assert_eq!(back.method, "FedMP");
+}
+
+#[test]
+fn non_iid_slows_convergence() {
+    let mut iid = quick_spec(TaskKind::CnnMnist, 12);
+    iid.fl.eval_every = 1;
+    let mut skew = iid.clone();
+    skew.non_iid = 80;
+    skew.workers = iid.workers; // same fleet
+    let h_iid = run_method(&iid, Method::SynFl);
+    let h_skew = run_method(&skew, Method::SynFl);
+    // Compare accuracy at the same mid-training round.
+    let mid = 6;
+    let a_iid = h_iid.rounds[mid].eval.unwrap().1;
+    let a_skew = h_skew.rounds[mid].eval.unwrap().1;
+    assert!(
+        a_skew <= a_iid + 0.05,
+        "label skew should not converge faster: IID {a_iid} vs skew {a_skew}"
+    );
+}

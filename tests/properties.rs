@@ -1,0 +1,115 @@
+//! Property-based tests of the repository's core invariants, run across
+//! random architectures, ratios and seeds.
+
+use fedmp::bandit::{Bandit, EUcbAgent, EUcbConfig};
+use fedmp::nn::{state_add, state_sub, zoo, Sequential};
+use fedmp::pruning::{
+    extract_sequential, plan_sequential, ratio_keep_count, recover_state, sparse_state,
+};
+use fedmp::tensor::{seeded_rng, Tensor};
+use proptest::prelude::*;
+
+fn arbitrary_model(arch: u8, width: f32, seed: u64) -> (Sequential, (usize, usize, usize)) {
+    let mut rng = seeded_rng(seed);
+    match arch % 3 {
+        0 => (zoo::cnn_mnist(width, &mut rng), (1, 28, 28)),
+        1 => (zoo::vgg_emnist(width.max(0.06), &mut rng), (1, 28, 28)),
+        _ => (zoo::resnet_tiny(width.max(0.06), &mut rng), (3, 64, 64)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The defining R2SP identity holds for any architecture, width,
+    /// ratio and seed: recover(extract(g)) + (g − sparse(g)) == g.
+    #[test]
+    fn r2sp_identity(arch in 0u8..3, ratio in 0.0f32..0.89, seed in 0u64..1000, width in 0.08f32..0.3) {
+        let (model, chw) = arbitrary_model(arch, width, seed);
+        let plan = plan_sequential(&model, chw, ratio);
+        let sub = extract_sequential(&model, &plan);
+        let recovered = recover_state(&sub, &plan, &model);
+        let sparse = sparse_state(&model, &plan);
+        let rebuilt = state_add(&recovered, &state_sub(&model.state(), &sparse));
+        for (a, b) in rebuilt.iter().zip(model.state().iter()) {
+            prop_assert_eq!(&a.tensor, &b.tensor, "mismatch in {}", a.name);
+        }
+    }
+
+    /// Extraction is monotone in the ratio: more pruning, fewer params.
+    #[test]
+    fn pruning_monotone(arch in 0u8..3, seed in 0u64..500) {
+        let (model, chw) = arbitrary_model(arch, 0.15, seed);
+        let mut prev = usize::MAX;
+        for ratio in [0.0f32, 0.3, 0.6, 0.85] {
+            let plan = plan_sequential(&model, chw, ratio);
+            let mut sub = extract_sequential(&model, &plan);
+            let n = sub.num_params();
+            prop_assert!(n <= prev, "ratio {} grew params {} -> {}", ratio, prev, n);
+            prev = n;
+        }
+    }
+
+    /// Any extracted sub-model forward-evaluates to finite logits.
+    #[test]
+    fn submodels_are_runnable(arch in 0u8..3, ratio in 0.0f32..0.89, seed in 0u64..500) {
+        let (model, chw) = arbitrary_model(arch, 0.12, seed);
+        let plan = plan_sequential(&model, chw, ratio);
+        let mut sub = extract_sequential(&model, &plan);
+        let mut rng = seeded_rng(seed ^ 99);
+        let x = Tensor::randn(&[1, chw.0, chw.1, chw.2], &mut rng);
+        let y = sub.forward(&x, false);
+        prop_assert!(y.all_finite());
+    }
+
+    /// keep-count formula: bounded, monotone, exact at the endpoints.
+    #[test]
+    fn keep_count_properties(total in 1usize..2000, ratio in 0.0f32..0.99) {
+        let k = ratio_keep_count(total, ratio);
+        prop_assert!(k >= 1 && k <= total);
+        if ratio == 0.0 {
+            prop_assert_eq!(k, total);
+        }
+        // Monotone in ratio.
+        let k2 = ratio_keep_count(total, (ratio + 0.005).min(0.9899));
+        prop_assert!(k2 <= k);
+    }
+
+    /// E-UCB's partition always covers [0, alpha_max) disjointly, arms
+    /// stay in range, and the tree respects theta.
+    #[test]
+    fn eucb_partition_invariants(seed in 0u64..200, theta in 0.02f32..0.3, rounds in 1usize..120) {
+        let cfg = EUcbConfig { theta, seed, ..Default::default() };
+        let mut agent = EUcbAgent::new(cfg);
+        for k in 0..rounds {
+            let a = agent.select();
+            prop_assert!((0.0..cfg.alpha_max).contains(&a), "arm {} out of range", a);
+            agent.observe(((k % 5) as f32) * 0.1);
+        }
+        let regions = agent.regions();
+        prop_assert!((regions[0].0).abs() < 1e-6);
+        prop_assert!((regions.last().unwrap().1 - cfg.alpha_max).abs() < 1e-5);
+        for w in regions.windows(2) {
+            prop_assert!((w[0].1 - w[1].0).abs() < 1e-5, "gap between regions");
+        }
+    }
+
+    /// Aggregation is permutation-invariant: worker order cannot change
+    /// the global model.
+    #[test]
+    fn aggregation_permutation_invariant(seed in 0u64..500, n in 2usize..6) {
+        use fedmp::fl::average_states;
+        use fedmp::nn::StateEntry;
+        let mut rng = seeded_rng(seed);
+        let states: Vec<Vec<StateEntry>> = (0..n)
+            .map(|_| vec![StateEntry::trainable("w", Tensor::randn(&[13], &mut rng))])
+            .collect();
+        let fwd = average_states(&states);
+        let mut rev = states.clone();
+        rev.reverse();
+        let bwd = average_states(&rev);
+        for (a, b) in fwd[0].tensor.data().iter().zip(bwd[0].tensor.data().iter()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+}
