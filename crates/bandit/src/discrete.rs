@@ -2,9 +2,9 @@
 //! discounted UCB over a fixed ratio grid, and ε-greedy.
 
 use crate::Bandit;
-use rand::SeedableRng;
 use rand::rngs::StdRng;
 use rand::Rng;
+use rand::SeedableRng;
 
 /// Discounted UCB1 over a fixed grid of pruning ratios — what "UCB
 /// without the adaptive partition tree" looks like.
@@ -36,7 +36,8 @@ impl DiscreteUcb {
             n[*arm] += w;
             sum[*arm] += w * r;
         }
-        let means = n.iter().zip(sum.iter()).map(|(&n, &s)| if n > 0.0 { s / n } else { 0.0 }).collect();
+        let means =
+            n.iter().zip(sum.iter()).map(|(&n, &s)| if n > 0.0 { s / n } else { 0.0 }).collect();
         (n, means)
     }
 }
@@ -121,8 +122,16 @@ impl Bandit for EpsilonGreedy {
         } else {
             (0..self.arms.len())
                 .max_by(|&a, &b| {
-                    let ma = if self.counts[a] > 0 { self.sums[a] / self.counts[a] as f32 } else { f32::NEG_INFINITY };
-                    let mb = if self.counts[b] > 0 { self.sums[b] / self.counts[b] as f32 } else { f32::NEG_INFINITY };
+                    let ma = if self.counts[a] > 0 {
+                        self.sums[a] / self.counts[a] as f32
+                    } else {
+                        f32::NEG_INFINITY
+                    };
+                    let mb = if self.counts[b] > 0 {
+                        self.sums[b] / self.counts[b] as f32
+                    } else {
+                        f32::NEG_INFINITY
+                    };
                     ma.partial_cmp(&mb).expect("finite means")
                 })
                 .expect("non-empty arms")

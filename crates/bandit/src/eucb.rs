@@ -2,9 +2,9 @@
 //! space (paper Algorithm 1).
 
 use crate::Bandit;
-use rand::SeedableRng;
 use rand::rngs::StdRng;
 use rand::Rng;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// E-UCB hyper-parameters.
@@ -360,8 +360,7 @@ mod tests {
         // shrink from right after the shift to the end of the run, and
         // the final stretch must beat a uniform-random policy (≈ 0.28).
         let err = |range: std::ops::Range<usize>| {
-            arms[range.clone()].iter().map(|a| (a - 0.7f32).abs()).sum::<f32>()
-                / range.len() as f32
+            arms[range.clone()].iter().map(|a| (a - 0.7f32).abs()).sum::<f32>() / range.len() as f32
         };
         let just_after = err(200..260);
         let late = err(340..400);

@@ -7,7 +7,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fedmp_bandit::{Bandit, EUcbAgent, EUcbConfig};
 use fedmp_nn::{model_cost, state_sub, zoo};
 use fedmp_pruning::{extract_sequential, plan_sequential, recover_state, sparse_state};
-use fedmp_tensor::{conv2d_forward, seeded_rng, Conv2dSpec, Tensor};
+use fedmp_tensor::{
+    conv2d_forward, matmul_nt_reference, matmul_reference, seeded_rng, Conv2dSpec, Tensor,
+};
 
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = seeded_rng(0);
@@ -22,6 +24,37 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+/// Blocked vs reference GEMM on the shapes the width-1.0 model zoo
+/// issues: conv-as-im2col (`nn`) and batched linear forward (`nt`).
+/// The standalone `kernels` bin writes the same comparison to
+/// `bench-results/kernels.json`.
+fn bench_gemm_zoo_shapes(c: &mut Criterion) {
+    let mut rng = seeded_rng(4);
+    let mut group = c.benchmark_group("tensor/gemm_zoo");
+    for (name, m, k, n) in
+        [("cnn_conv2", 64usize, 800usize, 196usize), ("alexnet_conv3", 384, 1728, 64)]
+    {
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        group.bench_with_input(BenchmarkId::new(name, "blocked"), &0, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new(name, "reference"), &0, |bench, _| {
+            bench.iter(|| std::hint::black_box(matmul_reference(&a, &b)));
+        });
+    }
+    let (name, m, k, n) = ("cnn_fc1_b64", 64usize, 3136usize, 256usize);
+    let a = Tensor::randn(&[m, k], &mut rng);
+    let b = Tensor::randn(&[n, k], &mut rng);
+    group.bench_with_input(BenchmarkId::new(name, "blocked_nt"), &0, |bench, _| {
+        bench.iter(|| std::hint::black_box(a.matmul_nt(&b)));
+    });
+    group.bench_with_input(BenchmarkId::new(name, "reference_nt"), &0, |bench, _| {
+        bench.iter(|| std::hint::black_box(matmul_nt_reference(&a, &b)));
+    });
+    group.finish();
+}
+
 fn bench_conv(c: &mut Criterion) {
     let mut rng = seeded_rng(1);
     let spec = Conv2dSpec { kh: 5, kw: 5, stride: 1, padding: 2 };
@@ -31,6 +64,22 @@ fn bench_conv(c: &mut Criterion) {
     c.bench_function("tensor/conv2d_5x5_28x28", |b| {
         b.iter(|| std::hint::black_box(conv2d_forward(&input, &weight, &bias, &spec)));
     });
+
+    // Zoo conv stages at width 1.0, small batch.
+    let mut group = c.benchmark_group("tensor/conv_zoo");
+    for (name, n, ch, hw, oc, kh, pad) in [
+        ("cnn_conv2", 4usize, 32usize, 14usize, 64usize, 5usize, 2usize),
+        ("alexnet_conv2", 4, 64, 16, 192, 3, 1),
+    ] {
+        let spec = Conv2dSpec { kh, kw: kh, stride: 1, padding: pad };
+        let input = Tensor::randn(&[n, ch, hw, hw], &mut rng);
+        let weight = Tensor::randn(&[oc, ch, kh, kh], &mut rng);
+        let bias = Tensor::zeros(&[oc]);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &0, |b, _| {
+            b.iter(|| std::hint::black_box(conv2d_forward(&input, &weight, &bias, &spec)));
+        });
+    }
+    group.finish();
 }
 
 fn bench_pruning_pipeline(c: &mut Criterion) {
@@ -84,6 +133,7 @@ fn bench_cost_model(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matmul,
+    bench_gemm_zoo_shapes,
     bench_conv,
     bench_pruning_pipeline,
     bench_eucb,

@@ -44,7 +44,8 @@ fn main() {
         (
             "E-UCB (split at arm)",
             Box::new(|seed| {
-                Box::new(EUcbAgent::new(EUcbConfig { seed, ..Default::default() })) as Box<dyn Bandit>
+                Box::new(EUcbAgent::new(EUcbConfig { seed, ..Default::default() }))
+                    as Box<dyn Bandit>
             }),
         ),
         (
@@ -78,11 +79,7 @@ fn main() {
         }
         let mean_err = errs.iter().sum::<f32>() / errs.len() as f32;
         let mean_regret = regrets.iter().sum::<f32>() / regrets.len() as f32;
-        rows.push(vec![
-            name.to_string(),
-            format!("{mean_err:.3}"),
-            format!("{mean_regret:.0}"),
-        ]);
+        rows.push(vec![name.to_string(), format!("{mean_err:.3}"), format!("{mean_regret:.0}")]);
         results.push(json!({"policy": name, "tail_error": mean_err, "regret": mean_regret}));
     }
     print_table(

@@ -27,10 +27,8 @@ fn main() {
             run_fedmp_custom(&spec, &opts)
         })
         .collect();
-    let min_final = histories
-        .iter()
-        .filter_map(|h| h.final_accuracy())
-        .fold(f32::INFINITY, f32::min);
+    let min_final =
+        histories.iter().filter_map(|h| h.final_accuracy()).fold(f32::INFINITY, f32::min);
     let target = min_final * 0.95;
 
     let mut rows = Vec::new();
@@ -38,11 +36,7 @@ fn main() {
     for ((name, _), h) in metrics.iter().zip(histories.iter()) {
         let final_acc = h.final_accuracy().unwrap_or(0.0);
         let t = h.time_to_accuracy(target);
-        rows.push(vec![
-            name.to_string(),
-            format!("{:.1}%", final_acc * 100.0),
-            fmt_time(t),
-        ]);
+        rows.push(vec![name.to_string(), format!("{:.1}%", final_acc * 100.0), fmt_time(t)]);
         results.push(json!({"metric": name, "final_acc": final_acc, "time_to_target": t}));
     }
     print_table(

@@ -28,11 +28,7 @@ fn main() {
         let h = run_fedmp_custom(&spec, &opts);
         let t = h.time_to_accuracy(target);
         let final_acc = h.final_accuracy().unwrap_or(0.0);
-        rows.push(vec![
-            format!("{gap_floor}"),
-            fmt_time(t),
-            format!("{:.1}%", final_acc * 100.0),
-        ]);
+        rows.push(vec![format!("{gap_floor}"), fmt_time(t), format!("{:.1}%", final_acc * 100.0)]);
         results.push(json!({"gap_floor": gap_floor, "time_to_target": t, "final_acc": final_acc}));
     }
     print_table(

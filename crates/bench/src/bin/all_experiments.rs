@@ -9,14 +9,24 @@ fn main() {
     // Flagship results first; `fig6` also regenerates Table III from the
     // same runs (the standalone `table3` binary remains available).
     let bins = [
-        "fig6", "fig7", "fig8", "fig9", "fig10", "fig2", "fig4", "fig5", "fig11", "fig12",
-        "table4", "ablation_bandit", "ablation_reward", "ablation_importance", "energy",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig2",
+        "fig4",
+        "fig5",
+        "fig11",
+        "fig12",
+        "table4",
+        "ablation_bandit",
+        "ablation_reward",
+        "ablation_importance",
+        "energy",
     ];
-    let exe_dir = std::env::current_exe()
-        .expect("current exe path")
-        .parent()
-        .expect("exe dir")
-        .to_path_buf();
+    let exe_dir =
+        std::env::current_exe().expect("current exe path").parent().expect("exe dir").to_path_buf();
 
     let t0 = Instant::now();
     for bin in bins {
@@ -27,5 +37,7 @@ fn main() {
         assert!(status.success(), "{bin} failed with {status}");
     }
     println!("\nAll experiments completed in {:.0}s.", t0.elapsed().as_secs_f64());
-    println!("Results under bench-results/*.json — see EXPERIMENTS.md for the paper-vs-measured index.");
+    println!(
+        "Results under bench-results/*.json — see EXPERIMENTS.md for the paper-vs-measured index."
+    );
 }

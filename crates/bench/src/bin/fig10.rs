@@ -3,7 +3,9 @@
 //! paper's shape: FedMP's completion time grows only slightly and stays
 //! the fastest.
 
-use fedmp_bench::{bench_spec, common_target, fmt_speedup, fmt_time, profile, save_result, Profile};
+use fedmp_bench::{
+    bench_spec, common_target, fmt_speedup, fmt_time, profile, save_result, Profile,
+};
 use fedmp_core::{print_table, run_method, speedup_table, Method, TaskKind};
 use serde_json::json;
 
@@ -20,10 +22,8 @@ fn main() {
         let histories: Vec<_> = methods.iter().map(|&m| run_method(&spec, m)).collect();
         let target = common_target(&histories);
         let table = speedup_table(&histories, target);
-        let rows: Vec<Vec<String>> = table
-            .iter()
-            .map(|(n, t, s)| vec![n.clone(), fmt_time(*t), fmt_speedup(*s)])
-            .collect();
+        let rows: Vec<Vec<String>> =
+            table.iter().map(|(n, t, s)| vec![n.clone(), fmt_time(*t), fmt_speedup(*s)]).collect();
         print_table(
             &format!("Fig. 10 — {workers} workers (target {:.0}%)", target * 100.0),
             &["method", "time to target", "speedup vs Syn-FL"],

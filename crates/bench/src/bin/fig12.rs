@@ -15,10 +15,8 @@ fn main() {
     let target = fedmp_bench::common_target(&histories);
     let table = speedup_table(&histories, target);
 
-    let rows: Vec<Vec<String>> = table
-        .iter()
-        .map(|(n, t, s)| vec![n.clone(), fmt_time(*t), fmt_speedup(*s)])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        table.iter().map(|(n, t, s)| vec![n.clone(), fmt_time(*t), fmt_speedup(*s)]).collect();
     print_table(
         &format!("Fig. 12 — async setting, m=5 of 10 (target {:.0}%)", target * 100.0),
         &["method", "time to target", "speedup vs Asyn-FL"],

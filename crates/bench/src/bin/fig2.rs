@@ -31,7 +31,11 @@ fn main() {
         let mut rows = Vec::new();
         let mut series = Vec::new();
         for &ratio in ratios {
-            let h = if ratio == 0.0 { base.clone() } else { run_method(&spec, Method::FedMpFixed(ratio)) };
+            let h = if ratio == 0.0 {
+                base.clone()
+            } else {
+                run_method(&spec, Method::FedMpFixed(ratio))
+            };
             let acc = h.best_accuracy_within(budget).unwrap_or(0.0);
             rows.push(vec![format!("{ratio:.1}"), format!("{:.1}%", acc * 100.0)]);
             series.push(json!({"ratio": ratio, "accuracy": acc}));

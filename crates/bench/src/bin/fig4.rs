@@ -15,11 +15,8 @@ fn main() {
     let full = profile() == Profile::Full;
     let thetas: &[f32] =
         if full { &[0.01, 0.02, 0.05, 0.1, 0.15, 0.25] } else { &[0.02, 0.05, 0.1, 0.25] };
-    let tasks: &[TaskKind] = if full {
-        &TaskKind::all()
-    } else {
-        &[TaskKind::CnnMnist, TaskKind::AlexnetCifar]
-    };
+    let tasks: &[TaskKind] =
+        if full { &TaskKind::all() } else { &[TaskKind::CnnMnist, TaskKind::AlexnetCifar] };
     let mut results = Vec::new();
 
     for &task in tasks {
@@ -28,10 +25,8 @@ fn main() {
         let mut first_opts = FedMpOptions::default();
         first_opts.eucb.theta = thetas[0];
         let first_run = run_fedmp_custom(&spec, &first_opts);
-        let target = first_run
-            .best_accuracy_within(first_run.total_time() * 0.7)
-            .unwrap_or(0.3)
-            * 0.95;
+        let target =
+            first_run.best_accuracy_within(first_run.total_time() * 0.7).unwrap_or(0.3) * 0.95;
 
         let mut times = Vec::new();
         for (i, &theta) in thetas.iter().enumerate() {

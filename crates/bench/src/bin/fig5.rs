@@ -18,10 +18,8 @@ fn main() {
     let mut series = Vec::new();
     for &ratio in &ratios {
         let h = run_method(&spec, Method::FedMpFixed(ratio));
-        let comp: f64 =
-            h.rounds.iter().map(|r| r.mean_comp).sum::<f64>() / h.rounds.len() as f64;
-        let comm: f64 =
-            h.rounds.iter().map(|r| r.mean_comm).sum::<f64>() / h.rounds.len() as f64;
+        let comp: f64 = h.rounds.iter().map(|r| r.mean_comp).sum::<f64>() / h.rounds.len() as f64;
+        let comm: f64 = h.rounds.iter().map(|r| r.mean_comm).sum::<f64>() / h.rounds.len() as f64;
         rows.push(vec![
             format!("{ratio:.1}"),
             format!("{comp:.2}s"),

@@ -45,8 +45,7 @@ fn main() {
         }));
 
         // --- Table III: accuracy within the earliest finisher's budget.
-        let budget =
-            histories.iter().map(|h| h.total_time()).fold(f64::INFINITY, f64::min);
+        let budget = histories.iter().map(|h| h.total_time()).fold(f64::INFINITY, f64::min);
         let mut row = vec![task.name().to_string(), format!("{budget:.0}s")];
         let mut cells = Vec::new();
         for h in &histories {

@@ -3,7 +3,9 @@
 //! for every method, FedMP stays fastest, and its advantage widens with
 //! heterogeneity.
 
-use fedmp_bench::{bench_spec, common_target, fmt_speedup, fmt_time, profile, save_result, Profile};
+use fedmp_bench::{
+    bench_spec, common_target, fmt_speedup, fmt_time, profile, save_result, Profile,
+};
 use fedmp_core::{print_table, run_method, speedup_table, Method, TaskKind};
 use fedmp_edgesim::HeterogeneityLevel;
 use serde_json::json;

@@ -40,7 +40,11 @@ fn main() {
                 .map(|(n, t, s)| vec![n.clone(), fmt_time(*t), fmt_speedup(*s)])
                 .collect();
             print_table(
-                &format!("Fig. 9 — {} @ non-IID y={y} (target {:.0}%)", task.name(), target * 100.0),
+                &format!(
+                    "Fig. 9 — {} @ non-IID y={y} (target {:.0}%)",
+                    task.name(),
+                    target * 100.0
+                ),
                 &["method", "time to target", "speedup vs Syn-FL"],
                 &rows,
             );

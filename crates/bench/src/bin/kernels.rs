@@ -1,0 +1,191 @@
+//! Reference-vs-blocked kernel benchmark.
+//!
+//! Times the naive `*_reference` GEMM kernels against the cache-blocked
+//! production kernels on the GEMM shapes the width-1.0 model zoo
+//! actually runs (im2col convolutions and linear layers, batch 64), plus
+//! the conv2d forward pass itself, and writes the speedups to
+//! `bench-results/kernels.json`. Run with:
+//!
+//! ```text
+//! cargo run --release -p fedmp-bench --bin kernels
+//! ```
+
+use std::time::Instant;
+
+use fedmp_tensor::{
+    conv2d_forward, im2col, matmul_nt_reference, matmul_reference, matmul_tn_reference, parallel,
+    seeded_rng, Conv2dSpec, Tensor,
+};
+use serde_json::json;
+
+/// GEMM transpose configuration, matching the three `Tensor` kernels.
+#[derive(Clone, Copy, PartialEq)]
+enum Op {
+    Nn,
+    Nt,
+    Tn,
+}
+
+impl Op {
+    fn name(self) -> &'static str {
+        match self {
+            Op::Nn => "nn",
+            Op::Nt => "nt",
+            Op::Tn => "tn",
+        }
+    }
+}
+
+struct GemmCase {
+    name: &'static str,
+    op: Op,
+    m: usize,
+    k: usize,
+    n: usize,
+}
+
+/// Every GEMM the width-1.0 zoo models issue per batch of 64 images:
+/// conv layers as one im2col GEMM per image, linear layers as one
+/// batched `nt` forward plus its `tn` weight gradient.
+const GEMM_CASES: &[GemmCase] = &[
+    GemmCase { name: "cnn_mnist/conv2_fwd", op: Op::Nn, m: 64, k: 800, n: 196 },
+    GemmCase { name: "cnn_mnist/fc1_fwd_b64", op: Op::Nt, m: 64, k: 3136, n: 256 },
+    GemmCase { name: "alexnet/conv3_fwd", op: Op::Nn, m: 384, k: 1728, n: 64 },
+    GemmCase { name: "alexnet/fc1_fwd_b64", op: Op::Nt, m: 64, k: 4096, n: 512 },
+    GemmCase { name: "alexnet/fc1_wgrad_b64", op: Op::Tn, m: 512, k: 64, n: 4096 },
+    GemmCase { name: "vgg/conv_s3_fwd", op: Op::Nn, m: 256, k: 1152, n: 49 },
+];
+
+/// Best-of-reps wall clock for `f`, in milliseconds.
+fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f()); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// The pre-blocking conv2d forward: sequential batch loop over
+/// `im2col` + reference GEMM, kept here as the benchmark baseline.
+fn conv2d_forward_reference(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: &Conv2dSpec,
+) -> Tensor {
+    let d = input.dims();
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let oc = weight.dims()[0];
+    let (oh, ow) = spec.out_hw(h, w);
+    let w_mat = weight.reshape(&[oc, c * spec.kh * spec.kw]);
+    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+    let out_img = oc * oh * ow;
+    for i in 0..n {
+        let cols = im2col(&input.data()[i * c * h * w..(i + 1) * c * h * w], c, h, w, spec);
+        let res = matmul_reference(&w_mat, &cols);
+        let dst = &mut out.data_mut()[i * out_img..(i + 1) * out_img];
+        for f in 0..oc {
+            let b = bias.data()[f];
+            let src = &res.data()[f * oh * ow..(f + 1) * oh * ow];
+            for (dv, &sv) in dst[f * oh * ow..(f + 1) * oh * ow].iter_mut().zip(src.iter()) {
+                *dv = sv + b;
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut rng = seeded_rng(0xBE7C);
+    let mut gemm_rows = Vec::new();
+    let mut headline: Option<(String, usize, f64)> = None;
+
+    for case in GEMM_CASES {
+        let (m, k, n) = (case.m, case.k, case.n);
+        let flops = 2 * m * k * n;
+        // Operand layouts per transpose configuration.
+        let (a_dims, b_dims): (&[usize], &[usize]) = match case.op {
+            Op::Nn => (&[m, k], &[k, n]),
+            Op::Nt => (&[m, k], &[n, k]),
+            Op::Tn => (&[k, m], &[k, n]),
+        };
+        let a = Tensor::randn(a_dims, &mut rng);
+        let b = Tensor::randn(b_dims, &mut rng);
+        let reps = (200_000_000 / flops).clamp(3, 50);
+        let reference_ms = time_ms(reps, || match case.op {
+            Op::Nn => matmul_reference(&a, &b),
+            Op::Nt => matmul_nt_reference(&a, &b),
+            Op::Tn => matmul_tn_reference(&a, &b),
+        });
+        let blocked_ms = time_ms(reps, || match case.op {
+            Op::Nn => a.matmul(&b),
+            Op::Nt => a.matmul_nt(&b),
+            Op::Tn => a.matmul_tn(&b),
+        });
+        let speedup = reference_ms / blocked_ms;
+        println!(
+            "gemm {:<24} {}  {m}x{k}x{n}: ref {reference_ms:8.3} ms  blocked {blocked_ms:8.3} ms  {speedup:5.2}x",
+            case.name,
+            case.op.name(),
+        );
+        if headline.as_ref().is_none_or(|&(_, f, _)| flops > f) {
+            headline = Some((case.name.to_string(), flops, speedup));
+        }
+        gemm_rows.push(json!({
+            "name": case.name,
+            "op": case.op.name(),
+            "m": m, "k": k, "n": n,
+            "flops": flops,
+            "reference_ms": reference_ms,
+            "blocked_ms": blocked_ms,
+            "speedup": speedup,
+        }));
+    }
+
+    // Conv forward on the two conv-heavy zoo stages, full batch.
+    let mut conv_rows = Vec::new();
+    for (name, n, c, h, w, oc, kh, stride, padding) in [
+        ("cnn_mnist/conv2_b8", 8usize, 32usize, 14usize, 14usize, 64usize, 5usize, 1usize, 2usize),
+        ("alexnet/conv2_b8", 8, 64, 16, 16, 192, 3, 1, 1),
+    ] {
+        let spec = Conv2dSpec { kh, kw: kh, stride, padding };
+        let input = Tensor::randn(&[n, c, h, w], &mut rng);
+        let weight = Tensor::randn(&[oc, c, kh, kh], &mut rng);
+        let bias = Tensor::zeros(&[oc]);
+        let reference_ms = time_ms(3, || conv2d_forward_reference(&input, &weight, &bias, &spec));
+        let blocked_ms = time_ms(3, || conv2d_forward(&input, &weight, &bias, &spec));
+        let speedup = reference_ms / blocked_ms;
+        println!(
+            "conv {name:<24} ref {reference_ms:8.3} ms  blocked {blocked_ms:8.3} ms  {speedup:5.2}x"
+        );
+        conv_rows.push(json!({
+            "name": name,
+            "batch": n, "in_channels": c, "h": h, "w": w,
+            "out_channels": oc, "kernel": kh, "stride": stride, "padding": padding,
+            "reference_ms": reference_ms,
+            "blocked_ms": blocked_ms,
+            "speedup": speedup,
+        }));
+    }
+
+    let (headline_name, headline_flops, headline_speedup) = headline.expect("at least one case");
+    let report = json!({
+        "generated_by": "cargo run --release -p fedmp-bench --bin kernels",
+        "threads": parallel::configured_threads(),
+        "gemm": gemm_rows,
+        "conv": conv_rows,
+        "headline": {
+            "shape": headline_name,
+            "flops": headline_flops,
+            "speedup_vs_reference": headline_speedup,
+        },
+    });
+    std::fs::create_dir_all("bench-results").expect("create bench-results/");
+    let path = "bench-results/kernels.json";
+    std::fs::write(path, serde_json::to_string_pretty(&report).expect("serialise"))
+        .expect("write kernels.json");
+    println!("wrote {path} (headline {headline_name}: {headline_speedup:.2}x)");
+}

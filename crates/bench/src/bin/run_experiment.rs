@@ -37,8 +37,8 @@ fn parse_spec(s: &str) -> ExperimentSpec {
         "vgg" => ExperimentSpec::bench(TaskKind::VggEmnist),
         "resnet" => ExperimentSpec::bench(TaskKind::ResnetTiny),
         path => {
-            let body = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("read spec {path}: {e}"));
+            let body =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read spec {path}: {e}"));
             serde_json::from_str(&body).unwrap_or_else(|e| panic!("parse spec {path}: {e}"))
         }
     }
@@ -71,7 +71,11 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&history.method.clone(), &["round", "virtual time", "test loss", "accuracy"], &rows);
+    print_table(
+        &history.method.clone(),
+        &["round", "virtual time", "test loss", "accuracy"],
+        &rows,
+    );
 
     if let Some(out) = args.get(2) {
         fedmp_core::save_json(out, &history);

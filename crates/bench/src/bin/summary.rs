@@ -32,8 +32,7 @@ fn main() {
             let mut detail = String::new();
             for task in v.as_array().into_iter().flatten() {
                 let series = task["series"].as_array().cloned().unwrap_or_default();
-                let accs: Vec<f64> =
-                    series.iter().filter_map(|p| p["accuracy"].as_f64()).collect();
+                let accs: Vec<f64> = series.iter().filter_map(|p| p["accuracy"].as_f64()).collect();
                 if accs.is_empty() {
                     ok = false;
                     continue;
@@ -54,7 +53,12 @@ fn main() {
                     accs.len()
                 ));
             }
-            Check { id: "Fig. 2", claim: "accuracy rises then falls with the fixed ratio", verdict: Some(ok), detail }
+            Check {
+                id: "Fig. 2",
+                claim: "accuracy rises then falls with the fixed ratio",
+                verdict: Some(ok),
+                detail,
+            }
         }
     });
 
@@ -86,7 +90,9 @@ fn main() {
                     task["task"].as_str().unwrap_or("?")
                 ));
             }
-            Check { id: "Fig. 4", claim: "small θ flat, large θ slower", verdict: Some(ok), detail }
+            Check {
+                id: "Fig. 4", claim: "small θ flat, large θ slower", verdict: Some(ok), detail
+            }
         }
     });
 
@@ -157,14 +163,19 @@ fn main() {
             let mut detail = String::new();
             for task in v.as_array().into_iter().flatten() {
                 let s = speedup_of(&task["time_to_target"], "FedMP");
-                ok &= s.map_or(false, |x| x > 1.0);
+                ok &= s.is_some_and(|x| x > 1.0);
                 detail.push_str(&format!(
                     "{}: FedMP speedup {:?}; ",
                     task["task"].as_str().unwrap_or("?"),
                     s
                 ));
             }
-            Check { id: "Fig. 6", claim: "FedMP fastest to the common target", verdict: Some(ok), detail }
+            Check {
+                id: "Fig. 6",
+                claim: "FedMP fastest to the common target",
+                verdict: Some(ok),
+                detail,
+            }
         }
     });
 
@@ -193,7 +204,8 @@ fn main() {
     checks.push(match load("fig8") {
         None => missing("Fig. 8", "FedMP's margin widens with heterogeneity"),
         Some(v) => {
-            let mut by_task: std::collections::BTreeMap<String, Vec<(String, f64)>> = Default::default();
+            let mut by_task: std::collections::BTreeMap<String, Vec<(String, f64)>> =
+                Default::default();
             for row in v.as_array().into_iter().flatten() {
                 if let Some(s) = speedup_of(&row["rows"], "FedMP") {
                     by_task
@@ -214,7 +226,12 @@ fn main() {
                     ok = false;
                 }
             }
-            Check { id: "Fig. 8", claim: "FedMP advantage holds Low→High", verdict: Some(ok), detail }
+            Check {
+                id: "Fig. 8",
+                claim: "FedMP advantage holds Low→High",
+                verdict: Some(ok),
+                detail,
+            }
         }
     });
 
@@ -239,7 +256,12 @@ fn main() {
                     }
                 }
             }
-            Check { id: "Fig. 9", claim: "FedMP fastest at every non-IID level", verdict: Some(ok), detail }
+            Check {
+                id: "Fig. 9",
+                claim: "FedMP fastest at every non-IID level",
+                verdict: Some(ok),
+                detail,
+            }
         }
     });
 
@@ -251,14 +273,15 @@ fn main() {
             let mut detail = String::new();
             for row in v.as_array().into_iter().flatten() {
                 let s = speedup_of(&row["rows"], "FedMP");
-                ok &= s.map_or(false, |x| x > 1.0);
-                detail.push_str(&format!(
-                    "N={}: {:?}; ",
-                    row["workers"].as_u64().unwrap_or(0),
-                    s
-                ));
+                ok &= s.is_some_and(|x| x > 1.0);
+                detail.push_str(&format!("N={}: {:?}; ", row["workers"].as_u64().unwrap_or(0), s));
             }
-            Check { id: "Fig. 10", claim: "FedMP fastest at 10/20/30 workers", verdict: Some(ok), detail }
+            Check {
+                id: "Fig. 10",
+                claim: "FedMP fastest at 10/20/30 workers",
+                verdict: Some(ok),
+                detail,
+            }
         }
     });
 
@@ -270,7 +293,8 @@ fn main() {
             let totals: Vec<f64> = pts
                 .iter()
                 .map(|p| {
-                    p["decision_ms"].as_f64().unwrap_or(0.0) + p["pruning_ms"].as_f64().unwrap_or(0.0)
+                    p["decision_ms"].as_f64().unwrap_or(0.0)
+                        + p["pruning_ms"].as_f64().unwrap_or(0.0)
                 })
                 .collect();
             let ok = !totals.is_empty()
@@ -293,7 +317,7 @@ fn main() {
             Check {
                 id: "Fig. 12",
                 claim: "Asyn-FedMP beats Asyn-FL",
-                verdict: Some(s.map_or(false, |x| x >= 1.0)),
+                verdict: Some(s.is_some_and(|x| x >= 1.0)),
                 detail: format!("Asyn-FedMP speedup vs Asyn-FL: {s:?}"),
             }
         }

@@ -16,8 +16,7 @@ fn main() {
         let histories: Vec<_> = methods.iter().map(|&m| run_method(&spec, m)).collect();
         // Budget: the earliest finisher's horizon, so every method is
         // compared over a window it fully covered.
-        let budget =
-            histories.iter().map(|h| h.total_time()).fold(f64::INFINITY, f64::min);
+        let budget = histories.iter().map(|h| h.total_time()).fold(f64::INFINITY, f64::min);
 
         let mut row = vec![task.name().to_string(), format!("{budget:.0}s")];
         let mut cells = Vec::new();

@@ -46,7 +46,8 @@ fn main() {
         time: TimeModel::default(),
         cost_scale,
     };
-    let rounds = if std::env::var("FEDMP_BENCH_PROFILE").as_deref() == Ok("full") { 32 } else { 16 };
+    let rounds =
+        if std::env::var("FEDMP_BENCH_PROFILE").as_deref() == Ok("full") { 32 } else { 16 };
     let opts = LmOptions { rounds, eval_every: 2, ..Default::default() };
     let global = zoo::lstm_ptb(vocab, 0.3, &mut rng);
 

@@ -54,10 +54,7 @@ pub fn bench_spec(task: TaskKind) -> ExperimentSpec {
 /// fixes absolute targets relative to what Syn-FL achieves; methods
 /// that never reach it report `-`.
 pub fn common_target(histories: &[RunHistory]) -> f32 {
-    let base_final = histories
-        .first()
-        .and_then(|h| h.final_accuracy())
-        .unwrap_or(0.5);
+    let base_final = histories.first().and_then(|h| h.final_accuracy()).unwrap_or(0.5);
     (base_final * 0.9).min(0.99)
 }
 

@@ -96,7 +96,7 @@ impl ExperimentSpec {
     /// A laptop-scale configuration used by tests and quick examples.
     pub fn small(task: TaskKind) -> Self {
         let width = match task {
-            TaskKind::CnnMnist => 0.15,
+            TaskKind::CnnMnist => 0.25,
             TaskKind::AlexnetCifar => 0.08,
             TaskKind::VggEmnist => 0.12,
             TaskKind::ResnetTiny => 0.15,
@@ -141,7 +141,8 @@ impl ExperimentSpec {
             (spec.channels, spec.height, spec.width)
         };
         let full = fedmp_nn::model_cost(&self.task.build_model(1.0, self.seed ^ 0x0DE1), chw);
-        let scaled = fedmp_nn::model_cost(&self.task.build_model(self.width, self.seed ^ 0x0DE1), chw);
+        let scaled =
+            fedmp_nn::model_cost(&self.task.build_model(self.width, self.seed ^ 0x0DE1), chw);
         fedmp_fl::CostScale {
             flops: full.flops_per_sample as f64 / scaled.flops_per_sample.max(1) as f64,
             bytes: full.params as f64 / scaled.params.max(1) as f64,
@@ -224,7 +225,7 @@ mod tests {
     fn all_tasks_build() {
         for task in TaskKind::all() {
             let built = ExperimentSpec::small(task).build();
-            assert!(built.task.train.len() > 0, "{}", task.name());
+            assert!(!built.task.train.is_empty(), "{}", task.name());
         }
     }
 }

@@ -38,9 +38,7 @@ pub fn measure_overhead(
     assert!(rounds > 0, "need at least one round");
     let mut agents: Vec<EUcbAgent> = (0..workers)
         .map(|w| {
-            let mut c = EUcbConfig::default();
-            c.seed = w as u64;
-            EUcbAgent::new(c)
+            EUcbAgent::new(EUcbConfig { seed: w as u64, ..Default::default() })
         })
         .collect();
 

@@ -63,12 +63,8 @@ impl Method {
 /// Builds the experiment described by `spec` and runs `method` on it.
 pub fn run_method(spec: &ExperimentSpec, method: Method) -> RunHistory {
     let built = spec.build();
-    let setup = FlSetup::with_cost_scale(
-        &built.task,
-        built.devices.clone(),
-        built.time,
-        built.cost_scale,
-    );
+    let setup =
+        FlSetup::with_cost_scale(&built.task, built.devices.clone(), built.time, built.cost_scale);
     match method {
         Method::SynFl => run_synfl(&spec.fl, &setup, built.model),
         Method::UpFl => run_upfl(&spec.fl, &setup, built.model, &UpFlOptions::default()),
@@ -98,19 +94,18 @@ pub fn run_method(spec: &ExperimentSpec, method: Method) -> RunHistory {
 /// shaping, BSP ablations) on the experiment described by `spec`.
 pub fn run_fedmp_custom(spec: &ExperimentSpec, opts: &FedMpOptions) -> RunHistory {
     let built = spec.build();
-    let setup = FlSetup::with_cost_scale(
-        &built.task,
-        built.devices.clone(),
-        built.time,
-        built.cost_scale,
-    );
+    let setup =
+        FlSetup::with_cost_scale(&built.task, built.devices.clone(), built.time, built.cost_scale);
     run_fedmp(&spec.fl, &setup, built.model, opts)
 }
 
 /// Speedups relative to the first (baseline) history, by
 /// time-to-target-accuracy. `None` appears when a method never reached
 /// the target.
-pub fn speedup_table(histories: &[RunHistory], target: f32) -> Vec<(String, Option<f64>, Option<f64>)> {
+pub fn speedup_table(
+    histories: &[RunHistory],
+    target: f32,
+) -> Vec<(String, Option<f64>, Option<f64>)> {
     let base = histories.first().and_then(|h| h.time_to_accuracy(target));
     histories
         .iter()

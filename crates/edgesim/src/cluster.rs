@@ -20,10 +20,9 @@ pub enum Cluster {
 /// Samples a device uniformly from a cluster's mode/link ranges.
 pub fn sample_cluster_device(cluster: Cluster, rng: &mut StdRng) -> DeviceProfile {
     let (modes, links): (&[ComputeMode], &[LinkQuality]) = match cluster {
-        Cluster::A => (
-            &[ComputeMode::Mode0, ComputeMode::Mode1],
-            &[LinkQuality::Near, LinkQuality::Mid],
-        ),
+        Cluster::A => {
+            (&[ComputeMode::Mode0, ComputeMode::Mode1], &[LinkQuality::Near, LinkQuality::Mid])
+        }
         Cluster::B => (&[ComputeMode::Mode1, ComputeMode::Mode2], &[LinkQuality::Mid]),
         Cluster::C => (&[ComputeMode::Mode2, ComputeMode::Mode3], &[LinkQuality::Far]),
     };
@@ -104,7 +103,8 @@ mod tests {
     #[test]
     fn scenarios_have_requested_size() {
         let mut r = rng();
-        for level in [HeterogeneityLevel::Low, HeterogeneityLevel::Medium, HeterogeneityLevel::High] {
+        for level in [HeterogeneityLevel::Low, HeterogeneityLevel::Medium, HeterogeneityLevel::High]
+        {
             for n in [10usize, 13, 30] {
                 assert_eq!(heterogeneity_scenario(level, n, &mut r).len(), n);
             }
@@ -114,9 +114,8 @@ mod tests {
     #[test]
     fn higher_level_means_weaker_slowest_worker() {
         let mut r = rng();
-        let min_flops = |fleet: &[DeviceProfile]| {
-            fleet.iter().map(|d| d.flops()).fold(f64::INFINITY, f64::min)
-        };
+        let min_flops =
+            |fleet: &[DeviceProfile]| fleet.iter().map(|d| d.flops()).fold(f64::INFINITY, f64::min);
         let low = heterogeneity_scenario(HeterogeneityLevel::Low, 10, &mut r);
         let high = heterogeneity_scenario(HeterogeneityLevel::High, 10, &mut r);
         assert!(min_flops(&low) > min_flops(&high));

@@ -83,11 +83,8 @@ mod tests {
 
     #[test]
     fn hand_computed_round() {
-        let m = EnergyModel {
-            joules_per_flop: 1.0e-9,
-            radio_power_watts: 2.0,
-            idle_power_watts: 1.0,
-        };
+        let m =
+            EnergyModel { joules_per_flop: 1.0e-9, radio_power_watts: 2.0, idle_power_watts: 1.0 };
         // One round: 10 s barrier, 4 s compute at 1 GFLOP/s, 2 s comm.
         let report = m.estimate_run([(10.0, 4.0, 2.0)], 2, 1.0e9);
         // compute: 2 workers × 4e9 FLOPs × 1e-9 J = 8 J

@@ -58,7 +58,12 @@ impl TimeModel {
     }
 
     /// Simulates one round for one worker.
-    pub fn round_time(&self, device: &DeviceProfile, cost: &RoundCost, rng: &mut StdRng) -> RoundTime {
+    pub fn round_time(
+        &self,
+        device: &DeviceProfile,
+        cost: &RoundCost,
+        rng: &mut StdRng,
+    ) -> RoundTime {
         assert!(cost.train_flops >= 0.0 && cost.download_bytes >= 0.0 && cost.upload_bytes >= 0.0);
         let comp = cost.train_flops / device.flops();
         let comm = (cost.download_bytes + cost.upload_bytes) * 8.0 / device.bandwidth();
@@ -109,7 +114,10 @@ mod tests {
         let weak = tx2_profile(ComputeMode::Mode3, LinkQuality::Far);
         let c = cost(1.0e12, 20.0e6);
         let mut r = rng();
-        assert!(model.round_time(&weak, &c, &mut r).total() > model.round_time(&strong, &c, &mut r).total());
+        assert!(
+            model.round_time(&weak, &c, &mut r).total()
+                > model.round_time(&strong, &c, &mut r).total()
+        );
     }
 
     #[test]

@@ -87,11 +87,7 @@ impl ImageDataset {
 
     /// Indices of all samples with the given label.
     pub fn indices_of_class(&self, class: usize) -> Vec<usize> {
-        self.labels
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &l)| (l == class).then_some(i))
-            .collect()
+        self.labels.iter().enumerate().filter_map(|(i, &l)| (l == class).then_some(i)).collect()
     }
 }
 

@@ -18,7 +18,12 @@ pub struct BatchIter<'a> {
 impl<'a> BatchIter<'a> {
     /// Creates an iterator over `shard` (indices into `dataset`) with the
     /// given batch size and a per-worker RNG for shuffling.
-    pub fn new(dataset: &'a ImageDataset, shard: Vec<usize>, batch_size: usize, rng: StdRng) -> Self {
+    pub fn new(
+        dataset: &'a ImageDataset,
+        shard: Vec<usize>,
+        batch_size: usize,
+        rng: StdRng,
+    ) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
         assert!(!shard.is_empty(), "empty shard");
         let n = shard.len();
@@ -40,7 +45,8 @@ impl<'a> BatchIter<'a> {
             self.cursor = 0;
         }
         let end = (self.cursor + self.batch_size).min(self.order.len());
-        let picks: Vec<usize> = self.order[self.cursor..end].iter().map(|&i| self.shard[i]).collect();
+        let picks: Vec<usize> =
+            self.order[self.cursor..end].iter().map(|&i| self.shard[i]).collect();
         self.cursor = end;
         self.dataset.gather(&picks)
     }

@@ -144,6 +144,8 @@ fn upsample_bilinear(src: &[f32], sh: usize, sw: usize, dh: usize, dw: usize) ->
 ///
 /// `scale` multiplies the per-class sample counts (1.0 ⇒ 200 train + 40
 /// test per class, sized so the full experiment suite runs on a laptop).
+/// Test counts are floored so tiny scales still evaluate on enough
+/// samples for accuracy estimates to resolve small method differences.
 pub fn mnist_like(scale: f32, seed: u64) -> SynthSpec {
     SynthSpec {
         name: "mnist-like".into(),
@@ -152,9 +154,9 @@ pub fn mnist_like(scale: f32, seed: u64) -> SynthSpec {
         width: 28,
         classes: 10,
         train_per_class: scaled_count(200, scale),
-        test_per_class: scaled_count(40, scale),
+        test_per_class: scaled_count(40, scale).max(20),
         noise: 1.0,
-        class_sep: 0.30,
+        class_sep: 0.45,
         proto_grid: 7,
         seed,
     }
@@ -170,7 +172,7 @@ pub fn cifar_like(scale: f32, seed: u64) -> SynthSpec {
         width: 32,
         classes: 10,
         train_per_class: scaled_count(200, scale),
-        test_per_class: scaled_count(40, scale),
+        test_per_class: scaled_count(40, scale).max(20),
         noise: 1.2,
         class_sep: 0.4,
         proto_grid: 8,
@@ -187,7 +189,7 @@ pub fn emnist_like(scale: f32, seed: u64) -> SynthSpec {
         width: 28,
         classes: 62,
         train_per_class: scaled_count(40, scale),
-        test_per_class: scaled_count(8, scale),
+        test_per_class: scaled_count(8, scale).max(4),
         noise: 1.0,
         class_sep: 0.9,
         proto_grid: 7,
@@ -204,7 +206,7 @@ pub fn tiny_imagenet_like(scale: f32, seed: u64) -> SynthSpec {
         width: 64,
         classes: 200,
         train_per_class: scaled_count(20, scale),
-        test_per_class: scaled_count(4, scale),
+        test_per_class: scaled_count(4, scale).max(2),
         noise: 0.5,
         class_sep: 1.5,
         proto_grid: 6,
@@ -254,7 +256,7 @@ mod tests {
         let (train, test) = mnist_like(0.1, 10).generate();
         let sample = train.sample_numel();
         let mut means = vec![vec![0.0f32; sample]; 10];
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for i in 0..train.len() {
             let l = train.label(i);
             counts[l] += 1;
@@ -300,8 +302,8 @@ mod tests {
             tiny_imagenet_like(0.2, 4),
         ] {
             let (train, test) = spec.generate();
-            assert!(train.len() > 0);
-            assert!(test.len() > 0);
+            assert!(!train.is_empty());
+            assert!(!test.is_empty());
         }
     }
 }

@@ -106,9 +106,8 @@ pub fn ptb_like(vocab: usize, n_tokens: usize, seed: u64) -> TextDataset {
     // Sparse Markov successors: each token has a handful of preferred
     // successors sampled from the unigram distribution.
     let branch = 4usize;
-    let successors: Vec<Vec<usize>> = (0..vocab)
-        .map(|_| (0..branch).map(|_| zipf_sample(&cdf, &mut rng)).collect())
-        .collect();
+    let successors: Vec<Vec<usize>> =
+        (0..vocab).map(|_| (0..branch).map(|_| zipf_sample(&cdf, &mut rng)).collect()).collect();
 
     let mut tokens = Vec::with_capacity(n_tokens);
     let mut cur = zipf_sample(&cdf, &mut rng);

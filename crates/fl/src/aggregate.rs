@@ -24,11 +24,8 @@ pub fn r2sp_aggregate(
 ) -> Vec<StateEntry> {
     assert_eq!(recovered.len(), residuals.len(), "r2sp: worker count mismatch");
     assert!(!recovered.is_empty(), "r2sp: no workers");
-    let completed: Vec<Vec<StateEntry>> = recovered
-        .iter()
-        .zip(residuals.iter())
-        .map(|(r, q)| state_add(r, q))
-        .collect();
+    let completed: Vec<Vec<StateEntry>> =
+        recovered.iter().zip(residuals.iter()).map(|(r, q)| state_add(r, q)).collect();
     average_states(&completed)
 }
 
@@ -77,7 +74,7 @@ mod tests {
         // [0, 8]) and trained index 0 to 5.
         let recovered = snap(&[5.0, 0.0]);
         let residual = snap(&[0.0, 8.0]);
-        let agg = r2sp_aggregate(&[recovered.clone()], &[residual]);
+        let agg = r2sp_aggregate(std::slice::from_ref(&recovered), &[residual]);
         assert_eq!(agg[0].tensor.data(), &[5.0, 8.0]);
         // BSP leaves the pruned position at zero.
         let bsp = bsp_aggregate(&[recovered]);

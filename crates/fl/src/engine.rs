@@ -144,7 +144,12 @@ pub(crate) fn worker_batches<'d>(
     seed: u64,
     round: usize,
 ) -> BatchIter<'d> {
-    BatchIter::new(&task.train, task.partition[worker].clone(), batch, worker_rng(seed, round, worker))
+    BatchIter::new(
+        &task.train,
+        task.partition[worker].clone(),
+        batch,
+        worker_rng(seed, round, worker),
+    )
 }
 
 /// The Eq. 5 cost of one round with the given (sub-)model: download +
@@ -157,9 +162,7 @@ pub(crate) fn model_round_cost(
 ) -> RoundCost {
     let report = model_cost(model, chw);
     RoundCost {
-        train_flops: report.train_flops_per_sample() as f64
-            * local.batch as f64
-            * local.tau as f64,
+        train_flops: report.train_flops_per_sample() as f64 * local.batch as f64 * local.tau as f64,
         download_bytes: report.param_bytes() as f64,
         upload_bytes: report.param_bytes() as f64,
     }

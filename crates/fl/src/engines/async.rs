@@ -94,12 +94,12 @@ pub fn run_async(
     let mut queue = ArrivalQueue::new();
 
     let dispatch = |w: usize,
-                        now: f64,
-                        global: &Sequential,
-                        agents: &mut Vec<EUcbAgent>,
-                        jobs: &mut Vec<Option<Pending>>,
-                        queue: &mut ArrivalQueue,
-                        dispatch_count: &mut usize| {
+                    now: f64,
+                    global: &Sequential,
+                    agents: &mut Vec<EUcbAgent>,
+                    jobs: &mut Vec<Option<Pending>>,
+                    queue: &mut ArrivalQueue,
+                    dispatch_count: &mut usize| {
         let tick = *dispatch_count;
         *dispatch_count += 1;
         let (mut model, plan, residual, ratio) = match opts.mode {
@@ -187,7 +187,8 @@ pub fn run_async(
         }
 
         let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
-            let r = evaluate_image(&mut global, &setup.task.test, cfg.eval_batch, cfg.eval_max_samples);
+            let r =
+                evaluate_image(&mut global, &setup.task.test, cfg.eval_batch, cfg.eval_max_samples);
             Some((r.loss, r.accuracy))
         } else {
             None

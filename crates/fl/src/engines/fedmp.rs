@@ -2,11 +2,11 @@
 //! E-UCB, distributed structured pruning, and R2SP aggregation.
 
 use crate::aggregate::{bsp_aggregate, r2sp_aggregate};
+use crate::engine::worker_rng;
 use crate::engine::{model_round_cost, worker_batches, FlConfig, FlSetup, SyncScheme};
 use crate::eval::evaluate_image;
 use crate::history::{RoundRecord, RunHistory};
 use crate::local::local_train;
-use crate::engine::worker_rng;
 use fedmp_bandit::{eucb_reward, Bandit, EUcbAgent, EUcbConfig, RewardConfig};
 use fedmp_edgesim::{deadline_for, FaultInjector};
 use fedmp_nn::{state_sub, Sequential};
@@ -36,7 +36,12 @@ pub struct FaultOptions {
 
 impl Default for FaultOptions {
     fn default() -> Self {
-        FaultOptions { fail_prob: 0.05, recover_rounds: 2, deadline_frac: 0.85, deadline_factor: 1.5 }
+        FaultOptions {
+            fail_prob: 0.05,
+            recover_rounds: 2,
+            deadline_frac: 0.85,
+            deadline_factor: 1.5,
+        }
     }
 }
 
@@ -100,9 +105,8 @@ pub fn run_fedmp(
         })
         .collect();
 
-    let mut injector = opts
-        .faults
-        .map(|f| FaultInjector::new(workers, f.fail_prob, f.recover_rounds));
+    let mut injector =
+        opts.faults.map(|f| FaultInjector::new(workers, f.fail_prob, f.recover_rounds));
     let mut fault_rng = fedmp_tensor::seeded_rng(cfg.seed ^ 0xFA17);
 
     for round in 0..cfg.rounds {
@@ -137,8 +141,7 @@ pub fn run_fedmp(
             .iter()
             .map(|&r| plan_sequential_with(&global, setup.task.input_chw, r, opts.importance))
             .collect();
-        let subs: Vec<Sequential> =
-            plans.iter().map(|p| extract_sequential(&global, p)).collect();
+        let subs: Vec<Sequential> = plans.iter().map(|p| extract_sequential(&global, p)).collect();
 
         // Residual models (kept PS-side until aggregation, §III-C),
         // optionally stored 8-bit quantized to cut PS memory 4×.
@@ -181,9 +184,8 @@ pub fn run_fedmp(
         mean_comm /= online.len() as f64;
 
         // §V-A deadline: arrivals after `factor · d` are discarded.
-        let deadline = opts
-            .faults
-            .and_then(|f| deadline_for(&times, f.deadline_frac, f.deadline_factor));
+        let deadline =
+            opts.faults.and_then(|f| deadline_for(&times, f.deadline_frac, f.deadline_factor));
         let kept: Vec<usize> = match deadline {
             Some(d) => (0..online.len()).filter(|&i| times[i] <= d).collect(),
             None => (0..online.len()).collect(),
@@ -204,10 +206,8 @@ pub fn run_fedmp(
         }
 
         // ③ Model aggregation over the kept arrivals.
-        let recovered: Vec<_> = kept
-            .iter()
-            .map(|&i| recover_state(&results[i].0, &plans[i], &global))
-            .collect();
+        let recovered: Vec<_> =
+            kept.iter().map(|&i| recover_state(&results[i].0, &plans[i], &global)).collect();
         let kept_residuals: Vec<_> = kept.iter().map(|&i| residuals[i].clone()).collect();
         let new_state = match opts.sync {
             SyncScheme::R2SP => r2sp_aggregate(&recovered, &kept_residuals),
@@ -218,7 +218,8 @@ pub fn run_fedmp(
         let train_loss =
             kept.iter().map(|&i| results[i].1.mean_loss).sum::<f32>() / kept.len() as f32;
         let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
-            let r = evaluate_image(&mut global, &setup.task.test, cfg.eval_batch, cfg.eval_max_samples);
+            let r =
+                evaluate_image(&mut global, &setup.task.test, cfg.eval_batch, cfg.eval_max_samples);
             Some((r.loss, r.accuracy))
         } else {
             None
@@ -274,11 +275,7 @@ mod tests {
         let acc = h.final_accuracy().expect("evaluated");
         assert!(acc > 0.25, "FedMP accuracy only {acc}");
         assert!(h.rounds.iter().all(|r| r.ratios.len() == 4));
-        assert!(h
-            .rounds
-            .iter()
-            .flat_map(|r| r.ratios.iter())
-            .all(|&a| (0.0..0.9).contains(&a)));
+        assert!(h.rounds.iter().flat_map(|r| r.ratios.iter()).all(|&a| (0.0..0.9).contains(&a)));
     }
 
     #[test]
@@ -379,8 +376,12 @@ mod tests {
         let mut rng = seeded_rng(95);
         let global = zoo::cnn_mnist(0.1, &mut rng);
         let cfg = FlConfig { rounds: 2, ..Default::default() };
-        let no_deadline =
-            run_fedmp(&cfg, &setup, global.clone(), &FedMpOptions { fixed_ratio: Some(0.0), ..Default::default() });
+        let no_deadline = run_fedmp(
+            &cfg,
+            &setup,
+            global.clone(),
+            &FedMpOptions { fixed_ratio: Some(0.0), ..Default::default() },
+        );
         let with_deadline = run_fedmp(
             &cfg,
             &setup,

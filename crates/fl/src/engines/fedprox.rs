@@ -80,7 +80,8 @@ pub fn run_fedprox(
 
         let train_loss = results.iter().map(|(_, o)| o.mean_loss).sum::<f32>() / workers as f32;
         let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
-            let r = evaluate_image(&mut global, &setup.task.test, cfg.eval_batch, cfg.eval_max_samples);
+            let r =
+                evaluate_image(&mut global, &setup.task.test, cfg.eval_batch, cfg.eval_max_samples);
             Some((r.loss, r.accuracy))
         } else {
             None

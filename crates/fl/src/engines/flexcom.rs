@@ -45,9 +45,7 @@ pub fn run_flexcom(
     let keep: Vec<f32> = setup
         .devices
         .iter()
-        .map(|d| {
-            (opts.max_keep * (d.bandwidth() / max_bw) as f32).clamp(opts.min_keep, 1.0)
-        })
+        .map(|d| (opts.max_keep * (d.bandwidth() / max_bw) as f32).clamp(opts.min_keep, 1.0))
         .collect();
     let mut compressors: Vec<TopKCompressor> =
         keep.iter().map(|&k| TopKCompressor::new(k)).collect();
@@ -96,7 +94,8 @@ pub fn run_flexcom(
 
         let train_loss = results.iter().map(|(_, o)| o.mean_loss).sum::<f32>() / workers as f32;
         let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
-            let r = evaluate_image(&mut global, &setup.task.test, cfg.eval_batch, cfg.eval_max_samples);
+            let r =
+                evaluate_image(&mut global, &setup.task.test, cfg.eval_batch, cfg.eval_max_samples);
             Some((r.loss, r.accuracy))
         } else {
             None

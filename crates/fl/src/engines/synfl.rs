@@ -39,10 +39,10 @@ pub fn run_synfl(cfg: &FlConfig, setup: &FlSetup<'_>, mut global: Sequential) ->
         let states: Vec<_> = results.iter().map(|(s, _)| s.clone()).collect();
         global.load_state(&average_states(&states));
 
-        let train_loss =
-            results.iter().map(|(_, o)| o.mean_loss).sum::<f32>() / workers as f32;
+        let train_loss = results.iter().map(|(_, o)| o.mean_loss).sum::<f32>() / workers as f32;
         let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
-            let r = evaluate_image(&mut global, &setup.task.test, cfg.eval_batch, cfg.eval_max_samples);
+            let r =
+                evaluate_image(&mut global, &setup.task.test, cfg.eval_batch, cfg.eval_max_samples);
             Some((r.loss, r.accuracy))
         } else {
             None
@@ -77,8 +77,7 @@ mod tests {
         let mut rng = seeded_rng(71);
         let part = iid_partition(&train, 4, &mut rng);
         let task = ImageTask::new(train, test, part);
-        let devices =
-            vec![tx2_profile(ComputeMode::Mode0, LinkQuality::Near); 4];
+        let devices = vec![tx2_profile(ComputeMode::Mode0, LinkQuality::Near); 4];
         let setup = FlSetup::new(&task, devices, TimeModel::deterministic());
         let global = zoo::cnn_mnist(0.15, &mut rng);
         let cfg = FlConfig { rounds: 12, eval_every: 3, ..Default::default() };

@@ -15,17 +15,12 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// UP-FL options.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct UpFlOptions {
     /// Shared E-UCB configuration for the single round-ratio agent.
     pub eucb: EUcbConfig,
 }
 
-impl Default for UpFlOptions {
-    fn default() -> Self {
-        UpFlOptions { eucb: EUcbConfig::default() }
-    }
-}
 
 /// Runs UP-FL. The shared agent's reward is the mean local loss
 /// improvement per unit of round time — the natural uniform-ratio
@@ -78,7 +73,8 @@ pub fn run_upfl(
 
         let train_loss = results.iter().map(|(_, o)| o.mean_loss).sum::<f32>() / workers as f32;
         let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
-            let r = evaluate_image(&mut global, &setup.task.test, cfg.eval_batch, cfg.eval_max_samples);
+            let r =
+                evaluate_image(&mut global, &setup.task.test, cfg.eval_batch, cfg.eval_max_samples);
             Some((r.loss, r.accuracy))
         } else {
             None

@@ -92,18 +92,12 @@ impl RunHistory {
     /// The `(time, accuracy)` series of evaluated rounds — the Fig. 6
     /// curves.
     pub fn accuracy_curve(&self) -> Vec<(f64, f32)> {
-        self.rounds
-            .iter()
-            .filter_map(|r| r.eval.map(|(_, a)| (r.sim_time, a)))
-            .collect()
+        self.rounds.iter().filter_map(|r| r.eval.map(|(_, a)| (r.sim_time, a))).collect()
     }
 
     /// The `(round, accuracy)` series — the Fig. 7 curves.
     pub fn accuracy_by_round(&self) -> Vec<(usize, f32)> {
-        self.rounds
-            .iter()
-            .filter_map(|r| r.eval.map(|(_, a)| (r.round, a)))
-            .collect()
+        self.rounds.iter().filter_map(|r| r.eval.map(|(_, a)| (r.round, a))).collect()
     }
 }
 

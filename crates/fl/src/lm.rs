@@ -128,7 +128,12 @@ fn lm_round_cost(model: &LstmLm, batch: usize, seq: usize, tau: usize) -> RoundC
 }
 
 /// Runs one LM method for `opts.rounds` rounds from `global`.
-pub fn run_lm(setup: &LmSetup, opts: &LmOptions, method: LmMethod, mut global: LstmLm) -> RunHistory {
+pub fn run_lm(
+    setup: &LmSetup,
+    opts: &LmOptions,
+    method: LmMethod,
+    mut global: LstmLm,
+) -> RunHistory {
     let workers = setup.worker_batches.len();
     assert_eq!(setup.devices.len(), workers, "device count mismatch");
     assert!(workers > 0, "need at least one worker");
@@ -232,7 +237,8 @@ pub fn run_lm(setup: &LmSetup, opts: &LmOptions, method: LmMethod, mut global: L
                 }
                 _ => {
                     recovered.push(model.state());
-                    residuals.push(state_sub(&global.state(), &global.state())); // zeros
+                    residuals.push(state_sub(&global.state(), &global.state()));
+                    // zeros
                 }
             }
         }
@@ -243,8 +249,7 @@ pub fn run_lm(setup: &LmSetup, opts: &LmOptions, method: LmMethod, mut global: L
         };
         global.load_state(&new_state);
 
-        let train_loss =
-            results.iter().map(|(_, _, _, _, m)| *m).sum::<f32>() / workers as f32;
+        let train_loss = results.iter().map(|(_, _, _, _, m)| *m).sum::<f32>() / workers as f32;
         let eval = if round % opts.eval_every == 0 || round + 1 == opts.rounds {
             let r = evaluate_lm(&mut global, &setup.eval_batches, opts.eval_max_batches);
             Some((r.loss, r.accuracy)) // accuracy slot holds perplexity

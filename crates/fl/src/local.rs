@@ -53,13 +53,14 @@ impl LocalOutcome {
 
 /// Runs τ iterations of (proximal) SGD on `model` over the worker's
 /// shard. The FedProx anchor is the model state at round start.
-pub fn local_train(model: &mut Sequential, batches: &mut BatchIter<'_>, cfg: &LocalTrainConfig) -> LocalOutcome {
+pub fn local_train(
+    model: &mut Sequential,
+    batches: &mut BatchIter<'_>,
+    cfg: &LocalTrainConfig,
+) -> LocalOutcome {
     assert!(cfg.tau > 0, "tau must be positive");
-    let anchor: Vec<Tensor> = if cfg.prox_mu > 0.0 {
-        fedmp_nn::snapshot_params(model)
-    } else {
-        Vec::new()
-    };
+    let anchor: Vec<Tensor> =
+        if cfg.prox_mu > 0.0 { fedmp_nn::snapshot_params(model) } else { Vec::new() };
     let mut opt = Sgd::with_momentum(cfg.lr, cfg.momentum, 0.0);
     let mut first_loss = 0.0f32;
     let mut last_loss = 0.0f32;

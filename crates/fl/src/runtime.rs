@@ -274,11 +274,8 @@ mod tests {
         let mut rng = seeded_rng(263);
         let global = zoo::cnn_mnist(0.1, &mut rng);
         let cfg = FlConfig { rounds: 2, ..Default::default() };
-        let opts = FedMpOptions {
-            sync: SyncScheme::BSP,
-            fixed_ratio: Some(0.4),
-            ..Default::default()
-        };
+        let opts =
+            FedMpOptions { sync: SyncScheme::BSP, fixed_ratio: Some(0.4), ..Default::default() };
         let h = run_fedmp_threaded(&cfg, &setup, global, &opts);
         assert_eq!(h.rounds.len(), 2);
         assert!(h.rounds.iter().all(|r| r.ratios.iter().all(|&x| x == 0.4)));

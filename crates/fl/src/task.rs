@@ -18,11 +18,7 @@ pub struct ImageTask {
 
 impl ImageTask {
     /// Builds a task, validating the partition against the dataset.
-    pub fn new(
-        train: ImageDataset,
-        test: ImageDataset,
-        partition: Partition,
-    ) -> Self {
+    pub fn new(train: ImageDataset, test: ImageDataset, partition: Partition) -> Self {
         assert!(!partition.is_empty(), "task needs at least one worker shard");
         for (w, shard) in partition.iter().enumerate() {
             assert!(!shard.is_empty(), "worker {w} has an empty shard");

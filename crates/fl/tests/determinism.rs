@@ -1,0 +1,56 @@
+//! Determinism regression for the blocked/parallel tensor kernels.
+//!
+//! A FedMP run is a long chain of GEMMs, convolutions and poolings; if
+//! the cache-blocked kernels or the band scheduler ever reordered a
+//! floating-point accumulation, histories would drift. These tests pin
+//! the contract end to end: the same seed gives a bit-identical
+//! [`RunHistory`], whether the kernels run on one thread or many.
+
+use fedmp_data::{iid_partition, mnist_like};
+use fedmp_edgesim::{tx2_profile, ComputeMode, LinkQuality, TimeModel};
+use fedmp_fl::{run_fedmp, FedMpOptions, FlConfig, FlSetup, ImageTask, RunHistory};
+use fedmp_nn::zoo;
+use fedmp_tensor::{parallel, seeded_rng};
+
+/// A short but complete FedMP run: adaptive ratios, eval every round.
+fn run_once() -> RunHistory {
+    let (train, test) = mnist_like(0.1, 400).generate();
+    let mut rng = seeded_rng(400);
+    let part = iid_partition(&train, 4, &mut rng);
+    let task = ImageTask::new(train, test, part);
+    let devices = vec![
+        tx2_profile(ComputeMode::Mode0, LinkQuality::Near),
+        tx2_profile(ComputeMode::Mode1, LinkQuality::Mid),
+        tx2_profile(ComputeMode::Mode2, LinkQuality::Mid),
+        tx2_profile(ComputeMode::Mode3, LinkQuality::Far),
+    ];
+    let setup = FlSetup::new(&task, devices, TimeModel::deterministic());
+    let mut mrng = seeded_rng(401);
+    let global = zoo::cnn_mnist(0.15, &mut mrng);
+    let cfg = FlConfig { rounds: 3, eval_every: 1, ..Default::default() };
+    run_fedmp(&cfg, &setup, global, &FedMpOptions::default())
+}
+
+/// Canonical printed form. Rust's float formatting is shortest
+/// round-trip, so two histories print identically iff every recorded
+/// float is bit-identical.
+fn canonical(h: &RunHistory) -> String {
+    serde_json::to_string(h).expect("serialise history")
+}
+
+#[test]
+fn same_seed_runs_are_bit_identical() {
+    let a = canonical(&run_once());
+    let b = canonical(&run_once());
+    assert_eq!(a, b, "two same-seed FedMP runs diverged");
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    parallel::override_threads(Some(1));
+    let sequential = canonical(&run_once());
+    parallel::override_threads(Some(4));
+    let parallel_run = canonical(&run_once());
+    parallel::override_threads(None);
+    assert_eq!(sequential, parallel_run, "FedMP history differs between 1 and 4 kernel threads");
+}

@@ -33,7 +33,16 @@ pub struct Adam {
 impl Adam {
     /// Adam with the standard defaults (β₁ = 0.9, β₂ = 0.999).
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, step: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            step: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// AdamW: decoupled weight decay.
@@ -57,7 +66,11 @@ impl Adam {
             }
             let m = &mut ms[idx];
             let v = &mut vs[idx];
-            assert_eq!(m.dims(), p.value.dims(), "Adam buffer shape drift: re-create after model change");
+            assert_eq!(
+                m.dims(),
+                p.value.dims(),
+                "Adam buffer shape drift: re-create after model change"
+            );
             for (((w, &g), mi), vi) in p
                 .value
                 .data_mut()
@@ -120,10 +133,7 @@ impl LrSchedule {
                     floor
                 } else {
                     let progress = t as f32 / total.max(1) as f32;
-                    floor
-                        + (1.0 - floor)
-                            * 0.5
-                            * (1.0 + (std::f32::consts::PI * progress).cos())
+                    floor + (1.0 - floor) * 0.5 * (1.0 + (std::f32::consts::PI * progress).cos())
                 }
             }
             LrSchedule::Warmup { warmup } => {
@@ -173,12 +183,11 @@ mod tests {
     #[test]
     fn adamw_decay_shrinks_weights_without_gradients() {
         let mut m = model();
-        let before: f32 = fedmp_tensor::Tensor::zeros(&[1]).sum()
-            + {
-                let mut s = 0.0;
-                m.for_each_param_mut(&mut |p| s += p.value.l2_norm());
-                s
-            };
+        let before: f32 = fedmp_tensor::Tensor::zeros(&[1]).sum() + {
+            let mut s = 0.0;
+            m.for_each_param_mut(&mut |p| s += p.value.l2_norm());
+            s
+        };
         let mut opt = Adam::with_weight_decay(0.1, 0.5);
         for _ in 0..30 {
             m.zero_grad();

@@ -49,7 +49,12 @@ impl BatchNorm2d {
     }
 
     /// Rebuilds a BN layer from saved tensors (pruning reconstruction).
-    pub fn from_parts(gamma: Tensor, beta: Tensor, running_mean: Tensor, running_var: Tensor) -> Self {
+    pub fn from_parts(
+        gamma: Tensor,
+        beta: Tensor,
+        running_mean: Tensor,
+        running_var: Tensor,
+    ) -> Self {
         let c = gamma.numel();
         assert_eq!(beta.numel(), c, "bn: beta length mismatch");
         assert_eq!(running_mean.numel(), c, "bn: running_mean length mismatch");
@@ -117,7 +122,8 @@ impl BatchNorm2d {
                     }
                 }
                 let m = self.momentum;
-                self.running_mean.data_mut()[ch] = (1.0 - m) * self.running_mean.data()[ch] + m * mean;
+                self.running_mean.data_mut()[ch] =
+                    (1.0 - m) * self.running_mean.data()[ch] + m * mean;
                 self.running_var.data_mut()[ch] = (1.0 - m) * self.running_var.data()[ch] + m * var;
             }
             self.cache = Some(BnCache { x_hat, inv_std: inv_stds, input_dims: d.to_vec() });
@@ -129,7 +135,8 @@ impl BatchNorm2d {
                 for i in 0..n {
                     let base = (i * c + ch) * plane;
                     for k in 0..plane {
-                        out.data_mut()[base + k] = g * (input.data()[base + k] - mean) * inv_std + b;
+                        out.data_mut()[base + k] =
+                            g * (input.data()[base + k] - mean) * inv_std + b;
                     }
                 }
             }
@@ -148,6 +155,9 @@ impl BatchNorm2d {
 
         let mut grad_in = Tensor::zeros(d);
         let gamma = self.gamma.value.data().to_vec();
+        // `ch` indexes four parallel per-channel arrays; enumerate would
+        // single one out arbitrarily.
+        #[allow(clippy::needless_range_loop)]
         for ch in 0..c {
             // Accumulate dγ, dβ, and the two reduction terms of the BN
             // input gradient.
@@ -200,7 +210,8 @@ mod tests {
                 vals.extend_from_slice(&y.data()[base..base + 25]);
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-3, "var {var}");
         }

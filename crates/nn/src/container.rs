@@ -112,8 +112,14 @@ impl LayerNode {
             LayerNode::BatchNorm2d(l) => {
                 out.push(StateEntry::trainable(format!("{prefix}.gamma"), l.gamma.value.clone()));
                 out.push(StateEntry::trainable(format!("{prefix}.beta"), l.beta.value.clone()));
-                out.push(StateEntry::tracked(format!("{prefix}.running_mean"), l.running_mean.clone()));
-                out.push(StateEntry::tracked(format!("{prefix}.running_var"), l.running_var.clone()));
+                out.push(StateEntry::tracked(
+                    format!("{prefix}.running_mean"),
+                    l.running_mean.clone(),
+                ));
+                out.push(StateEntry::tracked(
+                    format!("{prefix}.running_var"),
+                    l.running_var.clone(),
+                ));
             }
             LayerNode::Residual(l) => l.collect_state(prefix, out),
             LayerNode::ReLU(_)
@@ -199,11 +205,7 @@ impl ResidualBlock {
         for l in &mut self.shortcut {
             side = l.forward(&side, training);
         }
-        assert_eq!(
-            main.dims(),
-            side.dims(),
-            "residual block: body/shortcut output shapes differ"
-        );
+        assert_eq!(main.dims(), side.dims(), "residual block: body/shortcut output shapes differ");
         let pre = main.add(&side);
         self.relu_mask = Some(pre.data().iter().map(|&v| v > 0.0).collect());
         pre.map(|v| if v > 0.0 { v } else { 0.0 })
@@ -325,7 +327,12 @@ impl Sequential {
         for (i, l) in self.layers.iter_mut().enumerate() {
             consumed += l.load_state(&i.to_string(), &entries[consumed..]);
         }
-        assert_eq!(consumed, entries.len(), "load_state: {} leftover entries", entries.len() - consumed);
+        assert_eq!(
+            consumed,
+            entries.len(),
+            "load_state: {} leftover entries",
+            entries.len() - consumed
+        );
     }
 
     /// Total trainable parameter count.

@@ -37,7 +37,11 @@ impl Conv2d {
         let spec = Conv2dSpec { kh: kernel, kw: kernel, stride, padding };
         let fan_in = in_channels * kernel * kernel;
         Conv2d {
-            weight: Param::new(Tensor::kaiming(&[out_channels, in_channels, kernel, kernel], fan_in, rng)),
+            weight: Param::new(Tensor::kaiming(
+                &[out_channels, in_channels, kernel, kernel],
+                fan_in,
+                rng,
+            )),
             bias: Param::new(Tensor::zeros(&[out_channels])),
             spec,
             cached_input: None,
@@ -72,7 +76,8 @@ impl Conv2d {
     /// Backward pass; accumulates parameter gradients, returns input grad.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("conv backward before forward");
-        let (gw, gb) = conv2d_backward_weight(grad_out, input, self.weight.value.dims(), &self.spec);
+        let (gw, gb) =
+            conv2d_backward_weight(grad_out, input, self.weight.value.dims(), &self.spec);
         self.weight.grad.add_assign(&gw);
         self.bias.grad.add_assign(&gb);
         conv2d_backward_input(grad_out, &self.weight.value, input.dims(), &self.spec)

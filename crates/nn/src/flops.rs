@@ -215,7 +215,8 @@ mod tests {
         // conv1: 2*32*1*25*28*28
         assert_eq!(report.layers[0].flops, 2 * 32 * 25 * 28 * 28);
         // Params: conv1 832, conv2 51264, fc1 3136*256+256, fc2 2570
-        let expected_params = (32 * 25 + 32) + (64 * 32 * 25 + 64) + (3136 * 256 + 256) + (256 * 10 + 10);
+        let expected_params =
+            (32 * 25 + 32) + (64 * 32 * 25 + 64) + (3136 * 256 + 256) + (256 * 10 + 10);
         assert_eq!(report.params, expected_params as u64);
         assert_eq!(report.param_bytes(), expected_params as u64 * 4);
         assert!(report.train_flops_per_sample() == report.flops_per_sample * 3);

@@ -127,7 +127,12 @@ impl Lstm {
         assert_eq!(h4 % 4, 0, "lstm: first dim must be 4*hidden");
         assert_eq!(w_h.dims(), &[h4, h4 / 4], "lstm: w_h shape");
         assert_eq!(bias.numel(), h4, "lstm: bias length");
-        Lstm { w_x: Param::new(w_x), w_h: Param::new(w_h), bias: Param::new(bias), steps: Vec::new() }
+        Lstm {
+            w_x: Param::new(w_x),
+            w_h: Param::new(w_h),
+            bias: Param::new(bias),
+            steps: Vec::new(),
+        }
     }
 
     /// Hidden-unit count.
@@ -266,7 +271,13 @@ pub struct LstmLm {
 
 impl LstmLm {
     /// Builds `vocab → embed_dim → hidden×layers → vocab`.
-    pub fn new(vocab: usize, embed_dim: usize, hidden: usize, layers: usize, rng: &mut StdRng) -> Self {
+    pub fn new(
+        vocab: usize,
+        embed_dim: usize,
+        hidden: usize,
+        layers: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         assert!(layers >= 1, "lstm lm needs at least one layer");
         let mut lstms = Vec::with_capacity(layers);
         lstms.push(Lstm::new(embed_dim, hidden, rng));
@@ -374,7 +385,8 @@ impl LstmLm {
 
     /// Ordered named snapshot (FL interchange format).
     pub fn state(&self) -> Vec<StateEntry> {
-        let mut out = vec![StateEntry::trainable("embedding.weight", self.embedding.weight.value.clone())];
+        let mut out =
+            vec![StateEntry::trainable("embedding.weight", self.embedding.weight.value.clone())];
         for (i, l) in self.lstms.iter().enumerate() {
             out.push(StateEntry::trainable(format!("lstm.{i}.w_x"), l.w_x.value.clone()));
             out.push(StateEntry::trainable(format!("lstm.{i}.w_h"), l.w_h.value.clone()));
@@ -507,7 +519,8 @@ mod tests {
         let mut rng = seeded_rng(93);
         let mut lm = LstmLm::new(12, 8, 10, 2, &mut rng);
         // A trivially learnable sequence: token t+1 follows token t.
-        let tokens: Vec<Vec<usize>> = (0..4).map(|b| (0..6).map(|t| (b + t) % 12).collect()).collect();
+        let tokens: Vec<Vec<usize>> =
+            (0..4).map(|b| (0..6).map(|t| (b + t) % 12).collect()).collect();
         let targets: Vec<usize> = {
             // time-major to match forward's stacking
             let mut v = Vec::new();

@@ -73,7 +73,11 @@ pub fn state_sub(a: &[StateEntry], b: &[StateEntry]) -> Vec<StateEntry> {
         .zip(b.iter())
         .map(|(x, y)| {
             assert_eq!(x.name, y.name, "state_sub: entry name mismatch");
-            StateEntry { name: x.name.clone(), tensor: x.tensor.sub(&y.tensor), trainable: x.trainable }
+            StateEntry {
+                name: x.name.clone(),
+                tensor: x.tensor.sub(&y.tensor),
+                trainable: x.trainable,
+            }
         })
         .collect()
 }
@@ -85,7 +89,11 @@ pub fn state_add(a: &[StateEntry], b: &[StateEntry]) -> Vec<StateEntry> {
         .zip(b.iter())
         .map(|(x, y)| {
             assert_eq!(x.name, y.name, "state_add: entry name mismatch");
-            StateEntry { name: x.name.clone(), tensor: x.tensor.add(&y.tensor), trainable: x.trainable }
+            StateEntry {
+                name: x.name.clone(),
+                tensor: x.tensor.add(&y.tensor),
+                trainable: x.trainable,
+            }
         })
         .collect()
 }
@@ -94,7 +102,11 @@ pub fn state_add(a: &[StateEntry], b: &[StateEntry]) -> Vec<StateEntry> {
 pub fn state_scale(state: &[StateEntry], s: f32) -> Vec<StateEntry> {
     state
         .iter()
-        .map(|e| StateEntry { name: e.name.clone(), tensor: e.tensor.scale(s), trainable: e.trainable })
+        .map(|e| StateEntry {
+            name: e.name.clone(),
+            tensor: e.tensor.scale(s),
+            trainable: e.trainable,
+        })
         .collect()
 }
 

@@ -54,7 +54,13 @@ pub fn cnn_mnist(width: f32, rng: &mut StdRng) -> Sequential {
 /// convolution layers with interleaved pooling and a dropout-regularised
 /// two-layer FC head.
 pub fn alexnet_cifar(width: f32, rng: &mut StdRng) -> Sequential {
-    let c = [scaled(64, width), scaled(192, width), scaled(384, width), scaled(256, width), scaled(256, width)];
+    let c = [
+        scaled(64, width),
+        scaled(192, width),
+        scaled(384, width),
+        scaled(256, width),
+        scaled(256, width),
+    ];
     let f1 = scaled(512, width);
     let f2 = scaled(256, width);
     Sequential::new(vec![

@@ -121,7 +121,8 @@ pub fn extract_lstm(lm: &LstmLm, plan: &LstmPlan) -> LstmLm {
 /// (the LSTM analogue of [`crate::recover_state`]). Embedding and
 /// decoder bias are carried over in full; pruned positions are zero.
 pub fn recover_lstm_state(sub: &LstmLm, plan: &LstmPlan, global: &LstmLm) -> Vec<StateEntry> {
-    let mut out = vec![StateEntry::trainable("embedding.weight", sub.embedding.weight.value.clone())];
+    let mut out =
+        vec![StateEntry::trainable("embedding.weight", sub.embedding.weight.value.clone())];
     let mut prev_cols: Vec<usize> = (0..global.embedding.dim()).collect();
     for (i, ((gl, sl), kept)) in
         global.lstms.iter().zip(sub.lstms.iter()).zip(plan.kept.iter()).enumerate()
@@ -167,7 +168,7 @@ mod tests {
         let lm = zoo::lstm_ptb(40, 0.25, &mut rng);
         let plan = plan_lstm(&lm, 0.5);
         for (kept, l) in plan.kept.iter().zip(lm.lstms.iter()) {
-            assert_eq!(kept.len(), (l.hidden() + 1) / 2);
+            assert_eq!(kept.len(), l.hidden().div_ceil(2));
             assert!(kept.windows(2).all(|w| w[0] < w[1]), "kept indices not sorted");
         }
     }

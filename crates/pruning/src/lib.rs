@@ -39,8 +39,10 @@ mod topk;
 mod unstructured;
 
 pub use iss::{extract_lstm, plan_lstm, recover_lstm_state, sparse_lstm_state, LstmPlan};
-pub use plan::{plan_sequential, plan_sequential_with, ratio_keep_count, Importance, LayerPlan, PrunePlan};
+pub use plan::{
+    plan_sequential, plan_sequential_with, ratio_keep_count, Importance, LayerPlan, PrunePlan,
+};
 pub use quant::{dequantize_state, quant_error_bound, quantize_state, QuantState, QuantTensor};
 pub use rebuild::{extract_sequential, recover_state, sparse_state};
 pub use topk::{densify_into_state, topk_sparsify, SparseUpdate, TopKCompressor};
-pub use unstructured::{magnitude_mask, apply_mask, mask_density, WeightMask};
+pub use unstructured::{apply_mask, magnitude_mask, mask_density, WeightMask};

@@ -61,9 +61,10 @@ pub fn ratio_keep_count(total: usize, ratio: f32) -> usize {
 /// notes in §VI that FedMP "can be extended … by easily replacing
 /// different pruning strategies"; L2 and seeded-random comparators back
 /// the importance-metric ablation bench.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Importance {
     /// Sum of absolute weights (the paper's metric).
+    #[default]
     L1,
     /// Euclidean norm of the unit's weights.
     L2,
@@ -75,11 +76,6 @@ pub enum Importance {
     },
 }
 
-impl Default for Importance {
-    fn default() -> Self {
-        Importance::L1
-    }
-}
 
 impl Importance {
     /// Scores `units` weight groups, where group `u` occupies
@@ -91,19 +87,15 @@ impl Importance {
                 .collect(),
             Importance::L2 => (0..units)
                 .map(|u| {
-                    weights[u * stride..(u + 1) * stride]
-                        .iter()
-                        .map(|v| v * v)
-                        .sum::<f32>()
-                        .sqrt()
+                    weights[u * stride..(u + 1) * stride].iter().map(|v| v * v).sum::<f32>().sqrt()
                 })
                 .collect(),
             Importance::Random { seed } => {
                 // Stable pseudo-random score per unit index.
                 (0..units)
                     .map(|u| {
-                        let mut z = seed
-                            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u as u64 + 1));
+                        let mut z =
+                            seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u as u64 + 1));
                         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
                         (z >> 11) as f32 / (1u64 << 53) as f32
                     })
@@ -127,7 +119,11 @@ enum Flow {
 /// Builds a pruning plan: every prunable layer keeps the
 /// `⌈(1−α)·total⌉` highest-L1 units (paper §III-B). The model's final
 /// linear layer (the classifier head) is never pruned on its output side.
-pub fn plan_sequential(model: &Sequential, input_chw: (usize, usize, usize), ratio: f32) -> PrunePlan {
+pub fn plan_sequential(
+    model: &Sequential,
+    input_chw: (usize, usize, usize),
+    ratio: f32,
+) -> PrunePlan {
     plan_sequential_with(model, input_chw, ratio, Importance::L1)
 }
 
@@ -140,11 +136,8 @@ pub fn plan_sequential_with(
 ) -> PrunePlan {
     let (c, h, w) = input_chw;
     let mut flow = Flow::Chw { kept: (0..c).collect(), total: c, h, w };
-    let last_linear = model
-        .layers
-        .iter()
-        .rposition(|l| matches!(l, LayerNode::Linear(_)))
-        .unwrap_or(usize::MAX);
+    let last_linear =
+        model.layers.iter().rposition(|l| matches!(l, LayerNode::Linear(_))).unwrap_or(usize::MAX);
     let mut layers = Vec::with_capacity(model.layers.len());
     for (i, node) in model.layers.iter().enumerate() {
         let pin_output = i == last_linear;
@@ -171,7 +164,8 @@ fn plan_node(
                 top_filters(conv, ratio, importance)
             };
             let (oh, ow) = conv.spec.out_hw(h, w);
-            let new_flow = Flow::Chw { kept: kept_out.clone(), total: conv.out_channels(), h: oh, w: ow };
+            let new_flow =
+                Flow::Chw { kept: kept_out.clone(), total: conv.out_channels(), h: oh, w: ow };
             (LayerPlan::Conv { kept_out, kept_in }, new_flow)
         }
         LayerNode::Linear(lin) => {

@@ -130,10 +130,8 @@ mod tests {
 
     #[test]
     fn extreme_values_survive() {
-        let state = vec![StateEntry::trainable(
-            "w",
-            Tensor::from_vec(vec![-3.0, 0.0, 3.0], &[3]).unwrap(),
-        )];
+        let state =
+            vec![StateEntry::trainable("w", Tensor::from_vec(vec![-3.0, 0.0, 3.0], &[3]).unwrap())];
         let back = dequantize_state(&quantize_state(&state));
         assert!((back[0].tensor.data()[0] + 3.0).abs() < 0.05);
         assert!((back[0].tensor.data()[2] - 3.0).abs() < 0.05);

@@ -1,9 +1,7 @@
 //! Sub-model extraction and R2SP recovery.
 
 use crate::plan::{LayerPlan, PrunePlan};
-use fedmp_nn::{
-    BatchNorm2d, Conv2d, LayerNode, Linear, ResidualBlock, Sequential, StateEntry,
-};
+use fedmp_nn::{BatchNorm2d, Conv2d, LayerNode, Linear, ResidualBlock, Sequential, StateEntry};
 use fedmp_tensor::Tensor;
 
 // ---------------------------------------------------------------------
@@ -49,11 +47,19 @@ fn extract_node(node: &LayerNode, plan: &LayerPlan) -> LayerNode {
         }
         (LayerNode::Residual(block), LayerPlan::Residual { body, shortcut }) => {
             assert_eq!(block.body.len(), body.len(), "extract: residual body plan mismatch");
-            assert_eq!(block.shortcut.len(), shortcut.len(), "extract: residual shortcut plan mismatch");
+            assert_eq!(
+                block.shortcut.len(),
+                shortcut.len(),
+                "extract: residual shortcut plan mismatch"
+            );
             let new_body =
                 block.body.iter().zip(body.iter()).map(|(n, p)| extract_node(n, p)).collect();
-            let new_short =
-                block.shortcut.iter().zip(shortcut.iter()).map(|(n, p)| extract_node(n, p)).collect();
+            let new_short = block
+                .shortcut
+                .iter()
+                .zip(shortcut.iter())
+                .map(|(n, p)| extract_node(n, p))
+                .collect();
             LayerNode::Residual(ResidualBlock::new(new_body, new_short))
         }
         (
@@ -96,7 +102,13 @@ pub fn sparse_state(global: &Sequential, plan: &PrunePlan) -> Vec<StateEntry> {
     recover_state(&sub, plan, global)
 }
 
-fn scatter_node(g: &LayerNode, s: &LayerNode, plan: &LayerPlan, prefix: &str, out: &mut Vec<StateEntry>) {
+fn scatter_node(
+    g: &LayerNode,
+    s: &LayerNode,
+    plan: &LayerPlan,
+    prefix: &str,
+    out: &mut Vec<StateEntry>,
+) {
     match (g, s, plan) {
         (LayerNode::Conv2d(gc), LayerNode::Conv2d(sc), LayerPlan::Conv { kept_out, kept_in }) => {
             out.push(StateEntry::trainable(
@@ -142,7 +154,8 @@ fn scatter_node(g: &LayerNode, s: &LayerNode, plan: &LayerPlan, prefix: &str, ou
             LayerNode::Residual(sr),
             LayerPlan::Residual { body, shortcut },
         ) => {
-            for (i, ((gn, sn), p)) in gr.body.iter().zip(sr.body.iter()).zip(body.iter()).enumerate()
+            for (i, ((gn, sn), p)) in
+                gr.body.iter().zip(sr.body.iter()).zip(body.iter()).enumerate()
             {
                 scatter_node(gn, sn, p, &format!("{prefix}.body.{i}"), out);
             }
@@ -234,7 +247,12 @@ fn scatter_1d(small: &Tensor, full_len: usize, idx: &[usize]) -> Tensor {
 }
 
 /// Adjoint of [`gather_conv_weight`].
-fn scatter_conv_weight(small: &Tensor, full_dims: &[usize], kept_out: &[usize], kept_in: &[usize]) -> Tensor {
+fn scatter_conv_weight(
+    small: &Tensor,
+    full_dims: &[usize],
+    kept_out: &[usize],
+    kept_in: &[usize],
+) -> Tensor {
     let (ic, kh, kw) = (full_dims[1], full_dims[2], full_dims[3]);
     let k2 = kh * kw;
     assert_eq!(

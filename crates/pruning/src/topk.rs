@@ -70,13 +70,11 @@ impl TopKCompressor {
     /// flattening order is the entry order, so both ends must use the
     /// same snapshot layout.
     pub fn compress(&mut self, update: &[StateEntry]) -> SparseUpdate {
-        let dense: Vec<f32> =
-            update.iter().flat_map(|e| e.tensor.data().iter().copied()).collect();
+        let dense: Vec<f32> = update.iter().flat_map(|e| e.tensor.data().iter().copied()).collect();
         if self.error.len() != dense.len() {
             self.error = vec![0.0; dense.len()];
         }
-        let corrected: Vec<f32> =
-            dense.iter().zip(self.error.iter()).map(|(d, e)| d + e).collect();
+        let corrected: Vec<f32> = dense.iter().zip(self.error.iter()).map(|(d, e)| d + e).collect();
         let k = ((corrected.len() as f32 * self.keep_fraction).ceil() as usize).max(1);
         let sparse = topk_sparsify(&corrected, k);
         // Error feedback: remember what was left behind.
@@ -137,7 +135,7 @@ mod tests {
         let u = [1.0f32, 0.8, 0.6, 0.4];
         let update = entries(&u);
         let rounds = 16;
-        let mut received = vec![0.0f32; 4];
+        let mut received = [0.0f32; 4];
         for _ in 0..rounds {
             let s = comp.compress(&update);
             for (r, v) in received.iter_mut().zip(s.to_dense().iter()) {

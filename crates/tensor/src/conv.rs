@@ -7,7 +7,13 @@
 //! The im2col transform turns convolution into one GEMM per image, which
 //! keeps the hot loop inside [`Tensor::matmul`]. The same column buffer is
 //! reused by the backward passes.
+//!
+//! Forward and input-gradient passes parallelise over the batch via
+//! [`crate::parallel`]: each image owns a disjoint slice of the output,
+//! and the per-image GEMMs run sequentially inside the band workers, so
+//! results are bit-identical at any thread count.
 
+use crate::parallel;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -122,19 +128,22 @@ pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &Con
     let w_mat = weight.reshape(&[oc, c * spec.kh * spec.kw]);
     let mut out = Tensor::zeros(&[n, oc, oh, ow]);
     let out_img = oc * oh * ow;
-    for i in 0..n {
-        let cols = im2col(&input.data()[i * c * h * w..(i + 1) * c * h * w], c, h, w, spec);
+    let in_img = c * h * w;
+    let input_data = input.data();
+    let bias_data = bias.data();
+    let work = 2 * n * out_img * c * spec.kh * spec.kw;
+    parallel::for_each_band(out.data_mut(), n, out_img, 1, work, |i, dst| {
+        let cols = im2col(&input_data[i * in_img..(i + 1) * in_img], c, h, w, spec);
         let res = w_mat.matmul(&cols); // [oc, oh*ow]
-        let dst = &mut out.data_mut()[i * out_img..(i + 1) * out_img];
         for f in 0..oc {
-            let b = bias.data()[f];
+            let b = bias_data[f];
             let src = &res.data()[f * oh * ow..(f + 1) * oh * ow];
             let d = &mut dst[f * oh * ow..(f + 1) * oh * ow];
             for (dv, &sv) in d.iter_mut().zip(src.iter()) {
                 *dv = sv + b;
             }
         }
-    }
+    });
     out
 }
 
@@ -156,14 +165,19 @@ pub fn conv2d_backward_input(
 
     let w_mat = weight.reshape(&[oc, c * spec.kh * spec.kw]);
     let mut grad_in = Tensor::zeros(&[n, c, h, w]);
-    for i in 0..n {
-        let go =
-            Tensor::from_vec(grad_out.data()[i * oc * oh * ow..(i + 1) * oc * oh * ow].to_vec(), &[oc, oh * ow])
-                .expect("grad slice");
+    let in_img = c * h * w;
+    let grad_data = grad_out.data();
+    let work = 2 * n * oc * oh * ow * c * spec.kh * spec.kw;
+    parallel::for_each_band(grad_in.data_mut(), n, in_img, 1, work, |i, dst| {
+        let go = Tensor::from_vec(
+            grad_data[i * oc * oh * ow..(i + 1) * oc * oh * ow].to_vec(),
+            &[oc, oh * ow],
+        )
+        .expect("grad slice");
         let cols_grad = w_mat.matmul_tn(&go); // [c*kh*kw, oh*ow]
         let img = col2im(&cols_grad, c, h, w, spec);
-        grad_in.data_mut()[i * c * h * w..(i + 1) * c * h * w].copy_from_slice(&img);
-    }
+        dst.copy_from_slice(&img);
+    });
     grad_in
 }
 
@@ -182,13 +196,18 @@ pub fn conv2d_backward_weight(
     let (oh, ow) = spec.out_hw(h, w);
     assert_eq!(grad_out.dims(), &[n, oc, oh, ow], "conv2d bwd: grad_out shape");
 
+    // The weight gradient accumulates across images, so the batch loop
+    // stays sequential to keep one summation order; the per-image GEMMs
+    // below still use the blocked kernels.
     let mut gw = Tensor::zeros(&[oc, c * spec.kh * spec.kw]);
     let mut gb = Tensor::zeros(&[oc]);
     for i in 0..n {
         let cols = im2col(&input.data()[i * c * h * w..(i + 1) * c * h * w], c, h, w, spec);
-        let go =
-            Tensor::from_vec(grad_out.data()[i * oc * oh * ow..(i + 1) * oc * oh * ow].to_vec(), &[oc, oh * ow])
-                .expect("grad slice");
+        let go = Tensor::from_vec(
+            grad_out.data()[i * oc * oh * ow..(i + 1) * oc * oh * ow].to_vec(),
+            &[oc, oh * ow],
+        )
+        .expect("grad slice");
         gw.add_assign(&go.matmul_nt(&cols));
         for f in 0..oc {
             gb.data_mut()[f] += go.row(f).iter().sum::<f32>();
@@ -208,12 +227,7 @@ mod tests {
     use super::*;
     use crate::rng::seeded_rng;
 
-    fn naive_conv(
-        input: &Tensor,
-        weight: &Tensor,
-        bias: &Tensor,
-        spec: &Conv2dSpec,
-    ) -> Tensor {
+    fn naive_conv(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &Conv2dSpec) -> Tensor {
         let (n, c, h, w) = nchw(input);
         let oc = weight.dims()[0];
         let (oh, ow) = spec.out_hw(h, w);
@@ -226,8 +240,10 @@ mod tests {
                         for ch in 0..c {
                             for ky in 0..spec.kh {
                                 for kx in 0..spec.kw {
-                                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                                    let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                    let iy =
+                                        (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                    let ix =
+                                        (ox * spec.stride + kx) as isize - spec.padding as isize;
                                     if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
                                         continue;
                                     }
@@ -327,7 +343,11 @@ mod tests {
             let mut im = input.clone();
             im.data_mut()[idx] -= eps;
             let num = (loss(&ip, &weight, &bias) - loss(&im, &weight, &bias)) / (2.0 * eps);
-            assert!((num - gi.data()[idx]).abs() < 0.05, "input grad {idx}: {num} vs {}", gi.data()[idx]);
+            assert!(
+                (num - gi.data()[idx]).abs() < 0.05,
+                "input grad {idx}: {num} vs {}",
+                gi.data()[idx]
+            );
         }
         for idx in [0usize, 9, 17, 35] {
             let mut wp = weight.clone();
@@ -335,7 +355,11 @@ mod tests {
             let mut wm = weight.clone();
             wm.data_mut()[idx] -= eps;
             let num = (loss(&input, &wp, &bias) - loss(&input, &wm, &bias)) / (2.0 * eps);
-            assert!((num - gw.data()[idx]).abs() < 0.05, "weight grad {idx}: {num} vs {}", gw.data()[idx]);
+            assert!(
+                (num - gw.data()[idx]).abs() < 0.05,
+                "weight grad {idx}: {num} vs {}",
+                gw.data()[idx]
+            );
         }
         for idx in 0..2 {
             let mut bp = bias.clone();
@@ -343,7 +367,11 @@ mod tests {
             let mut bm = bias.clone();
             bm.data_mut()[idx] -= eps;
             let num = (loss(&input, &weight, &bp) - loss(&input, &weight, &bm)) / (2.0 * eps);
-            assert!((num - gb.data()[idx]).abs() < 0.1, "bias grad {idx}: {num} vs {}", gb.data()[idx]);
+            assert!(
+                (num - gb.data()[idx]).abs() < 0.1,
+                "bias grad {idx}: {num} vs {}",
+                gb.data()[idx]
+            );
         }
     }
 }

@@ -25,10 +25,9 @@ pub enum TensorError {
 impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TensorError::LengthMismatch { got, expected } => write!(
-                f,
-                "buffer length {got} does not match shape volume {expected}"
-            ),
+            TensorError::LengthMismatch { got, expected } => {
+                write!(f, "buffer length {got} does not match shape volume {expected}")
+            }
             TensorError::EmptyShape => write!(f, "tensor shape must be non-empty"),
         }
     }

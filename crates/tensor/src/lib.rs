@@ -29,15 +29,21 @@ mod conv;
 mod error;
 mod matmul;
 mod ops;
+pub mod parallel;
 mod pool;
 mod rng;
 mod shape;
 mod tensor;
 
-pub use conv::{col2im, conv2d_backward_input, conv2d_backward_weight, conv2d_forward, im2col, Conv2dSpec};
+pub use conv::{
+    col2im, conv2d_backward_input, conv2d_backward_weight, conv2d_forward, im2col, Conv2dSpec,
+};
 pub use error::TensorError;
+pub use matmul::{matmul_nt_reference, matmul_reference, matmul_tn_reference};
 pub use ops::{cross_entropy_loss, log_softmax_rows, softmax_rows, CrossEntropyOutput};
-pub use pool::{avg_pool2d_backward, avg_pool2d_forward, max_pool2d_backward, max_pool2d_forward, Pool2dSpec};
+pub use pool::{
+    avg_pool2d_backward, avg_pool2d_forward, max_pool2d_backward, max_pool2d_forward, Pool2dSpec,
+};
 pub use rng::{normal, seeded_rng, shuffled_indices, standard_normal_vec, uniform_vec};
 pub use shape::Shape;
 pub use tensor::Tensor;

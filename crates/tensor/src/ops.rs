@@ -149,7 +149,8 @@ mod tests {
             lp.data_mut()[idx] += eps;
             let mut lm = logits.clone();
             lm.data_mut()[idx] -= eps;
-            let num = (cross_entropy_loss(&lp, &labels).loss - cross_entropy_loss(&lm, &labels).loss)
+            let num = (cross_entropy_loss(&lp, &labels).loss
+                - cross_entropy_loss(&lm, &labels).loss)
                 / (2.0 * eps);
             let ana = out.grad_logits.data()[idx];
             assert!((num - ana).abs() < 1e-3, "idx {idx}: {num} vs {ana}");

@@ -1,0 +1,209 @@
+//! Deterministic data parallelism for the tensor kernels.
+//!
+//! Every parallel kernel in this crate decomposes its **output** buffer
+//! into fixed-size disjoint row bands and lets worker threads claim
+//! bands from a shared counter. Three properties make the results
+//! bit-identical to a sequential run at any thread count:
+//!
+//! 1. the band geometry depends only on the problem shape, never on the
+//!    worker count;
+//! 2. each band is computed by straight-line code with a fixed
+//!    per-element accumulation order; and
+//! 3. bands write disjoint output ranges, so there is no cross-thread
+//!    reduction whose order could vary.
+//!
+//! The worker count is configured once per process from the
+//! `FEDMP_THREADS` environment variable (default: all available cores;
+//! `1` forces sequential execution). Tests and benches can flip the
+//! count at runtime with [`override_threads`].
+//!
+//! Nested regions run sequentially: a kernel invoked from inside a band
+//! worker (e.g. a GEMM inside a batch-parallel convolution) must not
+//! spawn its own workers, both to bound the thread count and to keep
+//! the outer decomposition the only source of scheduling.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Minimum number of scalar operations before a kernel is worth
+/// parallelising; below this, thread launch overhead dominates.
+pub const MIN_PARALLEL_WORK: usize = 1 << 19;
+
+static CONFIGURED: OnceLock<usize> = OnceLock::new();
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static IN_BAND_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The worker count kernels will use: the [`override_threads`] value if
+/// one is set, else `FEDMP_THREADS`, else the available core count.
+pub fn configured_threads() -> usize {
+    let forced = OVERRIDE.load(Ordering::Relaxed);
+    if forced != 0 {
+        return forced;
+    }
+    *CONFIGURED.get_or_init(|| match std::env::var("FEDMP_THREADS") {
+        Ok(raw) => raw.trim().parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+            eprintln!("FEDMP_THREADS={raw:?} is not a positive integer; using core count");
+            default_threads()
+        }),
+        Err(_) => default_threads(),
+    })
+}
+
+/// Forces the worker count for this process (`None` restores the
+/// `FEDMP_THREADS`/core-count default). Intended for tests and benches
+/// that compare thread counts within one process; kernels running
+/// concurrently with a change may use either count, which is safe
+/// precisely because results are thread-count-invariant.
+pub fn override_threads(n: Option<usize>) {
+    OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Hands out band indices to workers; bands are pre-sliced disjoint
+/// sub-slices of one output buffer, stored as raw parts so the queue
+/// can be shared. Safety rests on the disjointness `chunks_mut`
+/// guarantees.
+struct BandQueue<T> {
+    bands: Vec<(usize, *mut T, usize)>,
+    next: AtomicUsize,
+}
+
+unsafe impl<T: Send> Sync for BandQueue<T> {}
+
+impl<T> BandQueue<T> {
+    fn run(&self, f: &(impl Fn(usize, &mut [T]) + Sync)) {
+        IN_BAND_WORKER.with(|flag| flag.set(true));
+        loop {
+            let idx = self.next.fetch_add(1, Ordering::Relaxed);
+            let Some(&(start_row, ptr, len)) = self.bands.get(idx) else { break };
+            // SAFETY: each (ptr, len) came from `chunks_mut`, so the
+            // slices are disjoint, and `fetch_add` hands each index to
+            // exactly one worker. The scope below outlives no band.
+            let band = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+            f(start_row, band);
+        }
+        IN_BAND_WORKER.with(|flag| flag.set(false));
+    }
+}
+
+/// Splits `out` (logically `rows × row_len`) into bands of `band_rows`
+/// rows and runs `f(first_row, band)` over every band, in parallel when
+/// `work` (a scalar-op estimate) and the configured thread count warrant
+/// it. Band geometry is independent of the thread count, so the output
+/// is identical — bit for bit — however many workers run.
+pub fn for_each_band<T, F>(
+    out: &mut [T],
+    rows: usize,
+    row_len: usize,
+    band_rows: usize,
+    work: usize,
+    f: F,
+) where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert_eq!(out.len(), rows * row_len, "for_each_band: buffer/shape mismatch");
+    if rows == 0 || row_len == 0 {
+        return;
+    }
+    let band_rows = band_rows.max(1);
+    let threads = configured_threads();
+    let nested = IN_BAND_WORKER.with(|flag| flag.get());
+    let n_bands = rows.div_ceil(band_rows);
+    if threads == 1 || nested || n_bands == 1 || work < MIN_PARALLEL_WORK {
+        for (band_idx, band) in out.chunks_mut(band_rows * row_len).enumerate() {
+            f(band_idx * band_rows, band);
+        }
+        return;
+    }
+
+    let bands: Vec<(usize, *mut T, usize)> = out
+        .chunks_mut(band_rows * row_len)
+        .enumerate()
+        .map(|(i, band)| (i * band_rows, band.as_mut_ptr(), band.len()))
+        .collect();
+    let queue = BandQueue { bands, next: AtomicUsize::new(0) };
+    let extra = threads.min(n_bands) - 1;
+    std::thread::scope(|scope| {
+        for _ in 0..extra {
+            scope.spawn(|| queue.run(&f));
+        }
+        // The calling thread is the final worker.
+        queue.run(&f);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill_bands(threads: usize, rows: usize, band_rows: usize) -> Vec<f32> {
+        override_threads(Some(threads));
+        let row_len = 3;
+        let mut out = vec![0.0f32; rows * row_len];
+        // `work` above the threshold so the parallel path is exercised.
+        for_each_band(&mut out, rows, row_len, band_rows, MIN_PARALLEL_WORK * 2, |row0, band| {
+            for (r, row) in band.chunks_mut(row_len).enumerate() {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = (row0 + r) as f32 * 10.0 + j as f32;
+                }
+            }
+        });
+        override_threads(None);
+        out
+    }
+
+    #[test]
+    fn bands_cover_every_row_once() {
+        let out = fill_bands(1, 37, 4);
+        for r in 0..37 {
+            assert_eq!(out[r * 3], r as f32 * 10.0);
+            assert_eq!(out[r * 3 + 2], r as f32 * 10.0 + 2.0);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let one = fill_bands(1, 53, 8);
+        for threads in [2, 3, 7] {
+            assert_eq!(fill_bands(threads, 53, 8), one);
+        }
+    }
+
+    #[test]
+    fn empty_work_is_a_noop() {
+        let mut out: Vec<f32> = vec![];
+        for_each_band(&mut out, 0, 5, 4, 0, |_, _| panic!("no bands expected"));
+        for_each_band(&mut out, 5, 0, 4, 0, |_, _| panic!("no bands expected"));
+    }
+
+    #[test]
+    fn nested_regions_run_sequentially() {
+        override_threads(Some(4));
+        let mut out = vec![0.0f32; 16];
+        for_each_band(&mut out, 16, 1, 1, MIN_PARALLEL_WORK * 2, |row0, band| {
+            // A nested call must not deadlock or spawn; it just runs.
+            let mut inner = vec![0.0f32; 4];
+            for_each_band(&mut inner, 4, 1, 1, MIN_PARALLEL_WORK * 2, |r0, b| {
+                b[0] = r0 as f32;
+            });
+            band[0] = row0 as f32 + inner.iter().sum::<f32>();
+        });
+        override_threads(None);
+        for (r, &v) in out.iter().enumerate() {
+            assert_eq!(v, r as f32 + 6.0);
+        }
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+}

@@ -1,5 +1,10 @@
 //! 2-D max and average pooling with backward passes.
+//!
+//! All four kernels parallelise over the batch via [`crate::parallel`]:
+//! every image owns a disjoint slice of the output buffer, so results
+//! are bit-identical at any thread count.
 
+use crate::parallel;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -35,10 +40,13 @@ pub fn max_pool2d_forward(input: &Tensor, spec: &Pool2dSpec) -> (Tensor, Vec<usi
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
     let mut argmax = vec![0usize; n * c * oh * ow];
     let src = input.data();
-    let dst = out.data_mut();
+    let out_img = c * oh * ow;
+    let work = n * out_img * spec.kh * spec.kw;
 
-    let mut o = 0usize;
-    for i in 0..n {
+    // Pass 1 (batch-parallel): argmax offsets, one disjoint band of the
+    // index buffer per image.
+    parallel::for_each_band(&mut argmax, n, out_img, 1, work, |i, band| {
+        let mut o = 0usize;
         for ch in 0..c {
             let base = (i * c + ch) * h * w;
             for oy in 0..oh {
@@ -56,24 +64,38 @@ pub fn max_pool2d_forward(input: &Tensor, spec: &Pool2dSpec) -> (Tensor, Vec<usi
                             }
                         }
                     }
-                    dst[o] = best;
-                    argmax[o] = best_idx;
+                    band[o] = best_idx;
                     o += 1;
                 }
             }
         }
+    });
+
+    // Pass 2: gather the pooled values through the argmax offsets.
+    for (dv, &idx) in out.data_mut().iter_mut().zip(argmax.iter()) {
+        *dv = src[idx];
     }
     (out, argmax)
 }
 
 /// Max-pool backward: routes each output gradient to its argmax input.
+/// Argmax offsets stay within their own image, so the scatter is
+/// batch-parallel over disjoint `grad_in` slices.
 pub fn max_pool2d_backward(grad_out: &Tensor, argmax: &[usize], input_dims: &[usize]) -> Tensor {
     assert_eq!(grad_out.numel(), argmax.len(), "max-pool backward: argmax length");
+    let n = input_dims[0];
     let mut grad_in = Tensor::zeros(input_dims);
-    let gi = grad_in.data_mut();
-    for (&g, &idx) in grad_out.data().iter().zip(argmax.iter()) {
-        gi[idx] += g;
-    }
+    let in_img = grad_in.numel() / n.max(1);
+    let out_img = argmax.len() / n.max(1);
+    let go = grad_out.data();
+    parallel::for_each_band(grad_in.data_mut(), n, in_img, 1, argmax.len(), |i, band| {
+        let base = i * in_img;
+        let go_img = &go[i * out_img..(i + 1) * out_img];
+        let am_img = &argmax[i * out_img..(i + 1) * out_img];
+        for (&g, &idx) in go_img.iter().zip(am_img.iter()) {
+            band[idx - base] += g;
+        }
+    });
     grad_in
 }
 
@@ -85,10 +107,10 @@ pub fn avg_pool2d_forward(input: &Tensor, spec: &Pool2dSpec) -> Tensor {
     let inv = 1.0 / (spec.kh * spec.kw) as f32;
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
     let src = input.data();
-    let dst = out.data_mut();
-
-    let mut o = 0usize;
-    for i in 0..n {
+    let out_img = c * oh * ow;
+    let work = n * out_img * spec.kh * spec.kw;
+    parallel::for_each_band(out.data_mut(), n, out_img, 1, work, |i, band| {
+        let mut o = 0usize;
         for ch in 0..c {
             let base = (i * c + ch) * h * w;
             for oy in 0..oh {
@@ -100,12 +122,12 @@ pub fn avg_pool2d_forward(input: &Tensor, spec: &Pool2dSpec) -> Tensor {
                             acc += src[base + iy * w + ox * spec.stride + kx];
                         }
                     }
-                    dst[o] = acc * inv;
+                    band[o] = acc * inv;
                     o += 1;
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -117,13 +139,14 @@ pub fn avg_pool2d_backward(grad_out: &Tensor, input_dims: &[usize], spec: &Pool2
     assert_eq!(grad_out.dims(), &[n, c, oh, ow], "avg-pool backward: grad shape");
     let inv = 1.0 / (spec.kh * spec.kw) as f32;
     let mut grad_in = Tensor::zeros(input_dims);
-    let gi = grad_in.data_mut();
     let go = grad_out.data();
-
-    let mut o = 0usize;
-    for i in 0..n {
+    let in_img = c * h * w;
+    let out_img = c * oh * ow;
+    let work = n * out_img * spec.kh * spec.kw;
+    parallel::for_each_band(grad_in.data_mut(), n, in_img, 1, work, |i, band| {
+        let mut o = i * out_img;
         for ch in 0..c {
-            let base = (i * c + ch) * h * w;
+            let base = ch * h * w;
             for oy in 0..oh {
                 for ox in 0..ow {
                     let g = go[o] * inv;
@@ -131,13 +154,13 @@ pub fn avg_pool2d_backward(grad_out: &Tensor, input_dims: &[usize], spec: &Pool2
                     for ky in 0..spec.kh {
                         let iy = oy * spec.stride + ky;
                         for kx in 0..spec.kw {
-                            gi[base + iy * w + ox * spec.stride + kx] += g;
+                            band[base + iy * w + ox * spec.stride + kx] += g;
                         }
                     }
                 }
             }
         }
-    }
+    });
     grad_in
 }
 
@@ -149,7 +172,10 @@ mod tests {
     #[test]
     fn max_pool_known_values() {
         let input = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();
@@ -183,6 +209,9 @@ mod tests {
     }
 
     #[test]
+    // The index arithmetic spells out (image * channels + channel) *
+    // plane even where a factor is zero.
+    #[allow(clippy::identity_op, clippy::erasing_op)]
     fn pooling_preserves_batch_and_channel_structure() {
         let mut rng = seeded_rng(20);
         let input = Tensor::randn(&[3, 4, 8, 8], &mut rng);

@@ -376,10 +376,7 @@ mod tests {
     fn from_vec_validates_length() {
         assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
         assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
-        assert_eq!(
-            Tensor::from_vec(vec![], &[]),
-            Err(TensorError::EmptyShape)
-        );
+        assert_eq!(Tensor::from_vec(vec![], &[]), Err(TensorError::EmptyShape));
     }
 
     #[test]

@@ -1,6 +1,10 @@
-//! Property-based tests of tensor algebra laws.
+//! Property-based tests of tensor algebra laws and of the blocked
+//! kernel / reference kernel equivalence.
 
-use fedmp_tensor::{seeded_rng, softmax_rows, Tensor};
+use fedmp_tensor::{
+    conv2d_forward, im2col, matmul_nt_reference, matmul_reference, matmul_tn_reference, parallel,
+    seeded_rng, softmax_rows, Conv2dSpec, Tensor,
+};
 use proptest::prelude::*;
 
 fn tensor(dims: &[usize], seed: u64) -> Tensor {
@@ -9,8 +13,7 @@ fn tensor(dims: &[usize], seed: u64) -> Tensor {
 }
 
 fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
-    a.dims() == b.dims()
-        && a.data().iter().zip(b.data().iter()).all(|(x, y)| (x - y).abs() <= tol)
+    a.dims() == b.dims() && a.data().iter().zip(b.data().iter()).all(|(x, y)| (x - y).abs() <= tol)
 }
 
 proptest! {
@@ -93,5 +96,150 @@ proptest! {
         let a = tensor(&[r, c], s);
         let b = a.reshape(&[c, r]);
         prop_assert!((a.sum() - b.sum()).abs() < 1e-4);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Blocked kernels vs naive reference oracles.
+//
+// Shapes are drawn to straddle every boundary the blocked kernels care
+// about: empty (0) and degenerate (1) dimensions, sizes that are not
+// multiples of the k-tile (128), the micro-kernel row count (4) or the
+// parallel band (64), and both 1-thread and oversubscribed execution.
+// ---------------------------------------------------------------------
+
+const KERNEL_TOL: f32 = 1e-4;
+
+fn close_or_explain(got: &Tensor, want: &Tensor, what: &str) -> Result<(), String> {
+    if got.dims() != want.dims() {
+        return Err(format!("{what}: dims {:?} vs {:?}", got.dims(), want.dims()));
+    }
+    for (i, (x, y)) in got.data().iter().zip(want.data().iter()).enumerate() {
+        if (x - y).abs() > KERNEL_TOL {
+            return Err(format!("{what}: element {i}: {x} vs {y}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_matches_reference(m in 0usize..70, k in 0usize..140, n in 0usize..70, s in 0u64..1 << 32) {
+        let mut rng = seeded_rng(s);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        if let Err(e) = close_or_explain(&a.matmul(&b), &matmul_reference(&a, &b), "nn") {
+            prop_assert!(false, "{}", e);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_reference(m in 0usize..70, k in 0usize..140, n in 0usize..70, s in 0u64..1 << 32) {
+        let mut rng = seeded_rng(s);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[n, k], &mut rng);
+        if let Err(e) = close_or_explain(&a.matmul_nt(&b), &matmul_nt_reference(&a, &b), "nt") {
+            prop_assert!(false, "{}", e);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_reference(m in 0usize..70, k in 0usize..140, n in 0usize..70, s in 0u64..1 << 32) {
+        let mut rng = seeded_rng(s);
+        let a = Tensor::randn(&[k, m], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        if let Err(e) = close_or_explain(&a.matmul_tn(&b), &matmul_tn_reference(&a, &b), "tn") {
+            prop_assert!(false, "{}", e);
+        }
+    }
+
+    /// One thread and many threads must agree bit for bit: the band
+    /// decomposition never depends on the worker count.
+    #[test]
+    fn thread_count_is_bit_invariant(m in 1usize..150, k in 1usize..100, n in 1usize..100, s in 0u64..1 << 32) {
+        let mut rng = seeded_rng(s);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let bt = Tensor::randn(&[n, k], &mut rng);
+
+        parallel::override_threads(Some(1));
+        let seq = (a.matmul(&b), a.matmul_nt(&bt));
+        parallel::override_threads(Some(5));
+        let par = (a.matmul(&b), a.matmul_nt(&bt));
+        parallel::override_threads(None);
+
+        for (seq_t, par_t) in [(&seq.0, &par.0), (&seq.1, &par.1)] {
+            prop_assert_eq!(seq_t.dims(), par_t.dims());
+            for (x, y) in seq_t.data().iter().zip(par_t.data().iter()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "1 thread vs 5 threads: {} vs {}", x, y);
+            }
+        }
+    }
+
+    /// Conv forward equals its own definition — im2col followed by the
+    /// reference GEMM plus bias — on randomized geometry.
+    #[test]
+    fn conv_forward_matches_reference_composition(
+        batch in 1usize..4,
+        c in 1usize..4,
+        hw in 3usize..11,
+        oc in 1usize..6,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        s in 0u64..1 << 32,
+    ) {
+        // hw >= 3 >= kernel, so the output geometry is always valid.
+        let spec = Conv2dSpec { kh: kernel, kw: kernel, stride, padding };
+        let mut rng = seeded_rng(s);
+        let input = Tensor::randn(&[batch, c, hw, hw], &mut rng);
+        let weight = Tensor::randn(&[oc, c, kernel, kernel], &mut rng);
+        let bias = Tensor::randn(&[oc], &mut rng);
+        let got = conv2d_forward(&input, &weight, &bias, &spec);
+
+        let (oh, ow) = spec.out_hw(hw, hw);
+        let w_mat = weight.reshape(&[oc, c * kernel * kernel]);
+        let mut want = Tensor::zeros(&[batch, oc, oh, ow]);
+        let img = c * hw * hw;
+        let out_img = oc * oh * ow;
+        for i in 0..batch {
+            let cols = im2col(&input.data()[i * img..(i + 1) * img], c, hw, hw, &spec);
+            let res = matmul_reference(&w_mat, &cols);
+            for f in 0..oc {
+                for (j, &v) in res.data()[f * oh * ow..(f + 1) * oh * ow].iter().enumerate() {
+                    want.data_mut()[i * out_img + f * oh * ow + j] = v + bias.data()[f];
+                }
+            }
+        }
+        if let Err(e) = close_or_explain(&got, &want, "conv") {
+            prop_assert!(false, "{}", e);
+        }
+    }
+}
+
+/// Pinned tiny shapes: every 0/1 combination that could trip the
+/// blocked paths' edge handling.
+#[test]
+fn degenerate_shapes_match_reference() {
+    let mut rng = seeded_rng(7);
+    for (m, k, n) in [
+        (0, 0, 0),
+        (0, 5, 3),
+        (5, 0, 3),
+        (5, 3, 0),
+        (1, 1, 1),
+        (1, 129, 1),
+        (4, 1, 65),
+        (65, 128, 1),
+    ] {
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        close_or_explain(&a.matmul(&b), &matmul_reference(&a, &b), "nn").unwrap();
+        let bt = Tensor::randn(&[n, k], &mut rng);
+        close_or_explain(&a.matmul_nt(&bt), &matmul_nt_reference(&a, &bt), "nt").unwrap();
+        let at = Tensor::randn(&[k, m], &mut rng);
+        close_or_explain(&at.matmul_tn(&b), &matmul_tn_reference(&at, &b), "tn").unwrap();
     }
 }

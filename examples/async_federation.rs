@@ -15,14 +15,11 @@ fn main() {
     spec.fl.rounds = 16;
     spec.fl.eval_every = 2;
 
-    let methods =
-        [Method::AsynFl { m: 2 }, Method::AsynFedMp { m: 2 }, Method::FedMp];
+    let methods = [Method::AsynFl { m: 2 }, Method::AsynFedMp { m: 2 }, Method::FedMp];
     let histories: Vec<RunHistory> = methods.iter().map(|&m| run_method(&spec, m)).collect();
 
-    let min_final = histories
-        .iter()
-        .filter_map(|h| h.final_accuracy())
-        .fold(f32::INFINITY, f32::min);
+    let min_final =
+        histories.iter().filter_map(|h| h.final_accuracy()).fold(f32::INFINITY, f32::min);
     let target = min_final * 0.9;
 
     println!("m = 2 of {} workers, High heterogeneity", spec.workers);
@@ -36,9 +33,6 @@ fn main() {
             t.map_or("-".to_string(), |v| format!("{v:.0}s")),
         );
     }
-    println!(
-        "\nAsyn-FedMP's early rounds finish as soon as the {}-th worker arrives;",
-        2
-    );
+    println!("\nAsyn-FedMP's early rounds finish as soon as the {}-th worker arrives;", 2);
     println!("synchronous FedMP aggregates everyone and usually wins on information per round.");
 }

@@ -31,5 +31,7 @@ fn main() {
             late_err / 50.0
         );
     }
-    println!("\nSmaller theta lets the tree localise the optimum more precisely (cf. paper Fig. 4).");
+    println!(
+        "\nSmaller theta lets the tree localise the optimum more precisely (cf. paper Fig. 4)."
+    );
 }

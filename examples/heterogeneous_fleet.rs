@@ -22,12 +22,9 @@ fn main() {
         spec.fl.rounds = 12;
         spec.fl.eval_every = 2;
 
-        let histories: Vec<RunHistory> =
-            methods.iter().map(|&m| run_method(&spec, m)).collect();
-        let min_final = histories
-            .iter()
-            .filter_map(|h| h.final_accuracy())
-            .fold(f32::INFINITY, f32::min);
+        let histories: Vec<RunHistory> = methods.iter().map(|&m| run_method(&spec, m)).collect();
+        let min_final =
+            histories.iter().filter_map(|h| h.final_accuracy()).fold(f32::INFINITY, f32::min);
         let target = min_final * 0.9;
 
         println!("\nheterogeneity = {label} (target {:.0}% accuracy)", target * 100.0);

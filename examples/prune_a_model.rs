@@ -38,10 +38,7 @@ fn main() {
         let sparse = sparse_state(&global, &plan);
         let residual = state_sub(&global.state(), &sparse);
         let rebuilt = fedmp::nn::state_add(&recovered, &residual);
-        let exact = rebuilt
-            .iter()
-            .zip(global.state().iter())
-            .all(|(a, b)| a.tensor == b.tensor);
+        let exact = rebuilt.iter().zip(global.state().iter()).all(|(a, b)| a.tensor == b.tensor);
         println!("   recover(extract(g)) + (g - sparse(g)) == g ? {exact}");
         assert!(exact);
         let _ = sub.num_params();

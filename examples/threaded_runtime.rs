@@ -18,12 +18,8 @@ fn main() {
         s
     };
     let built = spec.build();
-    let setup = FlSetup::with_cost_scale(
-        &built.task,
-        built.devices.clone(),
-        built.time,
-        built.cost_scale,
-    );
+    let setup =
+        FlSetup::with_cost_scale(&built.task, built.devices.clone(), built.time, built.cost_scale);
     let opts = FedMpOptions::default();
 
     println!("running the sequential loop engine…");

@@ -62,12 +62,7 @@ fn fedmp_lstm_round_is_faster_than_synfl() {
     let mean = |h: &fedmp::fl::RunHistory| {
         h.rounds.iter().skip(1).map(|r| r.round_time).sum::<f64>() / (h.rounds.len() - 1) as f64
     };
-    assert!(
-        mean(&fed) < mean(&syn),
-        "FedMP rounds not cheaper: {} vs {}",
-        mean(&fed),
-        mean(&syn)
-    );
+    assert!(mean(&fed) < mean(&syn), "FedMP rounds not cheaper: {} vs {}", mean(&fed), mean(&syn));
 }
 
 #[test]

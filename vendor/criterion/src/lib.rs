@@ -1,0 +1,166 @@
+//! In-tree stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the API surface `crates/bench/benches/micro.rs` uses —
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `bench_with_input`, and `Bencher::iter` —
+//! with a plain wall-clock measurement loop instead of criterion's
+//! statistical machinery: calibrate the iteration count to a target
+//! sample time, take a handful of samples, report the best mean.
+//! Results print as `name ... <time>/iter` on stdout.
+
+use std::time::{Duration, Instant};
+
+/// Target duration of one measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(40);
+/// Number of measurement samples; the fastest is reported.
+const SAMPLES: usize = 5;
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher {
+    /// Nanoseconds per iteration of the fastest sample, set by `iter`.
+    best_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the best observed mean time per
+    /// iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit the sample target?
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET / 4 || iters >= 1 << 20 {
+                let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                let target = SAMPLE_TARGET.as_nanos() as f64;
+                iters = ((target / per_iter.max(1.0)).ceil() as u64).max(1);
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        // Measure.
+        let mut best = f64::INFINITY;
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+            if per_iter < best {
+                best = per_iter;
+            }
+        }
+        self.best_ns = best;
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from the parameter value alone.
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id with a function name and parameter.
+    pub fn new(name: impl Into<String>, p: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), p))
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single benchmark and prints its timing.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { best_ns: f64::NAN };
+        f(&mut b);
+        print_result(name, b.best_ns);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string() }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { best_ns: f64::NAN };
+        f(&mut b, input);
+        print_result(&format!("{}/{}", self.name, id.0), b.best_ns);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn print_result(name: &str, ns: f64) {
+    let text = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    };
+    println!("bench: {name:<48} {text}/iter");
+}
+
+/// Declares a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { best_ns: f64::NAN };
+        b.iter(|| std::hint::black_box(1u64 + 1));
+        assert!(b.best_ns.is_finite() && b.best_ns >= 0.0);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::from_parameter(64).0, "64");
+        assert_eq!(BenchmarkId::new("matmul", 64).0, "matmul/64");
+    }
+}

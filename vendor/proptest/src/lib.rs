@@ -1,0 +1,252 @@
+//! In-tree stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Supports the subset this repository uses: the `proptest!` macro with
+//! an optional `#![proptest_config(ProptestConfig::with_cases(N))]`
+//! header, range strategies over the primitive numeric types,
+//! `prop::collection::vec`, and the `prop_assert!` /
+//! `prop_assert_eq!` assertion macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * case generation is deterministic per (test name, case index), so
+//!   failures reproduce without a persistence file;
+//! * there is no shrinking — the failing inputs are printed as-is,
+//!   which is enough for the small input domains used here.
+
+use rand::{Rng, SeedableRng, StdRng};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+
+/// Per-block configuration; only `cases` is supported.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values; the stand-in's core trait.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize, f32, f64);
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Range, StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy yielding `Vec`s with length drawn from `len` and
+    /// elements drawn from `elem`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runs `case` for each case index with a deterministic RNG; panics
+/// with the case's message on the first failure. Used by `proptest!`.
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut case: impl FnMut(&mut StdRng) -> Result<(), String>,
+) {
+    for i in 0..config.cases {
+        let mut hasher = DefaultHasher::new();
+        test_name.hash(&mut hasher);
+        i.hash(&mut hasher);
+        let mut rng = StdRng::seed_from_u64(hasher.finish());
+        if let Err(msg) = case(&mut rng) {
+            panic!("proptest case {i}/{} failed: {msg}", config.cases);
+        }
+    }
+}
+
+/// Renders a caught panic payload as text. Used by `proptest!`.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Defines randomized tests. See the crate docs for the supported
+/// subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    }),
+                );
+                match __outcome {
+                    Ok(r) => r.map_err(|e| format!("{e}\n  inputs: {__inputs}")),
+                    Err(payload) => Err(format!(
+                        "panicked: {}\n  inputs: {__inputs}",
+                        $crate::panic_message(payload)
+                    )),
+                }
+            });
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case (with formatted message) if `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Fails the current case if the two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    }};
+}
+
+/// The glob import everything in this repo uses.
+pub mod prelude {
+    /// Root alias so `prop::collection::vec(...)` resolves.
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(n in 3usize..9, x in -2.0f32..2.0) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in prop::collection::vec(0.0f64..1.0, 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+            prop_assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn failures_report_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases(&ProptestConfig::with_cases(4), "always_fails", |_rng| {
+                Err("boom".to_string())
+            });
+        });
+        let msg = crate::panic_message(result.unwrap_err());
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        crate::run_cases(&ProptestConfig::with_cases(5), "det", |rng| {
+            first.push((0u64..1000).generate(rng));
+            Ok(())
+        });
+        let mut second = Vec::new();
+        crate::run_cases(&ProptestConfig::with_cases(5), "det", |rng| {
+            second.push((0u64..1000).generate(rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

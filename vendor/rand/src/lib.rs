@@ -1,0 +1,272 @@
+//! In-tree stand-in for the `rand` crate (see `vendor/README.md`).
+//!
+//! Exposes the `rand` 0.8 API surface this repository uses — `StdRng`,
+//! [`Rng`], [`SeedableRng`] — backed by xoshiro256++ seeded through
+//! SplitMix64. The stream differs from upstream `rand`'s StdRng (which
+//! is ChaCha12 and documented as non-portable across versions anyway);
+//! all experiments in this repo only require self-consistency: the same
+//! seed must reproduce the same run on every platform, which this
+//! generator guarantees.
+
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The standard deterministic generator: xoshiro256++.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn next_u64_impl(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the reference seeding for xoshiro.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        StdRng { s }
+    }
+}
+
+/// Types samplable uniformly over their "standard" domain (`[0, 1)` for
+/// floats, the full range for integers), mirroring `rand`'s `Standard`
+/// distribution.
+pub trait Standard: Sized {
+    /// Draws one sample.
+    fn sample_standard(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample_standard(rng: &mut StdRng) -> f32 {
+        // 24 high bits → [0, 1) with full f32 mantissa resolution.
+        ((rng.next_u64_impl() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample_standard(rng: &mut StdRng) -> f64 {
+        ((rng.next_u64_impl() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample_standard(rng: &mut StdRng) -> u32 {
+        (rng.next_u64_impl() >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample_standard(rng: &mut StdRng) -> u64 {
+        rng.next_u64_impl()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard(rng: &mut StdRng) -> bool {
+        rng.next_u64_impl() & 1 == 1
+    }
+}
+
+/// Range arguments accepted by [`Rng::gen_range`], mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    fn sample_from(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + (rng.next_u64_impl() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return rng.next_u64_impl() as $t;
+                }
+                lo + (rng.next_u64_impl() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(usize, u8, u16, u32, u64);
+
+macro_rules! signed_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64_impl() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+signed_range!(i32, i64, isize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                self.start + <$t as Standard>::sample_standard(rng) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range!(f32, f64);
+
+/// Sampling methods, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Draws a sample of `T` from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T;
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let sa: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn floats_land_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(0usize..=4);
+            assert!(w <= 4);
+            let f = rng.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+        // Inclusive upper bound is reachable.
+        let mut hit_top = false;
+        for _ in 0..200 {
+            if rng.gen_range(0usize..=1) == 1 {
+                hit_top = true;
+            }
+        }
+        assert!(hit_top);
+    }
+
+    #[test]
+    fn clone_forks_the_stream() {
+        let mut a = StdRng::seed_from_u64(5);
+        let _ = a.gen::<u64>();
+        let mut b = a.clone();
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -1,0 +1,84 @@
+//! In-tree stand-in for the `rayon` crate (see `vendor/README.md`).
+//!
+//! `into_par_iter()` / `par_iter()` here simply return the ordinary
+//! sequential iterator, so every adaptor (`map`, `zip`, `enumerate`,
+//! `collect`, …) is the `std::iter` one and results are identical to —
+//! because they are — the sequential computation. The FL engines that
+//! call these only need *ordered* map/collect semantics; the compute
+//! they fan out funnels into `fedmp-tensor`'s GEMM kernels, which carry
+//! their own real row-band thread pool (`fedmp_tensor::parallel`,
+//! `FEDMP_THREADS`). Keeping worker-level dispatch sequential and
+//! kernel-level bands parallel gives one thread-count knob and one
+//! determinism argument instead of two nested schedulers.
+
+/// Conversion into a "parallel" (here: sequential) iterator by value.
+pub trait IntoParallelIterator {
+    /// The iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type.
+    type Item;
+    /// Converts `self` into an iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Conversion into a "parallel" (here: sequential) iterator by shared
+/// reference.
+pub trait IntoParallelRefIterator<'a> {
+    /// The iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type (a reference).
+    type Item: 'a;
+    /// Iterates over `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, I: 'a + ?Sized> IntoParallelRefIterator<'a> for I
+where
+    &'a I: IntoIterator,
+{
+    type Iter = <&'a I as IntoIterator>::IntoIter;
+    type Item = <&'a I as IntoIterator>::Item;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// The import surface mirrored from `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn vec_into_par_iter_maps_in_order() {
+        let v: Vec<i32> = vec![1, 2, 3].into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn range_and_zip_and_enumerate() {
+        let base = vec![10, 20, 30];
+        let out: Vec<(usize, i32)> = (0..3usize)
+            .into_par_iter()
+            .zip(base.par_iter())
+            .map(|(i, &b)| (i, b))
+            .enumerate()
+            .map(|(n, (i, b))| {
+                assert_eq!(n, i);
+                (i, b + 1)
+            })
+            .collect();
+        assert_eq!(out, vec![(0, 11), (1, 21), (2, 31)]);
+    }
+}

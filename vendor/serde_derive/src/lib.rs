@@ -1,0 +1,447 @@
+//! In-tree stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Generates impls of the in-tree `serde::Serialize` / `serde::Deserialize`
+//! value-tree traits. To stay dependency-free it parses the item with a
+//! hand-written token walker instead of `syn`, which supports exactly
+//! what this repository's types need:
+//!
+//! * plain (non-generic) structs with named fields, tuple structs and
+//!   unit structs
+//! * enums with unit, newtype, tuple and struct variants (externally
+//!   tagged, like real serde)
+//! * the field attributes `#[serde(skip)]` and
+//!   `#[serde(skip, default = "path::to::fn")]`
+//!
+//! Anything outside that subset panics at compile time with a clear
+//! message rather than silently mis-serialising.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the in-tree `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the in-tree `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Struct with named fields.
+    Struct(Vec<Field>),
+    /// Tuple struct with `n` unnamed fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum.
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    /// Path of a `fn() -> T` used for skipped fields on deserialise;
+    /// `None` means `Default::default()`.
+    default: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let kw = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (in-tree): generic type `{name}` is not supported");
+    }
+
+    let kind = match kw.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            other => panic!("serde_derive (in-tree): unexpected struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive (in-tree): unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde_derive (in-tree): expected struct or enum, found `{other}`"),
+    };
+    Item { name, kind }
+}
+
+/// Advances past leading attributes and a `pub` / `pub(...)` qualifier.
+/// Returns the serde attribute contents seen, flattened.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    let mut serde_words = Vec::new();
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    serde_words.extend(serde_attr_words(g.stream()));
+                    *pos += 1;
+                } else {
+                    panic!("serde_derive (in-tree): `#` not followed by an attribute group");
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return serde_words,
+        }
+    }
+}
+
+/// If the attribute group is `serde(...)`, renders its comma-separated
+/// items as strings like `skip` / `default="path"`.
+fn serde_attr_words(attr: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let mut items = vec![String::new()];
+            for t in g.stream() {
+                match &t {
+                    TokenTree::Punct(p) if p.as_char() == ',' => items.push(String::new()),
+                    other => items.last_mut().expect("non-empty").push_str(&other.to_string()),
+                }
+            }
+            items.retain(|s| !s.is_empty());
+            items
+        }
+        _ => Vec::new(),
+    }
+}
+
+fn apply_serde_words(field: &mut Field, words: &[String]) {
+    for w in words {
+        if w == "skip" {
+            field.skip = true;
+        } else if let Some(path) = w.strip_prefix("default=") {
+            field.default = Some(path.trim_matches('"').to_string());
+        } else {
+            panic!(
+                "serde_derive (in-tree): unsupported serde attribute `{w}` on field `{}`",
+                field.name
+            );
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive (in-tree): expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `name: Type` fields (with attributes) out of a braced body.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let words = skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => {
+                panic!("serde_derive (in-tree): expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        let mut field = Field { name, skip: false, default: None };
+        apply_serde_words(&mut field, &words);
+        fields.push(field);
+    }
+    fields
+}
+
+/// Counts the fields of a tuple-struct / tuple-variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_token = false;
+    for t in body {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    count + usize::from(saw_token)
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                match count_tuple_fields(g.stream()) {
+                    1 => VariantShape::Newtype,
+                    n => VariantShape::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            } else if p.as_char() == '=' {
+                panic!("serde_derive (in-tree): explicit discriminants are not supported");
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n",
+                    f = f.name
+                ));
+            }
+            format!(
+                "let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Object(__fields)"
+            )
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let elems: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Newtype => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                        let binds: Vec<String> =
+                            live.iter().map(|f| f.name.clone()).collect();
+                        let dots = if live.len() == fields.len() { "" } else { ", .." };
+                        let pushes: Vec<String> = live
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))",
+                                    f = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds}{dots} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{pushes}]))]),\n",
+                            binds = binds.join(", "),
+                            pushes = pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------
+
+fn default_expr(f: &Field) -> String {
+    match &f.default {
+        Some(path) => format!("{path}()"),
+        None => "::std::default::Default::default()".to_string(),
+    }
+}
+
+fn gen_named_ctor(ty_path: &str, err_ty: &str, fields: &[Field], obj_var: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: {}", f.name, default_expr(f))
+            } else {
+                format!("{f}: ::serde::__get_field({obj_var}, \"{f}\", \"{err_ty}\")?", f = f.name)
+            }
+        })
+        .collect();
+    format!("{ty_path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let ctor = gen_named_ctor(name, name, fields, "__obj");
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}\"))?;\nOk({ctor})"
+            )
+        }
+        Kind::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        Kind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array for {name}\"))?;\nif __arr.len() != {n} {{ return Err(::serde::DeError::new(\"wrong tuple arity for {name}\")); }}\nOk({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Kind::Unit => format!("let _ = __v; Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                    }
+                    VariantShape::Newtype => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__payload).map_err(|e| ::serde::DeError::new(format!(\"{name}::{vn}: {{e}}\")))?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __arr = __payload.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array for {name}::{vn}\"))?; if __arr.len() != {n} {{ return Err(::serde::DeError::new(\"wrong arity for {name}::{vn}\")); }} Ok({name}::{vn}({})) }},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let ctor = gen_named_ctor(
+                            &format!("{name}::{vn}"),
+                            &format!("{name}::{vn}"),
+                            fields,
+                            "__o",
+                        );
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __o = __payload.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}::{vn}\"))?; Ok({ctor}) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let Some(__s) = __v.as_str() {{\n    match __s {{\n{unit_arms}        _ => return Err(::serde::DeError::new(format!(\"unknown {name} variant `{{__s}}`\"))),\n    }}\n}}\nlet __obj = __v.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}\"))?;\nif __obj.len() != 1 {{ return Err(::serde::DeError::new(\"expected single-key object for {name}\")); }}\nlet (__tag, __payload) = &__obj[0];\nmatch __tag.as_str() {{\n{tagged_arms}    __other => Err(::serde::DeError::new(format!(\"unknown {name} variant `{{__other}}`\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n    fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n        {body}\n    }}\n}}\n"
+    )
+}
