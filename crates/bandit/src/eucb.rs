@@ -257,11 +257,18 @@ impl Bandit for EUcbAgent {
     }
 
     /// Algorithm 1 line 12: records the observed reward for the pending
-    /// arm.
+    /// arm. Emits a `BanditDecision` trace event when tracing is
+    /// enabled (engines observe in worker-index order, so the events'
+    /// positions attribute them).
     fn observe(&mut self, reward: f32) {
         let arm = self.pending.take().expect("observe() without a pending select()");
         assert!(reward.is_finite(), "reward must be finite");
         self.history.push((arm, reward));
+        fedmp_obs::emit(|| fedmp_obs::TraceEvent::BanditDecision {
+            arm,
+            reward,
+            regions: self.regions.len(),
+        });
     }
 }
 

@@ -1,5 +1,5 @@
 //! Extension experiment: fleet energy per method. FlexCom's motivation
-//! [13] is energy-efficient FL; FedMP should cut *both* compute and
+//! \[13\] is energy-efficient FL; FedMP should cut *both* compute and
 //! radio energy (smaller trained models, smaller transfers), while
 //! compression-only methods cut radio energy alone and FedProx mainly
 //! trims barrier idle time.

@@ -37,9 +37,7 @@ pub fn measure_overhead(
 ) -> OverheadReport {
     assert!(rounds > 0, "need at least one round");
     let mut agents: Vec<EUcbAgent> = (0..workers)
-        .map(|w| {
-            EUcbAgent::new(EUcbConfig { seed: w as u64, ..Default::default() })
-        })
+        .map(|w| EUcbAgent::new(EUcbConfig { seed: w as u64, ..Default::default() }))
         .collect();
 
     let mut decision = 0.0f64;

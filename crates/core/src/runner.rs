@@ -11,13 +11,13 @@ use serde::{Deserialize, Serialize};
 /// Every training method the evaluation section compares.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Method {
-    /// Full-model synchronous FedAvg [5].
+    /// Full-model synchronous FedAvg \[5\].
     SynFl,
-    /// Uniform adaptive pruning [15].
+    /// Uniform adaptive pruning \[15\].
     UpFl,
-    /// Proximal + capability-scaled local iterations [19].
+    /// Proximal + capability-scaled local iterations \[19\].
     FedProx,
-    /// Heterogeneous upload compression [13].
+    /// Heterogeneous upload compression \[13\].
     FlexCom,
     /// The paper's system.
     FedMp,
@@ -25,7 +25,7 @@ pub enum Method {
     FedMpBsp,
     /// FedMP at a fixed uniform ratio (Fig. 2 / Fig. 5 sweeps).
     FedMpFixed(f32),
-    /// Asynchronous FedAvg [43], aggregating `m` arrivals per round.
+    /// Asynchronous FedAvg \[43\], aggregating `m` arrivals per round.
     AsynFl {
         /// Arrivals per aggregation.
         m: usize,
@@ -61,7 +61,12 @@ impl Method {
 }
 
 /// Builds the experiment described by `spec` and runs `method` on it.
+///
+/// When the `FEDMP_TRACE` environment variable names a directory, the
+/// run is traced: a JSONL artifact with a run manifest plus one event
+/// stream is written there (see [`crate::maybe_trace`]).
 pub fn run_method(spec: &ExperimentSpec, method: Method) -> RunHistory {
+    let _trace = crate::trace::maybe_trace(&method.name(), spec);
     let built = spec.build();
     let setup =
         FlSetup::with_cost_scale(&built.task, built.devices.clone(), built.time, built.cost_scale);
@@ -93,6 +98,7 @@ pub fn run_method(spec: &ExperimentSpec, method: Method) -> RunHistory {
 /// Runs FedMP with caller-supplied options (θ sweeps, custom reward
 /// shaping, BSP ablations) on the experiment described by `spec`.
 pub fn run_fedmp_custom(spec: &ExperimentSpec, opts: &FedMpOptions) -> RunHistory {
+    let _trace = crate::trace::maybe_trace("FedMP-custom", spec);
     let built = spec.build();
     let setup =
         FlSetup::with_cost_scale(&built.task, built.devices.clone(), built.time, built.cost_scale);

@@ -32,28 +32,49 @@ pub struct FaultInjector {
     pub recover_rounds: u32,
     /// Remaining offline rounds per worker (0 = healthy).
     down: Vec<u32>,
+    /// Whether each worker was offline in the previous round — the
+    /// memory that turns a countdown reaching zero into a single
+    /// `FaultRecovered` trace event.
+    was_down: Vec<bool>,
 }
 
 impl FaultInjector {
     /// A fault injector for `workers` devices.
     pub fn new(workers: usize, fail_prob: f64, recover_rounds: u32) -> Self {
         assert!((0.0..=1.0).contains(&fail_prob), "fail_prob must be a probability");
-        FaultInjector { fail_prob, recover_rounds, down: vec![0; workers] }
+        FaultInjector {
+            fail_prob,
+            recover_rounds,
+            down: vec![0; workers],
+            was_down: vec![false; workers],
+        }
     }
 
     /// Advances one round. Returns the indices of workers that are
-    /// **online** this round.
+    /// **online** this round. Emits `FaultInjected` / `FaultRecovered`
+    /// trace events (in worker-index order) when tracing is enabled.
     pub fn step(&mut self, rng: &mut StdRng) -> Vec<usize> {
+        let recover_rounds = self.recover_rounds;
         let mut online = Vec::with_capacity(self.down.len());
         for (i, d) in self.down.iter_mut().enumerate() {
             if *d > 0 {
                 *d -= 1;
+                self.was_down[i] = true;
                 continue;
+            }
+            if self.was_down[i] {
+                fedmp_obs::emit(|| fedmp_obs::TraceEvent::FaultRecovered { worker: i });
             }
             if self.fail_prob > 0.0 && rng.gen::<f64>() < self.fail_prob {
-                *d = self.recover_rounds;
+                *d = recover_rounds;
+                fedmp_obs::emit(|| fedmp_obs::TraceEvent::FaultInjected {
+                    worker: i,
+                    down_rounds: recover_rounds,
+                });
+                self.was_down[i] = true;
                 continue;
             }
+            self.was_down[i] = false;
             online.push(i);
         }
         online

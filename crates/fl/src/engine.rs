@@ -1,11 +1,14 @@
 //! Shared engine plumbing: configuration, per-round worker execution and
 //! cost accounting.
 
+use crate::history::RoundRecord;
 use crate::local::LocalTrainConfig;
 use crate::task::ImageTask;
 use fedmp_data::BatchIter;
-use fedmp_edgesim::{DeviceProfile, RoundCost, TimeModel};
+use fedmp_edgesim::{DeviceProfile, RoundCost, RoundTime, TimeModel};
 use fedmp_nn::{model_cost, Sequential};
+use fedmp_obs::TraceEvent;
+use fedmp_tensor::parallel::KernelStats;
 use fedmp_tensor::seeded_rng;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -97,6 +100,17 @@ impl<'a> FlSetup<'a> {
         self.devices.len()
     }
 
+    /// The width-compensated cost of one round: `cost` with the
+    /// [`CostScale`] factors applied — the FLOPs and on-wire bytes the
+    /// virtual clock (and the trace events) are computed from.
+    pub fn scaled_cost(&self, cost: &RoundCost) -> RoundCost {
+        RoundCost {
+            train_flops: cost.train_flops * self.cost_scale.flops,
+            download_bytes: cost.download_bytes * self.cost_scale.bytes,
+            upload_bytes: cost.upload_bytes * self.cost_scale.bytes,
+        }
+    }
+
     /// Simulates one worker round after applying the cost scale.
     pub fn simulate_round(
         &self,
@@ -104,12 +118,7 @@ impl<'a> FlSetup<'a> {
         cost: &RoundCost,
         rng: &mut StdRng,
     ) -> fedmp_edgesim::RoundTime {
-        let scaled = RoundCost {
-            train_flops: cost.train_flops * self.cost_scale.flops,
-            download_bytes: cost.download_bytes * self.cost_scale.bytes,
-            upload_bytes: cost.upload_bytes * self.cost_scale.bytes,
-        };
-        self.time.round_time(&self.devices[worker], &scaled, rng)
+        self.time.round_time(&self.devices[worker], &self.scaled_cost(cost), rng)
     }
 }
 
@@ -168,14 +177,14 @@ pub(crate) fn model_round_cost(
     }
 }
 
-/// Per-worker completion times for a round; returns `(times, comp, comm)`
-/// column-wise.
+/// Per-worker completion times for a round; returns the per-worker
+/// [`RoundTime`]s plus the mean compute and comm seconds column-wise.
 pub(crate) fn round_times(
     setup: &FlSetup<'_>,
     costs: &[RoundCost],
     seed: u64,
     round: usize,
-) -> (Vec<f64>, f64, f64) {
+) -> (Vec<RoundTime>, f64, f64) {
     let mut times = Vec::with_capacity(costs.len());
     let mut comp_sum = 0.0;
     let mut comm_sum = 0.0;
@@ -184,10 +193,106 @@ pub(crate) fn round_times(
         let t = setup.simulate_round(w, cost, &mut rng);
         comp_sum += t.comp;
         comm_sum += t.comm;
-        times.push(t.total());
+        times.push(t);
     }
     let n = costs.len().max(1) as f64;
     (times, comp_sum / n, comm_sum / n)
+}
+
+/// The round barrier `maxₙ Tₙ` over per-worker round times.
+pub(crate) fn barrier_time(times: &[RoundTime]) -> f64 {
+    times.iter().map(|t| t.total()).fold(0.0, f64::max)
+}
+
+// ---- observability hooks -------------------------------------------------
+//
+// Thin wrappers over `fedmp_obs::emit` so every engine emits the same
+// event shapes in the same order: RoundStart → LocalTrain (worker
+// order) → BanditDecision (from the agents) → Aggregate →
+// KernelDispatch → RoundEnd. All are no-ops (one relaxed atomic load)
+// while no trace session is active.
+
+/// Emits `RoundStart` with an explicit online set.
+pub(crate) fn emit_round_start(round: usize, sim_time: f64, online: &[usize]) {
+    fedmp_obs::emit(|| TraceEvent::RoundStart { round, sim_time, online: online.to_vec() });
+}
+
+/// Emits `RoundStart` with every worker online.
+pub(crate) fn emit_round_start_all(round: usize, sim_time: f64, workers: usize) {
+    fedmp_obs::emit(|| TraceEvent::RoundStart { round, sim_time, online: (0..workers).collect() });
+}
+
+/// Emits one worker's `LocalTrain` event from its outcome, virtual
+/// round time and **scaled** round cost.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_local_train(
+    round: usize,
+    worker: usize,
+    ratio: f32,
+    loss: f32,
+    delta_loss: f32,
+    tau: usize,
+    samples: usize,
+    t: &RoundTime,
+    scaled: &RoundCost,
+) {
+    let (comp_secs, comm_secs) = (t.comp, t.comm);
+    let (bytes_down, bytes_up) = (scaled.download_bytes, scaled.upload_bytes);
+    fedmp_obs::emit(|| TraceEvent::LocalTrain {
+        round,
+        worker,
+        ratio,
+        loss,
+        delta_loss,
+        tau,
+        samples,
+        comp_secs,
+        comm_secs,
+        bytes_down,
+        bytes_up,
+    });
+}
+
+/// Emits `Aggregate`.
+pub(crate) fn emit_aggregate(round: usize, scheme: &str, participants: usize) {
+    let scheme = scheme.to_string();
+    fedmp_obs::emit(move || TraceEvent::Aggregate { round, scheme, participants });
+}
+
+/// Emits `RoundEnd` mirroring the record the engine is about to push.
+/// The NaN `train_loss` of an all-offline fault round becomes `None`
+/// (JSON has no NaN).
+pub(crate) fn emit_round_end(r: &RoundRecord) {
+    fedmp_obs::emit(|| TraceEvent::RoundEnd {
+        round: r.round,
+        sim_time: r.sim_time,
+        round_time: r.round_time,
+        mean_comp: r.mean_comp,
+        mean_comm: r.mean_comm,
+        train_loss: if r.train_loss.is_finite() { Some(r.train_loss) } else { None },
+        eval_loss: r.eval.map(|e| e.0),
+        eval_metric: r.eval.map(|e| e.1),
+    });
+}
+
+/// Snapshot of the kernel-scheduler counters, taken at engine start as
+/// the baseline for per-round `KernelDispatch` deltas.
+pub(crate) fn kernel_baseline() -> KernelStats {
+    fedmp_tensor::parallel::kernel_stats()
+}
+
+/// Emits `KernelDispatch` with the counter deltas since `prev` and
+/// advances `prev`. Skipped entirely (baseline untouched) while tracing
+/// is disabled.
+pub(crate) fn emit_kernel_dispatch(round: usize, prev: &mut KernelStats) {
+    if !fedmp_obs::enabled() {
+        return;
+    }
+    let now = fedmp_tensor::parallel::kernel_stats();
+    let dispatches = now.dispatches - prev.dispatches;
+    let bands = now.bands - prev.bands;
+    fedmp_obs::emit(|| TraceEvent::KernelDispatch { round, dispatches, bands });
+    *prev = now;
 }
 
 #[cfg(test)]

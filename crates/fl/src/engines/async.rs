@@ -4,7 +4,10 @@
 //! (pruned sub-models with E-UCB ratios and R2SP recovery).
 
 use crate::aggregate::{average_states, mix_states, r2sp_aggregate};
-use crate::engine::{model_round_cost, worker_batches, worker_rng, FlConfig, FlSetup};
+use crate::engine::{
+    emit_aggregate, emit_kernel_dispatch, emit_local_train, emit_round_end, emit_round_start,
+    kernel_baseline, model_round_cost, worker_batches, worker_rng, FlConfig, FlSetup,
+};
 use crate::eval::evaluate_image;
 use crate::history::{RoundRecord, RunHistory};
 use crate::local::local_train;
@@ -17,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// Which asynchronous method to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AsyncMode {
-    /// Asynchronous FedAvg over full models (the Asyn-FL baseline [43]).
+    /// Asynchronous FedAvg over full models (the Asyn-FL baseline \[43\]).
     AsynFl,
     /// Algorithm 2: asynchronous FedMP with adaptive pruning.
     AsynFedMp,
@@ -62,6 +65,9 @@ struct Pending {
     ratio: f32,
     comp: f64,
     comm: f64,
+    samples: usize,
+    bytes_down: f64,
+    bytes_up: f64,
 }
 
 /// Runs an asynchronous engine for `cfg.rounds` aggregation events.
@@ -117,6 +123,7 @@ pub fn run_async(
         let cost = model_round_cost(&model, setup.task.input_chw, &cfg.local);
         let mut rng = worker_rng(cfg.seed ^ 0x5A5A, tick, w);
         let rt = setup.simulate_round(w, &cost, &mut rng);
+        let scaled = setup.scaled_cost(&cost);
         queue.push(now + rt.total(), w);
         jobs[w] = Some(Pending {
             trained: model,
@@ -128,6 +135,9 @@ pub fn run_async(
             ratio,
             comp: rt.comp,
             comm: rt.comm,
+            samples: outcome.samples,
+            bytes_down: scaled.download_bytes,
+            bytes_up: scaled.upload_bytes,
         });
     };
 
@@ -135,6 +145,7 @@ pub fn run_async(
         dispatch(w, 0.0, &global, &mut agents, &mut jobs, &mut queue, &mut dispatch_count);
     }
 
+    let mut kstats = kernel_baseline();
     let mut last_agg_time = 0.0f64;
     for round in 0..cfg.rounds {
         // Wait for the first m arrivals (Algorithm 2, lines 4–7).
@@ -145,6 +156,30 @@ pub fn run_async(
         let mut members = Vec::with_capacity(opts.m);
         for c in &arrivals {
             members.push((c.worker, jobs[c.worker].take().expect("job bookkeeping")));
+        }
+
+        // Trace: an async "round" is one aggregation event; online = the
+        // m arrival workers, in arrival order.
+        let online: Vec<usize> = members.iter().map(|(w, _)| *w).collect();
+        emit_round_start(round, last_agg_time, &online);
+        for (w, p) in &members {
+            let t = fedmp_edgesim::RoundTime { comp: p.comp, comm: p.comm };
+            let scaled = fedmp_edgesim::RoundCost {
+                train_flops: 0.0,
+                download_bytes: p.bytes_down,
+                upload_bytes: p.bytes_up,
+            };
+            emit_local_train(
+                round,
+                *w,
+                p.ratio,
+                p.mean_loss,
+                p.delta_loss,
+                cfg.local.tau,
+                p.samples,
+                &t,
+                &scaled,
+            );
         }
 
         // Update the global model from the m arrivals (line 8).
@@ -182,6 +217,14 @@ pub fn run_async(
             mean_comp += p.comp;
             mean_comm += p.comm;
         }
+        emit_aggregate(
+            round,
+            match opts.mode {
+                AsyncMode::AsynFl => "AsynFedAvg",
+                AsyncMode::AsynFedMp => "AsynR2SP",
+            },
+            opts.m,
+        );
         for (w, _) in &members {
             dispatch(*w, now, &global, &mut agents, &mut jobs, &mut queue, &mut dispatch_count);
         }
@@ -193,7 +236,8 @@ pub fn run_async(
         } else {
             None
         };
-        history.rounds.push(RoundRecord {
+        emit_kernel_dispatch(round, &mut kstats);
+        let rec = RoundRecord {
             round,
             sim_time: now,
             round_time: now - last_agg_time,
@@ -202,7 +246,9 @@ pub fn run_async(
             train_loss: train_loss / opts.m as f32,
             eval,
             ratios,
-        });
+        };
+        emit_round_end(&rec);
+        history.rounds.push(rec);
         last_agg_time = now;
     }
     history

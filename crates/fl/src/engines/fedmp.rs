@@ -3,7 +3,10 @@
 
 use crate::aggregate::{bsp_aggregate, r2sp_aggregate};
 use crate::engine::worker_rng;
-use crate::engine::{model_round_cost, worker_batches, FlConfig, FlSetup, SyncScheme};
+use crate::engine::{
+    emit_aggregate, emit_kernel_dispatch, emit_local_train, emit_round_end, emit_round_start,
+    kernel_baseline, model_round_cost, worker_batches, FlConfig, FlSetup, SyncScheme,
+};
 use crate::eval::evaluate_image;
 use crate::history::{RoundRecord, RunHistory};
 use crate::local::local_train;
@@ -108,15 +111,19 @@ pub fn run_fedmp(
     let mut injector =
         opts.faults.map(|f| FaultInjector::new(workers, f.fail_prob, f.recover_rounds));
     let mut fault_rng = fedmp_tensor::seeded_rng(cfg.seed ^ 0xFA17);
+    let mut kstats = kernel_baseline();
 
     for round in 0..cfg.rounds {
-        // §V-A: failed workers sit the round out.
+        // §V-A: failed workers sit the round out. (`step` emits the
+        // FaultInjected/FaultRecovered trace events, so they precede
+        // this round's RoundStart.)
         let online: Vec<usize> = match injector.as_mut() {
             Some(inj) => inj.step(&mut fault_rng),
             None => (0..workers).collect(),
         };
+        emit_round_start(round, sim_time, &online);
         if online.is_empty() {
-            history.rounds.push(RoundRecord {
+            let rec = RoundRecord {
                 round,
                 sim_time,
                 round_time: 0.0,
@@ -125,7 +132,10 @@ pub fn run_fedmp(
                 train_loss: f32::NAN,
                 eval: None,
                 ratios: vec![],
-            });
+            };
+            emit_kernel_dispatch(round, &mut kstats);
+            emit_round_end(&rec);
+            history.rounds.push(rec);
             continue;
         }
 
@@ -172,12 +182,23 @@ pub fn run_fedmp(
         let mut times = Vec::with_capacity(online.len());
         let mut mean_comp = 0.0;
         let mut mean_comm = 0.0;
-        for ((sub, _), &w) in results.iter().zip(online.iter()) {
+        for (i, ((sub, outcome), &w)) in results.iter().zip(online.iter()).enumerate() {
             let cost = model_round_cost(sub, setup.task.input_chw, &cfg.local);
             let mut rng = worker_rng(cfg.seed ^ 0xA5A5, round, w);
             let t = setup.simulate_round(w, &cost, &mut rng);
             mean_comp += t.comp;
             mean_comm += t.comm;
+            emit_local_train(
+                round,
+                w,
+                ratios[i],
+                outcome.mean_loss,
+                outcome.delta_loss(),
+                cfg.local.tau,
+                outcome.samples,
+                &t,
+                &setup.scaled_cost(&cost),
+            );
             times.push(t.total());
         }
         mean_comp /= online.len() as f64;
@@ -214,6 +235,14 @@ pub fn run_fedmp(
             SyncScheme::BSP => bsp_aggregate(&recovered),
         };
         global.load_state(&new_state);
+        emit_aggregate(
+            round,
+            match opts.sync {
+                SyncScheme::R2SP => "R2SP",
+                SyncScheme::BSP => "BSP",
+            },
+            kept.len(),
+        );
 
         let train_loss =
             kept.iter().map(|&i| results[i].1.mean_loss).sum::<f32>() / kept.len() as f32;
@@ -224,7 +253,8 @@ pub fn run_fedmp(
         } else {
             None
         };
-        history.rounds.push(RoundRecord {
+        emit_kernel_dispatch(round, &mut kstats);
+        let rec = RoundRecord {
             round,
             sim_time,
             round_time,
@@ -233,7 +263,9 @@ pub fn run_fedmp(
             train_loss,
             eval,
             ratios,
-        });
+        };
+        emit_round_end(&rec);
+        history.rounds.push(rec);
     }
     history
 }

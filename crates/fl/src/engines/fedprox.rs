@@ -4,7 +4,11 @@
 //! worker still trains and transmits the full model.
 
 use crate::aggregate::average_states;
-use crate::engine::{model_round_cost, round_times, worker_batches, FlConfig, FlSetup};
+use crate::engine::{
+    barrier_time, emit_aggregate, emit_kernel_dispatch, emit_local_train, emit_round_end,
+    emit_round_start_all, kernel_baseline, model_round_cost, round_times, worker_batches, FlConfig,
+    FlSetup,
+};
 use crate::eval::evaluate_image;
 use crate::history::{RoundRecord, RunHistory};
 use crate::local::{local_train, LocalTrainConfig};
@@ -49,7 +53,10 @@ pub fn run_fedprox(
         })
         .collect();
 
+    let mut kstats = kernel_baseline();
+
     for round in 0..cfg.rounds {
+        emit_round_start_all(round, sim_time, workers);
         let results: Vec<_> = (0..workers)
             .into_par_iter()
             .map(|w| {
@@ -72,11 +79,26 @@ pub fn run_fedprox(
             })
             .collect();
         let (times, mean_comp, mean_comm) = round_times(setup, &costs, cfg.seed, round);
-        let round_time = times.iter().copied().fold(0.0, f64::max);
+        let round_time = barrier_time(&times);
         sim_time += round_time;
+        for (w, ((_, o), t)) in results.iter().zip(times.iter()).enumerate() {
+            let scaled = setup.scaled_cost(&costs[w]);
+            emit_local_train(
+                round,
+                w,
+                0.0,
+                o.mean_loss,
+                o.delta_loss(),
+                taus[w],
+                o.samples,
+                t,
+                &scaled,
+            );
+        }
 
         let states: Vec<_> = results.iter().map(|(s, _)| s.clone()).collect();
         global.load_state(&average_states(&states));
+        emit_aggregate(round, "FedAvg", workers);
 
         let train_loss = results.iter().map(|(_, o)| o.mean_loss).sum::<f32>() / workers as f32;
         let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
@@ -86,7 +108,8 @@ pub fn run_fedprox(
         } else {
             None
         };
-        history.rounds.push(RoundRecord {
+        emit_kernel_dispatch(round, &mut kstats);
+        let rec = RoundRecord {
             round,
             sim_time,
             round_time,
@@ -95,7 +118,9 @@ pub fn run_fedprox(
             train_loss,
             eval,
             ratios: vec![],
-        });
+        };
+        emit_round_end(&rec);
+        history.rounds.push(rec);
     }
     history
 }

@@ -4,7 +4,11 @@
 //! fraction is proportional to its link bandwidth, with error feedback.
 
 use crate::aggregate::average_states;
-use crate::engine::{model_round_cost, round_times, worker_batches, FlConfig, FlSetup};
+use crate::engine::{
+    barrier_time, emit_aggregate, emit_kernel_dispatch, emit_local_train, emit_round_end,
+    emit_round_start_all, kernel_baseline, model_round_cost, round_times, worker_batches, FlConfig,
+    FlSetup,
+};
 use crate::eval::evaluate_image;
 use crate::history::{RoundRecord, RunHistory};
 use crate::local::local_train;
@@ -50,7 +54,10 @@ pub fn run_flexcom(
     let mut compressors: Vec<TopKCompressor> =
         keep.iter().map(|&k| TopKCompressor::new(k)).collect();
 
+    let mut kstats = kernel_baseline();
+
     for round in 0..cfg.rounds {
+        emit_round_start_all(round, sim_time, workers);
         let global_state = global.state();
         let results: Vec<_> = (0..workers)
             .into_par_iter()
@@ -81,8 +88,22 @@ pub fn run_flexcom(
             })
             .collect();
         let (times, mean_comp, mean_comm) = round_times(setup, &costs, cfg.seed, round);
-        let round_time = times.iter().copied().fold(0.0, f64::max);
+        let round_time = barrier_time(&times);
         sim_time += round_time;
+        for (w, ((_, o), t)) in results.iter().zip(times.iter()).enumerate() {
+            let scaled = setup.scaled_cost(&costs[w]);
+            emit_local_train(
+                round,
+                w,
+                0.0,
+                o.mean_loss,
+                o.delta_loss(),
+                cfg.local.tau,
+                o.samples,
+                t,
+                &scaled,
+            );
+        }
 
         // Aggregate: global += mean(densified updates).
         let dense_updates: Vec<_> = sparse_updates
@@ -91,6 +112,7 @@ pub fn run_flexcom(
             .collect();
         let mean_update = average_states(&dense_updates);
         global.load_state(&state_add(&global_state, &mean_update));
+        emit_aggregate(round, "FedAvg+topk", workers);
 
         let train_loss = results.iter().map(|(_, o)| o.mean_loss).sum::<f32>() / workers as f32;
         let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
@@ -100,7 +122,8 @@ pub fn run_flexcom(
         } else {
             None
         };
-        history.rounds.push(RoundRecord {
+        emit_kernel_dispatch(round, &mut kstats);
+        let rec = RoundRecord {
             round,
             sim_time,
             round_time,
@@ -109,7 +132,9 @@ pub fn run_flexcom(
             train_loss,
             eval,
             ratios: vec![],
-        });
+        };
+        emit_round_end(&rec);
+        history.rounds.push(rec);
     }
     history
 }

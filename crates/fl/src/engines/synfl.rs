@@ -3,7 +3,11 @@
 //! entire model; the PS waits for all of them.
 
 use crate::aggregate::average_states;
-use crate::engine::{model_round_cost, round_times, worker_batches, FlConfig, FlSetup};
+use crate::engine::{
+    barrier_time, emit_aggregate, emit_kernel_dispatch, emit_local_train, emit_round_end,
+    emit_round_start_all, kernel_baseline, model_round_cost, round_times, worker_batches, FlConfig,
+    FlSetup,
+};
 use crate::eval::evaluate_image;
 use crate::history::{RoundRecord, RunHistory};
 use crate::local::local_train;
@@ -15,8 +19,10 @@ pub fn run_synfl(cfg: &FlConfig, setup: &FlSetup<'_>, mut global: Sequential) ->
     let mut history = RunHistory::new("Syn-FL");
     let mut sim_time = 0.0f64;
     let workers = setup.workers();
+    let mut kstats = kernel_baseline();
 
     for round in 0..cfg.rounds {
+        emit_round_start_all(round, sim_time, workers);
         // Local training: every worker gets the full global model.
         let results: Vec<_> = (0..workers)
             .into_par_iter()
@@ -32,12 +38,27 @@ pub fn run_synfl(cfg: &FlConfig, setup: &FlSetup<'_>, mut global: Sequential) ->
         let cost = model_round_cost(&global, setup.task.input_chw, &cfg.local);
         let costs = vec![cost; workers];
         let (times, mean_comp, mean_comm) = round_times(setup, &costs, cfg.seed, round);
-        let round_time = times.iter().copied().fold(0.0, f64::max);
+        let round_time = barrier_time(&times);
         sim_time += round_time;
+        let scaled = setup.scaled_cost(&cost);
+        for (w, ((_, o), t)) in results.iter().zip(times.iter()).enumerate() {
+            emit_local_train(
+                round,
+                w,
+                0.0,
+                o.mean_loss,
+                o.delta_loss(),
+                cfg.local.tau,
+                o.samples,
+                t,
+                &scaled,
+            );
+        }
 
         // Aggregation: plain FedAvg.
         let states: Vec<_> = results.iter().map(|(s, _)| s.clone()).collect();
         global.load_state(&average_states(&states));
+        emit_aggregate(round, "FedAvg", workers);
 
         let train_loss = results.iter().map(|(_, o)| o.mean_loss).sum::<f32>() / workers as f32;
         let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
@@ -47,7 +68,8 @@ pub fn run_synfl(cfg: &FlConfig, setup: &FlSetup<'_>, mut global: Sequential) ->
         } else {
             None
         };
-        history.rounds.push(RoundRecord {
+        emit_kernel_dispatch(round, &mut kstats);
+        let rec = RoundRecord {
             round,
             sim_time,
             round_time,
@@ -56,7 +78,9 @@ pub fn run_synfl(cfg: &FlConfig, setup: &FlSetup<'_>, mut global: Sequential) ->
             train_loss,
             eval,
             ratios: vec![],
-        });
+        };
+        emit_round_end(&rec);
+        history.rounds.push(rec);
     }
     history
 }

@@ -4,7 +4,11 @@
 //! heterogeneity, so the weakest worker still gates every round.
 
 use crate::aggregate::r2sp_aggregate;
-use crate::engine::{model_round_cost, round_times, worker_batches, FlConfig, FlSetup};
+use crate::engine::{
+    barrier_time, emit_aggregate, emit_kernel_dispatch, emit_local_train, emit_round_end,
+    emit_round_start_all, kernel_baseline, model_round_cost, round_times, worker_batches, FlConfig,
+    FlSetup,
+};
 use crate::eval::evaluate_image;
 use crate::history::{RoundRecord, RunHistory};
 use crate::local::local_train;
@@ -20,7 +24,6 @@ pub struct UpFlOptions {
     /// Shared E-UCB configuration for the single round-ratio agent.
     pub eucb: EUcbConfig,
 }
-
 
 /// Runs UP-FL. The shared agent's reward is the mean local loss
 /// improvement per unit of round time — the natural uniform-ratio
@@ -41,7 +44,10 @@ pub fn run_upfl(
         EUcbAgent::new(c)
     };
 
+    let mut kstats = kernel_baseline();
+
     for round in 0..cfg.rounds {
+        emit_round_start_all(round, sim_time, workers);
         let ratio = agent.select();
         let plan = plan_sequential(&global, setup.task.input_chw, ratio);
         let sub = extract_sequential(&global, &plan);
@@ -60,8 +66,22 @@ pub fn run_upfl(
         let cost = model_round_cost(&sub, setup.task.input_chw, &cfg.local);
         let costs = vec![cost; workers];
         let (times, mean_comp, mean_comm) = round_times(setup, &costs, cfg.seed, round);
-        let round_time = times.iter().copied().fold(0.0, f64::max);
+        let round_time = barrier_time(&times);
         sim_time += round_time;
+        let scaled = setup.scaled_cost(&cost);
+        for (w, ((_, o), t)) in results.iter().zip(times.iter()).enumerate() {
+            emit_local_train(
+                round,
+                w,
+                ratio,
+                o.mean_loss,
+                o.delta_loss(),
+                cfg.local.tau,
+                o.samples,
+                t,
+                &scaled,
+            );
+        }
 
         let mean_delta = results.iter().map(|(_, o)| o.delta_loss()).sum::<f32>() / workers as f32;
         agent.observe(mean_delta / round_time.max(1e-6) as f32);
@@ -70,6 +90,7 @@ pub fn run_upfl(
             results.iter().map(|(m, _)| recover_state(m, &plan, &global)).collect();
         let residuals = vec![residual; workers];
         global.load_state(&r2sp_aggregate(&recovered, &residuals));
+        emit_aggregate(round, "R2SP", workers);
 
         let train_loss = results.iter().map(|(_, o)| o.mean_loss).sum::<f32>() / workers as f32;
         let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
@@ -79,7 +100,8 @@ pub fn run_upfl(
         } else {
             None
         };
-        history.rounds.push(RoundRecord {
+        emit_kernel_dispatch(round, &mut kstats);
+        let rec = RoundRecord {
             round,
             sim_time,
             round_time,
@@ -88,7 +110,9 @@ pub fn run_upfl(
             train_loss,
             eval,
             ratios: vec![ratio; workers],
-        });
+        };
+        emit_round_end(&rec);
+        history.rounds.push(rec);
     }
     history
 }

@@ -8,11 +8,11 @@
 //! | engine | paper reference |
 //! |---|---|
 //! | [`run_fedmp`] | FedMP (Fig. 1, §III–§IV): per-worker E-UCB ratios, structured pruning, R2SP |
-//! | [`run_synfl`] | Syn-FL baseline [5]: full-model FedAvg |
-//! | [`run_upfl`] | UP-FL baseline [15]: uniform adaptive pruning ratio |
-//! | [`run_fedprox`] | FedProx baseline [19]: proximal term + capability-scaled local iterations |
-//! | [`run_flexcom`] | FlexCom baseline [13]: heterogeneous top-k upload compression |
-//! | [`run_async`] | Asyn-FL [43] and Asyn-FedMP (Algorithm 2): m-of-N arrival aggregation |
+//! | [`run_synfl`] | Syn-FL baseline \[5\]: full-model FedAvg |
+//! | [`run_upfl`] | UP-FL baseline \[15\]: uniform adaptive pruning ratio |
+//! | [`run_fedprox`] | FedProx baseline \[19\]: proximal term + capability-scaled local iterations |
+//! | [`run_flexcom`] | FlexCom baseline \[13\]: heterogeneous top-k upload compression |
+//! | [`run_async`] | Asyn-FL \[43\] and Asyn-FedMP (Algorithm 2): m-of-N arrival aggregation |
 //! | [`run_lm`] | §VI LSTM extension: Syn-FL / UP-FL / FedMP with ISS pruning |
 //!
 //! Local training runs in parallel across simulated workers via `rayon`;
@@ -44,6 +44,6 @@ pub use history::{RoundRecord, RunHistory};
 pub use lm::{run_lm, LmMethod, LmOptions, LmRunResult, LmSetup};
 pub use local::{local_train, LocalOutcome, LocalTrainConfig};
 pub use metrics::{relative_cost, resource_totals, ResourceTotals};
-pub use runtime::run_fedmp_threaded;
+pub use runtime::{run_fedmp_threaded, RuntimeError};
 pub use task::ImageTask;
 pub use wire::{decode_state, encode_state, wire_size, WireError};

@@ -3,6 +3,10 @@
 //! FedMP on perplexity).
 
 use crate::aggregate::{average_states, r2sp_aggregate};
+use crate::engine::{
+    emit_aggregate, emit_kernel_dispatch, emit_local_train, emit_round_end, emit_round_start_all,
+    kernel_baseline,
+};
 use crate::eval::evaluate_lm;
 use crate::history::{RoundRecord, RunHistory};
 use fedmp_bandit::{eucb_reward, Bandit, EUcbAgent, EUcbConfig, RewardConfig};
@@ -157,7 +161,10 @@ pub fn run_lm(
         EUcbAgent::new(c)
     };
 
+    let mut kstats = kernel_baseline();
+
     for round in 0..opts.rounds {
+        emit_round_start_all(round, sim_time, workers);
         // Choose ratios.
         let ratios: Vec<f32> = match method {
             LmMethod::SynFl => vec![0.0; workers],
@@ -205,6 +212,18 @@ pub fn run_lm(
             let t = setup.time.round_time(&setup.devices[w], &cost, &mut rng);
             comp_sum += t.comp;
             comm_sum += t.comm;
+            // `samples` counts tokens for the LM task (batch · seq · τ).
+            emit_local_train(
+                round,
+                w,
+                ratios[w],
+                results[w].4,
+                results[w].3,
+                opts.tau,
+                batch * seq * opts.tau,
+                &t,
+                &cost,
+            );
             times.push(t.total());
         }
         let round_time = times.iter().copied().fold(0.0, f64::max);
@@ -248,6 +267,7 @@ pub fn run_lm(
             r2sp_aggregate(&recovered, &residuals)
         };
         global.load_state(&new_state);
+        emit_aggregate(round, if method == LmMethod::SynFl { "FedAvg" } else { "R2SP" }, workers);
 
         let train_loss = results.iter().map(|(_, _, _, _, m)| *m).sum::<f32>() / workers as f32;
         let eval = if round % opts.eval_every == 0 || round + 1 == opts.rounds {
@@ -256,7 +276,8 @@ pub fn run_lm(
         } else {
             None
         };
-        history.rounds.push(RoundRecord {
+        emit_kernel_dispatch(round, &mut kstats);
+        let rec = RoundRecord {
             round,
             sim_time,
             round_time,
@@ -265,7 +286,9 @@ pub fn run_lm(
             train_loss,
             eval,
             ratios,
-        });
+        };
+        emit_round_end(&rec);
+        history.rounds.push(rec);
     }
     history
 }

@@ -15,7 +15,10 @@
 //! below.
 
 use crate::aggregate::{bsp_aggregate, r2sp_aggregate};
-use crate::engine::{model_round_cost, worker_batches, worker_rng, FlConfig, FlSetup, SyncScheme};
+use crate::engine::{
+    emit_aggregate, emit_kernel_dispatch, emit_local_train, emit_round_end, emit_round_start_all,
+    kernel_baseline, model_round_cost, worker_batches, worker_rng, FlConfig, FlSetup, SyncScheme,
+};
 use crate::engines::fedmp::FedMpOptions;
 use crate::eval::evaluate_image;
 use crate::history::{RoundRecord, RunHistory};
@@ -44,19 +47,46 @@ struct UplinkMsg {
     outcome: LocalOutcome,
 }
 
+/// Errors returned by the threaded runtime for option combinations it
+/// does not support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// `opts.faults` was set. Fault injection (worker dropout and the
+    /// §V-A deadline) is a loop-engine feature: the threaded runtime's
+    /// per-round barrier collects exactly one upload per worker, so a
+    /// dropped worker would deadlock the parameter server. Run
+    /// [`crate::run_fedmp`] for fault experiments.
+    FaultsUnsupported,
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::FaultsUnsupported => {
+                write!(f, "threaded runtime does not support fault injection; use run_fedmp")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
 /// Runs FedMP on the threaded runtime. Produces the same history as
 /// [`crate::run_fedmp`] for the supported option set.
 ///
-/// # Panics
-/// Panics if `opts.faults` is set (fault injection is a loop-engine
-/// feature) — everything else is supported.
+/// # Errors
+/// Returns [`RuntimeError::FaultsUnsupported`] if `opts.faults` is set
+/// (fault injection is a loop-engine feature) — everything else is
+/// supported.
 pub fn run_fedmp_threaded(
     cfg: &FlConfig,
     setup: &FlSetup<'_>,
     mut global: Sequential,
     opts: &FedMpOptions,
-) -> RunHistory {
-    assert!(opts.faults.is_none(), "threaded runtime does not support fault injection");
+) -> Result<RunHistory, RuntimeError> {
+    if opts.faults.is_some() {
+        return Err(RuntimeError::FaultsUnsupported);
+    }
     let workers = setup.workers();
     let mut history = RunHistory::new(match opts.sync {
         SyncScheme::R2SP => "FedMP",
@@ -77,6 +107,10 @@ pub fn run_fedmp_threaded(
         (0..workers).map(|_| bounded(1)).collect();
     let (uplink_tx, uplink_rx) = bounded::<UplinkMsg>(workers);
     let uplink_count = Mutex::new(0usize);
+    // Trace events are emitted PS-side only (workers are blocked on
+    // their downlinks whenever the PS emits), so event order is
+    // deterministic and the per-round kernel deltas are exact.
+    let mut kstats = kernel_baseline();
 
     std::thread::scope(|scope| {
         // Worker threads: receive a frame, train, upload.
@@ -105,6 +139,7 @@ pub fn run_fedmp_threaded(
         drop(uplink_tx);
 
         for round in 0..cfg.rounds {
+            emit_round_start_all(round, sim_time, workers);
             // ① PS side: ratios, plans, sub-models, residuals.
             let ratios: Vec<f32> = (0..workers)
                 .map(|w| match opts.fixed_ratio {
@@ -152,6 +187,17 @@ pub fn run_fedmp_threaded(
                 let t = setup.simulate_round(w, &cost, &mut rng);
                 mean_comp += t.comp;
                 mean_comm += t.comm;
+                emit_local_train(
+                    round,
+                    w,
+                    ratios[w],
+                    up.outcome.mean_loss,
+                    up.outcome.delta_loss(),
+                    cfg.local.tau,
+                    up.outcome.samples,
+                    &t,
+                    &setup.scaled_cost(&cost),
+                );
                 times.push(t.total());
             }
             mean_comp /= workers as f64;
@@ -186,6 +232,14 @@ pub fn run_fedmp_threaded(
                 SyncScheme::BSP => bsp_aggregate(&recovered),
             };
             global.load_state(&new_state);
+            emit_aggregate(
+                round,
+                match opts.sync {
+                    SyncScheme::R2SP => "R2SP",
+                    SyncScheme::BSP => "BSP",
+                },
+                workers,
+            );
 
             let train_loss =
                 uploads.iter().map(|u| u.outcome.mean_loss).sum::<f32>() / workers as f32;
@@ -200,7 +254,8 @@ pub fn run_fedmp_threaded(
             } else {
                 None
             };
-            history.rounds.push(RoundRecord {
+            emit_kernel_dispatch(round, &mut kstats);
+            let rec = RoundRecord {
                 round,
                 sim_time,
                 round_time,
@@ -209,7 +264,9 @@ pub fn run_fedmp_threaded(
                 train_loss,
                 eval,
                 ratios,
-            });
+            };
+            emit_round_end(&rec);
+            history.rounds.push(rec);
         }
 
         // Closing the downlinks ends the worker loops.
@@ -220,7 +277,7 @@ pub fn run_fedmp_threaded(
     });
 
     assert_eq!(*uplink_count.lock(), cfg.rounds * workers, "upload bookkeeping");
-    history
+    Ok(history)
 }
 
 #[cfg(test)]
@@ -256,7 +313,7 @@ mod tests {
         let opts = FedMpOptions::default();
 
         let sequential = run_fedmp(&cfg, &setup, global.clone(), &opts);
-        let threaded = run_fedmp_threaded(&cfg, &setup, global, &opts);
+        let threaded = run_fedmp_threaded(&cfg, &setup, global, &opts).expect("no faults");
 
         assert_eq!(sequential.rounds.len(), threaded.rounds.len());
         for (a, b) in sequential.rounds.iter().zip(threaded.rounds.iter()) {
@@ -276,14 +333,13 @@ mod tests {
         let cfg = FlConfig { rounds: 2, ..Default::default() };
         let opts =
             FedMpOptions { sync: SyncScheme::BSP, fixed_ratio: Some(0.4), ..Default::default() };
-        let h = run_fedmp_threaded(&cfg, &setup, global, &opts);
+        let h = run_fedmp_threaded(&cfg, &setup, global, &opts).expect("no faults");
         assert_eq!(h.rounds.len(), 2);
         assert!(h.rounds.iter().all(|r| r.ratios.iter().all(|&x| x == 0.4)));
     }
 
     #[test]
-    #[should_panic(expected = "does not support fault injection")]
-    fn faults_are_rejected() {
+    fn faults_are_rejected_as_an_error() {
         let (task, devices) = setup_task(264);
         let setup = FlSetup::new(&task, devices, TimeModel::deterministic());
         let mut rng = seeded_rng(265);
@@ -293,6 +349,8 @@ mod tests {
             faults: Some(crate::engines::fedmp::FaultOptions::default()),
             ..Default::default()
         };
-        let _ = run_fedmp_threaded(&cfg, &setup, global, &opts);
+        let err = run_fedmp_threaded(&cfg, &setup, global, &opts).unwrap_err();
+        assert_eq!(err, RuntimeError::FaultsUnsupported);
+        assert!(err.to_string().contains("fault injection"));
     }
 }

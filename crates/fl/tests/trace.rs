@@ -1,0 +1,99 @@
+//! Trace acceptance tests: `summarize` reproduces `resource_totals`
+//! exactly from the event stream alone, and the event stream is
+//! invariant to the kernel thread count.
+//!
+//! Everything lives in ONE test function: trace sessions are process-
+//! exclusive and the kernel-dispatch counters are process-global, so
+//! concurrent tests in this binary would pollute the per-round deltas.
+
+use fedmp_data::{iid_partition, mnist_like};
+use fedmp_edgesim::{tx2_profile, ComputeMode, LinkQuality, TimeModel};
+use fedmp_fl::{
+    resource_totals, run_fedmp, FaultOptions, FedMpOptions, FlConfig, FlSetup, ImageTask,
+    RunHistory,
+};
+use fedmp_nn::zoo;
+use fedmp_obs::{diff, summarize, RunManifest, Trace, TraceEvent, TraceSession};
+use fedmp_tensor::seeded_rng;
+
+const WORKERS: usize = 4;
+const ROUNDS: usize = 5;
+
+fn run_traced(threads: usize, seed: u64, opts: &FedMpOptions) -> (RunHistory, Trace) {
+    fedmp_tensor::parallel::override_threads(Some(threads));
+    let (train, test) = mnist_like(0.1, seed).generate();
+    let mut rng = seeded_rng(seed);
+    let part = iid_partition(&train, WORKERS, &mut rng);
+    let task = ImageTask::new(train, test, part);
+    let devices = vec![
+        tx2_profile(ComputeMode::Mode0, LinkQuality::Near),
+        tx2_profile(ComputeMode::Mode1, LinkQuality::Mid),
+        tx2_profile(ComputeMode::Mode2, LinkQuality::Mid),
+        tx2_profile(ComputeMode::Mode3, LinkQuality::Far),
+    ];
+    let setup = FlSetup::new(&task, devices, TimeModel::default());
+    let global = zoo::cnn_mnist(0.1, &mut rng);
+    let cfg = FlConfig { rounds: ROUNDS, eval_every: 2, seed, ..Default::default() };
+
+    let manifest = RunManifest::new("FedMP", seed, WORKERS, ROUNDS, threads);
+    let session = TraceSession::capture(&manifest);
+    let history = run_fedmp(&cfg, &setup, global, opts);
+    let trace = session.finish();
+    fedmp_tensor::parallel::override_threads(None);
+    (history, trace)
+}
+
+#[test]
+fn trace_summarize_matches_totals_and_stream_is_thread_invariant() {
+    // ── summarize == resource_totals, bit-exact ─────────────────────
+    let (history, trace) = run_traced(1, 42, &FedMpOptions::default());
+    let live = resource_totals(&history, WORKERS);
+    let replayed = summarize(&trace).expect("trace has a manifest");
+    assert_eq!(replayed.rounds, live.rounds);
+    assert_eq!(replayed.wall_secs, live.wall_secs);
+    assert_eq!(replayed.compute_secs, live.compute_secs);
+    assert_eq!(replayed.comm_secs, live.comm_secs);
+    assert_eq!(replayed.idle_secs, live.idle_secs);
+
+    // Every round contributes the full event complement, in order.
+    let kinds: Vec<&str> = trace.events.iter().map(|e| e.kind()).collect();
+    assert_eq!(kinds.iter().filter(|k| **k == "RoundStart").count(), ROUNDS);
+    assert_eq!(kinds.iter().filter(|k| **k == "RoundEnd").count(), ROUNDS);
+    assert_eq!(kinds.iter().filter(|k| **k == "LocalTrain").count(), ROUNDS * WORKERS);
+    assert_eq!(kinds.iter().filter(|k| **k == "BanditDecision").count(), ROUNDS * WORKERS);
+    assert_eq!(kinds.iter().filter(|k| **k == "Aggregate").count(), ROUNDS);
+    assert_eq!(kinds.iter().filter(|k| **k == "KernelDispatch").count(), ROUNDS);
+    assert!(trace.events.iter().any(|e| matches!(
+        e,
+        TraceEvent::KernelDispatch { dispatches, .. } if *dispatches > 0
+    )));
+
+    // ── same seed, 1 vs 4 kernel threads: zero divergence ───────────
+    let (_h4, trace4) = run_traced(4, 42, &FedMpOptions::default());
+    let d = diff(&trace, &trace4);
+    assert!(!d.is_divergent(), "thread count changed the event stream: {:?}", d.divergence);
+    assert_eq!(d.len_a, d.len_b);
+    // The only manifest difference is the thread count, reported as a
+    // note rather than a divergence.
+    assert_eq!(d.manifest_notes.len(), 1, "{:?}", d.manifest_notes);
+    assert!(d.manifest_notes[0].contains("threads"), "{:?}", d.manifest_notes);
+
+    // ── a different seed must diverge ───────────────────────────────
+    let (_h, other) = run_traced(1, 43, &FedMpOptions::default());
+    assert!(diff(&trace, &other).is_divergent());
+
+    // ── faults: events appear and summarize still matches ───────────
+    let opts = FedMpOptions {
+        faults: Some(FaultOptions { fail_prob: 0.3, recover_rounds: 1, ..Default::default() }),
+        ..Default::default()
+    };
+    let (fh, ft) = run_traced(1, 44, &opts);
+    let flive = resource_totals(&fh, WORKERS);
+    let freplay = summarize(&ft).expect("fault trace has a manifest");
+    assert_eq!(freplay.wall_secs, flive.wall_secs);
+    assert_eq!(freplay.idle_secs, flive.idle_secs);
+    let injected = ft.events.iter().filter(|e| e.kind() == "FaultInjected").count();
+    let recovered = ft.events.iter().filter(|e| e.kind() == "FaultRecovered").count();
+    assert!(injected > 0, "no faults materialised at fail_prob=0.3 over {ROUNDS} rounds");
+    assert!(recovered <= injected);
+}

@@ -1,0 +1,214 @@
+//! The typed trace events every instrumented subsystem emits.
+
+use serde::{Deserialize, Serialize};
+
+/// One structured trace event, serialised as a single JSONL line with
+/// the variant name as the outer key (serde's externally-tagged form),
+/// e.g. `{"RoundStart":{"round":0,"sim_time":0.0,"online":[0,1]}}`.
+///
+/// Field units follow the virtual clock throughout: `*_secs` are
+/// **simulated** seconds (Eq. 5 of the paper), never host wall time, and
+/// `bytes_*` are **on-wire** bytes after the width-compensation cost
+/// scale — the same quantities the completion-time results are computed
+/// from. See `docs/TRACE_SCHEMA.md` for the full field reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A synchronisation round is starting on the parameter server.
+    RoundStart {
+        /// Round index `k` (0-based; for the async engines this is the
+        /// aggregation-event index).
+        round: usize,
+        /// Cumulative virtual time (s) when the round starts.
+        sim_time: f64,
+        /// Workers participating this round, in index order. Empty when
+        /// fault injection took the whole fleet offline.
+        online: Vec<usize>,
+    },
+    /// One worker finished its local training for the round.
+    LocalTrain {
+        /// Round index.
+        round: usize,
+        /// Worker index.
+        worker: usize,
+        /// Pruning ratio this worker trained at (0 = full model).
+        ratio: f32,
+        /// Mean local training loss over the round's τ iterations.
+        loss: f32,
+        /// Loss improvement `first − last` across the round (the bandit
+        /// reward numerator).
+        delta_loss: f32,
+        /// Local iterations performed.
+        tau: usize,
+        /// Training samples processed.
+        samples: usize,
+        /// Virtual computation seconds (Eq. 5 compute term).
+        comp_secs: f64,
+        /// Virtual communication seconds (download + upload).
+        comm_secs: f64,
+        /// Bytes downloaded from the PS (sub-model), after cost scaling.
+        bytes_down: f64,
+        /// Bytes uploaded to the PS (trained model), after cost scaling.
+        bytes_up: f64,
+    },
+    /// An E-UCB agent received the reward for its pending arm. Events
+    /// appear in worker-index order within a round; attribution to a
+    /// worker is positional (the agent does not know its owner).
+    BanditDecision {
+        /// The arm (pruning ratio) the reward is for.
+        arm: f32,
+        /// Observed Eq. 8 reward.
+        reward: f32,
+        /// Partition-tree leaf count after this observation — the
+        /// posterior granularity of the agent.
+        regions: usize,
+    },
+    /// The PS merged the round's arrivals into a new global model.
+    Aggregate {
+        /// Round index.
+        round: usize,
+        /// Aggregation scheme (`"R2SP"`, `"BSP"`, `"FedAvg"`,
+        /// `"FedAvg+topk"`, `"AsynFedAvg"`, `"AsynR2SP"`).
+        scheme: String,
+        /// Models merged (arrivals that met the deadline).
+        participants: usize,
+    },
+    /// Fault injection took a worker offline.
+    FaultInjected {
+        /// Worker index.
+        worker: usize,
+        /// Further full rounds the worker stays offline after the
+        /// current one.
+        down_rounds: u32,
+    },
+    /// A previously failed worker rejoined the fleet.
+    FaultRecovered {
+        /// Worker index.
+        worker: usize,
+    },
+    /// Kernel-scheduler activity since the previous `KernelDispatch`
+    /// event (one is emitted per round). Counters come from
+    /// `tensor::parallel` and are **thread-count-invariant**: they count
+    /// `for_each_band` invocations and the bands each decomposed into,
+    /// both functions of problem shape only — so same-seed runs at
+    /// different `FEDMP_THREADS` produce identical events.
+    KernelDispatch {
+        /// Round index.
+        round: usize,
+        /// `for_each_band` invocations this round.
+        dispatches: u64,
+        /// Output bands those invocations decomposed into.
+        bands: u64,
+    },
+    /// A round completed; mirrors the engine's `RoundRecord`.
+    RoundEnd {
+        /// Round index.
+        round: usize,
+        /// Cumulative virtual time (s) at the end of the round.
+        sim_time: f64,
+        /// The round's duration `T^k = maxₙ Tₙ` (virtual seconds),
+        /// after any deadline cut.
+        round_time: f64,
+        /// Mean computation seconds across participating workers.
+        mean_comp: f64,
+        /// Mean communication seconds across participating workers.
+        mean_comm: f64,
+        /// Mean local training loss (`None` when no worker trained,
+        /// i.e. an all-offline fault round).
+        train_loss: Option<f32>,
+        /// Test loss, when this round was evaluated.
+        eval_loss: Option<f32>,
+        /// Test metric, when evaluated: accuracy for classifiers,
+        /// perplexity for language models.
+        eval_metric: Option<f32>,
+    },
+}
+
+impl TraceEvent {
+    /// Every event kind this enum can emit, in definition order.
+    pub const KINDS: [&'static str; 8] = [
+        "RoundStart",
+        "LocalTrain",
+        "BanditDecision",
+        "Aggregate",
+        "FaultInjected",
+        "FaultRecovered",
+        "KernelDispatch",
+        "RoundEnd",
+    ];
+
+    /// The variant name — identical to the outer JSON key of the
+    /// serialised form.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RoundStart { .. } => "RoundStart",
+            TraceEvent::LocalTrain { .. } => "LocalTrain",
+            TraceEvent::BanditDecision { .. } => "BanditDecision",
+            TraceEvent::Aggregate { .. } => "Aggregate",
+            TraceEvent::FaultInjected { .. } => "FaultInjected",
+            TraceEvent::FaultRecovered { .. } => "FaultRecovered",
+            TraceEvent::KernelDispatch { .. } => "KernelDispatch",
+            TraceEvent::RoundEnd { .. } => "RoundEnd",
+        }
+    }
+
+    /// One representative instance of every variant, in [`Self::KINDS`]
+    /// order — used by the schema-coverage test and doc examples.
+    pub fn samples() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::RoundStart { round: 0, sim_time: 0.0, online: vec![0, 1] },
+            TraceEvent::LocalTrain {
+                round: 0,
+                worker: 0,
+                ratio: 0.4,
+                loss: 2.1,
+                delta_loss: 0.2,
+                tau: 10,
+                samples: 320,
+                comp_secs: 3.5,
+                comm_secs: 1.2,
+                bytes_down: 1.0e6,
+                bytes_up: 1.0e6,
+            },
+            TraceEvent::BanditDecision { arm: 0.4, reward: 0.05, regions: 3 },
+            TraceEvent::Aggregate { round: 0, scheme: "R2SP".into(), participants: 2 },
+            TraceEvent::FaultInjected { worker: 1, down_rounds: 2 },
+            TraceEvent::FaultRecovered { worker: 1 },
+            TraceEvent::KernelDispatch { round: 0, dispatches: 96, bands: 384 },
+            TraceEvent::RoundEnd {
+                round: 0,
+                sim_time: 4.8,
+                round_time: 4.8,
+                mean_comp: 3.5,
+                mean_comm: 1.2,
+                train_loss: Some(2.1),
+                eval_loss: Some(2.0),
+                eval_metric: Some(0.31),
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_cover_every_kind_in_order() {
+        let kinds: Vec<&str> = TraceEvent::samples().iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds, TraceEvent::KINDS);
+    }
+
+    #[test]
+    fn serialised_form_is_tagged_with_kind() {
+        for ev in TraceEvent::samples() {
+            let json = serde_json::to_string(&ev).unwrap();
+            assert!(
+                json.starts_with(&format!("{{\"{}\":", ev.kind())),
+                "{json} not tagged {}",
+                ev.kind()
+            );
+            let back: TraceEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, ev);
+        }
+    }
+}

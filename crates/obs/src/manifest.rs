@@ -1,0 +1,106 @@
+//! Run manifests: the first line of every trace file, carrying enough
+//! to reproduce the run that emitted it.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The trace-format identifier written into every manifest. Bump when
+/// an event's fields change incompatibly.
+pub const SCHEMA_VERSION: &str = "fedmp-trace/v1";
+
+/// The reproducibility record written as the first JSONL line of a
+/// trace: everything needed to re-run the experiment that produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Trace-format version ([`SCHEMA_VERSION`]).
+    pub schema: String,
+    /// Engine / method name (e.g. `"FedMP"`, `"Syn-FL"`).
+    pub engine: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Worker count (the `n` the summarizer multiplies means by).
+    pub workers: usize,
+    /// Configured aggregation rounds.
+    pub rounds: usize,
+    /// Kernel worker threads in effect (`FEDMP_THREADS` or the core
+    /// count). Informational: same-seed traces are identical across
+    /// thread counts, so `diff` reports this field separately rather
+    /// than as a divergence.
+    pub threads: usize,
+    /// FNV-1a 64-bit hash (hex) of the serialised experiment
+    /// configuration — see [`config_hash`].
+    pub config_hash: String,
+    /// Crate versions that produced the trace, by crate name.
+    pub crate_versions: BTreeMap<String, String>,
+}
+
+impl RunManifest {
+    /// A manifest with the schema version filled in and everything else
+    /// from the arguments; extend `crate_versions` and `config_hash`
+    /// after construction as needed.
+    pub fn new(engine: &str, seed: u64, workers: usize, rounds: usize, threads: usize) -> Self {
+        let mut crate_versions = BTreeMap::new();
+        crate_versions.insert("fedmp-obs".to_string(), crate::VERSION.to_string());
+        RunManifest {
+            schema: SCHEMA_VERSION.to_string(),
+            engine: engine.to_string(),
+            seed,
+            workers,
+            rounds,
+            threads,
+            config_hash: String::new(),
+            crate_versions,
+        }
+    }
+
+    /// Renders each field as `(name, json)` pairs — the unit `diff`
+    /// compares manifests by.
+    pub fn field_strings(&self) -> Vec<(&'static str, String)> {
+        let js = |s: &str| format!("{s:?}");
+        vec![
+            ("schema", js(&self.schema)),
+            ("engine", js(&self.engine)),
+            ("seed", self.seed.to_string()),
+            ("workers", self.workers.to_string()),
+            ("rounds", self.rounds.to_string()),
+            ("threads", self.threads.to_string()),
+            ("config_hash", js(&self.config_hash)),
+            ("crate_versions", serde_json::to_string(&self.crate_versions).unwrap_or_default()),
+        ]
+    }
+}
+
+/// FNV-1a 64-bit hash of a serialised configuration, as a 16-digit hex
+/// string. Stable across platforms and process runs (unlike
+/// `DefaultHasher`), so manifests hashed on different machines agree.
+pub fn config_hash(serialised: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in serialised.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_hash_is_stable_and_sensitive() {
+        let a = config_hash("{\"seed\":42}");
+        assert_eq!(a, config_hash("{\"seed\":42}"));
+        assert_ne!(a, config_hash("{\"seed\":43}"));
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn manifest_round_trips_through_serde() {
+        let mut m = RunManifest::new("FedMP", 42, 10, 24, 4);
+        m.config_hash = config_hash("spec");
+        m.crate_versions.insert("fedmp-fl".into(), "0.1.0".into());
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RunManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,41 @@
+//! Keeps `docs/TRACE_SCHEMA.md` honest: every event kind the enum can
+//! produce must be documented, and the documented schema version must
+//! match the code.
+
+use fedmp_obs::{TraceEvent, SCHEMA_VERSION};
+
+fn schema_doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/TRACE_SCHEMA.md");
+    std::fs::read_to_string(path).expect("docs/TRACE_SCHEMA.md exists")
+}
+
+#[test]
+fn every_event_kind_is_documented() {
+    let doc = schema_doc();
+    for kind in TraceEvent::KINDS {
+        assert!(
+            doc.contains(&format!("`{kind}`")),
+            "event kind `{kind}` is missing from docs/TRACE_SCHEMA.md"
+        );
+    }
+}
+
+#[test]
+fn schema_version_matches_the_doc() {
+    let doc = schema_doc();
+    assert!(
+        doc.contains(SCHEMA_VERSION),
+        "docs/TRACE_SCHEMA.md does not mention schema version {SCHEMA_VERSION}"
+    );
+}
+
+#[test]
+fn sample_events_serialise_under_their_documented_kind() {
+    for ev in TraceEvent::samples() {
+        let line = serde_json::to_string(&ev).unwrap();
+        assert!(
+            line.starts_with(&format!("{{\"{}\":", ev.kind())),
+            "event {line} is not externally tagged by its kind"
+        );
+    }
+}

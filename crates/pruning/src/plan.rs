@@ -76,7 +76,6 @@ pub enum Importance {
     },
 }
 
-
 impl Importance {
     /// Scores `units` weight groups, where group `u` occupies
     /// `weights[u·stride..(u+1)·stride]`.

@@ -23,7 +23,7 @@
 //! the outer decomposition the only source of scheduling.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Minimum number of scalar operations before a kernel is worth
@@ -32,6 +32,34 @@ pub const MIN_PARALLEL_WORK: usize = 1 << 19;
 
 static CONFIGURED: OnceLock<usize> = OnceLock::new();
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+static DISPATCHES: AtomicU64 = AtomicU64::new(0);
+static BANDS: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic process-wide kernel-scheduler counters, read by the
+/// observability layer (`fedmp-obs`) to emit per-round `KernelDispatch`
+/// events as deltas between two snapshots.
+///
+/// Both counters are **thread-count-invariant**: they count
+/// [`for_each_band`] invocations and the bands each call decomposes its
+/// output into — functions of the problem shape only, identical whether
+/// the bands then run sequentially or across workers. That keeps traces
+/// byte-identical across `FEDMP_THREADS` settings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Total [`for_each_band`] invocations (with non-empty output).
+    pub dispatches: u64,
+    /// Total bands those invocations were decomposed into.
+    pub bands: u64,
+}
+
+/// Snapshot of the process-wide [`KernelStats`] counters.
+pub fn kernel_stats() -> KernelStats {
+    KernelStats {
+        dispatches: DISPATCHES.load(Ordering::Relaxed),
+        bands: BANDS.load(Ordering::Relaxed),
+    }
+}
 
 thread_local! {
     static IN_BAND_WORKER: Cell<bool> = const { Cell::new(false) };
@@ -117,6 +145,10 @@ pub fn for_each_band<T, F>(
     let threads = configured_threads();
     let nested = IN_BAND_WORKER.with(|flag| flag.get());
     let n_bands = rows.div_ceil(band_rows);
+    // Counted before the sequential/parallel branch so the numbers are
+    // identical at every thread count.
+    DISPATCHES.fetch_add(1, Ordering::Relaxed);
+    BANDS.fetch_add(n_bands as u64, Ordering::Relaxed);
     if threads == 1 || nested || n_bands == 1 || work < MIN_PARALLEL_WORK {
         for (band_idx, band) in out.chunks_mut(band_rows * row_len).enumerate() {
             f(band_idx * band_rows, band);
@@ -205,5 +237,19 @@ mod tests {
     #[test]
     fn configured_threads_is_positive() {
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn kernel_stats_count_dispatches_and_bands() {
+        // Counters are process-global and other tests run concurrently,
+        // so assert monotone growth by at least this call's contribution
+        // rather than exact deltas (exact thread-invariance is asserted
+        // by the single-threaded trace tests in `fedmp-fl`).
+        let before = kernel_stats();
+        let mut out = vec![0.0f32; 10 * 3];
+        for_each_band(&mut out, 10, 3, 4, 0, |_, _| {});
+        let after = kernel_stats();
+        assert!(after.dispatches > before.dispatches);
+        assert!(after.bands >= before.bands + 3); // ceil(10/4) = 3 bands
     }
 }

@@ -25,7 +25,8 @@ fn main() {
     println!("running the sequential loop engine…");
     let sequential = run_fedmp(&spec.fl, &setup, built.model.clone(), &opts);
     println!("running the threaded runtime (1 thread/worker, wire frames)…");
-    let threaded = run_fedmp_threaded(&spec.fl, &setup, built.model.clone(), &opts);
+    let threaded = run_fedmp_threaded(&spec.fl, &setup, built.model.clone(), &opts)
+        .expect("no faults configured");
 
     println!("\n  round   loop-engine loss   threaded loss   identical?");
     for (a, b) in sequential.rounds.iter().zip(threaded.rounds.iter()) {

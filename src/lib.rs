@@ -11,6 +11,7 @@
 //! * [`bandit`] — the E-UCB pruning-ratio policy
 //! * [`edgesim`] — the heterogeneous edge simulator
 //! * [`fl`] — the FL engine and every baseline
+//! * [`obs`] — structured trace events, run manifests, trace tooling
 //! * [`core`] — experiment specs, the method dispatcher, reports
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
@@ -22,6 +23,7 @@ pub use fedmp_data as data;
 pub use fedmp_edgesim as edgesim;
 pub use fedmp_fl as fl;
 pub use fedmp_nn as nn;
+pub use fedmp_obs as obs;
 pub use fedmp_pruning as pruning;
 pub use fedmp_tensor as tensor;
 
