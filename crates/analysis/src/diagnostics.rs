@@ -1,0 +1,80 @@
+//! Diagnostic records and the two output renderers (human, JSON).
+
+use serde::Serialize;
+
+/// One finding: a file, a line, the lint that fired, and why.
+#[derive(Debug, Clone, Serialize, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-indexed line number (0 for file-level findings).
+    pub line: usize,
+    /// The lint name, e.g. `determinism`.
+    pub lint: String,
+    /// Human-readable explanation including the remedy.
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(
+        file: impl Into<String>,
+        line: usize,
+        lint: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self { file: file.into(), line, lint: lint.into(), message: message.into() }
+    }
+
+    /// `path:line: [lint] message` — the `path:line` prefix is what
+    /// terminals and editors make clickable.
+    pub fn render(&self) -> String {
+        format!("{}:{}: [{}] {}", self.file, self.line, self.lint, self.message)
+    }
+}
+
+/// Stable ordering so output (and the JSON artifact) is reproducible:
+/// by file, then line, then lint name.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, &a.lint, &a.message).cmp(&(&b.file, b.line, &b.lint, &b.message))
+    });
+}
+
+/// The machine-readable report emitted by `check --json`. Owned fields
+/// because the in-tree serde derive supports no generic parameters.
+#[derive(Debug, Serialize)]
+pub struct Report {
+    /// `"clean"` or `"violations"`.
+    pub status: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// The lints that ran (i.e. were configured), sorted.
+    pub lints: Vec<String>,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_clickable_prefix() {
+        let d = Diagnostic::new("crates/fl/src/lm.rs", 42, "determinism", "no HashMap here");
+        assert_eq!(d.render(), "crates/fl/src/lm.rs:42: [determinism] no HashMap here");
+    }
+
+    #[test]
+    fn sort_is_by_file_then_line_then_lint() {
+        let mut v = vec![
+            Diagnostic::new("b.rs", 1, "x", "m"),
+            Diagnostic::new("a.rs", 9, "x", "m"),
+            Diagnostic::new("a.rs", 2, "z", "m"),
+            Diagnostic::new("a.rs", 2, "a", "m"),
+        ];
+        sort(&mut v);
+        assert_eq!(
+            v.iter().map(|d| (d.file.as_str(), d.line, d.lint.as_str())).collect::<Vec<_>>(),
+            vec![("a.rs", 2, "a"), ("a.rs", 2, "z"), ("a.rs", 9, "x"), ("b.rs", 1, "x")]
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! # fedmp-analysis
+//!
+//! A workspace invariant linter: statically enforces the rules the
+//! paper reproduction's claims rest on, without `syn` or rustc —
+//! a comment/string-aware token scanner is enough for every rule here,
+//! and keeps the tool dependency-free and fast enough to run on each
+//! `cargo test`.
+//!
+//! The lints (see `docs/ANALYSIS.md` for the full rationale):
+//!
+//! | lint | invariant protected |
+//! |------|---------------------|
+//! | `determinism` | same seed ⇒ bit-identical results: no hasher-ordered iteration, clocks, thread ids or env reads on the simulation path |
+//! | `float-reduction` | reductions keep one fixed order at any thread count: float sums route through `fedmp_tensor::parallel::{sum_f32, sum_f64}` |
+//! | `unsafe-hygiene` | `unsafe` only in the allowlisted band scheduler, and every occurrence carries a `// SAFETY:` comment |
+//! | `no-panic` | engines and the threaded runtime fail into typed errors, never aborts |
+//! | `trace-schema` | `TraceEvent::KINDS` and `docs/TRACE_SCHEMA.md` describe the same event set |
+//! | `suppression` | every inline `allow(...)` carries a written reason |
+//!
+//! Configuration lives in the checked-in `analysis.toml`. A finding is
+//! suppressed inline with
+//! `// fedmp-analysis: allow(<lint>) -- <reason>` — the reason is
+//! mandatory; a reason-less directive is itself a finding.
+
+// No `unsafe` anywhere in this crate: the only sanctioned unsafe code
+// in the workspace lives in `fedmp-tensor`'s band scheduler. Backed
+// statically by the `unsafe-hygiene` lint in `fedmp-analysis`.
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diagnostics;
+pub mod lints;
+pub mod scanner;
+pub mod workspace;
+
+use std::fmt;
+use std::path::Path;
+
+pub use config::{Config, ConfigError};
+pub use diagnostics::{Diagnostic, Report};
+
+/// A failure of the analysis *run* itself (bad config, unreadable
+/// tree) — distinct from lint findings, which are data.
+#[derive(Debug)]
+pub enum AnalysisError {
+    /// `analysis.toml` was missing or malformed.
+    Config(ConfigError),
+    /// A file or directory could not be read.
+    Io { path: String, source: std::io::Error },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Config(e) => write!(f, "{e}"),
+            AnalysisError::Io { path, source } => write!(f, "{path}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+impl From<ConfigError> for AnalysisError {
+    fn from(e: ConfigError) -> Self {
+        AnalysisError::Config(e)
+    }
+}
+
+/// The result of one analysis run.
+#[derive(Debug)]
+pub struct Outcome {
+    /// All findings, sorted by (file, line, lint).
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many `.rs` files were scanned.
+    pub files_scanned: usize,
+    /// The lints that ran, sorted by name.
+    pub lints_run: Vec<String>,
+}
+
+impl Outcome {
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Loads `<root>/analysis.toml` and checks the workspace under `root`.
+pub fn check_root(root: &Path) -> Result<Outcome, AnalysisError> {
+    let config_path = root.join("analysis.toml");
+    check_with_config_path(root, &config_path)
+}
+
+/// As [`check_root`], with an explicit config file path.
+pub fn check_with_config_path(root: &Path, config_path: &Path) -> Result<Outcome, AnalysisError> {
+    let text = std::fs::read_to_string(config_path).map_err(|source| AnalysisError::Io {
+        path: config_path.to_string_lossy().into_owned(),
+        source,
+    })?;
+    let config = config::parse(&text)?;
+    check(root, &config)
+}
+
+/// Runs every configured lint over the workspace rooted at `root`.
+pub fn check(root: &Path, config: &Config) -> Result<Outcome, AnalysisError> {
+    let files = workspace::collect_rust_files(root, config).map_err(|source| {
+        AnalysisError::Io { path: root.to_string_lossy().into_owned(), source }
+    })?;
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut files_scanned = 0usize;
+
+    for path in &files {
+        let rel = workspace::relative(root, path);
+        let raw = std::fs::read_to_string(path)
+            .map_err(|source| AnalysisError::Io { path: rel.clone(), source })?;
+        let file = scanner::scan(&rel, &raw);
+        files_scanned += 1;
+
+        // The suppression meta-check is always on: a malformed or
+        // reason-less directive is a finding wherever it appears.
+        for line in &file.malformed_suppressions {
+            diags.push(Diagnostic::new(
+                &rel,
+                *line,
+                "suppression",
+                "malformed `fedmp-analysis:` directive; the form is \
+                 `// fedmp-analysis: allow(<lint>) -- <reason>` and the reason is mandatory",
+            ));
+        }
+        // Unknown lint names in suppressions are typos that silently
+        // suppress nothing — flag them too.
+        for (idx, line) in file.lines.iter().enumerate() {
+            for s in &line.suppressions {
+                if !lints::LINT_NAMES.contains(&s.lint.as_str()) {
+                    diags.push(Diagnostic::new(
+                        &rel,
+                        idx + 1,
+                        "suppression",
+                        format!(
+                            "`allow({})` names no known lint; known lints: {}",
+                            s.lint,
+                            lints::LINT_NAMES.join(", ")
+                        ),
+                    ));
+                }
+            }
+        }
+
+        if let Some(cfg) = config.lints.get(lints::determinism::NAME) {
+            if cfg.applies_to(&rel) {
+                lints::determinism::check(&file, cfg, &mut diags);
+            }
+        }
+        if let Some(cfg) = config.lints.get(lints::float_reduction::NAME) {
+            if cfg.applies_to(&rel) {
+                lints::float_reduction::check(&file, cfg, &mut diags);
+            }
+        }
+        // Scope-only: this lint treats `allow` as "unsafe permitted
+        // here (with SAFETY comments)", not "don't scan".
+        if let Some(cfg) = config.lints.get(lints::unsafe_hygiene::NAME) {
+            if cfg.in_scope(&rel) {
+                lints::unsafe_hygiene::check(&file, cfg, &mut diags);
+            }
+        }
+        if let Some(cfg) = config.lints.get(lints::no_panic::NAME) {
+            if cfg.applies_to(&rel) {
+                lints::no_panic::check(&file, cfg, &mut diags);
+            }
+        }
+    }
+
+    // Workspace-level cross-check (runs once, not per file).
+    if let Some(cfg) = config.lints.get(lints::trace_schema::NAME) {
+        lints::trace_schema::check(root, cfg, &mut diags);
+    }
+
+    diagnostics::sort(&mut diags);
+    let mut lints_run: Vec<String> = config.lints.keys().cloned().collect();
+    lints_run.push("suppression".to_string());
+    lints_run.sort();
+    lints_run.dedup();
+    Ok(Outcome { diagnostics: diags, files_scanned, lints_run })
+}

@@ -1,0 +1,124 @@
+//! L1 — determinism.
+//!
+//! The reproduction's headline contract is that a run is a pure
+//! function of its seed: same seed ⇒ bit-identical history at any
+//! `FEDMP_THREADS`. The crates on the simulation path therefore must
+//! not consult anything the seed does not control. This lint bans the
+//! usual leaks at the token level:
+//!
+//! - `HashMap` / `HashSet`: iteration order is randomized per process
+//!   (SipHash keys), so any loop over one is a nondeterminism bomb.
+//!   Use `BTreeMap` / `BTreeSet` or `Vec`.
+//! - `std::time`, `Instant`, `SystemTime`: wall-clock reads. Simulated
+//!   time comes from the edge-sim cost model, never from the host.
+//! - `thread::current`: thread identity varies run to run.
+//! - `env::var` and friends, `env::args`: ambient configuration that
+//!   bypasses the `ExperimentSpec`.
+//! - `thread_rng` / `from_entropy`: OS-seeded randomness; all RNGs must
+//!   derive from the experiment seed.
+
+use crate::config::LintConfig;
+use crate::diagnostics::Diagnostic;
+use crate::scanner::{contains_token, SourceFile};
+
+pub const NAME: &str = "determinism";
+
+/// Token → explanation. Matching is token-boundary aware on the
+/// comment/string-stripped code, so mentions in docs or messages never
+/// fire.
+const BANNED: &[(&str, &str)] = &[
+    (
+        "HashMap",
+        "HashMap iteration order is randomized per process; use BTreeMap (or a Vec) so \
+         traversal order is a function of the data, not the hasher seed",
+    ),
+    (
+        "HashSet",
+        "HashSet iteration order is randomized per process; use BTreeSet (or a sorted Vec)",
+    ),
+    (
+        "std::time",
+        "wall-clock time is not seed-controlled; simulated time must come from the cost model",
+    ),
+    ("Instant", "Instant reads the host clock; results must be a pure function of the seed"),
+    ("SystemTime", "SystemTime reads the host clock; results must be a pure function of the seed"),
+    (
+        "thread::current",
+        "thread identity varies between runs and thread counts; deterministic code must not \
+         observe it",
+    ),
+    (
+        "env::var",
+        "environment reads bypass the ExperimentSpec; thread config via env is only \
+         permitted in the allowlisted scheduler entry point",
+    ),
+    ("env::var_os", "environment reads bypass the ExperimentSpec"),
+    ("env::vars", "environment reads bypass the ExperimentSpec"),
+    ("env::args", "process arguments are ambient input; deterministic crates take explicit specs"),
+    (
+        "thread_rng",
+        "thread_rng is OS-seeded; every RNG on the simulation path must derive from the \
+         experiment seed",
+    ),
+    (
+        "from_entropy",
+        "from_entropy pulls OS randomness; seed RNGs explicitly from the experiment seed",
+    ),
+];
+
+/// Runs the lint over one file already known to be in scope.
+pub fn check(file: &SourceFile, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || line.suppresses(NAME) {
+            continue;
+        }
+        for (token, why) in BANNED {
+            if contains_token(&line.code, token) {
+                out.push(Diagnostic::new(
+                    &file.path,
+                    idx + 1,
+                    NAME,
+                    format!("`{token}` in deterministic code: {why}"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let file = scan("crates/fl/src/x.rs", src);
+        let mut out = Vec::new();
+        check(&file, &LintConfig::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_hashmap_and_clock_reads() {
+        let out = run("use std::collections::HashMap;\nlet t = Instant::now();\n");
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].line, 1);
+        assert!(out[0].message.contains("BTreeMap"));
+        assert_eq!(out[1].line, 2);
+    }
+
+    #[test]
+    fn ignores_tests_comments_strings_and_suppressed_lines() {
+        let src = "\
+// HashMap is fine to mention here\n\
+let s = \"HashMap\";\n\
+// fedmp-analysis: allow(determinism) -- documented escape hatch\n\
+let v = std::env::var(\"FEDMP_TRACE\");\n\
+#[cfg(test)]\nmod tests {\n    fn t() { let m = HashMap::new(); }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn token_boundaries_prevent_substring_hits() {
+        assert!(run("struct HashMapLike; fn instant_rate() {}\n").is_empty());
+    }
+}

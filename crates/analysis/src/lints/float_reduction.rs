@@ -1,0 +1,146 @@
+//! L2 — float-reduction order.
+//!
+//! Float addition is not associative, so the *order* of a sum is part
+//! of the result. The determinism contract (same seed ⇒ bit-identical
+//! history at any thread count) therefore requires every float
+//! reduction to have one fixed order. The workspace funnels them
+//! through `fedmp_tensor::parallel::{sum_f32, sum_f64}` — strict
+//! left-to-right folds — and this lint flags ad-hoc reductions that
+//! bypass the funnel:
+//!
+//! - `.sum::<f32>()` / `.sum::<f64>()` and the `product` variants;
+//! - untyped `.sum()` / `.product()` on a line that ascribes `f32` /
+//!   `f64` to the accumulator;
+//! - `.fold(` with a float-literal (or `f32::`/`f64::` constant) seed,
+//!   *unless* the same line folds through `f32::max` / `f32::min` /
+//!   `f64::max` / `f64::min` — max/min are order-insensitive, so those
+//!   reductions are exempt.
+//!
+//! This is a token-level heuristic, not a type checker: a multi-line
+//! fold over floats with an integer-looking seed can slip through. The
+//! backstop is the runtime equivalence tests; the lint exists to catch
+//! the overwhelmingly common single-line forms at review time.
+
+use crate::config::LintConfig;
+use crate::diagnostics::Diagnostic;
+use crate::scanner::SourceFile;
+
+pub const NAME: &str = "float-reduction";
+
+const TYPED_CALLS: &[&str] =
+    &[".sum::<f32>(", ".sum::<f64>(", ".product::<f32>(", ".product::<f64>("];
+
+const ORDER_INSENSITIVE: &[&str] = &["f32::max", "f32::min", "f64::max", "f64::min"];
+
+pub fn check(file: &SourceFile, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || line.suppresses(NAME) {
+            continue;
+        }
+        let code = compact(&line.code);
+        let mut flag: Option<String> = None;
+        if let Some(call) = TYPED_CALLS.iter().find(|c| code.contains(**c)) {
+            flag = Some(format!(
+                "`{}...)` reduces floats in iterator order",
+                call.trim_end_matches('(')
+            ));
+        } else if (code.contains(".sum()") || code.contains(".product()"))
+            && (code.contains(":f32") || code.contains(":f64"))
+        {
+            flag = Some("float-typed `.sum()`/`.product()` reduces in iterator order".to_string());
+        } else if let Some(pos) = find_float_fold(&code) {
+            if !ORDER_INSENSITIVE.iter().any(|f| code[pos..].contains(f)) {
+                flag = Some(
+                    "`.fold(...)` with a float accumulator fixes no reduction discipline"
+                        .to_string(),
+                );
+            }
+        }
+        if let Some(what) = flag {
+            out.push(Diagnostic::new(
+                &file.path,
+                idx + 1,
+                NAME,
+                format!(
+                    "{what}; float addition is non-associative, so route the reduction \
+                     through `fedmp_tensor::parallel::sum_f32`/`sum_f64` (fixed left-to-right \
+                     order) to keep results bit-identical across refactors"
+                ),
+            ));
+        }
+    }
+}
+
+/// Whitespace-free view so `. sum ::< f32 >()` spacing can't dodge the
+/// pattern match.
+fn compact(code: &str) -> String {
+    code.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+/// Finds `.fold(` whose first argument looks like a float seed: a
+/// numeric literal containing `.` or an `f32`/`f64` suffix, or an
+/// `f32::` / `f64::` associated constant. Returns the offset just past
+/// `.fold(` when it matches.
+fn find_float_fold(code: &str) -> Option<usize> {
+    let mut start = 0usize;
+    while let Some(pos) = code[start..].find(".fold(") {
+        let arg_at = start + pos + ".fold(".len();
+        let arg = &code[arg_at..];
+        let seed: String = arg.chars().take_while(|c| *c != ',' && *c != ')').collect();
+        if is_float_seed(&seed) {
+            return Some(arg_at);
+        }
+        start = arg_at;
+    }
+    None
+}
+
+fn is_float_seed(seed: &str) -> bool {
+    if seed.starts_with("f32::") || seed.starts_with("f64::") {
+        return true;
+    }
+    let mut s = seed;
+    if let Some(rest) = s.strip_prefix('-') {
+        s = rest;
+    }
+    if !s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return false;
+    }
+    s.contains('.') || s.ends_with("f32") || s.ends_with("f64")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let file = scan("crates/fl/src/x.rs", src);
+        let mut out = Vec::new();
+        check(&file, &LintConfig::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_typed_sum_and_float_fold() {
+        let out = run("let a = xs.iter().sum::<f32>();\nlet b = xs.iter().fold(0.0f32, |m, v| m + v);\nlet c: f64 = ys.iter().sum();\n");
+        assert_eq!(out.iter().map(|d| d.line).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(out[0].message.contains("sum_f32"));
+    }
+
+    #[test]
+    fn max_min_folds_and_integer_folds_are_exempt() {
+        let out = run(
+            "let m = xs.iter().map(|v| v.abs()).fold(0.0f32, f32::max);\nlet n = xs.iter().fold(0usize, |a, _| a + 1);\nlet o = f64::NEG_INFINITY; let p = ys.fold(f64::NEG_INFINITY, f64::max);\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn suppression_and_tests_are_honored() {
+        let out = run(
+            "// fedmp-analysis: allow(float-reduction) -- this is the reducer itself\nlet s = xs.into_iter().fold(0.0f32, |acc, v| acc + v);\n#[cfg(test)]\nmod tests { fn t() { let x: f32 = v.iter().sum(); } }\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,94 @@
+//! L4 — no-panic.
+//!
+//! The federated engines and the threaded runtime must degrade into
+//! typed errors, never aborts: a panicking parameter-server thread
+//! poisons the whole scoped-thread topology and turns a recoverable
+//! wire fault into a hung or dead process. This lint bans the
+//! panic-shaped tokens — `.unwrap()`, `.expect(`, `panic!`, `todo!`,
+//! `unimplemented!` — in the configured hot paths.
+//!
+//! `assert!` / `assert_eq!` / `debug_assert!` are deliberately *not*
+//! banned: they document invariants whose violation is a bug in this
+//! codebase, not a runtime condition to handle. Likewise
+//! `.unwrap_or(...)`, `.unwrap_or_default()` and friends are total and
+//! fine — token matching includes the `(`/`)` so they never fire.
+//! Test code is exempt (panics are how tests fail).
+
+use crate::config::LintConfig;
+use crate::diagnostics::Diagnostic;
+use crate::scanner::{contains_token, SourceFile};
+
+pub const NAME: &str = "no-panic";
+
+/// `(needle, token_boundary, why)` — substring match for the method
+/// forms (the leading `.` and trailing `(`/`)` make them exact),
+/// boundary match for the macro names.
+const BANNED: &[(&str, bool, &str)] = &[
+    (".unwrap()", false, "convert the None/Err case into a typed RuntimeError variant"),
+    (".expect(", false, "convert the None/Err case into a typed RuntimeError variant"),
+    ("panic!", true, "return an error; a panicking engine thread deadlocks its peers"),
+    ("todo!", true, "unfinished code must not ship on the engine hot path"),
+    ("unimplemented!", true, "unfinished code must not ship on the engine hot path"),
+];
+
+pub fn check(file: &SourceFile, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || line.suppresses(NAME) {
+            continue;
+        }
+        let code = compact(&line.code);
+        for (needle, boundary, why) in BANNED {
+            let hit = if *boundary { contains_token(&code, needle) } else { code.contains(needle) };
+            if hit {
+                out.push(Diagnostic::new(
+                    &file.path,
+                    idx + 1,
+                    NAME,
+                    format!("`{needle}` on an engine/runtime hot path: {why}"),
+                ));
+            }
+        }
+    }
+}
+
+fn compact(code: &str) -> String {
+    code.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let file = scan("crates/fl/src/runtime.rs", src);
+        let mut out = Vec::new();
+        check(&file, &LintConfig::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panic_macros() {
+        let out = run("let x = rx.recv().unwrap();\nlet y = m.get(&k).expect(\"present\");\npanic!(\"boom\");\n");
+        assert_eq!(out.iter().map(|d| d.line).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn total_variants_and_asserts_are_fine() {
+        let out = run(
+            "let a = v.unwrap_or_default();\nlet b = v.unwrap_or(0);\nassert_eq!(a, b, \"invariant\");\ndebug_assert!(a >= 0);\nlet c = v . unwrap ();\n",
+        );
+        // The spaced `. unwrap ()` still counts — whitespace cannot
+        // dodge the lint.
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 5);
+    }
+
+    #[test]
+    fn tests_comments_and_suppressions_are_exempt() {
+        let out = run(
+            "// .unwrap() is discussed here\n// fedmp-analysis: allow(no-panic) -- lock poisoning is unrecoverable anyway\nlet g = lock.lock().unwrap();\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

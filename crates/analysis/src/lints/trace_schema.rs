@@ -1,0 +1,179 @@
+//! L5 — trace-schema drift.
+//!
+//! The observability layer promises that `docs/TRACE_SCHEMA.md` is the
+//! authoritative description of the trace stream: external tooling
+//! (including the trace-diff tool) is written against it. The enum and
+//! the document drift independently, so this lint cross-checks them:
+//! every kind listed in `TraceEvent::KINDS` must appear as a backticked
+//! name in a `### ` heading of the schema doc, and every backticked
+//! kind in a heading must exist in `KINDS`.
+//!
+//! This lint reads the two files named by its config keys
+//! (`event-enum`, `schema-doc`) directly — it needs the *string
+//! literals* of the `KINDS` array, which the stripped scanner view
+//! deliberately blanks.
+
+use std::path::Path;
+
+use crate::config::LintConfig;
+use crate::diagnostics::Diagnostic;
+
+pub const NAME: &str = "trace-schema";
+
+pub fn check(root: &Path, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    let Some(enum_path) = cfg.keys.get("event-enum") else {
+        out.push(Diagnostic::new(
+            "analysis.toml",
+            0,
+            NAME,
+            "missing `event-enum` key in [lints.trace-schema]",
+        ));
+        return;
+    };
+    let Some(doc_path) = cfg.keys.get("schema-doc") else {
+        out.push(Diagnostic::new(
+            "analysis.toml",
+            0,
+            NAME,
+            "missing `schema-doc` key in [lints.trace-schema]",
+        ));
+        return;
+    };
+    let Ok(enum_src) = std::fs::read_to_string(root.join(enum_path)) else {
+        out.push(Diagnostic::new(enum_path, 0, NAME, "event-enum file not found or unreadable"));
+        return;
+    };
+    let Ok(doc_src) = std::fs::read_to_string(root.join(doc_path)) else {
+        out.push(Diagnostic::new(doc_path, 0, NAME, "schema-doc file not found or unreadable"));
+        return;
+    };
+
+    let Some((kinds, kinds_line)) = extract_kinds(&enum_src) else {
+        out.push(Diagnostic::new(
+            enum_path,
+            0,
+            NAME,
+            "could not find a `const KINDS` string array in the event-enum file",
+        ));
+        return;
+    };
+    let documented = extract_headings(&doc_src);
+
+    for kind in &kinds {
+        if !documented.iter().any(|(k, _)| k == kind) {
+            out.push(Diagnostic::new(
+                enum_path,
+                kinds_line,
+                NAME,
+                format!(
+                    "trace event kind `{kind}` is not documented in {doc_path}; add a \
+                     `### \u{60}{kind}\u{60}` section describing its fields"
+                ),
+            ));
+        }
+    }
+    for (kind, line) in &documented {
+        if !kinds.contains(kind) {
+            out.push(Diagnostic::new(
+                doc_path,
+                *line,
+                NAME,
+                format!(
+                    "{doc_path} documents `{kind}` but TraceEvent::KINDS has no such kind; \
+                     remove the section or add the variant"
+                ),
+            ));
+        }
+    }
+}
+
+/// Pulls the string literals out of the `const KINDS` array, plus the
+/// 1-indexed line where the array starts.
+fn extract_kinds(src: &str) -> Option<(Vec<String>, usize)> {
+    let pos = src.find("const KINDS")?;
+    let line = src[..pos].lines().count().max(1);
+    let after_eq = &src[pos..][src[pos..].find('=')? + 1..];
+    let open = after_eq.find('[')?;
+    let body = &after_eq[open + 1..];
+    let close = body.find(']')?;
+    let mut kinds = Vec::new();
+    let mut rest = &body[..close];
+    while let Some(q1) = rest.find('"') {
+        let tail = &rest[q1 + 1..];
+        let q2 = tail.find('"')?;
+        kinds.push(tail[..q2].to_string());
+        rest = &tail[q2 + 1..];
+    }
+    if kinds.is_empty() {
+        None
+    } else {
+        Some((kinds, line))
+    }
+}
+
+/// Backticked CamelCase identifiers in `### ` headings, with their
+/// 1-indexed lines. One heading may list several kinds (the fault pair
+/// shares a section).
+fn extract_headings(doc: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in doc.lines().enumerate() {
+        let Some(rest) = line.strip_prefix("### ") else {
+            continue;
+        };
+        let mut parts = rest.split('`');
+        // Odd-indexed fragments are inside backticks.
+        parts.next();
+        while let (Some(inner), _) = (parts.next(), parts.next()) {
+            if is_camel_ident(inner) {
+                out.push((inner.to_string(), idx + 1));
+            }
+        }
+    }
+    out
+}
+
+fn is_camel_ident(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+        && s.chars().all(|c| c.is_ascii_alphanumeric())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ENUM_SRC: &str = "impl TraceEvent {\n    pub const KINDS: [&'static str; 3] = [\n        \"RoundStart\",\n        \"Aggregate\",\n        \"RoundEnd\",\n    ];\n}\n";
+
+    #[test]
+    fn extracts_kinds_and_headings() {
+        let (kinds, line) = extract_kinds(ENUM_SRC).unwrap();
+        assert_eq!(kinds, vec!["RoundStart", "Aggregate", "RoundEnd"]);
+        assert_eq!(line, 2);
+        let doc = "# Schema\n### `RoundStart`\ntext\n### `FaultInjected` / `FaultRecovered`\n### not `a_kind` here\n";
+        let heads = extract_headings(doc);
+        assert_eq!(
+            heads,
+            vec![
+                ("RoundStart".to_string(), 2),
+                ("FaultInjected".to_string(), 4),
+                ("FaultRecovered".to_string(), 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn drift_is_reported_in_both_directions() {
+        let dir = std::env::temp_dir().join("fedmp-analysis-trace-schema-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("event.rs"), ENUM_SRC).unwrap();
+        std::fs::write(dir.join("schema.md"), "### `RoundStart`\n### `Aggregate`\n### `Bogus`\n")
+            .unwrap();
+        let mut cfg = LintConfig::default();
+        cfg.keys.insert("event-enum".into(), "event.rs".into());
+        cfg.keys.insert("schema-doc".into(), "schema.md".into());
+        let mut out = Vec::new();
+        check(&dir, &cfg, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().any(|d| d.message.contains("`RoundEnd` is not documented")));
+        assert!(out.iter().any(|d| d.message.contains("`Bogus`") && d.line == 3));
+    }
+}

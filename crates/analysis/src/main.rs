@@ -1,0 +1,122 @@
+//! The `fedmp-analysis` CLI.
+//!
+//! ```text
+//! cargo run -p fedmp-analysis -- check [--json] [--root DIR] [--config FILE]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/config error.
+
+// No `unsafe` anywhere in this crate: the only sanctioned unsafe code
+// in the workspace lives in `fedmp-tensor`'s band scheduler. Backed
+// statically by the `unsafe-hygiene` lint in `fedmp-analysis`.
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fedmp_analysis::diagnostics::Report;
+
+const USAGE: &str = "\
+fedmp-analysis — workspace invariant linter
+
+USAGE:
+    fedmp-analysis check [--json] [--root DIR] [--config FILE]
+
+OPTIONS:
+    --json           emit a machine-readable report on stdout
+    --root DIR       workspace root to scan (default: current directory)
+    --config FILE    config file (default: <root>/analysis.toml)
+    -h, --help       print this help
+";
+
+struct Args {
+    json: bool,
+    root: PathBuf,
+    config: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    match argv.next().as_deref() {
+        Some("check") => {}
+        Some("-h") | Some("--help") => return Err(String::new()),
+        Some(other) => return Err(format!("unknown subcommand `{other}`")),
+        None => return Err("missing subcommand (expected `check`)".to_string()),
+    }
+    let mut args = Args { json: false, root: PathBuf::from("."), config: None };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--json" => args.json = true,
+            "--root" => {
+                args.root = argv
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or_else(|| "--root requires a directory argument".to_string())?;
+            }
+            "--config" => {
+                args.config = Some(
+                    argv.next()
+                        .map(PathBuf::from)
+                        .ok_or_else(|| "--config requires a file argument".to_string())?,
+                );
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let config_path = args.config.clone().unwrap_or_else(|| args.root.join("analysis.toml"));
+    let outcome = match fedmp_analysis::check_with_config_path(&args.root, &config_path) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("fedmp-analysis: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let status = if outcome.is_clean() { "clean" } else { "violations" };
+    if args.json {
+        let report = Report {
+            status: status.to_string(),
+            files_scanned: outcome.files_scanned,
+            lints: outcome.lints_run.clone(),
+            diagnostics: outcome.diagnostics.clone(),
+        };
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("fedmp-analysis: failed to serialize report: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        for d in &outcome.diagnostics {
+            println!("{}", d.render());
+        }
+        println!(
+            "fedmp-analysis: {} file(s) scanned, {} lint(s) active, {} finding(s)",
+            outcome.files_scanned,
+            outcome.lints_run.len(),
+            outcome.diagnostics.len()
+        );
+    }
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

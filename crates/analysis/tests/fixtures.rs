@@ -1,0 +1,135 @@
+//! Fixture-corpus tests: every lint must fire on its `fail_*` tree at
+//! the expected file:line positions, and the `pass` tree — which
+//! exercises suppressions, allowlists, SAFETY comments and
+//! test-region exemptions — must come back clean.
+
+use std::path::{Path, PathBuf};
+
+use fedmp_analysis::Outcome;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn run(name: &str) -> Outcome {
+    fedmp_analysis::check_root(&fixture(name))
+        .unwrap_or_else(|e| panic!("fixture {name} failed to analyze: {e}"))
+}
+
+/// `(file, line, lint)` triples, sorted, for compact assertions.
+fn keys(outcome: &Outcome) -> Vec<(String, usize, String)> {
+    outcome.diagnostics.iter().map(|d| (d.file.clone(), d.line, d.lint.clone())).collect()
+}
+
+#[test]
+fn determinism_fixture_fires_on_every_leak() {
+    let out = run("fail_determinism");
+    let keys = keys(&out);
+    assert!(
+        keys.iter().all(|(f, _, l)| f == "crates/fl/src/bad.rs" && l == "determinism"),
+        "{keys:?}"
+    );
+    let mut lines: Vec<usize> = keys.iter().map(|(_, n, _)| *n).collect();
+    lines.dedup();
+    assert_eq!(lines, vec![4, 6, 7, 17], "HashMap use/decl, clock, env read");
+}
+
+#[test]
+fn float_reduction_fixture_flags_adhoc_sums_only() {
+    let out = run("fail_float_reduction");
+    let keys = keys(&out);
+    assert_eq!(
+        keys,
+        vec![
+            ("crates/num/src/bad.rs".to_string(), 6, "float-reduction".to_string()),
+            ("crates/num/src/bad.rs".to_string(), 10, "float-reduction".to_string()),
+            ("crates/num/src/bad.rs".to_string(), 15, "float-reduction".to_string()),
+        ],
+        "typed sum, ascribed sum, float fold — max-fold and integer fold exempt"
+    );
+}
+
+#[test]
+fn unsafe_hygiene_fixture_covers_both_failure_modes() {
+    let out = run("fail_unsafe_hygiene");
+    let keys = keys(&out);
+    assert_eq!(
+        keys,
+        vec![
+            ("crates/app/src/bad.rs".to_string(), 6, "unsafe-hygiene".to_string()),
+            ("crates/app/src/bad.rs".to_string(), 14, "unsafe-hygiene".to_string()),
+            ("crates/low/src/sched.rs".to_string(), 10, "unsafe-hygiene".to_string()),
+        ],
+        "outside allowlist (incl. tests), and allowlisted-but-undocumented"
+    );
+}
+
+#[test]
+fn no_panic_fixture_flags_panic_shapes_not_total_variants() {
+    let out = run("fail_no_panic");
+    let keys = keys(&out);
+    assert!(
+        keys.iter().all(|(f, _, l)| f == "crates/fl/src/engines/bad.rs" && l == "no-panic"),
+        "{keys:?}"
+    );
+    let lines: Vec<usize> = keys.iter().map(|(_, n, _)| *n).collect();
+    assert_eq!(lines, vec![5, 6, 8, 18], "unwrap, expect, panic!, todo!");
+}
+
+#[test]
+fn trace_schema_fixture_reports_drift_both_ways() {
+    let out = run("fail_trace_schema");
+    assert_eq!(out.diagnostics.len(), 2, "{:?}", out.diagnostics);
+    let undocumented = &out.diagnostics[0];
+    assert_eq!(undocumented.file, "crates/obs/src/event.rs");
+    assert_eq!(undocumented.line, 12, "points at the KINDS array");
+    assert!(undocumented.message.contains("`RoundEnd`"));
+    let ghost = &out.diagnostics[1];
+    assert_eq!(ghost.file, "docs/SCHEMA.md");
+    assert_eq!(ghost.line, 11);
+    assert!(ghost.message.contains("`Ghost`"));
+}
+
+#[test]
+fn suppression_fixture_flags_reasonless_and_unknown_directives() {
+    let out = run("fail_suppression");
+    let keys = keys(&out);
+    assert_eq!(
+        keys,
+        vec![
+            ("crates/fl/src/bad.rs".to_string(), 5, "suppression".to_string()),
+            ("crates/fl/src/bad.rs".to_string(), 7, "determinism".to_string()),
+            ("crates/fl/src/bad.rs".to_string(), 11, "suppression".to_string()),
+            ("crates/fl/src/bad.rs".to_string(), 12, "determinism".to_string()),
+        ],
+        "reason-less directives are reported AND inert; unknown lint names are typos"
+    );
+}
+
+#[test]
+fn pass_fixture_is_clean() {
+    let out = run("pass");
+    assert!(out.is_clean(), "{:?}", out.diagnostics);
+    assert!(out.files_scanned >= 4, "skip list must not swallow the tree");
+}
+
+#[test]
+fn every_lint_has_a_fixture_that_fires_it() {
+    // Guards the corpus itself: adding a lint without a failing
+    // fixture leaves it untested.
+    let by_fixture = [
+        ("fail_determinism", "determinism"),
+        ("fail_float_reduction", "float-reduction"),
+        ("fail_unsafe_hygiene", "unsafe-hygiene"),
+        ("fail_no_panic", "no-panic"),
+        ("fail_trace_schema", "trace-schema"),
+        ("fail_suppression", "suppression"),
+    ];
+    for (fixture, lint) in by_fixture {
+        let out = run(fixture);
+        assert!(
+            out.diagnostics.iter().any(|d| d.lint == lint),
+            "{fixture} produced no `{lint}` finding"
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Deterministic-crate code that observes things the seed does not
+//! control. Every marked line must fire the `determinism` lint.
+
+use std::collections::HashMap; // line 4: hasher-ordered container
+
+pub fn aggregate(updates: &HashMap<usize, f32>) -> f32 {
+    let started = std::time::Instant::now(); // line 7: wall clock
+    let mut total = 0.0;
+    for (_, v) in updates.iter() {
+        total += v;
+    }
+    let _elapsed = started.elapsed();
+    total
+}
+
+pub fn configured_workers() -> usize {
+    std::env::var("WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(4) // line 17: env read
+}
+
+fn outside_scope_sibling_is_not_scanned() {}

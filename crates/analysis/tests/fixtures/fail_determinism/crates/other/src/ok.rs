@@ -1,0 +1,6 @@
+//! Outside the determinism scope: the same tokens must NOT fire here.
+use std::collections::HashMap;
+
+pub fn fine() -> HashMap<String, usize> {
+    HashMap::new()
+}

@@ -1,0 +1,24 @@
+//! Ad-hoc float reductions that bypass the fixed-order funnel. The
+//! marked lines must fire `float-reduction`; the max-fold and the
+//! integer fold must not.
+
+pub fn mean(xs: &[f32]) -> f32 {
+    xs.iter().sum::<f32>() / xs.len() as f32 // line 6: typed sum
+}
+
+pub fn ascribed(xs: &[f64]) -> f64 {
+    let total: f64 = xs.iter().sum(); // line 10: ascribed accumulator
+    total
+}
+
+pub fn folded(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |acc, v| acc + v) // line 15: float-seeded fold
+}
+
+pub fn peak(xs: &[f32]) -> f32 {
+    xs.iter().map(|v| v.abs()).fold(0.0f32, f32::max) // order-insensitive: exempt
+}
+
+pub fn count(xs: &[f32]) -> usize {
+    xs.iter().fold(0usize, |n, _| n + 1) // integer fold: exempt
+}

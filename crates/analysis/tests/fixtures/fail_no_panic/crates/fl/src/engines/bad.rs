@@ -1,0 +1,28 @@
+//! Panic-shaped tokens on the engine hot path. Marked lines fire
+//! `no-panic`; the total variants and the test module do not.
+
+pub fn collect(rx: &Receiver<f32>) -> f32 {
+    let first = rx.recv().unwrap(); // line 5: unwrap
+    let second = rx.recv().expect("worker alive"); // line 6: expect
+    if first.is_nan() {
+        panic!("nan loss"); // line 8: panic!
+    }
+    first + second
+}
+
+pub fn fallback(v: Option<usize>) -> usize {
+    v.unwrap_or_default() + v.unwrap_or(1) // total: exempt
+}
+
+pub fn later() {
+    todo!() // line 18: todo!
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        super::fallback(None);
+        Option::<u8>::None.unwrap(); // tests may panic
+    }
+}

@@ -1,0 +1,13 @@
+//! Suppression misuse. A reason-less directive is malformed AND inert
+//! (the determinism finding underneath still fires); an unknown lint
+//! name is a typo that would silently suppress nothing.
+
+// fedmp-analysis: allow(determinism)
+pub fn no_reason() -> String {
+    std::env::var("HOME").unwrap_or_default() // line 7: still fires — the allow above has no reason
+}
+
+// fedmp-analysis: allow(determinsim) -- misspelled lint name; flagged on line 11 where it attaches
+pub fn typo() -> String {
+    std::env::var("USER").unwrap_or_default() // line 12: still fires
+}

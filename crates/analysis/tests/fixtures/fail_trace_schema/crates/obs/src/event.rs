@@ -1,0 +1,17 @@
+//! Drifted in both directions against docs/SCHEMA.md: `RoundEnd` is
+//! undocumented, and the doc describes a `Ghost` kind that no longer
+//! exists.
+
+pub enum TraceEvent {
+    RoundStart,
+    Aggregate,
+    RoundEnd,
+}
+
+impl TraceEvent {
+    pub const KINDS: [&'static str; 3] = [
+        "RoundStart",
+        "Aggregate",
+        "RoundEnd",
+    ];
+}

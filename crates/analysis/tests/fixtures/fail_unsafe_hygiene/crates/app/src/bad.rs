@@ -1,0 +1,16 @@
+//! `unsafe` outside the allowlist: must fire even with a SAFETY note,
+//! and even inside #[cfg(test)].
+
+// SAFETY: a comment does not make this file allowlisted.
+pub fn sneak(p: *mut f32) {
+    unsafe { *p = 0.0 } // line 6: unsafe outside allowlisted modules
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x = 0u8;
+        let _ = unsafe { std::ptr::read(&x) }; // line 14: tests are not exempt
+    }
+}

@@ -1,0 +1,11 @@
+//! The allowlisted module: `unsafe` is permitted, but only with a
+//! `// SAFETY:` comment on the same line or directly above.
+
+pub fn documented(p: *mut f32) {
+    // SAFETY: caller guarantees `p` is valid for writes (fixture).
+    unsafe { *p = 1.0 }
+}
+
+pub fn undocumented(p: *mut f32) {
+    unsafe { *p = 2.0 } // line 10: allowlisted, but no SAFETY comment
+}

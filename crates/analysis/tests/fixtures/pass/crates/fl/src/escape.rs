@@ -1,0 +1,6 @@
+//! File-level allowlisted for `determinism` (see analysis.toml): env
+//! reads are this module's documented purpose.
+
+pub fn trace_dir() -> Option<String> {
+    std::env::var("TRACE_DIR").ok()
+}

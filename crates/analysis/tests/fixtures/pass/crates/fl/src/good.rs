@@ -1,0 +1,36 @@
+//! Clean code under every configured lint: ordered containers, funneled
+//! reductions, reasoned suppressions, and panics confined to tests.
+
+use std::collections::BTreeMap;
+
+pub fn aggregate(updates: &BTreeMap<usize, f32>) -> f32 {
+    sum_f32(updates.values().copied())
+}
+
+pub fn peak(xs: &[f32]) -> f32 {
+    xs.iter().map(|v| v.abs()).fold(0.0f32, f32::max)
+}
+
+pub fn guarded(lock: &std::sync::Mutex<f32>) -> f32 {
+    // fedmp-analysis: allow(no-panic) -- lock poisoning means a sibling
+    // thread already panicked; propagating is the only sound option.
+    *lock.lock().unwrap()
+}
+
+pub fn also_suppressed() -> f32 {
+    // Strings and comments mentioning HashMap or .unwrap() never fire.
+    let _label = "HashMap-backed (historical)";
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_do_anything() {
+        use std::collections::HashMap;
+        let m: HashMap<u8, f32> = HashMap::new();
+        let s: f32 = m.values().sum();
+        assert!(s.abs() < f32::EPSILON);
+        std::env::var("HOME").unwrap_or_default();
+    }
+}

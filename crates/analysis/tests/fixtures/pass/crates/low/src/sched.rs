@@ -1,0 +1,12 @@
+//! Allowlisted unsafe with proper SAFETY discipline.
+
+pub struct Queue(*mut f32);
+
+// SAFETY: the queue hands out disjoint regions, each claimed by exactly
+// one worker (fixture mirror of the band scheduler argument).
+unsafe impl Sync for Queue {}
+
+pub fn write(p: *mut f32) {
+    // SAFETY: caller guarantees `p` is valid for writes.
+    unsafe { *p = 1.0 }
+}

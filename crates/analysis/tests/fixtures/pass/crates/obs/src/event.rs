@@ -1,0 +1,12 @@
+//! In sync with docs/SCHEMA.md, including a shared heading for the
+//! fault pair.
+
+pub enum TraceEvent {
+    RoundStart,
+    FaultInjected,
+    FaultRecovered,
+}
+
+impl TraceEvent {
+    pub const KINDS: [&'static str; 3] = ["RoundStart", "FaultInjected", "FaultRecovered"];
+}

@@ -2,6 +2,7 @@
 //! discounted UCB over a fixed ratio grid, and ε-greedy.
 
 use crate::Bandit;
+use fedmp_tensor::parallel::sum_f32;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -46,7 +47,7 @@ impl Bandit for DiscreteUcb {
     fn select(&mut self) -> f32 {
         assert!(self.pending.is_none(), "select() called twice without observe()");
         let (n, means) = self.counts_and_means();
-        let total: f32 = n.iter().sum();
+        let total = sum_f32(n.iter().copied());
         let scale = {
             let k = self.history.len();
             let mut num = 0.0f32;

@@ -2,6 +2,7 @@
 //! space (paper Algorithm 1).
 
 use crate::Bandit;
+use fedmp_tensor::parallel::sum_f32;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -119,12 +120,13 @@ impl EUcbAgent {
     /// denominator).
     fn discounted_count(&self, region: &Region) -> f32 {
         let k = self.history.len();
-        self.history
-            .iter()
-            .enumerate()
-            .filter(|(_, (arm, _))| region.contains(*arm))
-            .map(|(s, _)| self.cfg.lambda.powi((k - s) as i32))
-            .sum()
+        sum_f32(
+            self.history
+                .iter()
+                .enumerate()
+                .filter(|(_, (arm, _))| region.contains(*arm))
+                .map(|(s, _)| self.cfg.lambda.powi((k - s) as i32)),
+        )
     }
 
     /// Discounted empirical mean reward `R̄_k(λ, P)` (Eq. 9).
@@ -212,7 +214,7 @@ impl Bandit for EUcbAgent {
     /// while its diameter exceeds θ.
     fn select(&mut self) -> f32 {
         assert!(self.pending.is_none(), "select() called twice without observe()");
-        let n_total: f32 = self.regions.iter().map(|r| self.discounted_count(r)).sum();
+        let n_total = sum_f32(self.regions.iter().map(|r| self.discounted_count(r)));
 
         // Best region by UCB (ties: first, i.e. lowest creation index).
         let mut best = 0usize;

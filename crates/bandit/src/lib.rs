@@ -24,6 +24,10 @@
 //! assert!(agent.num_regions() > 1);
 //! ```
 
+// No `unsafe` anywhere in this crate: the only sanctioned unsafe code
+// in the workspace lives in `fedmp-tensor`'s band scheduler. Backed
+// statically by the `unsafe-hygiene` lint in `fedmp-analysis`.
+#![forbid(unsafe_code)]
 mod discrete;
 mod eucb;
 mod reward;

@@ -15,6 +15,10 @@
 //! runs; the default `quick` profile completes each experiment in
 //! minutes on a laptop.
 
+// No `unsafe` anywhere in this crate: the only sanctioned unsafe code
+// in the workspace lives in `fedmp-tensor`'s band scheduler. Backed
+// statically by the `unsafe-hygiene` lint in `fedmp-analysis`.
+#![forbid(unsafe_code)]
 use fedmp_core::{ExperimentSpec, TaskKind};
 use fedmp_fl::RunHistory;
 use serde::Serialize;

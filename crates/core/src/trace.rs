@@ -39,6 +39,8 @@ static TRACE_SEQ: AtomicUsize = AtomicUsize::new(0);
 /// duration of the run and call [`TraceSession::finish`] (or drop it)
 /// afterwards; sessions are exclusive, so traced runs serialise.
 pub fn maybe_trace(engine: &str, spec: &ExperimentSpec) -> Option<TraceSession> {
+    // fedmp-analysis: allow(determinism) -- FEDMP_TRACE only selects where the
+    // trace is written; it never influences the simulated run itself.
     let dir = std::env::var("FEDMP_TRACE").ok().filter(|d| !d.is_empty())?;
     let dir = PathBuf::from(dir);
     std::fs::create_dir_all(&dir).ok()?;

@@ -21,6 +21,10 @@
 //! (deadline = 1.5 × the time at which 85 % of local models arrived) and
 //! the arrival queue used by asynchronous FedMP (Algorithm 2).
 
+// No `unsafe` anywhere in this crate: the only sanctioned unsafe code
+// in the workspace lives in `fedmp-tensor`'s band scheduler. Backed
+// statically by the `unsafe-hygiene` lint in `fedmp-analysis`.
+#![forbid(unsafe_code)]
 mod cluster;
 mod device;
 mod drift;

@@ -18,6 +18,10 @@
 //! for MNIST/CIFAR-10-like tasks, and missing-classes (each worker lacks
 //! `y` classes) for EMNIST/Tiny-ImageNet-like tasks.
 
+// No `unsafe` anywhere in this crate: the only sanctioned unsafe code
+// in the workspace lives in `fedmp-tensor`'s band scheduler. Backed
+// statically by the `unsafe-hygiene` lint in `fedmp-analysis`.
+#![forbid(unsafe_code)]
 mod image;
 mod loader;
 mod partition;

@@ -15,6 +15,7 @@ use fedmp_bandit::{eucb_reward, Bandit, EUcbAgent, EUcbConfig, RewardConfig};
 use fedmp_edgesim::ArrivalQueue;
 use fedmp_nn::{state_sub, Sequential, StateEntry};
 use fedmp_pruning::{extract_sequential, plan_sequential, recover_state, sparse_state, PrunePlan};
+use fedmp_tensor::parallel::sum_f64;
 use serde::{Deserialize, Serialize};
 
 /// Which asynchronous method to run.
@@ -54,11 +55,29 @@ impl Default for AsyncOptions {
     }
 }
 
+/// What a worker trained on: a full model (Asyn-FL) or a pruned
+/// sub-model together with the plan and residual R2SP needs to recover
+/// it. Carrying the plan/residual *inside* the pruned variant (rather
+/// than as `Option`s next to the model) makes every aggregation path
+/// total — there is no "pruned job without a plan" state to unwrap.
+enum Payload {
+    Full(Sequential),
+    Pruned { model: Sequential, plan: PrunePlan, residual: Vec<StateEntry> },
+}
+
+impl Payload {
+    /// The trained model, however it was shipped.
+    fn model(&self) -> &Sequential {
+        match self {
+            Payload::Full(model) => model,
+            Payload::Pruned { model, .. } => model,
+        }
+    }
+}
+
 /// A worker's in-flight job.
 struct Pending {
-    trained: Sequential,
-    plan: Option<PrunePlan>,
-    residual: Option<Vec<StateEntry>>,
+    payload: Payload,
     delta_loss: f32,
     mean_loss: f32,
     duration: f64,
@@ -108,14 +127,14 @@ pub fn run_async(
                     dispatch_count: &mut usize| {
         let tick = *dispatch_count;
         *dispatch_count += 1;
-        let (mut model, plan, residual, ratio) = match opts.mode {
-            AsyncMode::AsynFl => (global.clone(), None, None, 0.0),
+        let (mut model, plan_residual, ratio) = match opts.mode {
+            AsyncMode::AsynFl => (global.clone(), None, 0.0),
             AsyncMode::AsynFedMp => {
                 let ratio = agents[w].select();
                 let plan = plan_sequential(global, setup.task.input_chw, ratio);
                 let sub = extract_sequential(global, &plan);
                 let residual = state_sub(&global.state(), &sparse_state(global, &plan));
-                (sub, Some(plan), Some(residual), ratio)
+                (sub, Some((plan, residual)), ratio)
             }
         };
         let mut batches = worker_batches(setup.task, w, cfg.local.batch, cfg.seed, tick);
@@ -125,10 +144,12 @@ pub fn run_async(
         let rt = setup.simulate_round(w, &cost, &mut rng);
         let scaled = setup.scaled_cost(&cost);
         queue.push(now + rt.total(), w);
+        let payload = match plan_residual {
+            None => Payload::Full(model),
+            Some((plan, residual)) => Payload::Pruned { model, plan, residual },
+        };
         jobs[w] = Some(Pending {
-            trained: model,
-            plan,
-            residual,
+            payload,
             delta_loss: outcome.delta_loss(),
             mean_loss: outcome.mean_loss,
             duration: rt.total(),
@@ -153,10 +174,17 @@ pub fn run_async(
         assert_eq!(arrivals.len(), opts.m, "arrival queue underflow");
         let now = arrivals.iter().map(|c| c.at).fold(0.0, f64::max);
 
+        // Every arrival has a matching dispatched job; a missing one
+        // (impossible by construction) just shrinks the quorum rather
+        // than panicking, so all per-round means below divide by
+        // `members.len()`.
         let mut members = Vec::with_capacity(opts.m);
         for c in &arrivals {
-            members.push((c.worker, jobs[c.worker].take().expect("job bookkeeping")));
+            if let Some(p) = jobs[c.worker].take() {
+                members.push((c.worker, p));
+            }
         }
+        let quorum = members.len().max(1);
 
         // Trace: an async "round" is one aggregation event; online = the
         // m arrival workers, in arrival order.
@@ -185,25 +213,35 @@ pub fn run_async(
         // Update the global model from the m arrivals (line 8).
         let update = match opts.mode {
             AsyncMode::AsynFl => {
-                let states: Vec<_> = members.iter().map(|(_, p)| p.trained.state()).collect();
+                let states: Vec<_> =
+                    members.iter().map(|(_, p)| p.payload.model().state()).collect();
                 average_states(&states)
             }
             AsyncMode::AsynFedMp => {
-                let recovered: Vec<_> = members
-                    .iter()
-                    .map(|(_, p)| {
-                        recover_state(&p.trained, p.plan.as_ref().expect("fedmp job"), &global)
-                    })
-                    .collect();
-                let residuals: Vec<_> =
-                    members.iter().map(|(_, p)| p.residual.clone().expect("fedmp job")).collect();
+                let mut recovered = Vec::with_capacity(members.len());
+                let mut residuals = Vec::with_capacity(members.len());
+                for (_, p) in &members {
+                    match &p.payload {
+                        Payload::Pruned { model, plan, residual } => {
+                            recovered.push(recover_state(model, plan, &global));
+                            residuals.push(residual.clone());
+                        }
+                        // A full-model arrival needs no recovery and
+                        // carries a zero residual (nothing was pruned).
+                        Payload::Full(model) => {
+                            let state = model.state();
+                            residuals.push(state_sub(&state, &state));
+                            recovered.push(state);
+                        }
+                    }
+                }
                 r2sp_aggregate(&recovered, &residuals)
             }
         };
         global.load_state(&mix_states(&global.state(), &update, beta));
 
         // Rewards for the m arrivals (line 9) and redistribution (10).
-        let t_avg = members.iter().map(|(_, p)| p.duration).sum::<f64>() / opts.m as f64;
+        let t_avg = sum_f64(members.iter().map(|(_, p)| p.duration)) / quorum as f64;
         let mut ratios = Vec::with_capacity(opts.m);
         let mut train_loss = 0.0f32;
         let mut mean_comp = 0.0;
@@ -223,7 +261,7 @@ pub fn run_async(
                 AsyncMode::AsynFl => "AsynFedAvg",
                 AsyncMode::AsynFedMp => "AsynR2SP",
             },
-            opts.m,
+            members.len(),
         );
         for (w, _) in &members {
             dispatch(*w, now, &global, &mut agents, &mut jobs, &mut queue, &mut dispatch_count);
@@ -241,9 +279,9 @@ pub fn run_async(
             round,
             sim_time: now,
             round_time: now - last_agg_time,
-            mean_comp: mean_comp / opts.m as f64,
-            mean_comm: mean_comm / opts.m as f64,
-            train_loss: train_loss / opts.m as f32,
+            mean_comp: mean_comp / quorum as f64,
+            mean_comm: mean_comm / quorum as f64,
+            train_loss: train_loss / quorum as f32,
             eval,
             ratios,
         };

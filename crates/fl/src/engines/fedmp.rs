@@ -17,6 +17,7 @@ use fedmp_pruning::{
     dequantize_state, extract_sequential, plan_sequential_with, quantize_state, recover_state,
     sparse_state, Importance,
 };
+use fedmp_tensor::parallel::{sum_f32, sum_f64};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -219,7 +220,7 @@ pub fn run_fedmp(
 
         // Bandit feedback (Eq. 8) for every online worker.
         if opts.fixed_ratio.is_none() {
-            let t_avg = times.iter().sum::<f64>() / online.len() as f64;
+            let t_avg = sum_f64(times.iter().copied()) / online.len() as f64;
             for (i, &w) in online.iter().enumerate() {
                 let delta = results[i].1.delta_loss();
                 agents[w].observe(eucb_reward(delta, times[i], t_avg, &opts.reward));
@@ -244,8 +245,7 @@ pub fn run_fedmp(
             kept.len(),
         );
 
-        let train_loss =
-            kept.iter().map(|&i| results[i].1.mean_loss).sum::<f32>() / kept.len() as f32;
+        let train_loss = sum_f32(kept.iter().map(|&i| results[i].1.mean_loss)) / kept.len() as f32;
         let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
             let r =
                 evaluate_image(&mut global, &setup.task.test, cfg.eval_batch, cfg.eval_max_samples);

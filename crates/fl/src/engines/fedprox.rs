@@ -13,6 +13,7 @@ use crate::eval::evaluate_image;
 use crate::history::{RoundRecord, RunHistory};
 use crate::local::{local_train, LocalTrainConfig};
 use fedmp_nn::Sequential;
+use fedmp_tensor::parallel::sum_f32;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -100,7 +101,7 @@ pub fn run_fedprox(
         global.load_state(&average_states(&states));
         emit_aggregate(round, "FedAvg", workers);
 
-        let train_loss = results.iter().map(|(_, o)| o.mean_loss).sum::<f32>() / workers as f32;
+        let train_loss = sum_f32(results.iter().map(|(_, o)| o.mean_loss)) / workers as f32;
         let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
             let r =
                 evaluate_image(&mut global, &setup.task.test, cfg.eval_batch, cfg.eval_max_samples);

@@ -14,6 +14,7 @@ use crate::history::{RoundRecord, RunHistory};
 use crate::local::local_train;
 use fedmp_nn::{state_add, state_sub, Sequential};
 use fedmp_pruning::{densify_into_state, TopKCompressor};
+use fedmp_tensor::parallel::sum_f32;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -114,7 +115,7 @@ pub fn run_flexcom(
         global.load_state(&state_add(&global_state, &mean_update));
         emit_aggregate(round, "FedAvg+topk", workers);
 
-        let train_loss = results.iter().map(|(_, o)| o.mean_loss).sum::<f32>() / workers as f32;
+        let train_loss = sum_f32(results.iter().map(|(_, o)| o.mean_loss)) / workers as f32;
         let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
             let r =
                 evaluate_image(&mut global, &setup.task.test, cfg.eval_batch, cfg.eval_max_samples);

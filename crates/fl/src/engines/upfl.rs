@@ -15,6 +15,7 @@ use crate::local::local_train;
 use fedmp_bandit::{Bandit, EUcbAgent, EUcbConfig};
 use fedmp_nn::{state_sub, Sequential};
 use fedmp_pruning::{extract_sequential, plan_sequential, recover_state, sparse_state};
+use fedmp_tensor::parallel::sum_f32;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -83,7 +84,7 @@ pub fn run_upfl(
             );
         }
 
-        let mean_delta = results.iter().map(|(_, o)| o.delta_loss()).sum::<f32>() / workers as f32;
+        let mean_delta = sum_f32(results.iter().map(|(_, o)| o.delta_loss())) / workers as f32;
         agent.observe(mean_delta / round_time.max(1e-6) as f32);
 
         let recovered: Vec<_> =
@@ -92,7 +93,7 @@ pub fn run_upfl(
         global.load_state(&r2sp_aggregate(&recovered, &residuals));
         emit_aggregate(round, "R2SP", workers);
 
-        let train_loss = results.iter().map(|(_, o)| o.mean_loss).sum::<f32>() / workers as f32;
+        let train_loss = sum_f32(results.iter().map(|(_, o)| o.mean_loss)) / workers as f32;
         let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
             let r =
                 evaluate_image(&mut global, &setup.task.test, cfg.eval_batch, cfg.eval_max_samples);

@@ -19,6 +19,10 @@
 //! all stochasticity is derived from per-worker, per-round seeds so runs
 //! are reproducible regardless of thread scheduling.
 
+// No `unsafe` anywhere in this crate: the only sanctioned unsafe code
+// in the workspace lives in `fedmp-tensor`'s band scheduler. Backed
+// statically by the `unsafe-hygiene` lint in `fedmp-analysis`.
+#![forbid(unsafe_code)]
 mod aggregate;
 mod engine;
 mod engines;

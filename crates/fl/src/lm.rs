@@ -15,6 +15,7 @@ use fedmp_edgesim::{DeviceProfile, RoundCost, TimeModel};
 use fedmp_nn::{clip_grad_norm, lstm_cost_per_token, state_sub, LstmLm, Sgd};
 use fedmp_pruning::{extract_lstm, plan_lstm, recover_lstm_state, sparse_lstm_state};
 use fedmp_tensor::cross_entropy_loss;
+use fedmp_tensor::parallel::{sum_f32, sum_f64};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -233,12 +234,11 @@ pub fn run_lm(
         match method {
             LmMethod::SynFl => {}
             LmMethod::UpFl => {
-                let mean_delta =
-                    results.iter().map(|(_, _, _, d, _)| *d).sum::<f32>() / workers as f32;
+                let mean_delta = sum_f32(results.iter().map(|(_, _, _, d, _)| *d)) / workers as f32;
                 shared_agent.observe(mean_delta / round_time.max(1e-6) as f32);
             }
             LmMethod::FedMp => {
-                let t_avg = times.iter().sum::<f64>() / workers as f64;
+                let t_avg = sum_f64(times.iter().copied()) / workers as f64;
                 for (w, agent) in agents.iter_mut().enumerate() {
                     agent.observe(eucb_reward(results[w].3, times[w], t_avg, &opts.reward));
                 }
@@ -269,7 +269,7 @@ pub fn run_lm(
         global.load_state(&new_state);
         emit_aggregate(round, if method == LmMethod::SynFl { "FedAvg" } else { "R2SP" }, workers);
 
-        let train_loss = results.iter().map(|(_, _, _, _, m)| *m).sum::<f32>() / workers as f32;
+        let train_loss = sum_f32(results.iter().map(|(_, _, _, _, m)| *m)) / workers as f32;
         let eval = if round % opts.eval_every == 0 || round + 1 == opts.rounds {
             let r = evaluate_lm(&mut global, &setup.eval_batches, opts.eval_max_batches);
             Some((r.loss, r.accuracy)) // accuracy slot holds perplexity

@@ -29,6 +29,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use fedmp_bandit::{eucb_reward, Bandit, EUcbAgent};
 use fedmp_nn::{state_sub, Sequential};
 use fedmp_pruning::{extract_sequential, plan_sequential_with, recover_state, sparse_state};
+use fedmp_tensor::parallel::{sum_f32, sum_f64};
 use parking_lot::Mutex;
 
 /// A sub-model dispatch to one worker.
@@ -39,16 +40,23 @@ struct DownlinkMsg {
     template: Sequential,
 }
 
-/// A trained upload from one worker.
+/// A trained upload from one worker: the wire frame plus training
+/// outcome, or the first error the worker hit.
 struct UplinkMsg {
     worker: usize,
+    payload: Result<UplinkPayload, RuntimeError>,
+}
+
+/// The successful-upload half of an [`UplinkMsg`].
+struct UplinkPayload {
     frame: Bytes,
     template: Sequential,
     outcome: LocalOutcome,
 }
 
-/// Errors returned by the threaded runtime for option combinations it
-/// does not support.
+/// Errors returned by the threaded runtime: unsupported option
+/// combinations, plus the transport failures a real PS/worker
+/// deployment has to surface instead of crashing on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RuntimeError {
     /// `opts.faults` was set. Fault injection (worker dropout and the
@@ -57,6 +65,20 @@ pub enum RuntimeError {
     /// dropped worker would deadlock the parameter server. Run
     /// [`crate::run_fedmp`] for fault experiments.
     FaultsUnsupported,
+    /// A wire frame failed to decode (bad magic, truncation or checksum
+    /// mismatch) on the downlink or uplink of the given worker.
+    CorruptFrame {
+        /// Worker whose frame failed to decode.
+        worker: usize,
+        /// Round the frame belonged to.
+        round: usize,
+    },
+    /// A worker's channel closed before the round completed — the
+    /// thread exited without delivering its upload.
+    WorkerLost {
+        /// The worker whose channel went away.
+        worker: usize,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -64,6 +86,12 @@ impl std::fmt::Display for RuntimeError {
         match self {
             RuntimeError::FaultsUnsupported => {
                 write!(f, "threaded runtime does not support fault injection; use run_fedmp")
+            }
+            RuntimeError::CorruptFrame { worker, round } => {
+                write!(f, "wire frame for worker {worker} failed to decode in round {round}")
+            }
+            RuntimeError::WorkerLost { worker } => {
+                write!(f, "worker {worker} disconnected before completing its round")
             }
         }
     }
@@ -77,7 +105,12 @@ impl std::error::Error for RuntimeError {}
 /// # Errors
 /// Returns [`RuntimeError::FaultsUnsupported`] if `opts.faults` is set
 /// (fault injection is a loop-engine feature) — everything else is
-/// supported.
+/// supported. [`RuntimeError::CorruptFrame`] and
+/// [`RuntimeError::WorkerLost`] report transport failures (an
+/// undecodable wire frame, a worker thread gone before its upload);
+/// they cannot occur with the in-process channels used here, but the
+/// runtime surfaces them as typed errors rather than panicking so the
+/// library has no panic paths (see `docs/ANALYSIS.md`, `no-panic`).
 pub fn run_fedmp_threaded(
     cfg: &FlConfig,
     setup: &FlSetup<'_>,
@@ -112,7 +145,7 @@ pub fn run_fedmp_threaded(
     // deterministic and the per-round kernel deltas are exact.
     let mut kstats = kernel_baseline();
 
-    std::thread::scope(|scope| {
+    let result = std::thread::scope(|scope| {
         // Worker threads: receive a frame, train, upload.
         for (w, (_, down_rx)) in downlinks.iter().enumerate() {
             let down_rx = down_rx.clone();
@@ -123,158 +156,184 @@ pub fn run_fedmp_threaded(
             let uplink_count = &uplink_count;
             scope.spawn(move || {
                 while let Ok(msg) = down_rx.recv() {
-                    let mut model = msg.template;
-                    let state = decode_state(&msg.frame).expect("valid downlink frame");
-                    model.load_state(&state);
-                    let mut batches = worker_batches(task, w, local.batch, seed, msg.round);
-                    let outcome = local_train(&mut model, &mut batches, &local);
-                    let frame = encode_state(&model.state());
+                    let payload = match decode_state(&msg.frame) {
+                        Ok(state) => {
+                            let mut model = msg.template;
+                            model.load_state(&state);
+                            let mut batches = worker_batches(task, w, local.batch, seed, msg.round);
+                            let outcome = local_train(&mut model, &mut batches, &local);
+                            let frame = encode_state(&model.state());
+                            Ok(UplinkPayload { frame, template: model, outcome })
+                        }
+                        Err(_) => Err(RuntimeError::CorruptFrame { worker: w, round: msg.round }),
+                    };
                     *uplink_count.lock() += 1;
-                    uplink_tx
-                        .send(UplinkMsg { worker: w, frame, template: model, outcome })
-                        .expect("uplink open");
+                    // A closed uplink means the PS already abandoned the
+                    // run; exit quietly instead of panicking in a worker.
+                    if uplink_tx.send(UplinkMsg { worker: w, payload }).is_err() {
+                        break;
+                    }
                 }
             });
         }
         drop(uplink_tx);
 
-        for round in 0..cfg.rounds {
-            emit_round_start_all(round, sim_time, workers);
-            // ① PS side: ratios, plans, sub-models, residuals.
-            let ratios: Vec<f32> = (0..workers)
-                .map(|w| match opts.fixed_ratio {
-                    Some(r) => r,
-                    None => agents[w].select(),
-                })
-                .collect();
-            let plans: Vec<_> = ratios
-                .iter()
-                .map(|&r| plan_sequential_with(&global, setup.task.input_chw, r, opts.importance))
-                .collect();
-            let residuals: Vec<_> = plans
-                .iter()
-                .map(|p| state_sub(&global.state(), &sparse_state(&global, p)))
-                .collect();
+        // The PS loop runs in a fallible block so transport errors
+        // propagate as typed `RuntimeError`s; the downlinks are dropped
+        // on *every* exit path below, which ends the worker loops and
+        // lets the scope join instead of deadlocking.
+        let ps = (|| -> Result<(), RuntimeError> {
+            for round in 0..cfg.rounds {
+                emit_round_start_all(round, sim_time, workers);
+                // ① PS side: ratios, plans, sub-models, residuals.
+                let ratios: Vec<f32> = (0..workers)
+                    .map(|w| match opts.fixed_ratio {
+                        Some(r) => r,
+                        None => agents[w].select(),
+                    })
+                    .collect();
+                let plans: Vec<_> = ratios
+                    .iter()
+                    .map(|&r| {
+                        plan_sequential_with(&global, setup.task.input_chw, r, opts.importance)
+                    })
+                    .collect();
+                let residuals: Vec<_> = plans
+                    .iter()
+                    .map(|p| state_sub(&global.state(), &sparse_state(&global, p)))
+                    .collect();
 
-            // Dispatch frames.
-            for (w, plan) in plans.iter().enumerate() {
-                let sub = extract_sequential(&global, plan);
-                let frame = encode_state(&sub.state());
-                downlinks[w]
-                    .0
-                    .send(DownlinkMsg { round, frame, template: sub })
-                    .expect("worker alive");
-            }
-
-            // Collect all uploads, then order by worker index for
-            // deterministic aggregation.
-            let mut uploads: Vec<Option<UplinkMsg>> = (0..workers).map(|_| None).collect();
-            for _ in 0..workers {
-                let msg = uplink_rx.recv().expect("uplink open");
-                let w = msg.worker;
-                uploads[w] = Some(msg);
-            }
-            let uploads: Vec<UplinkMsg> =
-                uploads.into_iter().map(|m| m.expect("one upload per worker")).collect();
-
-            // Virtual-clock accounting (same formulas as the loop engine).
-            let mut times = Vec::with_capacity(workers);
-            let mut mean_comp = 0.0;
-            let mut mean_comm = 0.0;
-            for (w, up) in uploads.iter().enumerate() {
-                let cost = model_round_cost(&up.template, setup.task.input_chw, &cfg.local);
-                let mut rng = worker_rng(cfg.seed ^ 0xA5A5, round, w);
-                let t = setup.simulate_round(w, &cost, &mut rng);
-                mean_comp += t.comp;
-                mean_comm += t.comm;
-                emit_local_train(
-                    round,
-                    w,
-                    ratios[w],
-                    up.outcome.mean_loss,
-                    up.outcome.delta_loss(),
-                    cfg.local.tau,
-                    up.outcome.samples,
-                    &t,
-                    &setup.scaled_cost(&cost),
-                );
-                times.push(t.total());
-            }
-            mean_comp /= workers as f64;
-            mean_comm /= workers as f64;
-            let round_time = times.iter().copied().fold(0.0, f64::max);
-            sim_time += round_time;
-
-            if opts.fixed_ratio.is_none() {
-                let t_avg = times.iter().sum::<f64>() / workers as f64;
-                for (w, agent) in agents.iter_mut().enumerate() {
-                    agent.observe(eucb_reward(
-                        uploads[w].outcome.delta_loss(),
-                        times[w],
-                        t_avg,
-                        &opts.reward,
-                    ));
+                // Dispatch frames.
+                for (w, plan) in plans.iter().enumerate() {
+                    let sub = extract_sequential(&global, plan);
+                    let frame = encode_state(&sub.state());
+                    downlinks[w]
+                        .0
+                        .send(DownlinkMsg { round, frame, template: sub })
+                        .map_err(|_| RuntimeError::WorkerLost { worker: w })?;
                 }
-            }
 
-            // ③ Decode uploads and aggregate.
-            let recovered: Vec<_> = uploads
-                .iter()
-                .zip(plans.iter())
-                .map(|(up, plan)| {
+                // Collect all uploads, then order by worker index for
+                // deterministic aggregation.
+                let mut slots: Vec<Option<UplinkPayload>> = (0..workers).map(|_| None).collect();
+                for _ in 0..workers {
+                    let Ok(msg) = uplink_rx.recv() else {
+                        // Every sender hung up before the round completed.
+                        let worker = slots.iter().position(Option::is_none).unwrap_or_default();
+                        return Err(RuntimeError::WorkerLost { worker });
+                    };
+                    let w = msg.worker;
+                    slots[w] = Some(msg.payload?);
+                }
+                let mut uploads: Vec<UplinkPayload> = Vec::with_capacity(workers);
+                for (w, slot) in slots.into_iter().enumerate() {
+                    match slot {
+                        Some(p) => uploads.push(p),
+                        // A duplicate upload left some other slot empty.
+                        None => return Err(RuntimeError::WorkerLost { worker: w }),
+                    }
+                }
+
+                // Virtual-clock accounting (same formulas as the loop engine).
+                let mut times = Vec::with_capacity(workers);
+                let mut mean_comp = 0.0;
+                let mut mean_comm = 0.0;
+                for (w, up) in uploads.iter().enumerate() {
+                    let cost = model_round_cost(&up.template, setup.task.input_chw, &cfg.local);
+                    let mut rng = worker_rng(cfg.seed ^ 0xA5A5, round, w);
+                    let t = setup.simulate_round(w, &cost, &mut rng);
+                    mean_comp += t.comp;
+                    mean_comm += t.comm;
+                    emit_local_train(
+                        round,
+                        w,
+                        ratios[w],
+                        up.outcome.mean_loss,
+                        up.outcome.delta_loss(),
+                        cfg.local.tau,
+                        up.outcome.samples,
+                        &t,
+                        &setup.scaled_cost(&cost),
+                    );
+                    times.push(t.total());
+                }
+                mean_comp /= workers as f64;
+                mean_comm /= workers as f64;
+                let round_time = times.iter().copied().fold(0.0, f64::max);
+                sim_time += round_time;
+
+                if opts.fixed_ratio.is_none() {
+                    let t_avg = sum_f64(times.iter().copied()) / workers as f64;
+                    for (w, agent) in agents.iter_mut().enumerate() {
+                        agent.observe(eucb_reward(
+                            uploads[w].outcome.delta_loss(),
+                            times[w],
+                            t_avg,
+                            &opts.reward,
+                        ));
+                    }
+                }
+
+                // ③ Decode uploads and aggregate.
+                let mut recovered = Vec::with_capacity(workers);
+                for (w, (up, plan)) in uploads.iter().zip(plans.iter()).enumerate() {
+                    let state = decode_state(&up.frame)
+                        .map_err(|_| RuntimeError::CorruptFrame { worker: w, round })?;
                     let mut model = up.template.clone();
-                    model.load_state(&decode_state(&up.frame).expect("valid uplink frame"));
-                    recover_state(&model, plan, &global)
-                })
-                .collect();
-            let new_state = match opts.sync {
-                SyncScheme::R2SP => r2sp_aggregate(&recovered, &residuals),
-                SyncScheme::BSP => bsp_aggregate(&recovered),
-            };
-            global.load_state(&new_state);
-            emit_aggregate(
-                round,
-                match opts.sync {
-                    SyncScheme::R2SP => "R2SP",
-                    SyncScheme::BSP => "BSP",
-                },
-                workers,
-            );
-
-            let train_loss =
-                uploads.iter().map(|u| u.outcome.mean_loss).sum::<f32>() / workers as f32;
-            let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
-                let r = evaluate_image(
-                    &mut global,
-                    &setup.task.test,
-                    cfg.eval_batch,
-                    cfg.eval_max_samples,
+                    model.load_state(&state);
+                    recovered.push(recover_state(&model, plan, &global));
+                }
+                let new_state = match opts.sync {
+                    SyncScheme::R2SP => r2sp_aggregate(&recovered, &residuals),
+                    SyncScheme::BSP => bsp_aggregate(&recovered),
+                };
+                global.load_state(&new_state);
+                emit_aggregate(
+                    round,
+                    match opts.sync {
+                        SyncScheme::R2SP => "R2SP",
+                        SyncScheme::BSP => "BSP",
+                    },
+                    workers,
                 );
-                Some((r.loss, r.accuracy))
-            } else {
-                None
-            };
-            emit_kernel_dispatch(round, &mut kstats);
-            let rec = RoundRecord {
-                round,
-                sim_time,
-                round_time,
-                mean_comp,
-                mean_comm,
-                train_loss,
-                eval,
-                ratios,
-            };
-            emit_round_end(&rec);
-            history.rounds.push(rec);
-        }
 
-        // Closing the downlinks ends the worker loops.
-        for (tx, _) in &downlinks {
-            drop(tx.clone());
-        }
+                let train_loss =
+                    sum_f32(uploads.iter().map(|u| u.outcome.mean_loss)) / workers as f32;
+                let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
+                    let r = evaluate_image(
+                        &mut global,
+                        &setup.task.test,
+                        cfg.eval_batch,
+                        cfg.eval_max_samples,
+                    );
+                    Some((r.loss, r.accuracy))
+                } else {
+                    None
+                };
+                emit_kernel_dispatch(round, &mut kstats);
+                let rec = RoundRecord {
+                    round,
+                    sim_time,
+                    round_time,
+                    mean_comp,
+                    mean_comm,
+                    train_loss,
+                    eval,
+                    ratios,
+                };
+                emit_round_end(&rec);
+                history.rounds.push(rec);
+            }
+            Ok(())
+        })();
+
+        // Closing the downlinks ends the worker loops (or, after an
+        // error, unblocks workers still waiting on a frame), so the
+        // scope can join every thread on both exit paths.
         drop(downlinks);
+        ps
     });
+    result?;
 
     assert_eq!(*uplink_count.lock(), cfg.rounds * workers, "upload bookkeeping");
     Ok(history)

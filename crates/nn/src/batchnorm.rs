@@ -5,6 +5,7 @@
 //! are removed too (paper §III-B), and R2SP restores them on recovery.
 
 use crate::param::Param;
+use fedmp_tensor::parallel::sum_f32;
 use fedmp_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -97,7 +98,7 @@ impl BatchNorm2d {
                 let mut mean = 0.0f32;
                 for i in 0..n {
                     let base = (i * c + ch) * plane;
-                    mean += input.data()[base..base + plane].iter().sum::<f32>();
+                    mean += sum_f32(input.data()[base..base + plane].iter().copied());
                 }
                 mean /= count;
                 let mut var = 0.0f32;

@@ -25,6 +25,10 @@
 //! model.backward(&out.grad_logits);
 //! ```
 
+// No `unsafe` anywhere in this crate: the only sanctioned unsafe code
+// in the workspace lives in `fedmp-tensor`'s band scheduler. Backed
+// statically by the `unsafe-hygiene` lint in `fedmp-analysis`.
+#![forbid(unsafe_code)]
 mod activation;
 mod adam;
 mod batchnorm;

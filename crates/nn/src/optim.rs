@@ -5,6 +5,7 @@
 use crate::container::Sequential;
 use crate::lstm::LstmLm;
 use crate::param::Param;
+use fedmp_tensor::parallel::sum_f32;
 use fedmp_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -123,7 +124,7 @@ pub fn snapshot_params(model: &mut impl ParamVisitor) -> Vec<Tensor> {
 pub fn grad_norm(model: &mut impl ParamVisitor) -> f32 {
     let mut sq = 0.0f32;
     model.visit_params(&mut |p: &mut Param| {
-        sq += p.grad.data().iter().map(|g| g * g).sum::<f32>();
+        sq += sum_f32(p.grad.data().iter().map(|g| g * g));
     });
     sq.sqrt()
 }

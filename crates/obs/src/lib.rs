@@ -27,7 +27,10 @@
 //! the event enum.
 
 #![deny(missing_docs)]
-
+// No `unsafe` anywhere in this crate: the only sanctioned unsafe code
+// in the workspace lives in `fedmp-tensor`'s band scheduler. Backed
+// statically by the `unsafe-hygiene` lint in `fedmp-analysis`.
+#![forbid(unsafe_code)]
 mod event;
 mod manifest;
 mod session;

@@ -10,6 +10,7 @@
 
 use crate::plan::{ratio_keep_count, top_indices};
 use fedmp_nn::{Embedding, Linear, Lstm, LstmLm, StateEntry};
+use fedmp_tensor::parallel::sum_f32;
 use fedmp_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -44,8 +45,8 @@ fn unit_importance(l: &Lstm, k: usize) -> f32 {
     let h = l.hidden();
     let mut score = 0.0f32;
     for g in 0..4 {
-        score += l.w_x.value.row(g * h + k).iter().map(|v| v.abs()).sum::<f32>();
-        score += l.w_h.value.row(g * h + k).iter().map(|v| v.abs()).sum::<f32>();
+        score += sum_f32(l.w_x.value.row(g * h + k).iter().map(|v| v.abs()));
+        score += sum_f32(l.w_h.value.row(g * h + k).iter().map(|v| v.abs()));
     }
     for r in 0..4 * h {
         score += l.w_h.value.at(&[r, k]).abs();

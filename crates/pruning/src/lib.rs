@@ -31,6 +31,10 @@
 //! sparsification with error feedback — the substrate of the FlexCom
 //! baseline.
 
+// No `unsafe` anywhere in this crate: the only sanctioned unsafe code
+// in the workspace lives in `fedmp-tensor`'s band scheduler. Backed
+// statically by the `unsafe-hygiene` lint in `fedmp-analysis`.
+#![forbid(unsafe_code)]
 mod iss;
 mod plan;
 mod quant;

@@ -2,6 +2,7 @@
 //! pruning ratio.
 
 use fedmp_nn::{LayerNode, ResidualBlock, Sequential};
+use fedmp_tensor::parallel::sum_f32;
 use serde::{Deserialize, Serialize};
 
 /// Per-layer pruning decision, aligned with the model's layer traversal.
@@ -82,11 +83,11 @@ impl Importance {
     fn score_groups(&self, weights: &[f32], units: usize, stride: usize) -> Vec<f32> {
         match self {
             Importance::L1 => (0..units)
-                .map(|u| weights[u * stride..(u + 1) * stride].iter().map(|v| v.abs()).sum())
+                .map(|u| sum_f32(weights[u * stride..(u + 1) * stride].iter().map(|v| v.abs())))
                 .collect(),
             Importance::L2 => (0..units)
                 .map(|u| {
-                    weights[u * stride..(u + 1) * stride].iter().map(|v| v * v).sum::<f32>().sqrt()
+                    sum_f32(weights[u * stride..(u + 1) * stride].iter().map(|v| v * v)).sqrt()
                 })
                 .collect(),
             Importance::Random { seed } => {

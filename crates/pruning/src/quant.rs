@@ -48,7 +48,7 @@ pub fn quantize_state(state: &[StateEntry]) -> QuantState {
     for e in state {
         names.push(e.name.clone());
         trainable.push(e.trainable);
-        let max = e.tensor.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let max = e.tensor.data().iter().map(|v| v.abs()).fold(0.0f32, f32::max);
         let scale = if max > 0.0 { max / 127.0 } else { 1.0 };
         let codes = e
             .tensor

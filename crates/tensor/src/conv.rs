@@ -210,7 +210,7 @@ pub fn conv2d_backward_weight(
         .expect("grad slice");
         gw.add_assign(&go.matmul_nt(&cols));
         for f in 0..oc {
-            gb.data_mut()[f] += go.row(f).iter().sum::<f32>();
+            gb.data_mut()[f] += parallel::sum_f32(go.row(f).iter().copied());
         }
     }
     (gw.reshape(weight_dims), gb)

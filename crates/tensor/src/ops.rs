@@ -1,6 +1,7 @@
 //! Softmax and cross-entropy, the loss head shared by every classifier in
 //! the model zoo (and, via perplexity, the LSTM language model).
 
+use crate::parallel::sum_f32;
 use crate::tensor::Tensor;
 
 /// Row-wise softmax of a `[batch, classes]` tensor, computed with the
@@ -35,7 +36,7 @@ pub fn log_softmax_rows(logits: &Tensor) -> Tensor {
     for r in 0..rows {
         let src = logits.row(r);
         let m = src.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let lse = src.iter().map(|&s| (s - m).exp()).sum::<f32>().ln() + m;
+        let lse = sum_f32(src.iter().map(|&s| (s - m).exp())).ln() + m;
         for (d, &s) in out.row_mut(r).iter_mut().zip(src.iter()) {
             *d = s - lse;
         }

@@ -103,6 +103,11 @@ struct BandQueue<T> {
     next: AtomicUsize,
 }
 
+// SAFETY: the queue is only shared between scoped worker threads, and
+// the raw (ptr, len) pairs it hands out come from `chunks_mut` over one
+// exclusively borrowed buffer — disjoint regions, each claimed by
+// exactly one worker via the atomic counter. `T: Send` is required so a
+// band may be written from a thread other than the buffer's owner.
 unsafe impl<T: Send> Sync for BandQueue<T> {}
 
 impl<T> BandQueue<T> {
@@ -172,6 +177,27 @@ pub fn for_each_band<T, F>(
     });
 }
 
+/// Fixed-order `f32` sum: a strict left-to-right fold in the order the
+/// iterator yields its items.
+///
+/// Floating-point addition is not associative, so *any* reordering of a
+/// reduction — parallel tree sums, unordered-container iteration — can
+/// change the result bit-for-bit. The deterministic crates therefore
+/// route every order-sensitive float reduction through this function
+/// (or [`sum_f64`]) instead of ad-hoc `iter().sum()` calls; the
+/// `float-reduction` lint in `fedmp-analysis` enforces this, and having
+/// one named entry point keeps the accumulation order auditable in a
+/// single place. Order-*insensitive* reductions (`max`/`min`) are
+/// exempt and may use plain folds.
+pub fn sum_f32<I: IntoIterator<Item = f32>>(xs: I) -> f32 {
+    xs.into_iter().fold(0.0f32, |acc, v| acc + v)
+}
+
+/// Fixed-order `f64` sum: the [`sum_f32`] contract at double precision.
+pub fn sum_f64<I: IntoIterator<Item = f64>>(xs: I) -> f64 {
+    xs.into_iter().fold(0.0f64, |acc, v| acc + v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +263,23 @@ mod tests {
     #[test]
     fn configured_threads_is_positive() {
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn fixed_order_sums_match_sequential_iteration() {
+        let xs: Vec<f32> = (0..100).map(|i| (i as f32).sin() * 1e-3).collect();
+        let mut acc = 0.0f32;
+        for &v in &xs {
+            acc += v;
+        }
+        assert_eq!(sum_f32(xs.iter().copied()), acc);
+        let ys: Vec<f64> = (0..100).map(|i| (i as f64).cos() * 1e-7).collect();
+        let mut acc64 = 0.0f64;
+        for &v in &ys {
+            acc64 += v;
+        }
+        assert_eq!(sum_f64(ys.iter().copied()), acc64);
+        assert_eq!(sum_f32(std::iter::empty()), 0.0);
     }
 
     #[test]

@@ -290,12 +290,12 @@ impl Tensor {
 
     /// Sum of absolute values (the paper's filter-importance metric).
     pub fn l1_norm(&self) -> f32 {
-        self.data.iter().map(|a| a.abs()).sum()
+        crate::parallel::sum_f32(self.data.iter().map(|a| a.abs()))
     }
 
     /// Euclidean norm.
     pub fn l2_norm(&self) -> f32 {
-        self.data.iter().map(|a| a * a).sum::<f32>().sqrt()
+        crate::parallel::sum_f32(self.data.iter().map(|a| a * a)).sqrt()
     }
 
     /// Squared Euclidean distance to another tensor — the paper's pruning
