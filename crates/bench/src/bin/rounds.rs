@@ -1,0 +1,143 @@
+//! Round-executor benchmark: serial vs parallel round loops.
+//!
+//! Times every loop engine's full round loop on the standard CNN/MNIST
+//! 30-worker deployment at 1, 2 and 4 executor threads
+//! (`fedmp_tensor::parallel::override_threads`), asserts the histories
+//! are bit-identical across thread counts, and writes the wall-clock
+//! table to `bench-results/rounds.json`. Run with:
+//!
+//! ```text
+//! cargo run --release -p fedmp-bench --bin rounds
+//! ```
+//!
+//! Set `FEDMP_BENCH_SMOKE=1` (CI) for a 6-worker, 2-round configuration
+//! that exercises the same code paths in seconds.
+
+use std::time::Instant;
+
+use fedmp_bench::save_result;
+use fedmp_core::{ExperimentSpec, TaskKind};
+use fedmp_fl::{
+    run_async, run_fedmp, run_fedmp_threaded, run_fedprox, run_flexcom, run_synfl, run_upfl,
+    AsyncMode, AsyncOptions, FedMpOptions, FedProxOptions, FlSetup, FlexComOptions, RunHistory,
+    UpFlOptions,
+};
+use fedmp_tensor::parallel;
+use serde_json::json;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn canonical(h: &RunHistory) -> String {
+    serde_json::to_string(h).expect("serialise history")
+}
+
+fn main() {
+    let smoke = std::env::var("FEDMP_BENCH_SMOKE").as_deref() == Ok("1");
+    let mut spec = ExperimentSpec::bench(TaskKind::CnnMnist);
+    spec.workers = if smoke { 6 } else { 30 };
+    spec.fl.rounds = if smoke { 2 } else { 6 };
+    // Evaluation is identical work for every engine and thread count;
+    // keep it off the inner rounds so the table measures the round loop.
+    spec.fl.eval_every = spec.fl.rounds;
+
+    let built = spec.build();
+    let setup =
+        FlSetup::with_cost_scale(&built.task, built.devices.clone(), built.time, built.cost_scale);
+    let global = built.model;
+    let cfg = spec.fl;
+
+    type Runner<'a> = Box<dyn Fn() -> RunHistory + 'a>;
+    let engines: Vec<(&'static str, Runner<'_>)> = vec![
+        ("FedMP", Box::new(|| run_fedmp(&cfg, &setup, global.clone(), &FedMpOptions::default()))),
+        ("Syn-FL", Box::new(|| run_synfl(&cfg, &setup, global.clone()))),
+        ("UP-FL", Box::new(|| run_upfl(&cfg, &setup, global.clone(), &UpFlOptions::default()))),
+        (
+            "FedProx",
+            Box::new(|| run_fedprox(&cfg, &setup, global.clone(), &FedProxOptions::default())),
+        ),
+        (
+            "FlexCom",
+            Box::new(|| run_flexcom(&cfg, &setup, global.clone(), &FlexComOptions::default())),
+        ),
+        (
+            "Asyn-FedMP",
+            Box::new(|| {
+                let opts = AsyncOptions { mode: AsyncMode::AsynFedMp, m: 2, ..Default::default() };
+                run_async(&cfg, &setup, global.clone(), &opts)
+            }),
+        ),
+        (
+            "FedMP-threaded",
+            Box::new(|| {
+                run_fedmp_threaded(&cfg, &setup, global.clone(), &FedMpOptions::default())
+                    .expect("threaded runtime")
+            }),
+        ),
+    ];
+
+    println!(
+        "round-loop wall clock, CNN/MNIST, {} workers x {} rounds{}",
+        spec.workers,
+        spec.fl.rounds,
+        if smoke { " (smoke)" } else { "" }
+    );
+    let mut rows = Vec::new();
+    let mut headline = None;
+    for (name, run) in &engines {
+        let mut ms = Vec::with_capacity(THREAD_COUNTS.len());
+        let mut baseline: Option<String> = None;
+        for &threads in &THREAD_COUNTS {
+            parallel::override_threads(Some(threads));
+            let start = Instant::now();
+            let history = run();
+            ms.push(start.elapsed().as_secs_f64() * 1e3);
+            let c = canonical(&history);
+            match &baseline {
+                None => baseline = Some(c),
+                Some(b) => assert_eq!(
+                    b, &c,
+                    "{name}: history at {threads} executor threads differs from serial"
+                ),
+            }
+        }
+        parallel::override_threads(None);
+        let speedup2 = ms[0] / ms[1];
+        let speedup4 = ms[0] / ms[2];
+        println!(
+            "{name:<16} t1 {:9.1} ms  t2 {:9.1} ms  t4 {:9.1} ms  ({speedup2:4.2}x, {speedup4:4.2}x)",
+            ms[0], ms[1], ms[2]
+        );
+        if *name == "FedMP" {
+            headline = Some(speedup4);
+        }
+        rows.push(json!({
+            "engine": name,
+            "serial_ms": ms[0],
+            "t2_ms": ms[1],
+            "t4_ms": ms[2],
+            "speedup_t2": speedup2,
+            "speedup_t4": speedup4,
+            "bit_identical": true,
+        }));
+    }
+
+    let headline = headline.expect("FedMP row present");
+    save_result(
+        "rounds",
+        &json!({
+            "generated_by": "cargo run --release -p fedmp-bench --bin rounds",
+            "smoke": smoke,
+            "task": "CnnMnist",
+            "workers": spec.workers,
+            "rounds": spec.fl.rounds,
+            "thread_counts": THREAD_COUNTS.to_vec(),
+            "host_cpus": std::thread::available_parallelism().map_or(1, |n| n.get()),
+            "engines": rows,
+            "headline": {
+                "engine": "FedMP",
+                "speedup_t4_vs_serial": headline,
+            },
+        }),
+    );
+    println!("headline: FedMP {headline:.2}x at 4 executor threads vs serial");
+}

@@ -95,6 +95,20 @@ pub fn run_method(spec: &ExperimentSpec, method: Method) -> RunHistory {
     }
 }
 
+/// Runs every method in `methods` against `spec`, returning histories
+/// in input order. Independent runs fan out across the deterministic
+/// round executor ([`fedmp_fl::exec::ordered_map`]); each engine's own
+/// per-worker fan-out then runs inline on its pool thread, so every
+/// history is bit-identical to calling [`run_method`] in a loop. When
+/// `FEDMP_TRACE` requests tracing the runs stay serial: trace sessions
+/// are process-exclusive and artifact numbering is order-sensitive.
+pub fn run_methods(spec: &ExperimentSpec, methods: &[Method]) -> Vec<RunHistory> {
+    if crate::trace::trace_requested() {
+        return methods.iter().map(|&m| run_method(spec, m)).collect();
+    }
+    fedmp_fl::exec::ordered_map(methods.to_vec(), |_, m| run_method(spec, m))
+}
+
 /// Runs FedMP with caller-supplied options (θ sweeps, custom reward
 /// shaping, BSP ablations) on the experiment described by `spec`.
 pub fn run_fedmp_custom(spec: &ExperimentSpec, opts: &FedMpOptions) -> RunHistory {
@@ -150,6 +164,25 @@ mod tests {
             let h = run_method(&spec, method);
             assert_eq!(h.rounds.len(), 3, "{}", method.name());
             assert!(h.final_accuracy().is_some(), "{}", method.name());
+        }
+    }
+
+    #[test]
+    fn run_methods_matches_serial_run_method_exactly() {
+        let mut spec = ExperimentSpec::small(TaskKind::CnnMnist);
+        spec.fl.rounds = 2;
+        spec.fl.eval_every = 1;
+        let methods = [Method::SynFl, Method::FedMpFixed(0.5)];
+        let batch = run_methods(&spec, &methods);
+        assert_eq!(batch.len(), methods.len());
+        for (&m, h) in methods.iter().zip(batch.iter()) {
+            let solo = run_method(&spec, m);
+            assert_eq!(
+                serde_json::to_string(h).unwrap(),
+                serde_json::to_string(&solo).unwrap(),
+                "{}",
+                m.name()
+            );
         }
     }
 

@@ -38,6 +38,16 @@ static TRACE_SEQ: AtomicUsize = AtomicUsize::new(0);
 /// first line is the run manifest. Hold the returned session for the
 /// duration of the run and call [`TraceSession::finish`] (or drop it)
 /// afterwards; sessions are exclusive, so traced runs serialise.
+/// Whether `FEDMP_TRACE` requests tracing for this process. Callers
+/// that would otherwise run several methods concurrently (e.g.
+/// [`crate::run_methods`]) use this to fall back to serial execution,
+/// because trace sessions are process-exclusive.
+pub fn trace_requested() -> bool {
+    // fedmp-analysis: allow(determinism) -- FEDMP_TRACE only selects where the
+    // trace is written; it never influences the simulated run itself.
+    std::env::var("FEDMP_TRACE").is_ok_and(|d| !d.is_empty())
+}
+
 pub fn maybe_trace(engine: &str, spec: &ExperimentSpec) -> Option<TraceSession> {
     // fedmp-analysis: allow(determinism) -- FEDMP_TRACE only selects where the
     // trace is written; it never influences the simulated run itself.

@@ -132,8 +132,8 @@ pub enum SyncScheme {
     BSP,
 }
 
-/// Deterministic per-(seed, round, worker) RNG, independent of rayon
-/// scheduling.
+/// Deterministic per-(seed, round, worker) RNG, independent of how the
+/// round executor schedules the per-worker work.
 pub(crate) fn worker_rng(seed: u64, round: usize, worker: usize) -> StdRng {
     // SplitMix-style mixing of the three coordinates.
     let mut z = seed

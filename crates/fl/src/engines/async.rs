@@ -9,6 +9,7 @@ use crate::engine::{
     kernel_baseline, model_round_cost, worker_batches, worker_rng, FlConfig, FlSetup,
 };
 use crate::eval::evaluate_image;
+use crate::exec;
 use crate::history::{RoundRecord, RunHistory};
 use crate::local::local_train;
 use fedmp_bandit::{eucb_reward, Bandit, EUcbAgent, EUcbConfig, RewardConfig};
@@ -118,53 +119,75 @@ pub fn run_async(
     let mut dispatch_count = 0usize;
     let mut queue = ArrivalQueue::new();
 
-    let dispatch = |w: usize,
-                    now: f64,
-                    global: &Sequential,
-                    agents: &mut Vec<EUcbAgent>,
-                    jobs: &mut Vec<Option<Pending>>,
-                    queue: &mut ArrivalQueue,
-                    dispatch_count: &mut usize| {
-        let tick = *dispatch_count;
-        *dispatch_count += 1;
-        let (mut model, plan_residual, ratio) = match opts.mode {
-            AsyncMode::AsynFl => (global.clone(), None, 0.0),
-            AsyncMode::AsynFedMp => {
-                let ratio = agents[w].select();
-                let plan = plan_sequential(global, setup.task.input_chw, ratio);
-                let sub = extract_sequential(global, &plan);
-                let residual = state_sub(&global.state(), &sparse_state(global, &plan));
-                (sub, Some((plan, residual)), ratio)
-            }
-        };
-        let mut batches = worker_batches(setup.task, w, cfg.local.batch, cfg.seed, tick);
-        let outcome = local_train(&mut model, &mut batches, &cfg.local);
-        let cost = model_round_cost(&model, setup.task.input_chw, &cfg.local);
-        let mut rng = worker_rng(cfg.seed ^ 0x5A5A, tick, w);
-        let rt = setup.simulate_round(w, &cost, &mut rng);
-        let scaled = setup.scaled_cost(&cost);
-        queue.push(now + rt.total(), w);
-        let payload = match plan_residual {
-            None => Payload::Full(model),
-            Some((plan, residual)) => Payload::Pruned { model, plan, residual },
-        };
-        jobs[w] = Some(Pending {
-            payload,
-            delta_loss: outcome.delta_loss(),
-            mean_loss: outcome.mean_loss,
-            duration: rt.total(),
-            ratio,
-            comp: rt.comp,
-            comm: rt.comm,
-            samples: outcome.samples,
-            bytes_down: scaled.download_bytes,
-            bytes_up: scaled.upload_bytes,
+    // Dispatch: trains each listed worker on the *current* global and
+    // schedules its arrival. The order-sensitive steps stay in caller
+    // order on this thread — bandit `select()` calls and dispatch-tick
+    // assignment before the fan-out, queue pushes and job bookkeeping
+    // after it — while the training itself (a pure function of the
+    // worker's (tick, ratio) coordinates) fans out across the round
+    // executor. Each job's RNG derives from its tick, so results are
+    // identical to the serial interleaving.
+    let dispatch_all = |ws: &[usize],
+                        now: f64,
+                        global: &Sequential,
+                        agents: &mut Vec<EUcbAgent>,
+                        jobs: &mut Vec<Option<Pending>>,
+                        queue: &mut ArrivalQueue,
+                        dispatch_count: &mut usize| {
+        let metas: Vec<(usize, usize, f32)> = ws
+            .iter()
+            .map(|&w| {
+                let tick = *dispatch_count;
+                *dispatch_count += 1;
+                let ratio = match opts.mode {
+                    AsyncMode::AsynFl => 0.0,
+                    AsyncMode::AsynFedMp => agents[w].select(),
+                };
+                (w, tick, ratio)
+            })
+            .collect();
+        let trained = exec::ordered_map(metas, |_, (w, tick, ratio)| {
+            let (mut model, plan_residual) = match opts.mode {
+                AsyncMode::AsynFl => (global.clone(), None),
+                AsyncMode::AsynFedMp => {
+                    let plan = plan_sequential(global, setup.task.input_chw, ratio);
+                    let sub = extract_sequential(global, &plan);
+                    let residual = state_sub(&global.state(), &sparse_state(global, &plan));
+                    (sub, Some((plan, residual)))
+                }
+            };
+            let mut batches = worker_batches(setup.task, w, cfg.local.batch, cfg.seed, tick);
+            let outcome = local_train(&mut model, &mut batches, &cfg.local);
+            let cost = model_round_cost(&model, setup.task.input_chw, &cfg.local);
+            let mut rng = worker_rng(cfg.seed ^ 0x5A5A, tick, w);
+            let rt = setup.simulate_round(w, &cost, &mut rng);
+            let scaled = setup.scaled_cost(&cost);
+            let payload = match plan_residual {
+                None => Payload::Full(model),
+                Some((plan, residual)) => Payload::Pruned { model, plan, residual },
+            };
+            let pending = Pending {
+                payload,
+                delta_loss: outcome.delta_loss(),
+                mean_loss: outcome.mean_loss,
+                duration: rt.total(),
+                ratio,
+                comp: rt.comp,
+                comm: rt.comm,
+                samples: outcome.samples,
+                bytes_down: scaled.download_bytes,
+                bytes_up: scaled.upload_bytes,
+            };
+            (w, pending)
         });
+        for (w, pending) in trained {
+            queue.push(now + pending.duration, w);
+            jobs[w] = Some(pending);
+        }
     };
 
-    for w in 0..workers {
-        dispatch(w, 0.0, &global, &mut agents, &mut jobs, &mut queue, &mut dispatch_count);
-    }
+    let all: Vec<usize> = (0..workers).collect();
+    dispatch_all(&all, 0.0, &global, &mut agents, &mut jobs, &mut queue, &mut dispatch_count);
 
     let mut kstats = kernel_baseline();
     let mut last_agg_time = 0.0f64;
@@ -263,9 +286,15 @@ pub fn run_async(
             },
             members.len(),
         );
-        for (w, _) in &members {
-            dispatch(*w, now, &global, &mut agents, &mut jobs, &mut queue, &mut dispatch_count);
-        }
+        dispatch_all(
+            &online,
+            now,
+            &global,
+            &mut agents,
+            &mut jobs,
+            &mut queue,
+            &mut dispatch_count,
+        );
 
         let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
             let r =

@@ -8,6 +8,7 @@ use crate::engine::{
     kernel_baseline, model_round_cost, worker_batches, FlConfig, FlSetup, SyncScheme,
 };
 use crate::eval::evaluate_image;
+use crate::exec;
 use crate::history::{RoundRecord, RunHistory};
 use crate::local::local_train;
 use fedmp_bandit::{eucb_reward, Bandit, EUcbAgent, EUcbConfig, RewardConfig};
@@ -18,7 +19,6 @@ use fedmp_pruning::{
     sparse_state, Importance,
 };
 use fedmp_tensor::parallel::{sum_f32, sum_f64};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Fault-tolerance options implementing the paper's §V-A mechanism:
@@ -148,42 +148,35 @@ pub fn run_fedmp(
                 None => agents[w].select(),
             })
             .collect();
-        let plans: Vec<_> = ratios
-            .iter()
-            .map(|&r| plan_sequential_with(&global, setup.task.input_chw, r, opts.importance))
-            .collect();
-        let subs: Vec<Sequential> = plans.iter().map(|p| extract_sequential(&global, p)).collect();
-
-        // Residual models (kept PS-side until aggregation, §III-C),
-        // optionally stored 8-bit quantized to cut PS memory 4×.
-        let residuals: Vec<_> = plans
-            .iter()
-            .map(|p| {
-                let residual = state_sub(&global.state(), &sparse_state(&global, p));
-                if opts.quantize_residuals {
-                    dequantize_state(&quantize_state(&residual))
-                } else {
-                    residual
-                }
-            })
-            .collect();
-
-        // ② Local training on the pruned sub-models, in parallel.
-        let results: Vec<_> = subs
-            .into_par_iter()
-            .zip(online.par_iter())
-            .map(|(mut sub, &w)| {
-                let mut batches = worker_batches(setup.task, w, cfg.local.batch, cfg.seed, round);
-                let outcome = local_train(&mut sub, &mut batches, &cfg.local);
-                (sub, outcome)
-            })
-            .collect();
+        // ② Per-worker round work, fanned across the round executor:
+        // plan and extract the sub-model, form the PS-side residual
+        // (kept until aggregation, §III-C, optionally 8-bit quantized
+        // to cut PS memory 4×), and run local training. Every input is
+        // read-only (`global`, task, config) plus the worker's own
+        // ratio, so each result is a pure function of its slot;
+        // order-sensitive steps — bandit selection above, timing,
+        // aggregation and trace emission below — stay on this thread
+        // in worker order.
+        let work: Vec<(usize, f32)> = online.iter().copied().zip(ratios.iter().copied()).collect();
+        let results = exec::ordered_map(work, |_, (w, ratio)| {
+            let plan = plan_sequential_with(&global, setup.task.input_chw, ratio, opts.importance);
+            let mut sub: Sequential = extract_sequential(&global, &plan);
+            let residual = state_sub(&global.state(), &sparse_state(&global, &plan));
+            let residual = if opts.quantize_residuals {
+                dequantize_state(&quantize_state(&residual))
+            } else {
+                residual
+            };
+            let mut batches = worker_batches(setup.task, w, cfg.local.batch, cfg.seed, round);
+            let outcome = local_train(&mut sub, &mut batches, &cfg.local);
+            (sub, outcome, plan, residual)
+        });
 
         // Timing from each sub-model's actual cost (Eq. 5).
         let mut times = Vec::with_capacity(online.len());
         let mut mean_comp = 0.0;
         let mut mean_comm = 0.0;
-        for (i, ((sub, outcome), &w)) in results.iter().zip(online.iter()).enumerate() {
+        for (i, ((sub, outcome, _, _), &w)) in results.iter().zip(online.iter()).enumerate() {
             let cost = model_round_cost(sub, setup.task.input_chw, &cfg.local);
             let mut rng = worker_rng(cfg.seed ^ 0xA5A5, round, w);
             let t = setup.simulate_round(w, &cost, &mut rng);
@@ -229,8 +222,8 @@ pub fn run_fedmp(
 
         // ③ Model aggregation over the kept arrivals.
         let recovered: Vec<_> =
-            kept.iter().map(|&i| recover_state(&results[i].0, &plans[i], &global)).collect();
-        let kept_residuals: Vec<_> = kept.iter().map(|&i| residuals[i].clone()).collect();
+            kept.iter().map(|&i| recover_state(&results[i].0, &results[i].2, &global)).collect();
+        let kept_residuals: Vec<_> = kept.iter().map(|&i| results[i].3.clone()).collect();
         let new_state = match opts.sync {
             SyncScheme::R2SP => r2sp_aggregate(&recovered, &kept_residuals),
             SyncScheme::BSP => bsp_aggregate(&recovered),

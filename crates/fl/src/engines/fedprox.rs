@@ -10,11 +10,11 @@ use crate::engine::{
     FlSetup,
 };
 use crate::eval::evaluate_image;
+use crate::exec;
 use crate::history::{RoundRecord, RunHistory};
 use crate::local::{local_train, LocalTrainConfig};
 use fedmp_nn::Sequential;
 use fedmp_tensor::parallel::sum_f32;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// FedProx options.
@@ -58,16 +58,15 @@ pub fn run_fedprox(
 
     for round in 0..cfg.rounds {
         emit_round_start_all(round, sim_time, workers);
-        let results: Vec<_> = (0..workers)
-            .into_par_iter()
-            .map(|w| {
-                let mut model = global.clone();
-                let mut batches = worker_batches(setup.task, w, cfg.local.batch, cfg.seed, round);
-                let local = LocalTrainConfig { tau: taus[w], prox_mu: opts.mu, ..cfg.local };
-                let outcome = local_train(&mut model, &mut batches, &local);
-                (model.state(), outcome)
-            })
-            .collect();
+        // Local training with per-worker τ, fanned across the round
+        // executor; `taus` is read-only shared state.
+        let results = exec::ordered_map((0..workers).collect(), |_, w| {
+            let mut model = global.clone();
+            let mut batches = worker_batches(setup.task, w, cfg.local.batch, cfg.seed, round);
+            let local = LocalTrainConfig { tau: taus[w], prox_mu: opts.mu, ..cfg.local };
+            let outcome = local_train(&mut model, &mut batches, &local);
+            (model.state(), outcome)
+        });
 
         // Full-model comm; compute scaled by per-worker τ.
         let base = model_round_cost(&global, setup.task.input_chw, &cfg.local);

@@ -10,12 +10,12 @@ use crate::engine::{
     FlSetup,
 };
 use crate::eval::evaluate_image;
+use crate::exec;
 use crate::history::{RoundRecord, RunHistory};
 use crate::local::local_train;
 use fedmp_nn::{state_add, state_sub, Sequential};
 use fedmp_pruning::{densify_into_state, TopKCompressor};
 use fedmp_tensor::parallel::sum_f32;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// FlexCom options.
@@ -60,15 +60,15 @@ pub fn run_flexcom(
     for round in 0..cfg.rounds {
         emit_round_start_all(round, sim_time, workers);
         let global_state = global.state();
-        let results: Vec<_> = (0..workers)
-            .into_par_iter()
-            .map(|w| {
-                let mut model = global.clone();
-                let mut batches = worker_batches(setup.task, w, cfg.local.batch, cfg.seed, round);
-                let outcome = local_train(&mut model, &mut batches, &cfg.local);
-                (model.state(), outcome)
-            })
-            .collect();
+        // Full local training, fanned across the round executor. The
+        // compressors stay out of the closure: they carry error-feedback
+        // state across rounds, so they run sequentially below.
+        let results = exec::ordered_map((0..workers).collect(), |_, w| {
+            let mut model = global.clone();
+            let mut batches = worker_batches(setup.task, w, cfg.local.batch, cfg.seed, round);
+            let outcome = local_train(&mut model, &mut batches, &cfg.local);
+            (model.state(), outcome)
+        });
 
         // Compress each worker's update (sequential: compressors carry
         // error-feedback state across rounds).

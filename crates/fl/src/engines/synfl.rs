@@ -9,11 +9,11 @@ use crate::engine::{
     FlSetup,
 };
 use crate::eval::evaluate_image;
+use crate::exec;
 use crate::history::{RoundRecord, RunHistory};
 use crate::local::local_train;
 use fedmp_nn::Sequential;
 use fedmp_tensor::parallel::sum_f32;
-use rayon::prelude::*;
 
 /// Runs Syn-FL for `cfg.rounds` rounds starting from `global`.
 pub fn run_synfl(cfg: &FlConfig, setup: &FlSetup<'_>, mut global: Sequential) -> RunHistory {
@@ -24,16 +24,15 @@ pub fn run_synfl(cfg: &FlConfig, setup: &FlSetup<'_>, mut global: Sequential) ->
 
     for round in 0..cfg.rounds {
         emit_round_start_all(round, sim_time, workers);
-        // Local training: every worker gets the full global model.
-        let results: Vec<_> = (0..workers)
-            .into_par_iter()
-            .map(|w| {
-                let mut model = global.clone();
-                let mut batches = worker_batches(setup.task, w, cfg.local.batch, cfg.seed, round);
-                let outcome = local_train(&mut model, &mut batches, &cfg.local);
-                (model.state(), outcome)
-            })
-            .collect();
+        // Local training, fanned across the round executor: every
+        // worker gets the full global model; timing, aggregation and
+        // trace emission below stay in fixed worker order.
+        let results = exec::ordered_map((0..workers).collect(), |_, w| {
+            let mut model = global.clone();
+            let mut batches = worker_batches(setup.task, w, cfg.local.batch, cfg.seed, round);
+            let outcome = local_train(&mut model, &mut batches, &cfg.local);
+            (model.state(), outcome)
+        });
 
         // Timing: full-model cost for everyone.
         let cost = model_round_cost(&global, setup.task.input_chw, &cfg.local);

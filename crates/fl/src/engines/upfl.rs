@@ -10,13 +10,13 @@ use crate::engine::{
     FlSetup,
 };
 use crate::eval::evaluate_image;
+use crate::exec;
 use crate::history::{RoundRecord, RunHistory};
 use crate::local::local_train;
 use fedmp_bandit::{Bandit, EUcbAgent, EUcbConfig};
 use fedmp_nn::{state_sub, Sequential};
 use fedmp_pruning::{extract_sequential, plan_sequential, recover_state, sparse_state};
 use fedmp_tensor::parallel::sum_f32;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// UP-FL options.
@@ -54,15 +54,14 @@ pub fn run_upfl(
         let sub = extract_sequential(&global, &plan);
         let residual = state_sub(&global.state(), &sparse_state(&global, &plan));
 
-        let results: Vec<_> = (0..workers)
-            .into_par_iter()
-            .map(|w| {
-                let mut model = sub.clone();
-                let mut batches = worker_batches(setup.task, w, cfg.local.batch, cfg.seed, round);
-                let outcome = local_train(&mut model, &mut batches, &cfg.local);
-                (model, outcome)
-            })
-            .collect();
+        // Local training on the shared sub-model, fanned across the
+        // round executor; everything order-sensitive stays below.
+        let results = exec::ordered_map((0..workers).collect(), |_, w| {
+            let mut model = sub.clone();
+            let mut batches = worker_batches(setup.task, w, cfg.local.batch, cfg.seed, round);
+            let outcome = local_train(&mut model, &mut batches, &cfg.local);
+            (model, outcome)
+        });
 
         let cost = model_round_cost(&sub, setup.task.input_chw, &cfg.local);
         let costs = vec![cost; workers];

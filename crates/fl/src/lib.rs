@@ -15,9 +15,12 @@
 //! | [`run_async`] | Asyn-FL \[43\] and Asyn-FedMP (Algorithm 2): m-of-N arrival aggregation |
 //! | [`run_lm`] | §VI LSTM extension: Syn-FL / UP-FL / FedMP with ISS pruning |
 //!
-//! Local training runs in parallel across simulated workers via `rayon`;
-//! all stochasticity is derived from per-worker, per-round seeds so runs
-//! are reproducible regardless of thread scheduling.
+//! Local training fans out across simulated workers through the
+//! deterministic round executor in [`exec`] (`FEDMP_THREADS` workers,
+//! results folded in fixed worker order); all stochasticity is derived
+//! from per-worker, per-round seeds, so runs — histories, resource
+//! totals, and trace streams alike — are bit-identical at any thread
+//! count.
 
 // No `unsafe` anywhere in this crate: the only sanctioned unsafe code
 // in the workspace lives in `fedmp-tensor`'s band scheduler. Backed
@@ -27,6 +30,7 @@ mod aggregate;
 mod engine;
 mod engines;
 mod eval;
+pub mod exec;
 mod history;
 mod lm;
 mod local;

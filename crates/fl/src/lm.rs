@@ -8,6 +8,7 @@ use crate::engine::{
     kernel_baseline,
 };
 use crate::eval::evaluate_lm;
+use crate::exec;
 use crate::history::{RoundRecord, RunHistory};
 use fedmp_bandit::{eucb_reward, Bandit, EUcbAgent, EUcbConfig, RewardConfig};
 use fedmp_data::TextBatch;
@@ -16,7 +17,6 @@ use fedmp_nn::{clip_grad_norm, lstm_cost_per_token, state_sub, LstmLm, Sgd};
 use fedmp_pruning::{extract_lstm, plan_lstm, recover_lstm_state, sparse_lstm_state};
 use fedmp_tensor::cross_entropy_loss;
 use fedmp_tensor::parallel::{sum_f32, sum_f64};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Which method trains the language model (the Table IV rows).
@@ -173,32 +173,24 @@ pub fn run_lm(
             LmMethod::FedMp => agents.iter_mut().map(|a| a.select()).collect(),
         };
 
-        // Build sub-models + residuals.
-        let prep: Vec<_> = ratios
-            .iter()
-            .map(|&r| {
-                if method == LmMethod::SynFl || r == 0.0 {
-                    (global.clone(), None, None)
-                } else {
-                    let plan = plan_lstm(&global, r);
-                    let sub = extract_lstm(&global, &plan);
-                    let residual = state_sub(&global.state(), &sparse_lstm_state(&global, &plan));
-                    (sub, Some(plan), Some(residual))
-                }
-            })
-            .collect();
-
-        // Local training in parallel.
-        let results: Vec<_> = prep
-            .into_par_iter()
-            .enumerate()
-            .map(|(w, (mut model, plan, residual))| {
-                let start = round * opts.tau + w;
-                let (first, last, mean) =
-                    local_train_lm(&mut model, &setup.worker_batches[w], start, opts.tau, opts.lr);
-                (model, plan, residual, first - last, mean)
-            })
-            .collect();
+        // Per-worker round work, fanned across the round executor:
+        // build the (possibly pruned) sub-model and residual from the
+        // read-only global, then train it. Agent selection above and
+        // timing/aggregation/emission below stay in worker order.
+        let results = exec::ordered_map(ratios.clone(), |w, r| {
+            let (mut model, plan, residual) = if method == LmMethod::SynFl || r == 0.0 {
+                (global.clone(), None, None)
+            } else {
+                let plan = plan_lstm(&global, r);
+                let sub = extract_lstm(&global, &plan);
+                let residual = state_sub(&global.state(), &sparse_lstm_state(&global, &plan));
+                (sub, Some(plan), Some(residual))
+            };
+            let start = round * opts.tau + w;
+            let (first, last, mean) =
+                local_train_lm(&mut model, &setup.worker_batches[w], start, opts.tau, opts.lr);
+            (model, plan, residual, first - last, mean)
+        });
 
         // Timing.
         let mut times = Vec::with_capacity(workers);

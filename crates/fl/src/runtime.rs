@@ -21,6 +21,7 @@ use crate::engine::{
 };
 use crate::engines::fedmp::FedMpOptions;
 use crate::eval::evaluate_image;
+use crate::exec;
 use crate::history::{RoundRecord, RunHistory};
 use crate::local::{local_train, LocalOutcome};
 use crate::wire::{decode_state, encode_state};
@@ -156,17 +157,27 @@ pub fn run_fedmp_threaded(
             let uplink_count = &uplink_count;
             scope.spawn(move || {
                 while let Ok(msg) = down_rx.recv() {
-                    let payload = match decode_state(&msg.frame) {
-                        Ok(state) => {
-                            let mut model = msg.template;
-                            model.load_state(&state);
-                            let mut batches = worker_batches(task, w, local.batch, seed, msg.round);
-                            let outcome = local_train(&mut model, &mut batches, &local);
-                            let frame = encode_state(&model.state());
-                            Ok(UplinkPayload { frame, template: model, outcome })
+                    // One OS thread per worker is already the
+                    // parallelism level here; run the kernels beneath
+                    // sequentially so the band scheduler does not
+                    // oversubscribe the host (results are identical —
+                    // kernels are thread-count invariant).
+                    let payload = fedmp_tensor::parallel::with_nested_sequential(|| {
+                        match decode_state(&msg.frame) {
+                            Ok(state) => {
+                                let mut model = msg.template;
+                                model.load_state(&state);
+                                let mut batches =
+                                    worker_batches(task, w, local.batch, seed, msg.round);
+                                let outcome = local_train(&mut model, &mut batches, &local);
+                                let frame = encode_state(&model.state());
+                                Ok(UplinkPayload { frame, template: model, outcome })
+                            }
+                            Err(_) => {
+                                Err(RuntimeError::CorruptFrame { worker: w, round: msg.round })
+                            }
                         }
-                        Err(_) => Err(RuntimeError::CorruptFrame { worker: w, round: msg.round }),
-                    };
+                    });
                     *uplink_count.lock() += 1;
                     // A closed uplink means the PS already abandoned the
                     // run; exit quietly instead of panicking in a worker.
@@ -203,10 +214,15 @@ pub fn run_fedmp_threaded(
                     .map(|p| state_sub(&global.state(), &sparse_state(&global, p)))
                     .collect();
 
-                // Dispatch frames.
-                for (w, plan) in plans.iter().enumerate() {
-                    let sub = extract_sequential(&global, plan);
+                // Dispatch frames: sub-model extraction and wire
+                // encoding fan out across the round executor, then the
+                // sends happen serially in worker order.
+                let prepared = exec::ordered_map((0..workers).collect(), |_, w| {
+                    let sub = extract_sequential(&global, &plans[w]);
                     let frame = encode_state(&sub.state());
+                    (sub, frame)
+                });
+                for (w, (sub, frame)) in prepared.into_iter().enumerate() {
                     downlinks[w]
                         .0
                         .send(DownlinkMsg { round, frame, template: sub })
@@ -274,14 +290,24 @@ pub fn run_fedmp_threaded(
                     }
                 }
 
-                // ③ Decode uploads and aggregate.
+                // ③ Decode uploads and aggregate. Frame decode and
+                // state recovery fan out per worker; the fallible
+                // results come back in worker order so error reporting
+                // is unchanged.
+                let decoded = exec::ordered_map(
+                    uploads.iter().zip(plans.iter()).collect(),
+                    |_, (up, plan)| {
+                        decode_state(&up.frame).map(|state| {
+                            let mut model = up.template.clone();
+                            model.load_state(&state);
+                            recover_state(&model, plan, &global)
+                        })
+                    },
+                );
                 let mut recovered = Vec::with_capacity(workers);
-                for (w, (up, plan)) in uploads.iter().zip(plans.iter()).enumerate() {
-                    let state = decode_state(&up.frame)
-                        .map_err(|_| RuntimeError::CorruptFrame { worker: w, round })?;
-                    let mut model = up.template.clone();
-                    model.load_state(&state);
-                    recovered.push(recover_state(&model, plan, &global));
+                for (w, dec) in decoded.into_iter().enumerate() {
+                    recovered
+                        .push(dec.map_err(|_| RuntimeError::CorruptFrame { worker: w, round })?);
                 }
                 let new_state = match opts.sync {
                     SyncScheme::R2SP => r2sp_aggregate(&recovered, &residuals),

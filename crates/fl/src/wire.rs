@@ -3,9 +3,10 @@
 //! The loop engines account for communication analytically (4 bytes per
 //! parameter); this module is the *actual* serialisation used by the
 //! threaded runtime ([`crate::runtime`]): a length-prefixed,
-//! checksummed frame holding a model snapshot. Encoding a snapshot and
-//! measuring `frame.len()` also gives the engines an exact wire size
-//! (name table + tensors) instead of the parameter-only approximation.
+//! checksummed frame holding a model snapshot. [`wire_size`] computes
+//! the exact frame size (name table + tensors) analytically, giving the
+//! engines a precise byte count without an encoding pass and letting
+//! [`encode_state`] pre-size its buffer in one allocation.
 //!
 //! Frame layout (little-endian):
 //!
@@ -62,12 +63,13 @@ fn fnv1a(bytes: &[u8]) -> u32 {
 }
 
 /// Encodes a model snapshot into a wire frame.
+///
+/// The buffer is pre-sized from [`wire_size`], so encoding performs a
+/// single allocation and never reallocates mid-frame — backed by a
+/// `debug_assert` below and a capacity test.
 pub fn encode_state(state: &[StateEntry]) -> Bytes {
-    let payload: usize = state
-        .iter()
-        .map(|e| 2 + e.name.len() + 1 + 1 + 4 * e.tensor.dims().len() + 4 * e.tensor.numel())
-        .sum();
-    let mut buf = BytesMut::with_capacity(8 + payload + 4);
+    let size = wire_size(state);
+    let mut buf = BytesMut::with_capacity(size);
     buf.put_u32_le(MAGIC);
     buf.put_u32_le(state.len() as u32);
     for e in state {
@@ -87,6 +89,7 @@ pub fn encode_state(state: &[StateEntry]) -> Bytes {
     }
     let checksum = fnv1a(&buf[4..]);
     buf.put_u32_le(checksum);
+    debug_assert_eq!(buf.len(), size, "analytic wire_size disagrees with encoded frame");
     buf.freeze()
 }
 
@@ -156,9 +159,16 @@ pub fn decode_state(frame: &[u8]) -> Result<Vec<StateEntry>, WireError> {
     Ok(out)
 }
 
-/// Exact wire size of a snapshot, in bytes.
+/// Exact wire size of a snapshot, in bytes, computed analytically from
+/// the frame layout (no encoding pass): magic + entry count, then per
+/// entry the name length prefix and bytes, trainable flag, rank byte,
+/// `u32` dims and `f32` payload, then the trailing checksum.
 pub fn wire_size(state: &[StateEntry]) -> usize {
-    encode_state(state).len()
+    let payload: usize = state
+        .iter()
+        .map(|e| 2 + e.name.len() + 1 + 1 + 4 * e.tensor.dims().len() + 4 * e.tensor.numel())
+        .sum();
+    8 + payload + 4
 }
 
 #[cfg(test)]
@@ -209,6 +219,20 @@ mod tests {
         // Overhead (names, dims, framing) is small relative to payload.
         assert!(size >= params * 4);
         assert!(size < params * 4 + 4096, "framing overhead too large: {size}");
+    }
+
+    #[test]
+    fn encode_buffer_is_presized_exactly() {
+        // The analytic `wire_size` must equal the encoded frame length
+        // for both the full model and a pruned sub-model, so the
+        // encoder's single up-front allocation is never outgrown.
+        let mut rng = seeded_rng(254);
+        let m = zoo::cnn_mnist(0.2, &mut rng);
+        let plan = fedmp_pruning::plan_sequential(&m, (1, 28, 28), 0.5);
+        let sub = fedmp_pruning::extract_sequential(&m, &plan);
+        for state in [m.state(), sub.state(), vec![]] {
+            assert_eq!(encode_state(&state).len(), wire_size(&state));
+        }
     }
 
     #[test]

@@ -5,16 +5,24 @@
 //! * filters: `[out_channels, in_channels, kh, kw]`
 //!
 //! The im2col transform turns convolution into one GEMM per image, which
-//! keeps the hot loop inside [`Tensor::matmul`]. The same column buffer is
-//! reused by the backward passes.
+//! keeps the hot loop inside the blocked kernel of [`crate::matmul`].
 //!
 //! Forward and input-gradient passes parallelise over the batch via
 //! [`crate::parallel`]: each image owns a disjoint slice of the output,
 //! and the per-image GEMMs run sequentially inside the band workers, so
 //! results are bit-identical at any thread count.
+//!
+//! Per-image scratch (column buffers, GEMM products, packed transposes)
+//! comes from the calling thread's [`crate::workspace`] pool rather
+//! than fresh allocations; every pooled buffer is zero-filled on take,
+//! so outputs are bit-identical to the allocating formulation — the
+//! `workspace_path_is_bit_identical` test below proves it against a
+//! fresh thread with an empty pool.
 
+use crate::matmul::{gemm_nn_into, pack_transpose_into};
 use crate::parallel;
 use crate::tensor::Tensor;
+use crate::workspace::with_thread_workspace;
 use serde::{Deserialize, Serialize};
 
 /// Static geometry of a conv2d: kernel size, stride and zero padding.
@@ -47,7 +55,24 @@ pub fn im2col(image: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec) ->
     let col_rows = c * spec.kh * spec.kw;
     let col_cols = oh * ow;
     let mut cols = Tensor::zeros(&[col_rows, col_cols]);
-    let data = cols.data_mut();
+    im2col_into(image, c, h, w, spec, cols.data_mut());
+    cols
+}
+
+/// [`im2col`] into a caller-provided buffer of `c*kh*kw × oh*ow`
+/// elements, which must be **zeroed** (only in-bounds taps are written;
+/// padding taps rely on the zeroed background).
+pub fn im2col_into(
+    image: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    data: &mut [f32],
+) {
+    let (oh, ow) = spec.out_hw(h, w);
+    let col_cols = oh * ow;
+    assert_eq!(data.len(), c * spec.kh * spec.kw * col_cols, "im2col_into: buffer size");
 
     for ch in 0..c {
         let img_ch = &image[ch * h * w..(ch + 1) * h * w];
@@ -72,16 +97,31 @@ pub fn im2col(image: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec) ->
             }
         }
     }
-    cols
 }
 
 /// Folds columns `[c*kh*kw, oh*ow]` back into an image `[c, h, w]`,
 /// accumulating overlapping taps — the adjoint of [`im2col`].
 pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: &Conv2dSpec) -> Vec<f32> {
+    let mut image = vec![0.0f32; c * h * w];
+    col2im_into(cols.data(), c, h, w, spec, &mut image);
+    image
+}
+
+/// [`col2im`] accumulating into a caller-provided image buffer of
+/// `c*h*w` elements (`+=` per tap, so start from zeros for the plain
+/// adjoint).
+pub fn col2im_into(
+    data: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    image: &mut [f32],
+) {
     let (oh, ow) = spec.out_hw(h, w);
     let col_cols = oh * ow;
-    let data = cols.data();
-    let mut image = vec![0.0f32; c * h * w];
+    assert_eq!(data.len(), c * spec.kh * spec.kw * col_cols, "col2im_into: cols size");
+    assert_eq!(image.len(), c * h * w, "col2im_into: image size");
 
     for ch in 0..c {
         let img_ch = &mut image[ch * h * w..(ch + 1) * h * w];
@@ -106,7 +146,6 @@ pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: &Conv2dSpec) ->
             }
         }
     }
-    image
 }
 
 /// Convolution forward pass.
@@ -125,24 +164,33 @@ pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &Con
     assert_eq!(bias.numel(), oc, "conv2d: bias length mismatch");
     let (oh, ow) = spec.out_hw(h, w);
 
-    let w_mat = weight.reshape(&[oc, c * spec.kh * spec.kw]);
+    // `weight` is already contiguous `[oc, c*kh*kw]` row-major, so the
+    // GEMM reads it in place — no reshape clone per call.
+    let ck = c * spec.kh * spec.kw;
     let mut out = Tensor::zeros(&[n, oc, oh, ow]);
     let out_img = oc * oh * ow;
     let in_img = c * h * w;
     let input_data = input.data();
+    let weight_data = weight.data();
     let bias_data = bias.data();
-    let work = 2 * n * out_img * c * spec.kh * spec.kw;
+    let work = 2 * n * out_img * ck;
     parallel::for_each_band(out.data_mut(), n, out_img, 1, work, |i, dst| {
-        let cols = im2col(&input_data[i * in_img..(i + 1) * in_img], c, h, w, spec);
-        let res = w_mat.matmul(&cols); // [oc, oh*ow]
-        for f in 0..oc {
-            let b = bias_data[f];
-            let src = &res.data()[f * oh * ow..(f + 1) * oh * ow];
-            let d = &mut dst[f * oh * ow..(f + 1) * oh * ow];
-            for (dv, &sv) in d.iter_mut().zip(src.iter()) {
-                *dv = sv + b;
+        with_thread_workspace(|ws| {
+            let mut cols = ws.take_zeroed(ck * oh * ow);
+            im2col_into(&input_data[i * in_img..(i + 1) * in_img], c, h, w, spec, &mut cols);
+            let mut res = ws.take_zeroed(oc * oh * ow); // [oc, oh*ow]
+            gemm_nn_into(weight_data, &cols, oc, ck, oh * ow, &mut res);
+            for f in 0..oc {
+                let b = bias_data[f];
+                let src = &res[f * oh * ow..(f + 1) * oh * ow];
+                let d = &mut dst[f * oh * ow..(f + 1) * oh * ow];
+                for (dv, &sv) in d.iter_mut().zip(src.iter()) {
+                    *dv = sv + b;
+                }
             }
-        }
+            ws.give(cols);
+            ws.give(res);
+        });
     });
     out
 }
@@ -163,21 +211,29 @@ pub fn conv2d_backward_input(
     let (oh, ow) = spec.out_hw(h, w);
     assert_eq!(grad_out.dims(), &[n, oc, oh, ow], "conv2d bwd: grad_out shape");
 
-    let w_mat = weight.reshape(&[oc, c * spec.kh * spec.kw]);
+    // `weightᵀ @ grad` is the same for every image, so pack the
+    // transpose once here instead of once per image inside the band
+    // workers (same values, computed in one place).
+    let ck = c * spec.kh * spec.kw;
+    let mut wt = with_thread_workspace(|ws| ws.take_zeroed(oc * ck));
+    pack_transpose_into(weight.data(), oc, ck, &mut wt); // [ck, oc]
     let mut grad_in = Tensor::zeros(&[n, c, h, w]);
     let in_img = c * h * w;
     let grad_data = grad_out.data();
-    let work = 2 * n * oc * oh * ow * c * spec.kh * spec.kw;
+    let work = 2 * n * oc * oh * ow * ck;
     parallel::for_each_band(grad_in.data_mut(), n, in_img, 1, work, |i, dst| {
-        let go = Tensor::from_vec(
-            grad_data[i * oc * oh * ow..(i + 1) * oc * oh * ow].to_vec(),
-            &[oc, oh * ow],
-        )
-        .expect("grad slice");
-        let cols_grad = w_mat.matmul_tn(&go); // [c*kh*kw, oh*ow]
-        let img = col2im(&cols_grad, c, h, w, spec);
-        dst.copy_from_slice(&img);
+        with_thread_workspace(|ws| {
+            let go = &grad_data[i * oc * oh * ow..(i + 1) * oc * oh * ow]; // [oc, oh*ow]
+            let mut cols_grad = ws.take_zeroed(ck * oh * ow); // [c*kh*kw, oh*ow]
+            gemm_nn_into(&wt, go, ck, oc, oh * ow, &mut cols_grad);
+            // `dst` is this image's slice of the zero-initialised
+            // gradient tensor, so accumulating the adjoint into it
+            // directly matches col2im-into-fresh-zeros bit for bit.
+            col2im_into(&cols_grad, c, h, w, spec, dst);
+            ws.give(cols_grad);
+        });
     });
+    with_thread_workspace(|ws| ws.give(wt));
     grad_in
 }
 
@@ -198,21 +254,43 @@ pub fn conv2d_backward_weight(
 
     // The weight gradient accumulates across images, so the batch loop
     // stays sequential to keep one summation order; the per-image GEMMs
-    // below still use the blocked kernels.
-    let mut gw = Tensor::zeros(&[oc, c * spec.kh * spec.kw]);
+    // below still use the blocked kernels, with all scratch (columns,
+    // packed transpose, per-image product) drawn from the thread pool.
+    let ck = c * spec.kh * spec.kw;
+    let mut gw = Tensor::zeros(&[oc, ck]);
     let mut gb = Tensor::zeros(&[oc]);
-    for i in 0..n {
-        let cols = im2col(&input.data()[i * c * h * w..(i + 1) * c * h * w], c, h, w, spec);
-        let go = Tensor::from_vec(
-            grad_out.data()[i * oc * oh * ow..(i + 1) * oc * oh * ow].to_vec(),
-            &[oc, oh * ow],
-        )
-        .expect("grad slice");
-        gw.add_assign(&go.matmul_nt(&cols));
-        for f in 0..oc {
-            gb.data_mut()[f] += parallel::sum_f32(go.row(f).iter().copied());
+    with_thread_workspace(|ws| {
+        let mut cols = ws.take_zeroed(ck * oh * ow);
+        let mut cols_t = ws.take_zeroed(ck * oh * ow);
+        let mut prod = ws.take_zeroed(oc * ck);
+        for i in 0..n {
+            cols.fill(0.0);
+            im2col_into(
+                &input.data()[i * c * h * w..(i + 1) * c * h * w],
+                c,
+                h,
+                w,
+                spec,
+                &mut cols,
+            );
+            let go = &grad_out.data()[i * oc * oh * ow..(i + 1) * oc * oh * ow]; // [oc, oh*ow]
+                                                                                 // grad @ colsᵀ, exactly as `matmul_nt` computes it: pack the
+                                                                                 // columns transposed, then run the blocked NN kernel.
+            pack_transpose_into(&cols, ck, oh * ow, &mut cols_t);
+            prod.fill(0.0);
+            gemm_nn_into(go, &cols_t, oc, oh * ow, ck, &mut prod);
+            for (g, &p) in gw.data_mut().iter_mut().zip(prod.iter()) {
+                *g += p;
+            }
+            for f in 0..oc {
+                gb.data_mut()[f] +=
+                    parallel::sum_f32(go[f * oh * ow..(f + 1) * oh * ow].iter().copied());
+            }
         }
-    }
+        ws.give(cols);
+        ws.give(cols_t);
+        ws.give(prod);
+    });
     (gw.reshape(weight_dims), gb)
 }
 
@@ -318,6 +396,54 @@ mod tests {
         let folded = col2im(&y, c, h, w, &spec);
         let rhs: f32 = x.data().iter().zip(folded.iter()).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn im2col_into_matches_allocating_im2col() {
+        let mut rng = seeded_rng(15);
+        let spec = Conv2dSpec { kh: 3, kw: 3, stride: 2, padding: 1 };
+        let (c, h, w) = (3, 7, 6);
+        let x = Tensor::randn(&[c, h, w], &mut rng);
+        let cols = im2col(x.data(), c, h, w, &spec);
+        let mut buf = vec![0.0f32; cols.numel()];
+        im2col_into(x.data(), c, h, w, &spec, &mut buf);
+        assert_eq!(buf, cols.data());
+    }
+
+    /// The workspace-pooled kernels must be *bit-identical* to the
+    /// allocating formulation. A fresh thread starts with an empty pool
+    /// (so every buffer it uses is freshly allocated and zeroed); the
+    /// main thread first pollutes its pool with differently-shaped conv
+    /// calls, then both compute the same passes and must agree exactly.
+    #[test]
+    fn workspace_path_is_bit_identical() {
+        let run = || {
+            let mut rng = seeded_rng(16);
+            let spec = Conv2dSpec { kh: 5, kw: 5, stride: 1, padding: 2 };
+            let input = Tensor::randn(&[3, 2, 9, 9], &mut rng);
+            let weight = Tensor::randn(&[4, 2, 5, 5], &mut rng);
+            let bias = Tensor::randn(&[4], &mut rng);
+            let out = conv2d_forward(&input, &weight, &bias, &spec);
+            let grad_out = Tensor::randn(out.dims(), &mut rng);
+            let gi = conv2d_backward_input(&grad_out, &weight, input.dims(), &spec);
+            let (gw, gb) = conv2d_backward_weight(&grad_out, &input, weight.dims(), &spec);
+            (out, gi, gw, gb)
+        };
+
+        // Pollute the calling thread's pool with buffers from conv
+        // calls of a different geometry.
+        let mut rng = seeded_rng(17);
+        let small_spec = Conv2dSpec { kh: 3, kw: 3, stride: 1, padding: 0 };
+        let small_in = Tensor::randn(&[2, 1, 5, 5], &mut rng);
+        let small_w = Tensor::randn(&[2, 1, 3, 3], &mut rng);
+        let _ = conv2d_forward(&small_in, &small_w, &Tensor::zeros(&[2]), &small_spec);
+
+        let dirty = run();
+        let fresh = std::thread::spawn(run).join().expect("fresh-thread run");
+        assert_eq!(dirty.0, fresh.0, "forward");
+        assert_eq!(dirty.1, fresh.1, "grad input");
+        assert_eq!(dirty.2, fresh.2, "grad weight");
+        assert_eq!(dirty.3, fresh.3, "grad bias");
     }
 
     #[test]

@@ -41,9 +41,11 @@ mod pool;
 mod rng;
 mod shape;
 mod tensor;
+pub mod workspace;
 
 pub use conv::{
-    col2im, conv2d_backward_input, conv2d_backward_weight, conv2d_forward, im2col, Conv2dSpec,
+    col2im, col2im_into, conv2d_backward_input, conv2d_backward_weight, conv2d_forward, im2col,
+    im2col_into, Conv2dSpec,
 };
 pub use error::TensorError;
 pub use matmul::{matmul_nt_reference, matmul_reference, matmul_tn_reference};
@@ -54,3 +56,4 @@ pub use pool::{
 pub use rng::{normal, seeded_rng, shuffled_indices, standard_normal_vec, uniform_vec};
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::{with_thread_workspace, Workspace};

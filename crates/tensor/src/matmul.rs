@@ -34,7 +34,9 @@ const BAND_ROWS: usize = 64;
 
 /// Blocked `C += A @ B` on row-major slices: `[m, k] x [k, n]`, banded
 /// over output rows. `c` must be zero-initialised by the caller.
-fn gemm_nn_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
+/// Crate-visible so the conv kernels can run the exact same GEMM into
+/// workspace-pooled buffers without building `Tensor` operands.
+pub(crate) fn gemm_nn_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     let work = 2 * m * n * k;
@@ -86,8 +88,18 @@ fn gemm_band(a: &[f32], b: &[f32], rows: usize, k: usize, n: usize, c: &mut [f32
 
 /// Cache-tiled transpose of a row-major `rows × cols` slice.
 fn pack_transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
-    const TILE: usize = 32;
     let mut dst = vec![0.0f32; src.len()];
+    pack_transpose_into(src, rows, cols, &mut dst);
+    dst
+}
+
+/// [`pack_transpose`] into a caller-provided buffer (every element is
+/// written, so `dst` need not be zeroed). Crate-visible for the
+/// workspace-pooled conv kernels.
+pub(crate) fn pack_transpose_into(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
+    const TILE: usize = 32;
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), src.len());
     for r0 in (0..rows).step_by(TILE) {
         for c0 in (0..cols).step_by(TILE) {
             for r in r0..(r0 + TILE).min(rows) {
@@ -97,7 +109,6 @@ fn pack_transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
             }
         }
     }
-    dst
 }
 
 impl Tensor {

@@ -65,6 +65,30 @@ thread_local! {
     static IN_BAND_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Runs `f` with the calling thread marked as a parallel worker, so any
+/// kernel dispatched inside runs sequentially instead of spawning its
+/// own band workers.
+///
+/// This is how higher-level schedulers (the round executor in
+/// `fedmp-fl`) compose with the kernel scheduler without multiplying
+/// thread counts: the outer fan-out claims the configured threads, and
+/// everything beneath it stays single-threaded. Results are unaffected
+/// — kernels are bit-identical at any thread count — only scheduling
+/// changes.
+pub fn with_nested_sequential<R>(f: impl FnOnce() -> R) -> R {
+    let prev = IN_BAND_WORKER.with(|flag| flag.replace(true));
+    let out = f();
+    IN_BAND_WORKER.with(|flag| flag.set(prev));
+    out
+}
+
+/// Whether the calling thread is already inside a parallel worker
+/// (a band worker, or a [`with_nested_sequential`] scope). Outer
+/// schedulers check this to run nested fan-outs inline.
+pub fn in_parallel_worker() -> bool {
+    IN_BAND_WORKER.with(|flag| flag.get())
+}
+
 fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
@@ -258,6 +282,40 @@ mod tests {
         for (r, &v) in out.iter().enumerate() {
             assert_eq!(v, r as f32 + 6.0);
         }
+    }
+
+    #[test]
+    fn nested_sequential_scope_sets_and_restores_the_flag() {
+        assert!(!in_parallel_worker());
+        let out = with_nested_sequential(|| {
+            assert!(in_parallel_worker());
+            // Nesting keeps the flag set and still restores correctly.
+            with_nested_sequential(|| assert!(in_parallel_worker()));
+            assert!(in_parallel_worker());
+            7
+        });
+        assert_eq!(out, 7);
+        assert!(!in_parallel_worker());
+    }
+
+    #[test]
+    fn nested_sequential_scope_does_not_change_kernel_output() {
+        override_threads(Some(4));
+        let direct = fill_bands(4, 53, 8);
+        override_threads(Some(4));
+        let row_len = 3;
+        let mut out = vec![0.0f32; 53 * row_len];
+        with_nested_sequential(|| {
+            for_each_band(&mut out, 53, row_len, 8, MIN_PARALLEL_WORK * 2, |row0, band| {
+                for (r, row) in band.chunks_mut(row_len).enumerate() {
+                    for (j, v) in row.iter_mut().enumerate() {
+                        *v = (row0 + r) as f32 * 10.0 + j as f32;
+                    }
+                }
+            });
+        });
+        override_threads(None);
+        assert_eq!(out, direct);
     }
 
     #[test]

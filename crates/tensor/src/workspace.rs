@@ -1,0 +1,135 @@
+//! Per-thread scratch-buffer pools for the im2col/GEMM kernels.
+//!
+//! The convolution kernels need several short-lived `f32` buffers per
+//! image (unfolded columns, GEMM products, packed transposes). Under
+//! the round executor in `fedmp-fl`, one worker thread trains a whole
+//! local model — hundreds of such buffers per round — so allocating
+//! them afresh each call puts the allocator on the hot path and makes
+//! concurrent workers contend on it. A [`Workspace`] keeps returned
+//! buffers and hands them back on the next request.
+//!
+//! Determinism: [`Workspace::take_zeroed`] zero-fills every buffer it
+//! returns, which is exactly the state a fresh `vec![0.0; len]` starts
+//! in, so kernels built on the pool are bit-identical to their
+//! allocating counterparts — no data can leak between uses. The
+//! equivalence tests in the conv module assert this against runs on a
+//! fresh thread (whose pool is empty).
+//!
+//! The pool is reached through a thread-local via
+//! [`with_thread_workspace`]; each kernel borrows it for one leaf-level
+//! scope (the closure must not re-enter `with_thread_workspace`, which
+//! the kernels honour by taking every buffer they need up front).
+
+use std::cell::RefCell;
+
+/// Buffers kept per thread; beyond this, returned buffers are dropped.
+/// The conv kernels use at most four distinct buffers at a time, so a
+/// small cap bounds memory without ever thrashing.
+const MAX_POOLED: usize = 8;
+
+/// A pool of reusable `f32` scratch buffers. See the module docs.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f32>>,
+}
+
+impl Workspace {
+    /// An empty workspace (no buffers pooled yet).
+    pub const fn new() -> Self {
+        Workspace { pool: Vec::new() }
+    }
+
+    /// Returns a zero-filled buffer of exactly `len` elements,
+    /// preferring a pooled buffer whose capacity already suffices.
+    /// The contents are indistinguishable from `vec![0.0; len]`.
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let picked = self.pool.iter().position(|b| b.capacity() >= len);
+        let mut buf = match picked {
+            Some(i) => self.pool.swap_remove(i),
+            None => self.pool.pop().unwrap_or_default(),
+        };
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse by a later
+    /// [`take_zeroed`](Self::take_zeroed).
+    pub fn give(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > 0 && self.pool.len() < MAX_POOLED {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Number of buffers currently pooled (for tests/diagnostics).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+thread_local! {
+    static THREAD_WORKSPACE: RefCell<Workspace> = const { RefCell::new(Workspace::new()) };
+}
+
+/// Runs `f` with exclusive access to the calling thread's [`Workspace`].
+///
+/// Not re-entrant: `f` must not call `with_thread_workspace` again
+/// (kernels take all their buffers at the top of one scope instead).
+pub fn with_thread_workspace<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    THREAD_WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_zeroed_returns_cleared_buffers() {
+        let mut ws = Workspace::new();
+        let mut a = ws.take_zeroed(16);
+        assert_eq!(a, vec![0.0; 16]);
+        a.iter_mut().for_each(|v| *v = f32::NAN);
+        ws.give(a);
+        // The polluted buffer comes back zeroed, like a fresh vec.
+        let b = ws.take_zeroed(16);
+        assert_eq!(b, vec![0.0; 16]);
+    }
+
+    #[test]
+    fn pool_reuses_capacity_across_sizes() {
+        let mut ws = Workspace::new();
+        let big = ws.take_zeroed(1024);
+        let cap = big.capacity();
+        ws.give(big);
+        // A smaller request reuses the big buffer's allocation.
+        let small = ws.take_zeroed(100);
+        assert_eq!(small.len(), 100);
+        assert_eq!(small.capacity(), cap);
+        ws.give(small);
+        assert_eq!(ws.pooled(), 1);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut ws = Workspace::new();
+        for _ in 0..MAX_POOLED + 5 {
+            ws.give(vec![0.0; 8]);
+        }
+        assert_eq!(ws.pooled(), MAX_POOLED);
+        // Zero-capacity buffers are never pooled.
+        let mut empty = Workspace::new();
+        empty.give(Vec::new());
+        assert_eq!(empty.pooled(), 0);
+    }
+
+    #[test]
+    fn thread_workspace_is_per_thread() {
+        with_thread_workspace(|ws| {
+            ws.give(vec![1.0; 32]);
+        });
+        let other =
+            std::thread::spawn(|| with_thread_workspace(|ws| ws.pooled())).join().expect("thread");
+        assert_eq!(other, 0, "fresh thread starts with an empty pool");
+        with_thread_workspace(|ws| assert!(ws.pooled() >= 1));
+    }
+}
