@@ -206,6 +206,16 @@ impl EUcbAgent {
         }
         self.discounted_mean(region) + scale * (log_term / n).sqrt()
     }
+
+    /// Discards the pending pull without a reward, as if `select()` had
+    /// never been called. Used when the pulled arm's outcome is
+    /// unobservable — the worker's upload was lost, corrupted beyond
+    /// the retransmit budget, or the worker crashed — so the arm must
+    /// not bias the statistics with a made-up reward. A no-op with
+    /// nothing pending.
+    pub fn abandon(&mut self) {
+        self.pending = None;
+    }
 }
 
 impl Bandit for EUcbAgent {
@@ -393,5 +403,22 @@ mod tests {
         let mut agent = EUcbAgent::new(EUcbConfig::default());
         let _ = agent.select();
         let _ = agent.select();
+    }
+
+    #[test]
+    fn abandon_discards_the_pending_pull() {
+        let mut agent = EUcbAgent::new(EUcbConfig::default());
+        let _ = agent.select();
+        agent.abandon();
+        // A fresh select is legal again, and the abandoned pull left no
+        // reward behind.
+        let _ = agent.select();
+        agent.observe(0.5);
+        assert_eq!(agent.rounds(), 1);
+        // Abandoning with nothing pending is a no-op.
+        agent.abandon();
+        let _ = agent.select();
+        agent.observe(0.25);
+        assert_eq!(agent.rounds(), 2);
     }
 }

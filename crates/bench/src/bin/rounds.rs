@@ -18,14 +18,23 @@ use std::time::Instant;
 use fedmp_bench::save_result;
 use fedmp_core::{ExperimentSpec, TaskKind};
 use fedmp_fl::{
-    run_async, run_fedmp, run_fedmp_threaded, run_fedprox, run_flexcom, run_synfl, run_upfl,
-    AsyncMode, AsyncOptions, FedMpOptions, FedProxOptions, FlSetup, FlexComOptions, RunHistory,
-    UpFlOptions,
+    run_async, run_fedmp, run_fedmp_threaded, run_fedmp_threaded_chaos, run_fedprox, run_flexcom,
+    run_synfl, run_upfl, AsyncMode, AsyncOptions, ChaosOptions, FaultOptions, FedMpOptions,
+    FedProxOptions, FlSetup, FlexComOptions, RunHistory, UpFlOptions,
 };
 use fedmp_tensor::parallel;
 use serde_json::json;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Fault intensities for the resilience table: a clean run, a mildly
+/// lossy deployment, and a heavily degraded one.
+const FAULT_PROBS: [f64; 3] = [0.0, 0.1, 0.3];
+
+/// First round (1-based) whose evaluation reached `target` accuracy.
+fn rounds_to_accuracy(h: &RunHistory, target: f32) -> Option<usize> {
+    h.rounds.iter().position(|r| r.eval.is_some_and(|(_, acc)| acc >= target)).map(|i| i + 1)
+}
 
 fn canonical(h: &RunHistory) -> String {
     serde_json::to_string(h).expect("serialise history")
@@ -121,6 +130,62 @@ fn main() {
         }));
     }
 
+    // Resilience table: the threaded runtime under increasing fault
+    // pressure. Evaluation runs every round here — the question is how
+    // many rounds the run needs to reach the target once faults start
+    // excluding participants, and what recovery costs in wall clock.
+    let mut faulted_cfg = cfg;
+    faulted_cfg.eval_every = 1;
+    let target = if smoke { 0.25f32 } else { 0.5f32 };
+    println!("\nfaulted threaded runtime (target accuracy {target:.2}):");
+    let mut faulted_rows = Vec::new();
+    for &p in &FAULT_PROBS {
+        let opts = if p > 0.0 {
+            FedMpOptions {
+                faults: Some(FaultOptions {
+                    fail_prob: p,
+                    recover_rounds: 1,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            }
+        } else {
+            FedMpOptions::default()
+        };
+        let chaos = if p > 0.0 {
+            ChaosOptions {
+                corrupt_prob: p,
+                drop_prob: 0.5 * p,
+                delay_prob: 0.5 * p,
+                crash_prob: 0.25 * p,
+                ..ChaosOptions::demo(cfg.seed)
+            }
+        } else {
+            ChaosOptions::none()
+        };
+        let start = Instant::now();
+        let history = run_fedmp_threaded_chaos(&faulted_cfg, &setup, global.clone(), &opts, &chaos)
+            .expect("injected faults are recoverable, never terminal");
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(history.rounds.len(), faulted_cfg.rounds, "faults must not shorten the run");
+        let to_target = rounds_to_accuracy(&history, target);
+        let retries: usize = history.rounds.iter().map(|r| r.retries).sum();
+        let exclusions: usize = history.rounds.iter().map(|r| r.exclusions).sum();
+        let reached = to_target.map_or("never".to_string(), |r| format!("round {r}"));
+        println!(
+            "fault {p:>4.0}%   wall {wall_ms:9.1} ms  target: {reached:<9}  \
+             retransmits {retries:3}  exclusions {exclusions:3}",
+            p = p * 100.0
+        );
+        faulted_rows.push(json!({
+            "fault_prob": p,
+            "wall_ms": wall_ms,
+            "rounds_to_target": to_target,
+            "retransmits": retries,
+            "exclusions": exclusions,
+        }));
+    }
+
     let headline = headline.expect("FedMP row present");
     save_result(
         "rounds",
@@ -133,6 +198,11 @@ fn main() {
             "thread_counts": THREAD_COUNTS.to_vec(),
             "host_cpus": std::thread::available_parallelism().map_or(1, |n| n.get()),
             "engines": rows,
+            "faulted": {
+                "engine": "FedMP-threaded",
+                "target_accuracy": target,
+                "runs": faulted_rows,
+            },
             "headline": {
                 "engine": "FedMP",
                 "speedup_t4_vs_serial": headline,

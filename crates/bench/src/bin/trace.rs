@@ -3,23 +3,30 @@
 //!
 //! ```text
 //! cargo run --release -p fedmp-bench --bin trace -- record out.jsonl --rounds 8 --seed 1
+//! cargo run --release -p fedmp-bench --bin trace -- chaos out.jsonl --rounds 8 --seed 1
 //! cargo run --release -p fedmp-bench --bin trace -- summarize out.jsonl
 //! cargo run --release -p fedmp-bench --bin trace -- diff a.jsonl b.jsonl
 //! ```
 //!
 //! `summarize` reproduces exactly what `fedmp_fl::resource_totals`
 //! reports for the live run; `diff` prints the first diverging event
-//! (exit code 1) or confirms the traces are identical (exit code 0).
-//! The event schema is documented in `docs/TRACE_SCHEMA.md`.
+//! (exit code 1) or confirms the traces are identical (exit code 0);
+//! `chaos` records the fault-tolerant threaded runtime under the
+//! deterministic demo chaos plan — recording it twice (or at different
+//! `--threads`) and diffing proves recovery is reproducible. The event
+//! schema is documented in `docs/TRACE_SCHEMA.md`.
 
 use fedmp_core::{run_manifest, ExperimentSpec, TaskKind};
-use fedmp_fl::{run_fedmp, FedMpOptions, FlSetup};
+use fedmp_fl::{
+    run_fedmp, run_fedmp_threaded_chaos, ChaosOptions, FaultOptions, FedMpOptions, FlSetup,
+};
 use fedmp_obs::{diff, summarize, Trace, TraceSession};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: trace record <out.jsonl> [--rounds N] [--seed S] [--threads T]\n\
+         \x20      trace chaos <out.jsonl> [--rounds N] [--seed S] [--threads T]\n\
          \x20      trace summarize <trace.jsonl>\n\
          \x20      trace diff <a.jsonl> <b.jsonl>"
     );
@@ -30,28 +37,35 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("record") => record(&args[1..]),
+        Some("chaos") => chaos_cmd(&args[1..]),
         Some("summarize") => summarize_cmd(&args[1..]),
         Some("diff") => diff_cmd(&args[1..]),
         _ => usage(),
     }
 }
 
-/// Runs a seeded small-CNN FedMP experiment with tracing to `out`.
-fn record(args: &[String]) -> ExitCode {
-    let Some(out) = args.first() else { return usage() };
+/// Parses the shared `record`/`chaos` flags: `(rounds, seed, threads)`.
+fn record_flags(args: &[String]) -> Option<(usize, u64, Option<usize>)> {
     let mut rounds = 6usize;
     let mut seed = 0u64;
     let mut threads: Option<usize> = None;
-    let mut it = args[1..].iter();
+    let mut it = args.iter();
     while let Some(flag) = it.next() {
-        let Some(value) = it.next() else { return usage() };
+        let value = it.next()?;
         match flag.as_str() {
             "--rounds" => rounds = value.parse().expect("--rounds takes an integer"),
             "--seed" => seed = value.parse().expect("--seed takes an integer"),
             "--threads" => threads = Some(value.parse().expect("--threads takes an integer")),
-            _ => return usage(),
+            _ => return None,
         }
     }
+    Some((rounds, seed, threads))
+}
+
+/// Runs a seeded small-CNN FedMP experiment with tracing to `out`.
+fn record(args: &[String]) -> ExitCode {
+    let Some(out) = args.first() else { return usage() };
+    let Some((rounds, seed, threads)) = record_flags(&args[1..]) else { return usage() };
     if threads.is_some() {
         fedmp_tensor::parallel::override_threads(threads);
     }
@@ -80,6 +94,56 @@ fn record(args: &[String]) -> ExitCode {
         "live resource totals: wall {:.2}s  compute {:.2}s  comm {:.2}s",
         totals.wall_secs, totals.compute_secs, totals.comm_secs
     );
+    ExitCode::SUCCESS
+}
+
+/// Runs the same seeded experiment on the fault-tolerant threaded
+/// runtime, with availability faults on and the seeded demo chaos plan
+/// injecting transport corruption, drops, delays, and worker crashes.
+/// The trace records the recovery machinery (`FrameRetransmit`,
+/// `WorkerExcluded`, `WorkerRejoined`, `QuorumAggregate`) alongside the
+/// usual round events.
+fn chaos_cmd(args: &[String]) -> ExitCode {
+    let Some(out) = args.first() else { return usage() };
+    let Some((rounds, seed, threads)) = record_flags(&args[1..]) else { return usage() };
+    if threads.is_some() {
+        fedmp_tensor::parallel::override_threads(threads);
+    }
+
+    let mut spec = ExperimentSpec::small(TaskKind::CnnMnist);
+    spec.seed = seed;
+    spec.fl.rounds = rounds;
+    spec.fl.eval_every = 2;
+
+    let opts = FedMpOptions {
+        faults: Some(FaultOptions { fail_prob: 0.2, recover_rounds: 1, ..Default::default() }),
+        ..Default::default()
+    };
+    let chaos = ChaosOptions::demo(seed);
+
+    let built = spec.build();
+    let setup =
+        FlSetup::with_cost_scale(&built.task, built.devices.clone(), built.time, built.cost_scale);
+    let manifest = run_manifest("FedMP-threaded", &spec);
+    let session = TraceSession::to_file(out, &manifest).expect("open trace output");
+    let history = match run_fedmp_threaded_chaos(&spec.fl, &setup, built.model, &opts, &chaos) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    drop(session); // flush + close before re-reading
+
+    let trace = Trace::load(out).expect("re-read recorded trace");
+    let retries: usize = history.rounds.iter().map(|r| r.retries).sum();
+    let exclusions: usize = history.rounds.iter().map(|r| r.exclusions).sum();
+    println!(
+        "recorded {} events over {} rounds to {out}",
+        trace.events.len(),
+        history.rounds.len()
+    );
+    println!("recovered faults: {retries} retransmits, {exclusions} exclusions");
     ExitCode::SUCCESS
 }
 

@@ -3,8 +3,9 @@
 
 use crate::config::ExperimentSpec;
 use fedmp_fl::{
-    run_async, run_fedmp, run_fedprox, run_flexcom, run_synfl, run_upfl, AsyncMode, AsyncOptions,
-    FedMpOptions, FedProxOptions, FlSetup, FlexComOptions, RunHistory, SyncScheme, UpFlOptions,
+    run_async, run_fedmp, run_fedmp_threaded_chaos, run_fedprox, run_flexcom, run_synfl, run_upfl,
+    AsyncMode, AsyncOptions, ChaosOptions, FedMpOptions, FedProxOptions, FlSetup, FlexComOptions,
+    RunHistory, RuntimeError, SyncScheme, UpFlOptions,
 };
 use serde::{Deserialize, Serialize};
 
@@ -109,6 +110,27 @@ pub fn run_methods(spec: &ExperimentSpec, methods: &[Method]) -> Vec<RunHistory>
     fedmp_fl::exec::ordered_map(methods.to_vec(), |_, m| run_method(spec, m))
 }
 
+/// Runs FedMP on the fault-tolerant threaded PS/worker runtime
+/// ([`fedmp_fl::run_fedmp_threaded_chaos`]) against the experiment
+/// described by `spec`, under the given transport chaos plan
+/// ([`ChaosOptions::none`] for a clean run). Traced like [`run_method`]
+/// when `FEDMP_TRACE` names a directory.
+///
+/// # Errors
+/// Propagates the runtime's terminal protocol violations
+/// ([`RuntimeError`]); every *injected* fault is recovered in-run.
+pub fn run_threaded(
+    spec: &ExperimentSpec,
+    opts: &FedMpOptions,
+    chaos: &ChaosOptions,
+) -> Result<RunHistory, RuntimeError> {
+    let _trace = crate::trace::maybe_trace("FedMP-threaded", spec);
+    let built = spec.build();
+    let setup =
+        FlSetup::with_cost_scale(&built.task, built.devices.clone(), built.time, built.cost_scale);
+    run_fedmp_threaded_chaos(&spec.fl, &setup, built.model, opts, chaos)
+}
+
 /// Runs FedMP with caller-supplied options (θ sweeps, custom reward
 /// shaping, BSP ablations) on the experiment described by `spec`.
 pub fn run_fedmp_custom(spec: &ExperimentSpec, opts: &FedMpOptions) -> RunHistory {
@@ -200,7 +222,7 @@ mod tests {
                     mean_comm: 0.0,
                     train_loss: 0.0,
                     eval: Some((0.0, 0.3 * (i + 1) as f32)),
-                    ratios: vec![],
+                    ..Default::default()
                 });
             }
         }

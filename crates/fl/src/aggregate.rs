@@ -36,6 +36,22 @@ pub fn bsp_aggregate(recovered: &[Vec<StateEntry>]) -> Vec<StateEntry> {
     average_states(recovered)
 }
 
+/// R2SP under a quorum: aggregates the delivered recoveries iff at
+/// least `quorum` of them arrived, and is then **bit-identical** to
+/// [`r2sp_aggregate`] over the same participant set (same inputs, same
+/// accumulation order). Below quorum — or with no participants at all —
+/// returns `None`, and the caller keeps the previous global model.
+pub fn quorum_aggregate(
+    recovered: &[Vec<StateEntry>],
+    residuals: &[Vec<StateEntry>],
+    quorum: usize,
+) -> Option<Vec<StateEntry>> {
+    if recovered.is_empty() || recovered.len() < quorum {
+        return None;
+    }
+    Some(r2sp_aggregate(recovered, residuals))
+}
+
 /// Staleness-tempered mixing for the asynchronous engines:
 /// `(1 − β)·global + β·update`.
 pub fn mix_states(global: &[StateEntry], update: &[StateEntry], beta: f32) -> Vec<StateEntry> {

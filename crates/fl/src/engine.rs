@@ -259,6 +259,32 @@ pub(crate) fn emit_aggregate(round: usize, scheme: &str, participants: usize) {
     fedmp_obs::emit(move || TraceEvent::Aggregate { round, scheme, participants });
 }
 
+/// Emits `FrameRetransmit` for one retransmit request.
+pub(crate) fn emit_frame_retransmit(round: usize, worker: usize, attempt: u32, backoff_secs: f64) {
+    fedmp_obs::emit(|| TraceEvent::FrameRetransmit { round, worker, attempt, backoff_secs });
+}
+
+/// Emits `WorkerExcluded` for one discarded contribution.
+pub(crate) fn emit_worker_excluded(round: usize, worker: usize, reason: &str) {
+    let reason = reason.to_string();
+    fedmp_obs::emit(move || TraceEvent::WorkerExcluded { round, worker, reason });
+}
+
+/// Emits `WorkerRejoined` for one restarted worker thread.
+pub(crate) fn emit_worker_rejoined(round: usize, worker: usize) {
+    fedmp_obs::emit(|| TraceEvent::WorkerRejoined { round, worker });
+}
+
+/// Emits `QuorumAggregate` for a partial-but-quorate round.
+pub(crate) fn emit_quorum_aggregate(
+    round: usize,
+    quorum: usize,
+    participants: usize,
+    excluded: usize,
+) {
+    fedmp_obs::emit(|| TraceEvent::QuorumAggregate { round, quorum, participants, excluded });
+}
+
 /// Emits `RoundEnd` mirroring the record the engine is about to push.
 /// The NaN `train_loss` of an all-offline fault round becomes `None`
 /// (JSON has no NaN).

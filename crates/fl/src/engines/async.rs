@@ -313,6 +313,8 @@ pub fn run_async(
             train_loss: train_loss / quorum as f32,
             eval,
             ratios,
+            participants: quorum,
+            ..Default::default()
         };
         emit_round_end(&rec);
         history.rounds.push(rec);

@@ -4,8 +4,9 @@
 use crate::aggregate::{bsp_aggregate, r2sp_aggregate};
 use crate::engine::worker_rng;
 use crate::engine::{
-    emit_aggregate, emit_kernel_dispatch, emit_local_train, emit_round_end, emit_round_start,
-    kernel_baseline, model_round_cost, worker_batches, FlConfig, FlSetup, SyncScheme,
+    emit_aggregate, emit_kernel_dispatch, emit_local_train, emit_quorum_aggregate, emit_round_end,
+    emit_round_start, emit_worker_excluded, kernel_baseline, model_round_cost, worker_batches,
+    FlConfig, FlSetup, SyncScheme,
 };
 use crate::eval::evaluate_image;
 use crate::exec;
@@ -36,6 +37,11 @@ pub struct FaultOptions {
     pub deadline_frac: f64,
     /// Deadline multiplier (the paper uses 1.5).
     pub deadline_factor: f64,
+    /// When set, downtime per failure is drawn from an exponential
+    /// distribution with this mean (clamped to ≥ 1 round) instead of
+    /// the fixed `recover_rounds`.
+    #[serde(default)]
+    pub mean_down_rounds: Option<f64>,
 }
 
 impl Default for FaultOptions {
@@ -45,6 +51,18 @@ impl Default for FaultOptions {
             recover_rounds: 2,
             deadline_frac: 0.85,
             deadline_factor: 1.5,
+            mean_down_rounds: None,
+        }
+    }
+}
+
+impl FaultOptions {
+    /// Builds the matching injector: fixed recovery delay, or the
+    /// exponential mean-downtime draw when `mean_down_rounds` is set.
+    pub(crate) fn injector(&self, workers: usize) -> FaultInjector {
+        match self.mean_down_rounds {
+            Some(m) => FaultInjector::with_mean_downtime(workers, self.fail_prob, m),
+            None => FaultInjector::new(workers, self.fail_prob, self.recover_rounds),
         }
     }
 }
@@ -109,8 +127,7 @@ pub fn run_fedmp(
         })
         .collect();
 
-    let mut injector =
-        opts.faults.map(|f| FaultInjector::new(workers, f.fail_prob, f.recover_rounds));
+    let mut injector = opts.faults.map(|f| f.injector(workers));
     let mut fault_rng = fedmp_tensor::seeded_rng(cfg.seed ^ 0xFA17);
     let mut kstats = kernel_baseline();
 
@@ -124,16 +141,7 @@ pub fn run_fedmp(
         };
         emit_round_start(round, sim_time, &online);
         if online.is_empty() {
-            let rec = RoundRecord {
-                round,
-                sim_time,
-                round_time: 0.0,
-                mean_comp: 0.0,
-                mean_comm: 0.0,
-                train_loss: f32::NAN,
-                eval: None,
-                ratios: vec![],
-            };
+            let rec = RoundRecord { round, sim_time, ..Default::default() };
             emit_kernel_dispatch(round, &mut kstats);
             emit_round_end(&rec);
             history.rounds.push(rec);
@@ -210,6 +218,15 @@ pub fn run_fedmp(
             None => times.iter().copied().fold(0.0, f64::max),
         };
         sim_time += round_time;
+        // Deadline stragglers still trained (and get bandit feedback
+        // below) but their models are discarded for the round.
+        if kept.len() < online.len() {
+            for (i, &w) in online.iter().enumerate() {
+                if !kept.contains(&i) {
+                    emit_worker_excluded(round, w, "deadline");
+                }
+            }
+        }
 
         // Bandit feedback (Eq. 8) for every online worker.
         if opts.fixed_ratio.is_none() {
@@ -229,6 +246,9 @@ pub fn run_fedmp(
             SyncScheme::BSP => bsp_aggregate(&recovered),
         };
         global.load_state(&new_state);
+        if kept.len() < online.len() {
+            emit_quorum_aggregate(round, 1, kept.len(), online.len() - kept.len());
+        }
         emit_aggregate(
             round,
             match opts.sync {
@@ -256,6 +276,9 @@ pub fn run_fedmp(
             train_loss,
             eval,
             ratios,
+            participants: kept.len(),
+            retries: 0,
+            exclusions: online.len() - kept.len(),
         };
         emit_round_end(&rec);
         history.rounds.push(rec);

@@ -118,6 +118,8 @@ pub fn run_fedprox(
             train_loss,
             eval,
             ratios: vec![],
+            participants: workers,
+            ..Default::default()
         };
         emit_round_end(&rec);
         history.rounds.push(rec);

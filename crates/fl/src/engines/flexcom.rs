@@ -133,6 +133,8 @@ pub fn run_flexcom(
             train_loss,
             eval,
             ratios: vec![],
+            participants: workers,
+            ..Default::default()
         };
         emit_round_end(&rec);
         history.rounds.push(rec);

@@ -78,6 +78,8 @@ pub fn run_synfl(cfg: &FlConfig, setup: &FlSetup<'_>, mut global: Sequential) ->
             train_loss,
             eval,
             ratios: vec![],
+            participants: workers,
+            ..Default::default()
         };
         emit_round_end(&rec);
         history.rounds.push(rec);

@@ -110,6 +110,8 @@ pub fn run_upfl(
             train_loss,
             eval,
             ratios: vec![ratio; workers],
+            participants: workers,
+            ..Default::default()
         };
         emit_round_end(&rec);
         history.rounds.push(rec);

@@ -26,6 +26,37 @@ pub struct RoundRecord {
     /// Pruning ratio per participating worker this round (empty for
     /// non-pruning engines).
     pub ratios: Vec<f32>,
+    /// Models actually merged into the global model this round (0 when
+    /// the round skipped aggregation, e.g. all workers offline or a
+    /// quorum miss).
+    #[serde(default)]
+    pub participants: usize,
+    /// Frame retransmissions the PS requested this round (threaded
+    /// runtime; always 0 for the loop engines).
+    #[serde(default)]
+    pub retries: usize,
+    /// Online workers whose contribution was discarded this round
+    /// (deadline, corruption, loss or crash).
+    #[serde(default)]
+    pub exclusions: usize,
+}
+
+impl Default for RoundRecord {
+    fn default() -> Self {
+        RoundRecord {
+            round: 0,
+            sim_time: 0.0,
+            round_time: 0.0,
+            mean_comp: 0.0,
+            mean_comm: 0.0,
+            train_loss: f32::NAN,
+            eval: None,
+            ratios: vec![],
+            participants: 0,
+            retries: 0,
+            exclusions: 0,
+        }
+    }
 }
 
 /// A full engine run.
@@ -114,7 +145,7 @@ mod tests {
             mean_comm: 0.5,
             train_loss: 1.0,
             eval: acc.map(|a| (0.5, a)),
-            ratios: vec![],
+            ..Default::default()
         }
     }
 

@@ -27,6 +27,7 @@
 // statically by the `unsafe-hygiene` lint in `fedmp-analysis`.
 #![forbid(unsafe_code)]
 mod aggregate;
+mod chaos;
 mod engine;
 mod engines;
 mod eval;
@@ -39,7 +40,8 @@ mod runtime;
 mod task;
 mod wire;
 
-pub use aggregate::{average_states, bsp_aggregate, mix_states, r2sp_aggregate};
+pub use aggregate::{average_states, bsp_aggregate, mix_states, quorum_aggregate, r2sp_aggregate};
+pub use chaos::{ChaosDraw, ChaosOptions, ChaosPlan};
 pub use engine::{CostScale, FlConfig, FlSetup, SyncScheme};
 pub use engines::fedmp::{run_fedmp, FaultOptions, FedMpOptions};
 pub use engines::fedprox::{run_fedprox, FedProxOptions};
@@ -52,6 +54,8 @@ pub use history::{RoundRecord, RunHistory};
 pub use lm::{run_lm, LmMethod, LmOptions, LmRunResult, LmSetup};
 pub use local::{local_train, LocalOutcome, LocalTrainConfig};
 pub use metrics::{relative_cost, resource_totals, ResourceTotals};
-pub use runtime::{run_fedmp_threaded, RuntimeError};
+pub use runtime::{
+    live_worker_threads, run_fedmp_threaded, run_fedmp_threaded_chaos, RuntimeError,
+};
 pub use task::ImageTask;
-pub use wire::{decode_state, encode_state, wire_size, WireError};
+pub use wire::{decode_state, encode_state, frame_checksum_ok, wire_size, WireError};

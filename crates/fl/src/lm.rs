@@ -278,6 +278,8 @@ pub fn run_lm(
             train_loss,
             eval,
             ratios,
+            participants: workers,
+            ..Default::default()
         };
         emit_round_end(&rec);
         history.rounds.push(rec);

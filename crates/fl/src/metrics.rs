@@ -78,7 +78,7 @@ mod tests {
                 mean_comm: comm,
                 train_loss: 0.0,
                 eval: None,
-                ratios: vec![],
+                ..Default::default()
             });
         }
         h

@@ -9,73 +9,146 @@
 //! `fedmp-edgesim` (threads run as fast as the host allows; the virtual
 //! clock stays authoritative for completion-time results).
 //!
-//! Determinism: per-(seed, round, worker) RNGs and worker-indexed
-//! aggregation make the threaded runtime produce **bit-identical
-//! histories** to [`crate::run_fedmp`] under the same options — tested
-//! below.
+//! # Fault tolerance
+//!
+//! The runtime degrades gracefully instead of failing terminally. Two
+//! independent fault sources compose:
+//!
+//! - **Worker churn** (`opts.faults`, §V-A): the same
+//!   [`FaultInjector`] the loop engine uses takes workers offline for
+//!   whole rounds, and [`deadline_for`] sets the per-round arrival
+//!   deadline after which stragglers are excluded from aggregation.
+//! - **Transport chaos** ([`ChaosOptions`]): a seeded
+//!   [`ChaosPlan`](crate::chaos::ChaosPlan) corrupts upload frames
+//!   (detected by the wire checksum; the PS requests bounded
+//!   retransmits with exponential virtual-clock backoff), drops
+//!   downlinks/uplinks, delays arrivals past the deadline, and crashes
+//!   worker threads mid-round. A crashed worker is restarted with a
+//!   fresh channel pair at the start of the next round and re-enters
+//!   the fleet (`WorkerRejoined`).
+//!
+//! A round aggregates when at least `ChaosOptions::quorum(online)`
+//! models survive exclusion — R2SP-style partial aggregation via
+//! [`quorum_aggregate`]; below quorum the global model carries over
+//! unchanged. Recovery outcomes are recorded per round in
+//! [`RoundRecord`] (`participants`, `retries`, `exclusions`) and in the
+//! trace stream (`FrameRetransmit`, `WorkerExcluded`, `WorkerRejoined`,
+//! `QuorumAggregate`).
+//!
+//! # Determinism
+//!
+//! Chaos draws are a pure function of `(seed, round, worker)`, all
+//! order-sensitive state (bandit, injector, trace emission,
+//! aggregation) lives PS-side in worker order, and the collection loop
+//! is a barrier that does no order-sensitive processing — so the same
+//! seed yields bit-identical histories and trace streams at any
+//! executor thread count, faults or not. With chaos disabled the
+//! runtime is bit-identical to [`crate::run_fedmp`] under the same
+//! options, **including** `opts.faults` — tested below.
+//!
+//! # Join guarantee
+//!
+//! All worker threads are joined on *every* exit path, clean or error:
+//! the PS block runs inside `std::thread::scope`, and before the scope
+//! can join, the runtime closes every downlink (ending each worker's
+//! receive loop) and drops the uplink receiver (erroring out any worker
+//! mid-send). [`live_worker_threads`] counts live worker threads for
+//! the leak regression test.
 
-use crate::aggregate::{bsp_aggregate, r2sp_aggregate};
+use crate::aggregate::{bsp_aggregate, quorum_aggregate};
+use crate::chaos::{corrupted_copy, ChaosOptions};
 use crate::engine::{
-    emit_aggregate, emit_kernel_dispatch, emit_local_train, emit_round_end, emit_round_start_all,
-    kernel_baseline, model_round_cost, worker_batches, worker_rng, FlConfig, FlSetup, SyncScheme,
+    emit_aggregate, emit_frame_retransmit, emit_kernel_dispatch, emit_local_train,
+    emit_quorum_aggregate, emit_round_end, emit_round_start, emit_worker_excluded,
+    emit_worker_rejoined, kernel_baseline, model_round_cost, worker_batches, worker_rng, FlConfig,
+    FlSetup, SyncScheme,
 };
 use crate::engines::fedmp::FedMpOptions;
 use crate::eval::evaluate_image;
 use crate::exec;
 use crate::history::{RoundRecord, RunHistory};
-use crate::local::{local_train, LocalOutcome};
-use crate::wire::{decode_state, encode_state};
+use crate::local::{local_train, LocalOutcome, LocalTrainConfig};
+use crate::task::ImageTask;
+use crate::wire::{decode_state, encode_state, frame_checksum_ok};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use fedmp_bandit::{eucb_reward, Bandit, EUcbAgent};
+use fedmp_edgesim::deadline_for;
 use fedmp_nn::{state_sub, Sequential};
-use fedmp_pruning::{extract_sequential, plan_sequential_with, recover_state, sparse_state};
+use fedmp_pruning::{
+    dequantize_state, extract_sequential, plan_sequential_with, quantize_state, recover_state,
+    sparse_state,
+};
 use fedmp_tensor::parallel::{sum_f32, sum_f64};
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// A sub-model dispatch to one worker.
-struct DownlinkMsg {
-    round: usize,
-    frame: Bytes,
-    /// Architecture template the worker instantiates the frame into.
-    template: Sequential,
+/// A PS → worker message.
+enum DownlinkMsg {
+    /// This round's sub-model dispatch.
+    Dispatch {
+        /// Round index.
+        round: usize,
+        /// Encoded sub-model state.
+        frame: Bytes,
+        /// Architecture template the worker instantiates the frame into.
+        template: Sequential,
+        /// The chaos plan lost this downlink in transit: the worker
+        /// must act as if the dispatch never arrived (no training, a
+        /// `Lost` marker standing in for the PS's timeout).
+        lost: bool,
+    },
+    /// The PS received a corrupt upload; resend the cached clean frame.
+    Retransmit {
+        /// Round the retransmit request belongs to.
+        round: usize,
+    },
 }
 
-/// A trained upload from one worker: the wire frame plus training
-/// outcome, or the first error the worker hit.
+/// A worker → PS message.
 struct UplinkMsg {
     worker: usize,
-    payload: Result<UplinkPayload, RuntimeError>,
+    round: usize,
+    body: UplinkBody,
 }
 
-/// The successful-upload half of an [`UplinkMsg`].
-struct UplinkPayload {
-    frame: Bytes,
-    template: Sequential,
-    outcome: LocalOutcome,
+/// The payload of an [`UplinkMsg`].
+enum UplinkBody {
+    /// The trained upload: wire frame (possibly corrupted in transit),
+    /// architecture template and training outcome.
+    Model { frame: Bytes, template: Sequential, outcome: LocalOutcome },
+    /// A retransmission: the model frame only (the PS cached the
+    /// template and outcome from the first arrival).
+    Frame { frame: Bytes },
+    /// The exchange was lost in transit (dropped downlink or uplink) —
+    /// the in-process stand-in for the PS timing the worker out.
+    Lost,
+    /// The worker thread crashed mid-round (the stand-in for the PS
+    /// seeing the connection reset); nothing more arrives from it until
+    /// the PS restarts it next round.
+    Crashed,
+    /// The dispatched frame passed no checksum check worker-side — a
+    /// protocol violation retransmits cannot fix (the PS encoder is
+    /// in-process and cannot produce this).
+    Undecodable,
 }
 
-/// Errors returned by the threaded runtime: unsupported option
-/// combinations, plus the transport failures a real PS/worker
-/// deployment has to surface instead of crashing on.
+/// Errors returned by the threaded runtime. Transport faults — corrupt
+/// frames, losses, stragglers, crashes — are *recoverable* and handled
+/// in-run (retransmit, exclusion, rejoin); these variants are the
+/// protocol violations that remain terminal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RuntimeError {
-    /// `opts.faults` was set. Fault injection (worker dropout and the
-    /// §V-A deadline) is a loop-engine feature: the threaded runtime's
-    /// per-round barrier collects exactly one upload per worker, so a
-    /// dropped worker would deadlock the parameter server. Run
-    /// [`crate::run_fedmp`] for fault experiments.
-    FaultsUnsupported,
-    /// A wire frame failed to decode (bad magic, truncation or checksum
-    /// mismatch) on the downlink or uplink of the given worker.
+    /// A wire frame failed structural decoding even though its checksum
+    /// verified (or a retransmission arrived with nothing pending) — an
+    /// encoder-side protocol violation the retransmit path cannot fix.
     CorruptFrame {
         /// Worker whose frame failed to decode.
         worker: usize,
         /// Round the frame belonged to.
         round: usize,
     },
-    /// A worker's channel closed before the round completed — the
-    /// thread exited without delivering its upload.
+    /// A worker's channel closed outside the crash/rejoin protocol —
+    /// the thread vanished without announcing a crash.
     WorkerLost {
         /// The worker whose channel went away.
         worker: usize,
@@ -85,14 +158,11 @@ pub enum RuntimeError {
 impl std::fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RuntimeError::FaultsUnsupported => {
-                write!(f, "threaded runtime does not support fault injection; use run_fedmp")
-            }
             RuntimeError::CorruptFrame { worker, round } => {
                 write!(f, "wire frame for worker {worker} failed to decode in round {round}")
             }
             RuntimeError::WorkerLost { worker } => {
-                write!(f, "worker {worker} disconnected before completing its round")
+                write!(f, "worker {worker} disconnected outside the crash/rejoin protocol")
             }
         }
     }
@@ -100,27 +170,152 @@ impl std::fmt::Display for RuntimeError {
 
 impl std::error::Error for RuntimeError {}
 
-/// Runs FedMP on the threaded runtime. Produces the same history as
-/// [`crate::run_fedmp`] for the supported option set.
+/// Live worker threads spawned by the threaded runtime, process-wide.
+/// Because every run joins its workers before returning (see the module
+/// docs), this is 0 whenever no run is in flight — the invariant the
+/// thread-leak regression test checks.
+pub fn live_worker_threads() -> usize {
+    LIVE_WORKERS.load(Ordering::SeqCst)
+}
+
+static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// One worker thread's whole life: receive a dispatch, train, upload —
+/// with the chaos plan applied symmetrically to the PS's copy (both
+/// sides draw the same per-(round, worker) faults). Exits when its
+/// downlink closes, when the uplink receiver is gone, or when the plan
+/// crashes it.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    w: usize,
+    down_rx: Receiver<DownlinkMsg>,
+    uplink_tx: Sender<UplinkMsg>,
+    task: &ImageTask,
+    local: LocalTrainConfig,
+    seed: u64,
+    plan: crate::chaos::ChaosPlan,
+) {
+    LIVE_WORKERS.fetch_add(1, Ordering::SeqCst);
+    // The clean upload frame of the current round plus how many times
+    // it has been sent — the retransmission source.
+    let mut cached: Option<(Bytes, u32)> = None;
+    while let Ok(msg) = down_rx.recv() {
+        let reply = match msg {
+            DownlinkMsg::Dispatch { round, frame, template, lost } => {
+                let draw = plan.draw(round, w);
+                if draw.crash {
+                    let _ =
+                        uplink_tx.send(UplinkMsg { worker: w, round, body: UplinkBody::Crashed });
+                    break;
+                }
+                if lost {
+                    cached = None;
+                    UplinkMsg { worker: w, round, body: UplinkBody::Lost }
+                } else {
+                    // One OS thread per worker is already the
+                    // parallelism level here; run the kernels beneath
+                    // sequentially so the band scheduler does not
+                    // oversubscribe the host (results are identical —
+                    // kernels are thread-count invariant).
+                    let trained = fedmp_tensor::parallel::with_nested_sequential(|| {
+                        decode_state(&frame).ok().map(|state| {
+                            let mut model = template;
+                            model.load_state(&state);
+                            let mut batches = worker_batches(task, w, local.batch, seed, round);
+                            let outcome = local_train(&mut model, &mut batches, &local);
+                            (encode_state(&model.state()), model, outcome)
+                        })
+                    });
+                    match trained {
+                        None => {
+                            cached = None;
+                            UplinkMsg { worker: w, round, body: UplinkBody::Undecodable }
+                        }
+                        Some((clean, model, outcome)) if draw.drop_up => {
+                            // Trained, but the upload vanishes in transit.
+                            let _ = (clean, model, outcome);
+                            cached = None;
+                            UplinkMsg { worker: w, round, body: UplinkBody::Lost }
+                        }
+                        Some((clean, model, outcome)) => {
+                            let frame = if draw.corrupt_sends > 0 {
+                                corrupted_copy(&clean)
+                            } else {
+                                clean.clone()
+                            };
+                            cached = Some((clean, 1));
+                            UplinkMsg {
+                                worker: w,
+                                round,
+                                body: UplinkBody::Model { frame, template: model, outcome },
+                            }
+                        }
+                    }
+                }
+            }
+            DownlinkMsg::Retransmit { round } => match cached.as_mut() {
+                Some((clean, sends)) => {
+                    let draw = plan.draw(round, w);
+                    let corrupt = *sends < draw.corrupt_sends;
+                    *sends += 1;
+                    let frame = if corrupt { corrupted_copy(clean) } else { clean.clone() };
+                    UplinkMsg { worker: w, round, body: UplinkBody::Frame { frame } }
+                }
+                // Nothing cached to resend — report the exchange lost.
+                None => UplinkMsg { worker: w, round, body: UplinkBody::Lost },
+            },
+        };
+        // A closed uplink means the PS already abandoned the run; exit
+        // quietly instead of panicking in a worker.
+        if uplink_tx.send(reply).is_err() {
+            break;
+        }
+    }
+    LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// A delivered (checksum-verified) upload, in worker order.
+struct Delivery {
+    /// Position in this round's online list.
+    pos: usize,
+    frame: Bytes,
+    template: Sequential,
+    outcome: LocalOutcome,
+}
+
+/// Runs FedMP on the threaded runtime with no transport chaos.
+/// Produces a history bit-identical to [`crate::run_fedmp`] under the
+/// same options, including fault injection (`opts.faults`).
 ///
 /// # Errors
-/// Returns [`RuntimeError::FaultsUnsupported`] if `opts.faults` is set
-/// (fault injection is a loop-engine feature) — everything else is
-/// supported. [`RuntimeError::CorruptFrame`] and
-/// [`RuntimeError::WorkerLost`] report transport failures (an
-/// undecodable wire frame, a worker thread gone before its upload);
-/// they cannot occur with the in-process channels used here, but the
-/// runtime surfaces them as typed errors rather than panicking so the
-/// library has no panic paths (see `docs/ANALYSIS.md`, `no-panic`).
+/// See [`run_fedmp_threaded_chaos`].
 pub fn run_fedmp_threaded(
+    cfg: &FlConfig,
+    setup: &FlSetup<'_>,
+    global: Sequential,
+    opts: &FedMpOptions,
+) -> Result<RunHistory, RuntimeError> {
+    run_fedmp_threaded_chaos(cfg, setup, global, opts, &ChaosOptions::none())
+}
+
+/// Runs FedMP on the threaded runtime under a seeded transport fault
+/// plane — see the module docs for the recovery policy.
+///
+/// # Errors
+/// Every injected fault is recovered in-run; the returned
+/// [`RuntimeError`]s ([`RuntimeError::CorruptFrame`],
+/// [`RuntimeError::WorkerLost`]) report *protocol violations* — an
+/// undecodable checksum-verified frame, a thread gone without a crash
+/// announcement — which cannot occur with the in-process channels used
+/// here, but are surfaced as typed errors rather than panics so the
+/// library has no panic paths (see `docs/ANALYSIS.md`, `no-panic`).
+pub fn run_fedmp_threaded_chaos(
     cfg: &FlConfig,
     setup: &FlSetup<'_>,
     mut global: Sequential,
     opts: &FedMpOptions,
+    chaos: &ChaosOptions,
 ) -> Result<RunHistory, RuntimeError> {
-    if opts.faults.is_some() {
-        return Err(RuntimeError::FaultsUnsupported);
-    }
     let workers = setup.workers();
     let mut history = RunHistory::new(match opts.sync {
         SyncScheme::R2SP => "FedMP",
@@ -136,69 +331,73 @@ pub fn run_fedmp_threaded(
         })
         .collect();
 
-    // Channels: one downlink per worker, one shared uplink.
-    let downlinks: Vec<(Sender<DownlinkMsg>, Receiver<DownlinkMsg>)> =
-        (0..workers).map(|_| bounded(1)).collect();
-    let (uplink_tx, uplink_rx) = bounded::<UplinkMsg>(workers);
-    let uplink_count = Mutex::new(0usize);
-    // Trace events are emitted PS-side only (workers are blocked on
-    // their downlinks whenever the PS emits), so event order is
-    // deterministic and the per-round kernel deltas are exact.
+    // §V-A worker churn: same injector, same RNG stream as the loop
+    // engine, so fault schedules line up bit-for-bit.
+    let mut injector = opts.faults.map(|f| f.injector(workers));
+    let mut fault_rng = fedmp_tensor::seeded_rng(cfg.seed ^ 0xFA17);
+    let plan = crate::chaos::ChaosPlan::new(cfg.seed, chaos);
+    // Trace events are emitted PS-side only, after the round's
+    // collection barrier, so event order is deterministic and the
+    // per-round kernel deltas are exact (all worker kernels for the
+    // round have run by the time the barrier clears).
     let mut kstats = kernel_baseline();
 
     let result = std::thread::scope(|scope| {
-        // Worker threads: receive a frame, train, upload.
-        for (w, (_, down_rx)) in downlinks.iter().enumerate() {
-            let down_rx = down_rx.clone();
-            let uplink_tx = uplink_tx.clone();
+        let (uplink_tx, uplink_rx) = bounded::<UplinkMsg>(workers.max(1));
+        let mut downlinks: Vec<Sender<DownlinkMsg>> = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (down_tx, down_rx) = bounded::<DownlinkMsg>(2);
+            let utx = uplink_tx.clone();
             let task = setup.task;
             let local = cfg.local;
             let seed = cfg.seed;
-            let uplink_count = &uplink_count;
-            scope.spawn(move || {
-                while let Ok(msg) = down_rx.recv() {
-                    // One OS thread per worker is already the
-                    // parallelism level here; run the kernels beneath
-                    // sequentially so the band scheduler does not
-                    // oversubscribe the host (results are identical —
-                    // kernels are thread-count invariant).
-                    let payload = fedmp_tensor::parallel::with_nested_sequential(|| {
-                        match decode_state(&msg.frame) {
-                            Ok(state) => {
-                                let mut model = msg.template;
-                                model.load_state(&state);
-                                let mut batches =
-                                    worker_batches(task, w, local.batch, seed, msg.round);
-                                let outcome = local_train(&mut model, &mut batches, &local);
-                                let frame = encode_state(&model.state());
-                                Ok(UplinkPayload { frame, template: model, outcome })
-                            }
-                            Err(_) => {
-                                Err(RuntimeError::CorruptFrame { worker: w, round: msg.round })
-                            }
-                        }
-                    });
-                    *uplink_count.lock() += 1;
-                    // A closed uplink means the PS already abandoned the
-                    // run; exit quietly instead of panicking in a worker.
-                    if uplink_tx.send(UplinkMsg { worker: w, payload }).is_err() {
-                        break;
-                    }
-                }
-            });
+            scope.spawn(move || worker_loop(w, down_rx, utx, task, local, seed, plan));
+            downlinks.push(down_tx);
         }
-        drop(uplink_tx);
+        let mut crashed = vec![false; workers];
 
-        // The PS loop runs in a fallible block so transport errors
-        // propagate as typed `RuntimeError`s; the downlinks are dropped
-        // on *every* exit path below, which ends the worker loops and
-        // lets the scope join instead of deadlocking.
+        // The PS loop runs in a fallible block so protocol violations
+        // propagate as typed `RuntimeError`s; the channels are torn
+        // down after it on *every* exit path (see below).
         let ps = (|| -> Result<(), RuntimeError> {
             for round in 0..cfg.rounds {
-                emit_round_start_all(round, sim_time, workers);
-                // ① PS side: ratios, plans, sub-models, residuals.
-                let ratios: Vec<f32> = (0..workers)
-                    .map(|w| match opts.fixed_ratio {
+                // Rejoin: restart last round's crashed workers with a
+                // fresh channel pair; they get this round's global
+                // model re-dispatched like everyone else.
+                for w in 0..workers {
+                    if !crashed[w] {
+                        continue;
+                    }
+                    let (down_tx, down_rx) = bounded::<DownlinkMsg>(2);
+                    let utx = uplink_tx.clone();
+                    let task = setup.task;
+                    let local = cfg.local;
+                    let seed = cfg.seed;
+                    scope.spawn(move || worker_loop(w, down_rx, utx, task, local, seed, plan));
+                    downlinks[w] = down_tx;
+                    crashed[w] = false;
+                    emit_worker_rejoined(round, w);
+                }
+
+                // §V-A churn: offline workers are not dispatched.
+                let online: Vec<usize> = match injector.as_mut() {
+                    Some(inj) => inj.step(&mut fault_rng),
+                    None => (0..workers).collect(),
+                };
+                emit_round_start(round, sim_time, &online);
+                if online.is_empty() {
+                    let rec = RoundRecord { round, sim_time, ..Default::default() };
+                    emit_kernel_dispatch(round, &mut kstats);
+                    emit_round_end(&rec);
+                    history.rounds.push(rec);
+                    continue;
+                }
+
+                // ① PS side: ratios, plans, residuals for the online
+                // fleet (same order and formulas as the loop engine).
+                let ratios: Vec<f32> = online
+                    .iter()
+                    .map(|&w| match opts.fixed_ratio {
                         Some(r) => r,
                         None => agents[w].select(),
                     })
@@ -211,51 +410,136 @@ pub fn run_fedmp_threaded(
                     .collect();
                 let residuals: Vec<_> = plans
                     .iter()
-                    .map(|p| state_sub(&global.state(), &sparse_state(&global, p)))
+                    .map(|p| {
+                        let r = state_sub(&global.state(), &sparse_state(&global, p));
+                        if opts.quantize_residuals {
+                            dequantize_state(&quantize_state(&r))
+                        } else {
+                            r
+                        }
+                    })
                     .collect();
 
                 // Dispatch frames: sub-model extraction and wire
                 // encoding fan out across the round executor, then the
                 // sends happen serially in worker order.
-                let prepared = exec::ordered_map((0..workers).collect(), |_, w| {
-                    let sub = extract_sequential(&global, &plans[w]);
+                let prepared = exec::ordered_map((0..online.len()).collect(), |_, i| {
+                    let sub = extract_sequential(&global, &plans[i]);
                     let frame = encode_state(&sub.state());
                     (sub, frame)
                 });
-                for (w, (sub, frame)) in prepared.into_iter().enumerate() {
+                for (i, (sub, frame)) in prepared.into_iter().enumerate() {
+                    let w = online[i];
+                    let lost = plan.draw(round, w).drop_down;
                     downlinks[w]
-                        .0
-                        .send(DownlinkMsg { round, frame, template: sub })
+                        .send(DownlinkMsg::Dispatch { round, frame, template: sub, lost })
                         .map_err(|_| RuntimeError::WorkerLost { worker: w })?;
                 }
 
-                // Collect all uploads, then order by worker index for
-                // deterministic aggregation.
-                let mut slots: Vec<Option<UplinkPayload>> = (0..workers).map(|_| None).collect();
-                for _ in 0..workers {
+                // Collection barrier: drive every dispatched exchange
+                // to a terminal outcome (delivered / excluded). This
+                // loop does **no** order-sensitive processing — arrival
+                // order varies run to run; everything deterministic
+                // happens after the barrier, in worker order.
+                enum Slot {
+                    Waiting,
+                    PendingRetry { template: Sequential, outcome: LocalOutcome },
+                    Delivered { frame: Bytes, template: Sequential, outcome: LocalOutcome },
+                    Excluded(&'static str),
+                }
+                let mut pos = vec![usize::MAX; workers];
+                for (i, &w) in online.iter().enumerate() {
+                    pos[w] = i;
+                }
+                let mut slots: Vec<Slot> = online.iter().map(|_| Slot::Waiting).collect();
+                let mut retries = vec![0u32; online.len()];
+                let mut outstanding = online.len();
+                while outstanding > 0 {
                     let Ok(msg) = uplink_rx.recv() else {
-                        // Every sender hung up before the round completed.
-                        let worker = slots.iter().position(Option::is_none).unwrap_or_default();
-                        return Err(RuntimeError::WorkerLost { worker });
+                        // The PS holds an uplink sender for respawns,
+                        // so this is unreachable; fail typed, not loud.
+                        return Err(RuntimeError::WorkerLost { worker: 0 });
                     };
                     let w = msg.worker;
-                    slots[w] = Some(msg.payload?);
-                }
-                let mut uploads: Vec<UplinkPayload> = Vec::with_capacity(workers);
-                for (w, slot) in slots.into_iter().enumerate() {
-                    match slot {
-                        Some(p) => uploads.push(p),
-                        // A duplicate upload left some other slot empty.
-                        None => return Err(RuntimeError::WorkerLost { worker: w }),
+                    if msg.round != round || w >= workers || pos[w] == usize::MAX {
+                        // Stale or phantom message — the lock-step
+                        // protocol cannot produce one; skip defensively.
+                        continue;
+                    }
+                    let i = pos[w];
+                    let framed = match msg.body {
+                        UplinkBody::Model { frame, template, outcome } => {
+                            Some((frame, template, outcome))
+                        }
+                        UplinkBody::Frame { frame } => {
+                            match std::mem::replace(&mut slots[i], Slot::Waiting) {
+                                Slot::PendingRetry { template, outcome } => {
+                                    Some((frame, template, outcome))
+                                }
+                                // A retransmission with nothing pending
+                                // is a protocol violation.
+                                _ => return Err(RuntimeError::CorruptFrame { worker: w, round }),
+                            }
+                        }
+                        UplinkBody::Lost => {
+                            slots[i] = Slot::Excluded("dropped");
+                            outstanding -= 1;
+                            None
+                        }
+                        UplinkBody::Crashed => {
+                            crashed[w] = true;
+                            slots[i] = Slot::Excluded("crashed");
+                            outstanding -= 1;
+                            None
+                        }
+                        UplinkBody::Undecodable => {
+                            return Err(RuntimeError::CorruptFrame { worker: w, round })
+                        }
+                    };
+                    if let Some((frame, template, outcome)) = framed {
+                        if frame_checksum_ok(&frame) {
+                            slots[i] = Slot::Delivered { frame, template, outcome };
+                            outstanding -= 1;
+                        } else if retries[i] < chaos.max_retransmits {
+                            // Bounded retransmit: ask the worker to
+                            // resend its cached clean frame.
+                            retries[i] += 1;
+                            slots[i] = Slot::PendingRetry { template, outcome };
+                            downlinks[w]
+                                .send(DownlinkMsg::Retransmit { round })
+                                .map_err(|_| RuntimeError::WorkerLost { worker: w })?;
+                        } else {
+                            slots[i] = Slot::Excluded("corrupt");
+                            outstanding -= 1;
+                        }
                     }
                 }
 
-                // Virtual-clock accounting (same formulas as the loop engine).
-                let mut times = Vec::with_capacity(workers);
+                // Post-barrier: fold the outcomes in worker order.
+                let mut deliveries: Vec<Delivery> = Vec::with_capacity(online.len());
+                let mut transport_excluded: Vec<(usize, &'static str)> = Vec::new();
+                for (i, slot) in slots.into_iter().enumerate() {
+                    match slot {
+                        Slot::Delivered { frame, template, outcome } => {
+                            deliveries.push(Delivery { pos: i, frame, template, outcome });
+                        }
+                        Slot::Excluded(reason) => transport_excluded.push((i, reason)),
+                        // The barrier drives every slot terminal.
+                        Slot::Waiting | Slot::PendingRetry { .. } => {
+                            return Err(RuntimeError::WorkerLost { worker: online[i] })
+                        }
+                    }
+                }
+
+                // Virtual-clock accounting for delivered uploads (same
+                // formulas as the loop engine), plus the chaos
+                // penalties: retransmit backoff and injected delay.
+                let mut times = Vec::with_capacity(deliveries.len());
                 let mut mean_comp = 0.0;
                 let mut mean_comm = 0.0;
-                for (w, up) in uploads.iter().enumerate() {
-                    let cost = model_round_cost(&up.template, setup.task.input_chw, &cfg.local);
+                for d in &deliveries {
+                    let w = online[d.pos];
+                    let cost = model_round_cost(&d.template, setup.task.input_chw, &cfg.local);
                     let mut rng = worker_rng(cfg.seed ^ 0xA5A5, round, w);
                     let t = setup.simulate_round(w, &cost, &mut rng);
                     mean_comp += t.comp;
@@ -263,68 +547,157 @@ pub fn run_fedmp_threaded(
                     emit_local_train(
                         round,
                         w,
-                        ratios[w],
-                        up.outcome.mean_loss,
-                        up.outcome.delta_loss(),
+                        ratios[d.pos],
+                        d.outcome.mean_loss,
+                        d.outcome.delta_loss(),
                         cfg.local.tau,
-                        up.outcome.samples,
+                        d.outcome.samples,
                         &t,
                         &setup.scaled_cost(&cost),
                     );
-                    times.push(t.total());
+                    let draw = plan.draw(round, w);
+                    times.push(t.total() + draw.delay_secs + chaos.backoff_total(retries[d.pos]));
                 }
-                mean_comp /= workers as f64;
-                mean_comm /= workers as f64;
-                let round_time = times.iter().copied().fold(0.0, f64::max);
-                sim_time += round_time;
-
-                if opts.fixed_ratio.is_none() {
-                    let t_avg = sum_f64(times.iter().copied()) / workers as f64;
-                    for (w, agent) in agents.iter_mut().enumerate() {
-                        agent.observe(eucb_reward(
-                            uploads[w].outcome.delta_loss(),
-                            times[w],
-                            t_avg,
-                            &opts.reward,
-                        ));
+                let dn = deliveries.len().max(1) as f64;
+                mean_comp /= dn;
+                mean_comm /= dn;
+                for (i, &r) in retries.iter().enumerate() {
+                    for attempt in 1..=r {
+                        emit_frame_retransmit(
+                            round,
+                            online[i],
+                            attempt,
+                            chaos.backoff_for(attempt),
+                        );
                     }
                 }
 
-                // ③ Decode uploads and aggregate. Frame decode and
-                // state recovery fan out per worker; the fallible
-                // results come back in worker order so error reporting
-                // is unchanged.
+                // §V-A deadline over the delivered arrivals: stragglers
+                // past `factor · d` are excluded from aggregation (but
+                // still trained and still teach the bandit, exactly
+                // like the loop engine).
+                let deadline = opts
+                    .faults
+                    .and_then(|f| deadline_for(&times, f.deadline_frac, f.deadline_factor));
+                let kept: Vec<usize> = match deadline {
+                    Some(d) => (0..deliveries.len()).filter(|&k| times[k] <= d).collect(),
+                    None => (0..deliveries.len()).collect(),
+                };
+                let max_t = times.iter().copied().fold(0.0, f64::max);
+                let undelivered = online.len() - deliveries.len();
+                let round_time = match deadline {
+                    // With lost exchanges the PS waits the whole
+                    // deadline window for arrivals that never come.
+                    Some(d) if undelivered > 0 => d,
+                    Some(d) => max_t.min(d),
+                    None => max_t,
+                };
+                sim_time += round_time;
+
+                // Exclusion events, worker order: transport exclusions
+                // then deadline stragglers, merged by online position.
+                let mut excluded = vec![None::<&'static str>; online.len()];
+                for &(i, reason) in &transport_excluded {
+                    excluded[i] = Some(reason);
+                }
+                for (k, d) in deliveries.iter().enumerate() {
+                    if !kept.contains(&k) {
+                        excluded[d.pos] = Some("deadline");
+                    }
+                }
+                for (i, reason) in excluded.iter().enumerate() {
+                    if let Some(reason) = reason {
+                        emit_worker_excluded(round, online[i], reason);
+                    }
+                }
+
+                // Bandit feedback (Eq. 8) for every delivered worker;
+                // a worker whose outcome never arrived (lost, corrupt
+                // beyond the budget, crashed) abandons its pull — no
+                // reward can honestly be assigned to it.
+                if opts.fixed_ratio.is_none() {
+                    let mut delivered = vec![false; online.len()];
+                    for d in &deliveries {
+                        delivered[d.pos] = true;
+                    }
+                    if !deliveries.is_empty() {
+                        let t_avg = sum_f64(times.iter().copied()) / deliveries.len() as f64;
+                        for (k, d) in deliveries.iter().enumerate() {
+                            agents[online[d.pos]].observe(eucb_reward(
+                                d.outcome.delta_loss(),
+                                times[k],
+                                t_avg,
+                                &opts.reward,
+                            ));
+                        }
+                    }
+                    for (i, &w) in online.iter().enumerate() {
+                        if !delivered[i] {
+                            agents[w].abandon();
+                        }
+                    }
+                }
+
+                // ③ Decode the kept uploads and aggregate under the
+                // quorum. Frame decode and state recovery fan out; the
+                // fallible results come back in worker order.
                 let decoded = exec::ordered_map(
-                    uploads.iter().zip(plans.iter()).collect(),
-                    |_, (up, plan)| {
-                        decode_state(&up.frame).map(|state| {
-                            let mut model = up.template.clone();
+                    kept.iter().map(|&k| &deliveries[k]).collect(),
+                    |_, d: &Delivery| {
+                        decode_state(&d.frame).map(|state| {
+                            let mut model = d.template.clone();
                             model.load_state(&state);
-                            recover_state(&model, plan, &global)
+                            recover_state(&model, &plans[d.pos], &global)
                         })
                     },
                 );
-                let mut recovered = Vec::with_capacity(workers);
-                for (w, dec) in decoded.into_iter().enumerate() {
+                let mut recovered = Vec::with_capacity(kept.len());
+                for (k, dec) in kept.iter().zip(decoded) {
+                    let w = online[deliveries[*k].pos];
                     recovered
                         .push(dec.map_err(|_| RuntimeError::CorruptFrame { worker: w, round })?);
                 }
+                let kept_residuals: Vec<_> =
+                    kept.iter().map(|&k| residuals[deliveries[k].pos].clone()).collect();
+                let quorum = chaos.quorum(online.len());
                 let new_state = match opts.sync {
-                    SyncScheme::R2SP => r2sp_aggregate(&recovered, &residuals),
-                    SyncScheme::BSP => bsp_aggregate(&recovered),
+                    SyncScheme::R2SP => quorum_aggregate(&recovered, &kept_residuals, quorum),
+                    SyncScheme::BSP => {
+                        if recovered.is_empty() || recovered.len() < quorum {
+                            None
+                        } else {
+                            Some(bsp_aggregate(&recovered))
+                        }
+                    }
                 };
-                global.load_state(&new_state);
-                emit_aggregate(
-                    round,
-                    match opts.sync {
-                        SyncScheme::R2SP => "R2SP",
-                        SyncScheme::BSP => "BSP",
-                    },
-                    workers,
-                );
+                let participants = match new_state {
+                    Some(s) => {
+                        global.load_state(&s);
+                        if kept.len() < online.len() {
+                            emit_quorum_aggregate(
+                                round,
+                                quorum,
+                                kept.len(),
+                                online.len() - kept.len(),
+                            );
+                        }
+                        emit_aggregate(
+                            round,
+                            match opts.sync {
+                                SyncScheme::R2SP => "R2SP",
+                                SyncScheme::BSP => "BSP",
+                            },
+                            kept.len(),
+                        );
+                        kept.len()
+                    }
+                    // Below quorum: the round's uploads are discarded
+                    // and the global model carries over unchanged.
+                    None => 0,
+                };
 
-                let train_loss =
-                    sum_f32(uploads.iter().map(|u| u.outcome.mean_loss)) / workers as f32;
+                let train_loss = sum_f32(kept.iter().map(|&k| deliveries[k].outcome.mean_loss))
+                    / kept.len() as f32;
                 let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
                     let r = evaluate_image(
                         &mut global,
@@ -346,6 +719,9 @@ pub fn run_fedmp_threaded(
                     train_loss,
                     eval,
                     ratios,
+                    participants,
+                    retries: retries.iter().map(|&r| r as usize).sum(),
+                    exclusions: online.len() - kept.len(),
                 };
                 emit_round_end(&rec);
                 history.rounds.push(rec);
@@ -353,23 +729,22 @@ pub fn run_fedmp_threaded(
             Ok(())
         })();
 
-        // Closing the downlinks ends the worker loops (or, after an
-        // error, unblocks workers still waiting on a frame), so the
-        // scope can join every thread on both exit paths.
+        // Join guarantee, on BOTH exit paths: closing every downlink
+        // ends each worker's receive loop, and dropping the uplink
+        // receiver errors out any worker mid-send, so the surrounding
+        // scope always joins every thread (including respawned ones).
         drop(downlinks);
+        drop(uplink_rx);
         ps
     });
     result?;
-
-    assert_eq!(*uplink_count.lock(), cfg.rounds * workers, "upload bookkeeping");
     Ok(history)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engines::fedmp::run_fedmp;
-    use crate::task::ImageTask;
+    use crate::engines::fedmp::{run_fedmp, FaultOptions};
     use fedmp_data::{iid_partition, mnist_like};
     use fedmp_edgesim::{tx2_profile, ComputeMode, LinkQuality, TimeModel};
     use fedmp_nn::zoo;
@@ -388,6 +763,10 @@ mod tests {
         (task, devices)
     }
 
+    fn canonical(h: &RunHistory) -> String {
+        serde_json::to_string(h).expect("serialise history")
+    }
+
     #[test]
     fn threaded_runtime_matches_loop_engine_exactly() {
         let (task, devices) = setup_task(260);
@@ -398,15 +777,40 @@ mod tests {
         let opts = FedMpOptions::default();
 
         let sequential = run_fedmp(&cfg, &setup, global.clone(), &opts);
-        let threaded = run_fedmp_threaded(&cfg, &setup, global, &opts).expect("no faults");
+        let threaded = run_fedmp_threaded(&cfg, &setup, global, &opts).expect("threaded run");
 
-        assert_eq!(sequential.rounds.len(), threaded.rounds.len());
-        for (a, b) in sequential.rounds.iter().zip(threaded.rounds.iter()) {
-            assert_eq!(a.ratios, b.ratios, "round {}", a.round);
-            assert_eq!(a.train_loss, b.train_loss, "round {}", a.round);
-            assert_eq!(a.sim_time, b.sim_time, "round {}", a.round);
-            assert_eq!(a.eval, b.eval, "round {}", a.round);
-        }
+        assert_eq!(canonical(&sequential), canonical(&threaded));
+    }
+
+    #[test]
+    fn threaded_runtime_matches_loop_engine_with_faults() {
+        // The §V-A path — injector churn, deadlines, partial
+        // aggregation — must line up bit-for-bit with the loop engine
+        // when transport chaos is off.
+        let (task, devices) = setup_task(270);
+        let setup = FlSetup::new(&task, devices, TimeModel::default());
+        let mut rng = seeded_rng(271);
+        let global = zoo::cnn_mnist(0.12, &mut rng);
+        let cfg = FlConfig { rounds: 6, eval_every: 3, ..Default::default() };
+        let opts = FedMpOptions {
+            faults: Some(FaultOptions {
+                fail_prob: 0.35,
+                recover_rounds: 1,
+                deadline_frac: 0.75,
+                deadline_factor: 1.2,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+
+        let sequential = run_fedmp(&cfg, &setup, global.clone(), &opts);
+        let threaded = run_fedmp_threaded(&cfg, &setup, global, &opts).expect("threaded run");
+        assert_eq!(canonical(&sequential), canonical(&threaded));
+        // The schedule actually exercised churn.
+        assert!(
+            sequential.rounds.iter().any(|r| r.ratios.len() < 3),
+            "no worker ever went offline at fail_prob = 0.35"
+        );
     }
 
     #[test]
@@ -418,24 +822,47 @@ mod tests {
         let cfg = FlConfig { rounds: 2, ..Default::default() };
         let opts =
             FedMpOptions { sync: SyncScheme::BSP, fixed_ratio: Some(0.4), ..Default::default() };
-        let h = run_fedmp_threaded(&cfg, &setup, global, &opts).expect("no faults");
+        let h = run_fedmp_threaded(&cfg, &setup, global, &opts).expect("threaded run");
         assert_eq!(h.rounds.len(), 2);
         assert!(h.rounds.iter().all(|r| r.ratios.iter().all(|&x| x == 0.4)));
+        assert!(h.rounds.iter().all(|r| r.participants == 3 && r.exclusions == 0));
     }
 
     #[test]
-    fn faults_are_rejected_as_an_error() {
+    fn chaos_run_completes_every_round_and_recovers() {
         let (task, devices) = setup_task(264);
-        let setup = FlSetup::new(&task, devices, TimeModel::deterministic());
+        let setup = FlSetup::new(&task, devices, TimeModel::default());
         let mut rng = seeded_rng(265);
         let global = zoo::cnn_mnist(0.1, &mut rng);
-        let cfg = FlConfig { rounds: 1, ..Default::default() };
+        let cfg = FlConfig { rounds: 8, eval_every: 4, ..Default::default() };
         let opts = FedMpOptions {
-            faults: Some(crate::engines::fedmp::FaultOptions::default()),
+            faults: Some(FaultOptions { fail_prob: 0.15, recover_rounds: 1, ..Default::default() }),
             ..Default::default()
         };
-        let err = run_fedmp_threaded(&cfg, &setup, global, &opts).unwrap_err();
-        assert_eq!(err, RuntimeError::FaultsUnsupported);
-        assert!(err.to_string().contains("fault injection"));
+        let chaos = ChaosOptions::demo(1);
+        let h = run_fedmp_threaded_chaos(&cfg, &setup, global, &opts, &chaos).expect("chaos run");
+        assert_eq!(h.rounds.len(), 8, "chaos must not shorten the run");
+        // The demo plan is violent enough that *something* happened.
+        let retries: usize = h.rounds.iter().map(|r| r.retries).sum();
+        let exclusions: usize = h.rounds.iter().map(|r| r.exclusions).sum();
+        assert!(retries + exclusions > 0, "demo chaos produced no recoveries");
+        // And rounds that aggregated did so with a sensible quorum.
+        assert!(h.rounds.iter().all(|r| r.participants <= 3));
+        assert!(h.final_accuracy().is_some());
+    }
+
+    #[test]
+    fn chaos_runs_are_seed_reproducible() {
+        let (task, devices) = setup_task(266);
+        let setup = FlSetup::new(&task, devices, TimeModel::default());
+        let mut rng = seeded_rng(267);
+        let global = zoo::cnn_mnist(0.1, &mut rng);
+        let cfg = FlConfig { rounds: 5, ..Default::default() };
+        let opts = FedMpOptions { faults: Some(FaultOptions::default()), ..Default::default() };
+        let chaos = ChaosOptions::demo(2);
+        let a = run_fedmp_threaded_chaos(&cfg, &setup, global.clone(), &opts, &chaos)
+            .expect("chaos run a");
+        let b = run_fedmp_threaded_chaos(&cfg, &setup, global, &opts, &chaos).expect("chaos run b");
+        assert_eq!(canonical(&a), canonical(&b));
     }
 }

@@ -93,6 +93,26 @@ pub fn encode_state(state: &[StateEntry]) -> Bytes {
     buf.freeze()
 }
 
+/// Cheap transport-integrity check: verifies only the magic and the
+/// trailing FNV-1a checksum, without building tensors. This is what the
+/// threaded runtime's PS runs on every arriving upload to decide
+/// between accepting the frame and requesting a retransmit — a frame
+/// that fails here is corrupt in transit; a frame that passes can only
+/// fail [`decode_state`] through an encoder-side protocol violation.
+pub fn frame_checksum_ok(frame: &[u8]) -> bool {
+    if frame.len() < 12 {
+        return false;
+    }
+    let magic = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]);
+    if magic != MAGIC {
+        return false;
+    }
+    let tail = frame.len() - 4;
+    let declared =
+        u32::from_le_bytes([frame[tail], frame[tail + 1], frame[tail + 2], frame[tail + 3]]);
+    fnv1a(&frame[4..tail]) == declared
+}
+
 /// Decodes a frame produced by [`encode_state`].
 pub fn decode_state(frame: &[u8]) -> Result<Vec<StateEntry>, WireError> {
     if frame.len() < 12 {
@@ -201,6 +221,22 @@ mod tests {
         let mid = bad.len() / 2;
         bad[mid] ^= 0xFF;
         assert!(matches!(decode_state(&bad), Err(WireError::BadChecksum)));
+    }
+
+    #[test]
+    fn checksum_check_agrees_with_decode() {
+        let mut rng = seeded_rng(255);
+        let m = zoo::cnn_mnist(0.1, &mut rng);
+        let frame = encode_state(&m.state());
+        assert!(frame_checksum_ok(&frame));
+        // A single flipped byte anywhere in the body fails the check.
+        for pos in [4, frame.len() / 2, frame.len() - 5] {
+            let mut bad = frame.to_vec();
+            bad[pos] ^= 0xFF;
+            assert!(!frame_checksum_ok(&bad), "flip at {pos} undetected");
+        }
+        assert!(!frame_checksum_ok(&[0u8; 16])); // bad magic
+        assert!(!frame_checksum_ok(&[1, 2, 3])); // truncated
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Property tests for the quorum aggregation path of the threaded
+//! runtime: a k-of-n partial round must aggregate **bit-identically**
+//! to [`r2sp_aggregate`] over the same participant set — the recovery
+//! policy changes *who* is averaged, never *how*.
+
+use fedmp_fl::{quorum_aggregate, r2sp_aggregate};
+use fedmp_nn::StateEntry;
+use fedmp_tensor::{seeded_rng, Tensor};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// A small random two-entry snapshot (a "weight" matrix and a "bias"
+/// vector), values in ±2.
+fn random_state(rng: &mut impl Rng) -> Vec<StateEntry> {
+    let w: Vec<f32> = (0..12).map(|_| rng.gen::<f32>() * 4.0 - 2.0).collect();
+    let b: Vec<f32> = (0..4).map(|_| rng.gen::<f32>() * 4.0 - 2.0).collect();
+    vec![
+        StateEntry::trainable("w", Tensor::from_vec(w, &[3, 4]).expect("weight shape")),
+        StateEntry::trainable("b", Tensor::from_vec(b, &[4]).expect("bias shape")),
+    ]
+}
+
+/// Bitwise canonical form of a snapshot — `f32` payloads as raw bits,
+/// so the comparison cannot be fooled by `-0.0 == 0.0` or NaN quirks.
+fn bits(state: &[StateEntry]) -> Vec<(String, Vec<u32>)> {
+    state
+        .iter()
+        .map(|e| (e.name.clone(), e.tensor.data().iter().map(|v| v.to_bits()).collect()))
+        .collect()
+}
+
+/// Independent reference for the R2SP mean, mirroring the production
+/// accumulation order (complete each participant with its residual,
+/// fold left-to-right, then multiply by `1/k`) with raw `f32` loops.
+fn reference_r2sp(recovered: &[Vec<StateEntry>], residuals: &[Vec<StateEntry>]) -> Vec<Vec<u32>> {
+    let completed: Vec<Vec<Vec<f32>>> = recovered
+        .iter()
+        .zip(residuals.iter())
+        .map(|(r, q)| {
+            r.iter()
+                .zip(q.iter())
+                .map(|(x, y)| {
+                    x.tensor.data().iter().zip(y.tensor.data().iter()).map(|(a, b)| a + b).collect()
+                })
+                .collect()
+        })
+        .collect();
+    let mut acc = completed[0].clone();
+    for c in &completed[1..] {
+        for (ae, ce) in acc.iter_mut().zip(c.iter()) {
+            for (a, v) in ae.iter_mut().zip(ce.iter()) {
+                *a += v;
+            }
+        }
+    }
+    let s = 1.0 / completed.len() as f32;
+    acc.into_iter().map(|e| e.into_iter().map(|v| (v * s).to_bits()).collect()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For every quorum the runtime actually uses — full strength `n`,
+    /// one-short `n − 1`, and the bare majority `⌈n/2⌉` — aggregating a
+    /// random k-subset under `quorum = k` equals `r2sp_aggregate` over
+    /// that same subset, bit for bit, and matches an independently
+    /// computed reference mean.
+    #[test]
+    fn k_of_n_quorum_matches_r2sp_bitwise(seed in 0u64..100_000, n in 2usize..7) {
+        let mut rng = seeded_rng(seed);
+        let recovered: Vec<Vec<StateEntry>> = (0..n).map(|_| random_state(&mut rng)).collect();
+        let residuals: Vec<Vec<StateEntry>> = (0..n).map(|_| random_state(&mut rng)).collect();
+
+        for k in [n, n - 1, n.div_ceil(2)] {
+            if k == 0 {
+                continue;
+            }
+            // A random k-subset of the fleet, in worker order (the
+            // runtime always keeps participants in worker order).
+            let mut picks: Vec<usize> = (0..n).collect();
+            for i in (1..picks.len()).rev() {
+                picks.swap(i, rng.gen_range(0..=i));
+            }
+            let mut subset = picks[..k].to_vec();
+            subset.sort_unstable();
+            let rec: Vec<_> = subset.iter().map(|&i| recovered[i].clone()).collect();
+            let res: Vec<_> = subset.iter().map(|&i| residuals[i].clone()).collect();
+
+            let via_quorum = quorum_aggregate(&rec, &res, k)
+                .expect("k participants meet a quorum of k");
+            let via_r2sp = r2sp_aggregate(&rec, &res);
+            prop_assert_eq!(
+                bits(&via_quorum),
+                bits(&via_r2sp),
+                "quorum path diverged from r2sp at k={}/{}",
+                k,
+                n
+            );
+            let reference = reference_r2sp(&rec, &res);
+            for (entry, expected) in bits(&via_quorum).iter().zip(reference.iter()) {
+                prop_assert_eq!(&entry.1, expected, "reference mean mismatch at k={}/{}", k, n);
+            }
+
+            // One participant short of the quorum: no aggregation.
+            prop_assert!(quorum_aggregate(&rec[..k - 1], &res[..k - 1], k).is_none());
+        }
+        // No participants at all never aggregates, whatever the quorum.
+        prop_assert!(quorum_aggregate(&[], &[], 0).is_none());
+        prop_assert!(quorum_aggregate(&[], &[], 1).is_none());
+    }
+}

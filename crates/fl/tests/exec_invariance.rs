@@ -12,10 +12,10 @@
 use fedmp_data::{iid_partition, mnist_like, ptb_like, TextBatch, TextDataset};
 use fedmp_edgesim::{tx2_profile, ComputeMode, LinkQuality, TimeModel};
 use fedmp_fl::{
-    run_async, run_fedmp, run_fedmp_threaded, run_fedprox, run_flexcom, run_lm, run_synfl,
-    run_upfl, AsyncMode, AsyncOptions, CostScale, FaultOptions, FedMpOptions, FedProxOptions,
-    FlConfig, FlSetup, FlexComOptions, ImageTask, LmMethod, LmOptions, LmSetup, RunHistory,
-    SyncScheme, UpFlOptions,
+    run_async, run_fedmp, run_fedmp_threaded, run_fedmp_threaded_chaos, run_fedprox, run_flexcom,
+    run_lm, run_synfl, run_upfl, AsyncMode, AsyncOptions, ChaosOptions, CostScale, FaultOptions,
+    FedMpOptions, FedProxOptions, FlConfig, FlSetup, FlexComOptions, ImageTask, LmMethod,
+    LmOptions, LmSetup, RunHistory, SyncScheme, UpFlOptions,
 };
 use fedmp_nn::zoo;
 use fedmp_obs::{diff, RunManifest, Trace, TraceSession};
@@ -121,6 +121,28 @@ fn run_all(threads: usize, seed: u64) -> Vec<(&'static str, RunHistory, Trace)> 
             }),
         ),
         ("lm-fedmp", Box::new(|| run_lm(&lm_setup, &lm_opts, LmMethod::FedMp, lm_global.clone()))),
+        // Appended last so earlier indices (the serial[1] sanity check
+        // below) stay stable.
+        (
+            "threaded-faults",
+            Box::new(|| {
+                run_fedmp_threaded(&cfg, &setup, global.clone(), &faulty)
+                    .expect("threaded faulted runtime")
+            }),
+        ),
+        (
+            "threaded-chaos",
+            Box::new(|| {
+                run_fedmp_threaded_chaos(
+                    &cfg,
+                    &setup,
+                    global.clone(),
+                    &faulty,
+                    &ChaosOptions::demo(1),
+                )
+                .expect("threaded chaos runtime")
+            }),
+        ),
     ];
 
     let mut out = Vec::with_capacity(engines.len());
@@ -170,5 +192,20 @@ proptest! {
         let (_, _, ft) = &serial[1];
         let injected = ft.events.iter().filter(|e| e.kind() == "FaultInjected").count();
         prop_assert!(injected > 0, "no faults materialised at fail_prob=0.6 (seed {})", seed);
+        // Sanity for the chaos variant: at least one recovery event
+        // fired, so its invariance covers the retransmit / exclusion /
+        // rejoin machinery rather than a quiet run. (Any single event
+        // class alone can legitimately sit out a short run; the union
+        // is near-certain under the demo plan.)
+        let (cn, _, ct) = serial.last().expect("engines non-empty");
+        prop_assert_eq!(*cn, "threaded-chaos");
+        let recoveries = ct
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(e.kind(), "FrameRetransmit" | "WorkerExcluded" | "WorkerRejoined")
+            })
+            .count();
+        prop_assert!(recoveries > 0, "demo chaos produced no recovery events (seed {})", seed);
     }
 }

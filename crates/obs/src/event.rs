@@ -85,6 +85,52 @@ pub enum TraceEvent {
         /// Worker index.
         worker: usize,
     },
+    /// The PS received a corrupt upload frame and asked the worker to
+    /// resend it (threaded runtime only). One event per retransmit
+    /// request, in worker-index order within the round.
+    FrameRetransmit {
+        /// Round index.
+        round: usize,
+        /// Worker whose frame was corrupt.
+        worker: usize,
+        /// Retransmit attempt number (1-based).
+        attempt: u32,
+        /// Exponential-backoff delay charged to the worker's virtual
+        /// arrival time for this attempt (`base · 2^(attempt−1)`).
+        backoff_secs: f64,
+    },
+    /// A worker's round contribution was discarded: its upload missed
+    /// the §V-A deadline, exhausted the retransmit budget, was lost in
+    /// transit, or the worker crashed mid-round.
+    WorkerExcluded {
+        /// Round index.
+        round: usize,
+        /// Worker index.
+        worker: usize,
+        /// Why the contribution was discarded: `"deadline"`,
+        /// `"corrupt"`, `"dropped"` or `"crashed"`.
+        reason: String,
+    },
+    /// A crashed worker thread was restarted with a fresh channel pair
+    /// and re-enters the fleet this round (threaded runtime only).
+    WorkerRejoined {
+        /// Round index.
+        round: usize,
+        /// Worker index.
+        worker: usize,
+    },
+    /// The PS aggregated a *partial* round: a quorum of uploads arrived
+    /// but at least one online worker's contribution was excluded.
+    QuorumAggregate {
+        /// Round index.
+        round: usize,
+        /// Minimum uploads required to aggregate.
+        quorum: usize,
+        /// Uploads actually merged.
+        participants: usize,
+        /// Online workers whose contributions were excluded.
+        excluded: usize,
+    },
     /// Kernel-scheduler activity since the previous `KernelDispatch`
     /// event (one is emitted per round). Counters come from
     /// `tensor::parallel` and are **thread-count-invariant**: they count
@@ -125,13 +171,17 @@ pub enum TraceEvent {
 
 impl TraceEvent {
     /// Every event kind this enum can emit, in definition order.
-    pub const KINDS: [&'static str; 8] = [
+    pub const KINDS: [&'static str; 12] = [
         "RoundStart",
         "LocalTrain",
         "BanditDecision",
         "Aggregate",
         "FaultInjected",
         "FaultRecovered",
+        "FrameRetransmit",
+        "WorkerExcluded",
+        "WorkerRejoined",
+        "QuorumAggregate",
         "KernelDispatch",
         "RoundEnd",
     ];
@@ -146,6 +196,10 @@ impl TraceEvent {
             TraceEvent::Aggregate { .. } => "Aggregate",
             TraceEvent::FaultInjected { .. } => "FaultInjected",
             TraceEvent::FaultRecovered { .. } => "FaultRecovered",
+            TraceEvent::FrameRetransmit { .. } => "FrameRetransmit",
+            TraceEvent::WorkerExcluded { .. } => "WorkerExcluded",
+            TraceEvent::WorkerRejoined { .. } => "WorkerRejoined",
+            TraceEvent::QuorumAggregate { .. } => "QuorumAggregate",
             TraceEvent::KernelDispatch { .. } => "KernelDispatch",
             TraceEvent::RoundEnd { .. } => "RoundEnd",
         }
@@ -173,6 +227,10 @@ impl TraceEvent {
             TraceEvent::Aggregate { round: 0, scheme: "R2SP".into(), participants: 2 },
             TraceEvent::FaultInjected { worker: 1, down_rounds: 2 },
             TraceEvent::FaultRecovered { worker: 1 },
+            TraceEvent::FrameRetransmit { round: 0, worker: 2, attempt: 1, backoff_secs: 0.5 },
+            TraceEvent::WorkerExcluded { round: 0, worker: 2, reason: "corrupt".into() },
+            TraceEvent::WorkerRejoined { round: 1, worker: 2 },
+            TraceEvent::QuorumAggregate { round: 0, quorum: 2, participants: 2, excluded: 1 },
             TraceEvent::KernelDispatch { round: 0, dispatches: 96, bands: 384 },
             TraceEvent::RoundEnd {
                 round: 0,

@@ -26,7 +26,7 @@ fn main() {
     let sequential = run_fedmp(&spec.fl, &setup, built.model.clone(), &opts);
     println!("running the threaded runtime (1 thread/worker, wire frames)…");
     let threaded = run_fedmp_threaded(&spec.fl, &setup, built.model.clone(), &opts)
-        .expect("no faults configured");
+        .expect("clean transport: only protocol violations are terminal");
 
     println!("\n  round   loop-engine loss   threaded loss   identical?");
     for (a, b) in sequential.rounds.iter().zip(threaded.rounds.iter()) {

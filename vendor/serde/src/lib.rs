@@ -63,6 +63,20 @@ pub fn __get_field<T: Deserialize>(
     T::from_value(v).map_err(|e| DeError::new(format!("{ty}.{key}: {e}")))
 }
 
+/// Like [`__get_field`], but a missing key falls back to the field
+/// type's `Default` — the backing for `#[serde(default)]`, which keeps
+/// old serialised records readable after a struct gains fields.
+pub fn __get_field_or_default<T: Deserialize + Default>(
+    obj: &[(String, Value)],
+    key: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v).map_err(|e| DeError::new(format!("{ty}.{key}: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Serialize impls for std types
 // ---------------------------------------------------------------------

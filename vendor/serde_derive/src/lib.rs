@@ -9,8 +9,9 @@
 //!   unit structs
 //! * enums with unit, newtype, tuple and struct variants (externally
 //!   tagged, like real serde)
-//! * the field attributes `#[serde(skip)]` and
-//!   `#[serde(skip, default = "path::to::fn")]`
+//! * the field attributes `#[serde(skip)]`,
+//!   `#[serde(skip, default = "path::to::fn")]` and bare
+//!   `#[serde(default)]` (field optional on deserialise)
 //!
 //! Anything outside that subset panics at compile time with a clear
 //! message rather than silently mis-serialising.
@@ -57,6 +58,9 @@ struct Field {
     /// Path of a `fn() -> T` used for skipped fields on deserialise;
     /// `None` means `Default::default()`.
     default: Option<String>,
+    /// Bare `#[serde(default)]`: the field serialises normally but may
+    /// be absent on deserialise, falling back to `Default::default()`.
+    or_default: bool,
 }
 
 struct Variant {
@@ -162,6 +166,8 @@ fn apply_serde_words(field: &mut Field, words: &[String]) {
     for w in words {
         if w == "skip" {
             field.skip = true;
+        } else if w == "default" {
+            field.or_default = true;
         } else if let Some(path) = w.strip_prefix("default=") {
             field.default = Some(path.trim_matches('"').to_string());
         } else {
@@ -214,7 +220,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
             }
             pos += 1;
         }
-        let mut field = Field { name, skip: false, default: None };
+        let mut field = Field { name, skip: false, default: None, or_default: false };
         apply_serde_words(&mut field, &words);
         fields.push(field);
     }
@@ -374,6 +380,11 @@ fn gen_named_ctor(ty_path: &str, err_ty: &str, fields: &[Field], obj_var: &str) 
         .map(|f| {
             if f.skip {
                 format!("{}: {}", f.name, default_expr(f))
+            } else if f.or_default {
+                format!(
+                    "{f}: ::serde::__get_field_or_default({obj_var}, \"{f}\", \"{err_ty}\")?",
+                    f = f.name
+                )
             } else {
                 format!("{f}: ::serde::__get_field({obj_var}, \"{f}\", \"{err_ty}\")?", f = f.name)
             }
