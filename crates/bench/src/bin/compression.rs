@@ -1,0 +1,216 @@
+//! Compression × pruning ablation: wire-v2 codec policies against the
+//! dense baseline, at two fixed pruning ratios.
+//!
+//! Runs FedMP on a High-heterogeneity fleet (so the adaptive policy's
+//! slow-link branch actually fires on the Far-link workers) under every
+//! uplink codec policy, captures the per-worker wire traffic and Eq. 5
+//! communication seconds from the trace stream, and writes the grid to
+//! `bench-results/compression.json`. Run with:
+//!
+//! ```text
+//! cargo run --release -p fedmp-bench --bin compression
+//! ```
+//!
+//! Set `FEDMP_BENCH_SMOKE=1` (CI) for a 6-worker, 3-round configuration
+//! that exercises the same code paths in seconds.
+//!
+//! In-bin regression gates:
+//! * int8 top-k uplink traffic is ≥ 4× smaller per round than dense;
+//! * the adaptive policy shifts Eq. 5 communication time down on the
+//!   bandwidth-constrained (Far-link) workers;
+//! * every compressed cell's converged accuracy stays within tolerance
+//!   of the dense baseline at matched rounds.
+
+use fedmp_bench::save_result;
+use fedmp_core::{ExperimentSpec, TaskKind};
+use fedmp_edgesim::{HeterogeneityLevel, SLOW_LINK_BPS};
+use fedmp_fl::{run_fedmp, Codec, CompressionPolicy, FedMpOptions, FlSetup, RunHistory};
+use fedmp_obs::{RunManifest, TraceEvent, TraceSession};
+use serde_json::json;
+
+/// First round (1-based) whose evaluation reached `target` accuracy.
+fn rounds_to_accuracy(h: &RunHistory, target: f32) -> Option<usize> {
+    h.rounds.iter().position(|r| r.eval.is_some_and(|(_, acc)| acc >= target)).map(|i| i + 1)
+}
+
+/// Trace-derived cell metrics.
+struct CellStats {
+    uplink_bytes: f64,
+    downlink_bytes: f64,
+    slow_comm_mean: f64,
+    fast_comm_mean: f64,
+}
+
+fn cell_stats(events: &[TraceEvent], slow: &[bool]) -> CellStats {
+    let mut s = CellStats {
+        uplink_bytes: 0.0,
+        downlink_bytes: 0.0,
+        slow_comm_mean: 0.0,
+        fast_comm_mean: 0.0,
+    };
+    let (mut slow_n, mut fast_n) = (0usize, 0usize);
+    for ev in events {
+        if let TraceEvent::LocalTrain { worker, comm_secs, bytes_down, bytes_up, .. } = ev {
+            s.uplink_bytes += bytes_up;
+            s.downlink_bytes += bytes_down;
+            if slow[*worker] {
+                s.slow_comm_mean += comm_secs;
+                slow_n += 1;
+            } else {
+                s.fast_comm_mean += comm_secs;
+                fast_n += 1;
+            }
+        }
+    }
+    s.slow_comm_mean /= slow_n.max(1) as f64;
+    s.fast_comm_mean /= fast_n.max(1) as f64;
+    s
+}
+
+fn main() {
+    let smoke = std::env::var("FEDMP_BENCH_SMOKE").as_deref() == Ok("1");
+    let mut spec = ExperimentSpec::bench(TaskKind::CnnMnist);
+    // High heterogeneity includes cluster C (Far links, 12 Mbit/s) —
+    // the bandwidth-constrained class the adaptive policy compresses.
+    spec.level = HeterogeneityLevel::High;
+    spec.workers = if smoke { 6 } else { 10 };
+    spec.fl.rounds = if smoke { 3 } else { 8 };
+    spec.fl.eval_every = 1;
+
+    let built = spec.build();
+    let setup =
+        FlSetup::with_cost_scale(&built.task, built.devices.clone(), built.time, built.cost_scale);
+    let global = built.model;
+    let cfg = spec.fl;
+    let slow: Vec<bool> = built.devices.iter().map(|d| d.is_slow_link(SLOW_LINK_BPS)).collect();
+    let slow_count = slow.iter().filter(|&&s| s).count();
+    assert!(
+        slow_count > 0 && slow_count < slow.len(),
+        "fleet must mix slow and fast links for the ablation to mean anything"
+    );
+
+    let policies: [(&str, CompressionPolicy); 5] = [
+        ("dense", CompressionPolicy::dense()),
+        ("f16-up", CompressionPolicy::uniform_uplink(Codec::DenseF16)),
+        ("int8-up", CompressionPolicy::uniform_uplink(Codec::Int8)),
+        ("topk-int8-up", CompressionPolicy::uniform_uplink(Codec::TopKInt8 { keep: 0.1 })),
+        ("adaptive", CompressionPolicy::adaptive()),
+    ];
+    let ratios: [f32; 2] = [0.0, 0.5];
+
+    println!(
+        "compression x pruning, CNN/MNIST, {} workers ({} slow links) x {} rounds{}",
+        spec.workers,
+        slow_count,
+        spec.fl.rounds,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut cells = Vec::new();
+    // Keyed copies for the regression gates below.
+    let mut dense_per_ratio: Vec<(f32, f64, f64, f32)> = Vec::new(); // (ratio, up/round, slow_comm, acc)
+    for &ratio in &ratios {
+        for (name, policy) in &policies {
+            let opts = FedMpOptions {
+                fixed_ratio: Some(ratio),
+                compression: *policy,
+                ..Default::default()
+            };
+            let manifest = RunManifest::new(
+                &format!("compression-{name}"),
+                cfg.seed,
+                spec.workers,
+                cfg.rounds,
+                1,
+            );
+            let session = TraceSession::capture(&manifest);
+            let history = run_fedmp(&cfg, &setup, global.clone(), &opts);
+            let trace = session.finish();
+            let stats = cell_stats(&trace.events, &slow);
+            let acc = history.final_accuracy().expect("evaluated run");
+            let up_per_round = stats.uplink_bytes / cfg.rounds as f64;
+            if *name == "dense" {
+                dense_per_ratio.push((ratio, up_per_round, stats.slow_comm_mean, acc));
+            }
+            let dense_row =
+                dense_per_ratio.iter().find(|(r, ..)| *r == ratio).expect("dense cell runs first");
+            let target = (dense_row.3 * 0.9).min(0.99);
+            let to_target = rounds_to_accuracy(&history, target);
+            println!(
+                "ratio {ratio:.1} {name:<13} up/round {up_per_round:12.0} B  \
+                 slow-comm {:.2}s  fast-comm {:.2}s  acc {acc:.3}",
+                stats.slow_comm_mean, stats.fast_comm_mean
+            );
+            cells.push(json!({
+                "policy": name,
+                "fixed_ratio": ratio,
+                "uplink_bytes_total": stats.uplink_bytes,
+                "uplink_bytes_per_round": up_per_round,
+                "downlink_bytes_total": stats.downlink_bytes,
+                "slow_comm_secs_mean": stats.slow_comm_mean,
+                "fast_comm_secs_mean": stats.fast_comm_mean,
+                "final_accuracy": acc,
+                "target_accuracy": target,
+                "rounds_to_target": to_target,
+                "sim_time_total": history.rounds.last().map(|r| r.sim_time),
+            }));
+        }
+    }
+
+    // Regression gates over the grid.
+    let cell = |policy: &str, ratio: f32| {
+        cells
+            .iter()
+            .find(|c| c["policy"] == policy && c["fixed_ratio"].as_f64() == Some(ratio as f64))
+            .unwrap_or_else(|| panic!("missing cell {policy}/{ratio}"))
+    };
+    for &ratio in &ratios {
+        let dense = cell("dense", ratio);
+        let topk = cell("topk-int8-up", ratio);
+        let adaptive = cell("adaptive", ratio);
+        let dense_up = dense["uplink_bytes_per_round"].as_f64().unwrap();
+        let topk_up = topk["uplink_bytes_per_round"].as_f64().unwrap();
+        assert!(
+            topk_up * 4.0 <= dense_up,
+            "ratio {ratio}: int8 top-k uplink not >=4x smaller: {topk_up} vs {dense_up}"
+        );
+        let dense_slow = dense["slow_comm_secs_mean"].as_f64().unwrap();
+        let adaptive_slow = adaptive["slow_comm_secs_mean"].as_f64().unwrap();
+        assert!(
+            adaptive_slow < dense_slow,
+            "ratio {ratio}: adaptive policy did not shift Eq. 5 comm time on slow links: \
+             {adaptive_slow} vs {dense_slow}"
+        );
+        let dense_acc = dense["final_accuracy"].as_f64().unwrap();
+        for (name, _) in &policies {
+            let acc = cell(name, ratio)["final_accuracy"].as_f64().unwrap();
+            assert!(
+                acc > dense_acc - 0.15,
+                "ratio {ratio}: policy {name} accuracy {acc} fell out of tolerance of dense \
+                 {dense_acc} at matched rounds"
+            );
+        }
+    }
+    let headline_dense = cell("dense", 0.0)["uplink_bytes_per_round"].as_f64().unwrap();
+    let headline_topk = cell("topk-int8-up", 0.0)["uplink_bytes_per_round"].as_f64().unwrap();
+    let reduction = headline_dense / headline_topk;
+
+    save_result(
+        "compression",
+        &json!({
+            "generated_by": "cargo run --release -p fedmp-bench --bin compression",
+            "smoke": smoke,
+            "task": "CnnMnist",
+            "workers": spec.workers,
+            "slow_link_workers": slow_count,
+            "rounds": spec.fl.rounds,
+            "slow_link_bps": SLOW_LINK_BPS,
+            "cells": cells,
+            "headline": {
+                "policy": "topk-int8-up",
+                "uplink_reduction_vs_dense": reduction,
+            },
+        }),
+    );
+    println!("headline: int8 top-k uplink {reduction:.1}x smaller than dense per round");
+}

@@ -4,8 +4,8 @@
 use crate::config::ExperimentSpec;
 use fedmp_fl::{
     run_async, run_fedmp, run_fedmp_threaded_chaos, run_fedprox, run_flexcom, run_synfl, run_upfl,
-    AsyncMode, AsyncOptions, ChaosOptions, FedMpOptions, FedProxOptions, FlSetup, FlexComOptions,
-    RunHistory, RuntimeError, SyncScheme, UpFlOptions,
+    AsyncMode, AsyncOptions, ChaosOptions, CompressionPolicy, FedMpOptions, FedProxOptions,
+    FlSetup, FlexComOptions, RunHistory, RuntimeError, SyncScheme, UpFlOptions,
 };
 use serde::{Deserialize, Serialize};
 
@@ -26,6 +26,9 @@ pub enum Method {
     FedMpBsp,
     /// FedMP at a fixed uniform ratio (Fig. 2 / Fig. 5 sweeps).
     FedMpFixed(f32),
+    /// FedMP under the adaptive wire-v2 compression policy: slow links
+    /// download `f16` and upload int8 top-k deltas with error feedback.
+    FedMpCompressed,
     /// Asynchronous FedAvg \[43\], aggregating `m` arrivals per round.
     AsynFl {
         /// Arrivals per aggregation.
@@ -49,6 +52,7 @@ impl Method {
             Method::FedMp => "FedMP".into(),
             Method::FedMpBsp => "FedMP-BSP".into(),
             Method::FedMpFixed(r) => format!("FedMP(α={r})"),
+            Method::FedMpCompressed => "FedMP-compressed".into(),
             Method::AsynFl { .. } => "Asyn-FL".into(),
             Method::AsynFedMp { .. } => "Asyn-FedMP".into(),
         }
@@ -83,6 +87,11 @@ pub fn run_method(spec: &ExperimentSpec, method: Method) -> RunHistory {
         }
         Method::FedMpFixed(ratio) => {
             let opts = FedMpOptions { fixed_ratio: Some(ratio), ..Default::default() };
+            run_fedmp(&spec.fl, &setup, built.model, &opts)
+        }
+        Method::FedMpCompressed => {
+            let opts =
+                FedMpOptions { compression: CompressionPolicy::adaptive(), ..Default::default() };
             run_fedmp(&spec.fl, &setup, built.model, &opts)
         }
         Method::AsynFl { m } => {
@@ -180,6 +189,7 @@ mod tests {
             Method::FedMp,
             Method::FedMpBsp,
             Method::FedMpFixed(0.5),
+            Method::FedMpCompressed,
             Method::AsynFl { m: 2 },
             Method::AsynFedMp { m: 2 },
         ] {

@@ -66,6 +66,12 @@ impl LinkQuality {
     }
 }
 
+/// Default bandwidth threshold (bit/s) below which a link counts as
+/// *slow* for adaptive compression policies: between the Mid tier
+/// (40 Mbit/s) and the Far tier (12 Mbit/s), so only bandwidth-starved
+/// placements pay the lossy-codec accuracy tax.
+pub const SLOW_LINK_BPS: f64 = 20.0e6;
+
 /// A simulated edge worker: computing mode plus link quality.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DeviceProfile {
@@ -84,6 +90,12 @@ impl DeviceProfile {
     /// Link bandwidth, bit/s.
     pub fn bandwidth(&self) -> f64 {
         self.link.bandwidth_bps()
+    }
+
+    /// Whether this device's link is bandwidth-constrained: at or below
+    /// `threshold_bps` sustained bits per second (see [`SLOW_LINK_BPS`]).
+    pub fn is_slow_link(&self, threshold_bps: f64) -> bool {
+        self.bandwidth() <= threshold_bps
     }
 }
 
@@ -121,5 +133,15 @@ mod tests {
         let p = tx2_profile(ComputeMode::Mode1, LinkQuality::Far);
         assert_eq!(p.flops(), ComputeMode::Mode1.effective_flops());
         assert_eq!(p.bandwidth(), LinkQuality::Far.bandwidth_bps());
+    }
+
+    #[test]
+    fn slow_link_threshold_splits_far_from_mid() {
+        let far = tx2_profile(ComputeMode::Mode3, LinkQuality::Far);
+        let mid = tx2_profile(ComputeMode::Mode2, LinkQuality::Mid);
+        let near = tx2_profile(ComputeMode::Mode0, LinkQuality::Near);
+        assert!(far.is_slow_link(SLOW_LINK_BPS));
+        assert!(!mid.is_slow_link(SLOW_LINK_BPS));
+        assert!(!near.is_slow_link(SLOW_LINK_BPS));
     }
 }

@@ -34,7 +34,7 @@ mod queue;
 mod time_model;
 
 pub use cluster::{heterogeneity_scenario, sample_cluster_device, Cluster, HeterogeneityLevel};
-pub use device::{tx2_profile, ComputeMode, DeviceProfile, LinkQuality};
+pub use device::{tx2_profile, ComputeMode, DeviceProfile, LinkQuality, SLOW_LINK_BPS};
 pub use drift::DriftModel;
 pub use energy::{EnergyModel, EnergyReport};
 pub use faults::{deadline_for, FaultInjector};

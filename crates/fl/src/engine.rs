@@ -301,6 +301,42 @@ pub(crate) fn emit_round_end(r: &RoundRecord) {
     });
 }
 
+/// Emits `CodecSelected` for one worker's resolved codec pair.
+pub(crate) fn emit_codec_selected(
+    round: usize,
+    worker: usize,
+    pair: &crate::wire::LinkCodecs,
+    slow_link: bool,
+) {
+    let (downlink, uplink) = (pair.downlink.label(), pair.uplink.label());
+    fedmp_obs::emit(move || TraceEvent::CodecSelected {
+        round,
+        worker,
+        downlink,
+        uplink,
+        slow_link,
+    });
+}
+
+/// Emits `CompressionApplied` for one direction of a worker's exchange.
+pub(crate) fn emit_compression_applied(
+    round: usize,
+    worker: usize,
+    direction: &'static str,
+    codec: crate::wire::Codec,
+    dense_bytes: u64,
+    wire_bytes: u64,
+) {
+    fedmp_obs::emit(move || TraceEvent::CompressionApplied {
+        round,
+        worker,
+        direction: direction.to_string(),
+        codec: codec.label(),
+        dense_bytes,
+        wire_bytes,
+    });
+}
+
 /// Snapshot of the kernel-scheduler counters, taken at engine start as
 /// the baseline for per-round `KernelDispatch` deltas.
 pub(crate) fn kernel_baseline() -> KernelStats {

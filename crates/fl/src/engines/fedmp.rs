@@ -4,20 +4,22 @@
 use crate::aggregate::{bsp_aggregate, r2sp_aggregate};
 use crate::engine::worker_rng;
 use crate::engine::{
-    emit_aggregate, emit_kernel_dispatch, emit_local_train, emit_quorum_aggregate, emit_round_end,
-    emit_round_start, emit_worker_excluded, kernel_baseline, model_round_cost, worker_batches,
-    FlConfig, FlSetup, SyncScheme,
+    emit_aggregate, emit_codec_selected, emit_compression_applied, emit_kernel_dispatch,
+    emit_local_train, emit_quorum_aggregate, emit_round_end, emit_round_start,
+    emit_worker_excluded, kernel_baseline, model_round_cost, worker_batches, FlConfig, FlSetup,
+    SyncScheme,
 };
 use crate::eval::evaluate_image;
 use crate::exec;
 use crate::history::{RoundRecord, RunHistory};
-use crate::local::local_train;
+use crate::local::{local_train, LocalOutcome};
+use crate::wire::{codec_delivered, wire_size_v2, Codec, CompressionPolicy, ErrorFeedback};
 use fedmp_bandit::{eucb_reward, Bandit, EUcbAgent, EUcbConfig, RewardConfig};
 use fedmp_edgesim::{deadline_for, FaultInjector};
-use fedmp_nn::{state_sub, Sequential};
+use fedmp_nn::{state_sub, Sequential, StateEntry};
 use fedmp_pruning::{
     dequantize_state, extract_sequential, plan_sequential_with, quantize_state, recover_state,
-    sparse_state, Importance,
+    sparse_state, Importance, PrunePlan,
 };
 use fedmp_tensor::parallel::{sum_f32, sum_f64};
 use serde::{Deserialize, Serialize};
@@ -88,6 +90,12 @@ pub struct FedMpOptions {
     /// Filter/neuron importance metric (§VI: the pruning strategy is
     /// pluggable; the paper's default is L1).
     pub importance: Importance,
+    /// Wire-format-v2 codec selection per device link. The default
+    /// ([`CompressionPolicy::dense`]) keeps the exact legacy dense-f32
+    /// exchange, byte-for-byte; any other policy routes model exchange
+    /// through the v2 codecs with per-worker error feedback.
+    #[serde(default)]
+    pub compression: CompressionPolicy,
 }
 
 impl Default for FedMpOptions {
@@ -100,8 +108,28 @@ impl Default for FedMpOptions {
             quantize_residuals: false,
             faults: None,
             importance: Importance::L1,
+            compression: CompressionPolicy::dense(),
         }
     }
+}
+
+/// One direction of a compressed exchange, for cost accounting and the
+/// `CompressionApplied` trace event.
+struct LinkApplied {
+    codec: Codec,
+    wire_bytes: u64,
+    dense_bytes: u64,
+}
+
+/// Everything one worker's fanned-out round work produces.
+struct WorkerRound {
+    sub: Sequential,
+    outcome: LocalOutcome,
+    plan: PrunePlan,
+    residual: Vec<StateEntry>,
+    feedback: ErrorFeedback,
+    down: Option<LinkApplied>,
+    up: Option<LinkApplied>,
 }
 
 /// Runs FedMP for `cfg.rounds` rounds starting from `global`.
@@ -131,6 +159,14 @@ pub fn run_fedmp(
     let mut fault_rng = fedmp_tensor::seeded_rng(cfg.seed ^ 0xFA17);
     let mut kstats = kernel_baseline();
 
+    // Wire-format-v2 compression: per-worker codec pairs from the
+    // bandwidth policy, plus per-worker error-feedback accumulators
+    // that persist across rounds. With the default dense policy the
+    // whole path below is byte-identical to the legacy engine.
+    let compression = opts.compression;
+    let compressed = !compression.is_dense();
+    let mut feedbacks: Vec<ErrorFeedback> = vec![ErrorFeedback::new(); workers];
+
     for round in 0..cfg.rounds {
         // §V-A: failed workers sit the round out. (`step` emits the
         // FaultInjected/FaultRecovered trace events, so they precede
@@ -156,6 +192,16 @@ pub fn run_fedmp(
                 None => agents[w].select(),
             })
             .collect();
+        // Per-worker codec pairs for the round (pure function of the
+        // device profiles, resolved PS-side in worker order).
+        let pairs: Vec<crate::wire::LinkCodecs> =
+            online.iter().map(|&w| compression.select(&setup.devices[w])).collect();
+        if compressed {
+            for (i, &w) in online.iter().enumerate() {
+                let slow = setup.devices[w].is_slow_link(compression.slow_link_bps);
+                emit_codec_selected(round, w, &pairs[i], slow);
+            }
+        }
         // ② Per-worker round work, fanned across the round executor:
         // plan and extract the sub-model, form the PS-side residual
         // (kept until aggregation, §III-C, optionally 8-bit quantized
@@ -165,8 +211,13 @@ pub fn run_fedmp(
         // order-sensitive steps — bandit selection above, timing,
         // aggregation and trace emission below — stay on this thread
         // in worker order.
-        let work: Vec<(usize, f32)> = online.iter().copied().zip(ratios.iter().copied()).collect();
-        let results = exec::ordered_map(work, |_, (w, ratio)| {
+        let work: Vec<(usize, f32, ErrorFeedback)> = online
+            .iter()
+            .copied()
+            .zip(ratios.iter().copied())
+            .map(|(w, r)| (w, r, std::mem::take(&mut feedbacks[w])))
+            .collect();
+        let mut results = exec::ordered_map(work, |i, (w, ratio, mut feedback)| {
             let plan = plan_sequential_with(&global, setup.task.input_chw, ratio, opts.importance);
             let mut sub: Sequential = extract_sequential(&global, &plan);
             let residual = state_sub(&global.state(), &sparse_state(&global, &plan));
@@ -175,17 +226,76 @@ pub fn run_fedmp(
             } else {
                 residual
             };
+            // Downlink: the worker trains on what it *decodes*, which
+            // the PS predicts exactly via the codec oracle. No error
+            // feedback on the downlink — the PS state is authoritative
+            // and a fresh sub-model is extracted every round.
+            let pair = pairs[i];
+            let (received, down) = if compressed {
+                let sub_state = sub.state();
+                let delivered = codec_delivered(&sub_state, pair.downlink, None, None);
+                sub.load_state(&delivered);
+                let link = LinkApplied {
+                    codec: pair.downlink,
+                    wire_bytes: wire_size_v2(&sub_state, pair.downlink) as u64,
+                    dense_bytes: wire_size_v2(&sub_state, Codec::DenseF32) as u64,
+                };
+                (Some(delivered), Some(link))
+            } else {
+                (None, None)
+            };
             let mut batches = worker_batches(setup.task, w, cfg.local.batch, cfg.seed, round);
             let outcome = local_train(&mut sub, &mut batches, &cfg.local);
-            (sub, outcome, plan, residual)
+            // Uplink: a delta against the model the worker received,
+            // folded through its persistent error-feedback state. The
+            // engine continues with the *delivered* reconstruction —
+            // exactly what the PS would decode off the wire.
+            let up = if compressed {
+                let trained = sub.state();
+                let delivered = codec_delivered(
+                    &trained,
+                    pair.uplink,
+                    received.as_deref(),
+                    Some(&mut feedback),
+                );
+                sub.load_state(&delivered);
+                Some(LinkApplied {
+                    codec: pair.uplink,
+                    wire_bytes: wire_size_v2(&trained, pair.uplink) as u64,
+                    dense_bytes: wire_size_v2(&trained, Codec::DenseF32) as u64,
+                })
+            } else {
+                None
+            };
+            WorkerRound { sub, outcome, plan, residual, feedback, down, up }
         });
+        // Error-feedback state flows back to its worker slot (worker
+        // order — pure data movement, no float arithmetic).
+        for (i, &w) in online.iter().enumerate() {
+            feedbacks[w] = std::mem::take(&mut results[i].feedback);
+        }
 
         // Timing from each sub-model's actual cost (Eq. 5).
         let mut times = Vec::with_capacity(online.len());
         let mut mean_comp = 0.0;
         let mut mean_comm = 0.0;
-        for (i, ((sub, outcome, _, _), &w)) in results.iter().zip(online.iter()).enumerate() {
-            let cost = model_round_cost(sub, setup.task.input_chw, &cfg.local);
+        for (i, (r, &w)) in results.iter().zip(online.iter()).enumerate() {
+            let mut cost = model_round_cost(&r.sub, setup.task.input_chw, &cfg.local);
+            // Compressed links pay their actual encoded frame sizes in
+            // Eq. 5, not the dense parameter bytes.
+            if let (Some(down), Some(up)) = (&r.down, &r.up) {
+                cost.download_bytes = down.wire_bytes as f64;
+                cost.upload_bytes = up.wire_bytes as f64;
+                emit_compression_applied(
+                    round,
+                    w,
+                    "down",
+                    down.codec,
+                    down.dense_bytes,
+                    down.wire_bytes,
+                );
+                emit_compression_applied(round, w, "up", up.codec, up.dense_bytes, up.wire_bytes);
+            }
             let mut rng = worker_rng(cfg.seed ^ 0xA5A5, round, w);
             let t = setup.simulate_round(w, &cost, &mut rng);
             mean_comp += t.comp;
@@ -194,10 +304,10 @@ pub fn run_fedmp(
                 round,
                 w,
                 ratios[i],
-                outcome.mean_loss,
-                outcome.delta_loss(),
+                r.outcome.mean_loss,
+                r.outcome.delta_loss(),
                 cfg.local.tau,
-                outcome.samples,
+                r.outcome.samples,
                 &t,
                 &setup.scaled_cost(&cost),
             );
@@ -232,15 +342,17 @@ pub fn run_fedmp(
         if opts.fixed_ratio.is_none() {
             let t_avg = sum_f64(times.iter().copied()) / online.len() as f64;
             for (i, &w) in online.iter().enumerate() {
-                let delta = results[i].1.delta_loss();
+                let delta = results[i].outcome.delta_loss();
                 agents[w].observe(eucb_reward(delta, times[i], t_avg, &opts.reward));
             }
         }
 
         // ③ Model aggregation over the kept arrivals.
-        let recovered: Vec<_> =
-            kept.iter().map(|&i| recover_state(&results[i].0, &results[i].2, &global)).collect();
-        let kept_residuals: Vec<_> = kept.iter().map(|&i| results[i].3.clone()).collect();
+        let recovered: Vec<_> = kept
+            .iter()
+            .map(|&i| recover_state(&results[i].sub, &results[i].plan, &global))
+            .collect();
+        let kept_residuals: Vec<_> = kept.iter().map(|&i| results[i].residual.clone()).collect();
         let new_state = match opts.sync {
             SyncScheme::R2SP => r2sp_aggregate(&recovered, &kept_residuals),
             SyncScheme::BSP => bsp_aggregate(&recovered),
@@ -258,7 +370,8 @@ pub fn run_fedmp(
             kept.len(),
         );
 
-        let train_loss = sum_f32(kept.iter().map(|&i| results[i].1.mean_loss)) / kept.len() as f32;
+        let train_loss =
+            sum_f32(kept.iter().map(|&i| results[i].outcome.mean_loss)) / kept.len() as f32;
         let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
             let r =
                 evaluate_image(&mut global, &setup.task.test, cfg.eval_batch, cfg.eval_max_samples);
@@ -388,6 +501,55 @@ mod tests {
         let b = quant.final_accuracy().unwrap();
         // 8-bit residual storage must not meaningfully hurt training.
         assert!(b > a - 0.15, "quantized residuals degraded accuracy: {a} vs {b}");
+    }
+
+    #[test]
+    fn compressed_links_still_learn() {
+        // Adaptive wire-v2 compression (f16 downlink + int8 top-k
+        // uplink with error feedback on the slow link) must stay within
+        // tolerance of the dense baseline at matched rounds.
+        let (task, devices) = small_setup(96);
+        let setup = FlSetup::new(&task, devices, TimeModel::deterministic());
+        let mut rng = seeded_rng(97);
+        let global = zoo::cnn_mnist(0.15, &mut rng);
+        let cfg = FlConfig { rounds: 10, eval_every: 5, ..Default::default() };
+        let dense = run_fedmp(&cfg, &setup, global.clone(), &FedMpOptions::default());
+        let opts = FedMpOptions {
+            compression: crate::wire::CompressionPolicy::adaptive(),
+            ..Default::default()
+        };
+        let compressed = run_fedmp(&cfg, &setup, global, &opts);
+        let a = dense.final_accuracy().unwrap();
+        let b = compressed.final_accuracy().unwrap();
+        assert!(b > a - 0.15, "compressed links degraded accuracy: {a} vs {b}");
+        // The slow (Far) link's communication got cheaper, so the
+        // Eq. 5 completion times shift downward on the whole.
+        let dense_comm: f64 = dense.rounds.iter().map(|r| r.mean_comm).sum();
+        let comp_comm: f64 = compressed.rounds.iter().map(|r| r.mean_comm).sum();
+        assert!(
+            comp_comm < dense_comm,
+            "compression did not shift Eq. 5 comm time: {dense_comm} vs {comp_comm}"
+        );
+    }
+
+    #[test]
+    fn compressed_runs_are_seed_reproducible() {
+        let (task, devices) = small_setup(98);
+        let setup = FlSetup::new(&task, devices, TimeModel::deterministic());
+        let mut rng = seeded_rng(99);
+        let global = zoo::cnn_mnist(0.15, &mut rng);
+        let cfg = FlConfig { rounds: 4, eval_every: 2, ..Default::default() };
+        let opts = FedMpOptions {
+            compression: crate::wire::CompressionPolicy::adaptive(),
+            ..Default::default()
+        };
+        let a = run_fedmp(&cfg, &setup, global.clone(), &opts);
+        let b = run_fedmp(&cfg, &setup, global, &opts);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "compressed runs must be bit-identical under the same seed"
+        );
     }
 
     #[test]

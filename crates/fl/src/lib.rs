@@ -58,4 +58,8 @@ pub use runtime::{
     live_worker_threads, run_fedmp_threaded, run_fedmp_threaded_chaos, RuntimeError,
 };
 pub use task::ImageTask;
-pub use wire::{decode_state, encode_state, frame_checksum_ok, wire_size, WireError};
+pub use wire::{
+    codec_delivered, decode_state, decode_state_v2, encode_state, encode_state_v2, f16_bits_to_f32,
+    f32_to_f16_bits, frame_checksum_ok, frame_codec, topk_len, wire_size, wire_size_v2, Codec,
+    CompressionPolicy, ErrorFeedback, LinkCodecs, WireError,
+};

@@ -58,10 +58,10 @@
 use crate::aggregate::{bsp_aggregate, quorum_aggregate};
 use crate::chaos::{corrupted_copy, ChaosOptions};
 use crate::engine::{
-    emit_aggregate, emit_frame_retransmit, emit_kernel_dispatch, emit_local_train,
-    emit_quorum_aggregate, emit_round_end, emit_round_start, emit_worker_excluded,
-    emit_worker_rejoined, kernel_baseline, model_round_cost, worker_batches, worker_rng, FlConfig,
-    FlSetup, SyncScheme,
+    emit_aggregate, emit_codec_selected, emit_compression_applied, emit_frame_retransmit,
+    emit_kernel_dispatch, emit_local_train, emit_quorum_aggregate, emit_round_end,
+    emit_round_start, emit_worker_excluded, emit_worker_rejoined, kernel_baseline,
+    model_round_cost, worker_batches, worker_rng, FlConfig, FlSetup, SyncScheme,
 };
 use crate::engines::fedmp::FedMpOptions;
 use crate::eval::evaluate_image;
@@ -69,12 +69,15 @@ use crate::exec;
 use crate::history::{RoundRecord, RunHistory};
 use crate::local::{local_train, LocalOutcome, LocalTrainConfig};
 use crate::task::ImageTask;
-use crate::wire::{decode_state, encode_state, frame_checksum_ok};
+use crate::wire::{
+    codec_delivered, decode_state_v2, encode_state, encode_state_v2, frame_checksum_ok,
+    wire_size_v2, Codec, ErrorFeedback, LinkCodecs,
+};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use fedmp_bandit::{eucb_reward, Bandit, EUcbAgent};
 use fedmp_edgesim::deadline_for;
-use fedmp_nn::{state_sub, Sequential};
+use fedmp_nn::{state_sub, Sequential, StateEntry};
 use fedmp_pruning::{
     dequantize_state, extract_sequential, plan_sequential_with, quantize_state, recover_state,
     sparse_state,
@@ -194,11 +197,18 @@ fn worker_loop(
     local: LocalTrainConfig,
     seed: u64,
     plan: crate::chaos::ChaosPlan,
+    link: LinkCodecs,
+    compressed: bool,
 ) {
     LIVE_WORKERS.fetch_add(1, Ordering::SeqCst);
     // The clean upload frame of the current round plus how many times
     // it has been sent — the retransmission source.
     let mut cached: Option<(Bytes, u32)> = None;
+    // Uplink error feedback lives worker-side, exactly where the lossy
+    // encode happens. A respawned (crashed) worker starts from a zero
+    // accumulator — deterministic, since the crash schedule is a pure
+    // function of the chaos plan.
+    let mut feedback = ErrorFeedback::new();
     while let Ok(msg) = down_rx.recv() {
         let reply = match msg {
             DownlinkMsg::Dispatch { round, frame, template, lost } => {
@@ -218,12 +228,30 @@ fn worker_loop(
                     // oversubscribe the host (results are identical —
                     // kernels are thread-count invariant).
                     let trained = fedmp_tensor::parallel::with_nested_sequential(|| {
-                        decode_state(&frame).ok().map(|state| {
+                        // `decode_state_v2` accepts v1 (dense) and v2
+                        // (compressed) frames alike; a compressed
+                        // dispatch reconstructs exactly the snapshot the
+                        // PS's `codec_delivered` oracle predicts.
+                        decode_state_v2(&frame, None).ok().map(|state| {
                             let mut model = template;
                             model.load_state(&state);
                             let mut batches = worker_batches(task, w, local.batch, seed, round);
                             let outcome = local_train(&mut model, &mut batches, &local);
-                            (encode_state(&model.state()), model, outcome)
+                            // Encode (and fold the residual into the
+                            // error feedback) even when chaos later
+                            // drops the upload — the loss is in transit,
+                            // after the encoder ran.
+                            let up = if compressed {
+                                encode_state_v2(
+                                    &model.state(),
+                                    link.uplink,
+                                    Some(&state),
+                                    Some(&mut feedback),
+                                )
+                            } else {
+                                encode_state(&model.state())
+                            };
+                            (up, model, outcome)
                         })
                     });
                     match trained {
@@ -283,6 +311,16 @@ struct Delivery {
     outcome: LocalOutcome,
 }
 
+/// PS-side record of one compressed downlink dispatch: the snapshot the
+/// worker reconstructs (via the [`codec_delivered`] oracle — the uplink
+/// delta reference) plus the byte accounting for `CompressionApplied`
+/// events and the Eq. 5 communication terms.
+struct DownInfo {
+    received: Vec<StateEntry>,
+    wire_bytes: u64,
+    dense_bytes: u64,
+}
+
 /// Runs FedMP on the threaded runtime with no transport chaos.
 /// Produces a history bit-identical to [`crate::run_fedmp`] under the
 /// same options, including fault injection (`opts.faults`).
@@ -336,6 +374,13 @@ pub fn run_fedmp_threaded_chaos(
     let mut injector = opts.faults.map(|f| f.injector(workers));
     let mut fault_rng = fedmp_tensor::seeded_rng(cfg.seed ^ 0xFA17);
     let plan = crate::chaos::ChaosPlan::new(cfg.seed, chaos);
+    // Per-worker codec pairs are a pure function of the device profile,
+    // so they are fixed for the whole run and can be handed to the
+    // worker threads at spawn time.
+    let compression = opts.compression;
+    let compressed = !compression.is_dense();
+    let links: Vec<LinkCodecs> =
+        (0..workers).map(|w| compression.select(&setup.devices[w])).collect();
     // Trace events are emitted PS-side only, after the round's
     // collection barrier, so event order is deterministic and the
     // per-round kernel deltas are exact (all worker kernels for the
@@ -345,13 +390,15 @@ pub fn run_fedmp_threaded_chaos(
     let result = std::thread::scope(|scope| {
         let (uplink_tx, uplink_rx) = bounded::<UplinkMsg>(workers.max(1));
         let mut downlinks: Vec<Sender<DownlinkMsg>> = Vec::with_capacity(workers);
-        for w in 0..workers {
+        for (w, &link) in links.iter().enumerate() {
             let (down_tx, down_rx) = bounded::<DownlinkMsg>(2);
             let utx = uplink_tx.clone();
             let task = setup.task;
             let local = cfg.local;
             let seed = cfg.seed;
-            scope.spawn(move || worker_loop(w, down_rx, utx, task, local, seed, plan));
+            scope.spawn(move || {
+                worker_loop(w, down_rx, utx, task, local, seed, plan, link, compressed)
+            });
             downlinks.push(down_tx);
         }
         let mut crashed = vec![false; workers];
@@ -373,7 +420,10 @@ pub fn run_fedmp_threaded_chaos(
                     let task = setup.task;
                     let local = cfg.local;
                     let seed = cfg.seed;
-                    scope.spawn(move || worker_loop(w, down_rx, utx, task, local, seed, plan));
+                    let link = links[w];
+                    scope.spawn(move || {
+                        worker_loop(w, down_rx, utx, task, local, seed, plan, link, compressed)
+                    });
                     downlinks[w] = down_tx;
                     crashed[w] = false;
                     emit_worker_rejoined(round, w);
@@ -391,6 +441,12 @@ pub fn run_fedmp_threaded_chaos(
                     emit_round_end(&rec);
                     history.rounds.push(rec);
                     continue;
+                }
+                if compressed {
+                    for &w in &online {
+                        let slow = setup.devices[w].is_slow_link(compression.slow_link_bps);
+                        emit_codec_selected(round, w, &links[w], slow);
+                    }
                 }
 
                 // ① PS side: ratios, plans, residuals for the online
@@ -425,11 +481,24 @@ pub fn run_fedmp_threaded_chaos(
                 // sends happen serially in worker order.
                 let prepared = exec::ordered_map((0..online.len()).collect(), |_, i| {
                     let sub = extract_sequential(&global, &plans[i]);
-                    let frame = encode_state(&sub.state());
-                    (sub, frame)
+                    let sub_state = sub.state();
+                    if compressed {
+                        let pair = links[online[i]];
+                        let frame = encode_state_v2(&sub_state, pair.downlink, None, None);
+                        let info = DownInfo {
+                            received: codec_delivered(&sub_state, pair.downlink, None, None),
+                            wire_bytes: frame.len() as u64,
+                            dense_bytes: wire_size_v2(&sub_state, Codec::DenseF32) as u64,
+                        };
+                        (sub, frame, Some(info))
+                    } else {
+                        (sub, encode_state(&sub_state), None)
+                    }
                 });
-                for (i, (sub, frame)) in prepared.into_iter().enumerate() {
+                let mut down_info: Vec<Option<DownInfo>> = Vec::with_capacity(online.len());
+                for (i, (sub, frame, info)) in prepared.into_iter().enumerate() {
                     let w = online[i];
+                    down_info.push(info);
                     let lost = plan.draw(round, w).drop_down;
                     downlinks[w]
                         .send(DownlinkMsg::Dispatch { round, frame, template: sub, lost })
@@ -539,7 +608,31 @@ pub fn run_fedmp_threaded_chaos(
                 let mut mean_comm = 0.0;
                 for d in &deliveries {
                     let w = online[d.pos];
-                    let cost = model_round_cost(&d.template, setup.task.input_chw, &cfg.local);
+                    let mut cost = model_round_cost(&d.template, setup.task.input_chw, &cfg.local);
+                    // Compressed links pay their actual encoded frame
+                    // sizes in Eq. 5 (same override as the loop engine).
+                    if let Some(info) = &down_info[d.pos] {
+                        cost.download_bytes = info.wire_bytes as f64;
+                        cost.upload_bytes = d.frame.len() as f64;
+                        let pair = links[w];
+                        emit_compression_applied(
+                            round,
+                            w,
+                            "down",
+                            pair.downlink,
+                            info.dense_bytes,
+                            info.wire_bytes,
+                        );
+                        let up_dense = wire_size_v2(&d.template.state(), Codec::DenseF32) as u64;
+                        emit_compression_applied(
+                            round,
+                            w,
+                            "up",
+                            pair.uplink,
+                            up_dense,
+                            d.frame.len() as u64,
+                        );
+                    }
                     let mut rng = worker_rng(cfg.seed ^ 0xA5A5, round, w);
                     let t = setup.simulate_round(w, &cost, &mut rng);
                     mean_comp += t.comp;
@@ -644,7 +737,11 @@ pub fn run_fedmp_threaded_chaos(
                 let decoded = exec::ordered_map(
                     kept.iter().map(|&k| &deliveries[k]).collect(),
                     |_, d: &Delivery| {
-                        decode_state(&d.frame).map(|state| {
+                        // Compressed uplinks decode against the snapshot
+                        // the worker trained from (its decoded downlink,
+                        // which `codec_delivered` predicted exactly).
+                        let reference = down_info[d.pos].as_ref().map(|i| i.received.as_slice());
+                        decode_state_v2(&d.frame, reference).map(|state| {
                             let mut model = d.template.clone();
                             model.load_state(&state);
                             recover_state(&model, &plans[d.pos], &global)
@@ -811,6 +908,27 @@ mod tests {
             sequential.rounds.iter().any(|r| r.ratios.len() < 3),
             "no worker ever went offline at fail_prob = 0.35"
         );
+    }
+
+    #[test]
+    fn threaded_runtime_matches_loop_engine_with_compression() {
+        // Worker-side decode/encode (real frames, worker-resident error
+        // feedback) must reproduce the loop engine's `codec_delivered`
+        // oracle bit-for-bit. The Near/Mid/Far fleet exercises both the
+        // fast (dense) and slow (f16 down, top-k int8 up) pairs.
+        let (task, devices) = setup_task(272);
+        let setup = FlSetup::new(&task, devices, TimeModel::default());
+        let mut rng = seeded_rng(273);
+        let global = zoo::cnn_mnist(0.12, &mut rng);
+        let cfg = FlConfig { rounds: 4, eval_every: 2, ..Default::default() };
+        let opts = FedMpOptions {
+            compression: crate::wire::CompressionPolicy::adaptive(),
+            ..Default::default()
+        };
+
+        let sequential = run_fedmp(&cfg, &setup, global.clone(), &opts);
+        let threaded = run_fedmp_threaded(&cfg, &setup, global, &opts).expect("threaded run");
+        assert_eq!(canonical(&sequential), canonical(&threaded));
     }
 
     #[test]

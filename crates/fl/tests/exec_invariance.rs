@@ -13,9 +13,9 @@ use fedmp_data::{iid_partition, mnist_like, ptb_like, TextBatch, TextDataset};
 use fedmp_edgesim::{tx2_profile, ComputeMode, LinkQuality, TimeModel};
 use fedmp_fl::{
     run_async, run_fedmp, run_fedmp_threaded, run_fedmp_threaded_chaos, run_fedprox, run_flexcom,
-    run_lm, run_synfl, run_upfl, AsyncMode, AsyncOptions, ChaosOptions, CostScale, FaultOptions,
-    FedMpOptions, FedProxOptions, FlConfig, FlSetup, FlexComOptions, ImageTask, LmMethod,
-    LmOptions, LmSetup, RunHistory, SyncScheme, UpFlOptions,
+    run_lm, run_synfl, run_upfl, AsyncMode, AsyncOptions, ChaosOptions, CompressionPolicy,
+    CostScale, FaultOptions, FedMpOptions, FedProxOptions, FlConfig, FlSetup, FlexComOptions,
+    ImageTask, LmMethod, LmOptions, LmSetup, RunHistory, SyncScheme, UpFlOptions,
 };
 use fedmp_nn::zoo;
 use fedmp_obs::{diff, RunManifest, Trace, TraceSession};
@@ -73,6 +73,11 @@ fn run_all(threads: usize, seed: u64) -> Vec<(&'static str, RunHistory, Trace)> 
         faults: Some(FaultOptions { fail_prob: 0.6, recover_rounds: 1, ..Default::default() }),
         ..Default::default()
     };
+    // The Near/Mid/Far fleet puts worker 2 below the adaptive policy's
+    // bandwidth threshold, so dense and compressed codec pairs are both
+    // exercised in the same run.
+    let compressed =
+        FedMpOptions { compression: CompressionPolicy::adaptive(), ..Default::default() };
     let lm_setup = lm_task();
     let mut lm_rng = seeded_rng(seed ^ 0xF00D);
     let lm_global = zoo::lstm_ptb(30, 0.15, &mut lm_rng);
@@ -123,6 +128,14 @@ fn run_all(threads: usize, seed: u64) -> Vec<(&'static str, RunHistory, Trace)> 
         ("lm-fedmp", Box::new(|| run_lm(&lm_setup, &lm_opts, LmMethod::FedMp, lm_global.clone()))),
         // Appended last so earlier indices (the serial[1] sanity check
         // below) stay stable.
+        ("fedmp-compressed", Box::new(|| run_fedmp(&cfg, &setup, global.clone(), &compressed))),
+        (
+            "threaded-compressed",
+            Box::new(|| {
+                run_fedmp_threaded(&cfg, &setup, global.clone(), &compressed)
+                    .expect("threaded compressed runtime")
+            }),
+        ),
         (
             "threaded-faults",
             Box::new(|| {
@@ -207,5 +220,17 @@ proptest! {
             })
             .count();
         prop_assert!(recoveries > 0, "demo chaos produced no recovery events (seed {})", seed);
+        // Sanity for the compressed rows: the wire-v2 codec events
+        // fired, so their invariance covers the lossy encode paths.
+        let (_, _, wt) = serial
+            .iter()
+            .find(|(n, _, _)| *n == "fedmp-compressed")
+            .expect("fedmp-compressed row present");
+        let codec_events = wt
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind(), "CodecSelected" | "CompressionApplied"))
+            .count();
+        prop_assert!(codec_events > 0, "compressed run emitted no codec events (seed {})", seed);
     }
 }

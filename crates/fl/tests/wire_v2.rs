@@ -1,0 +1,281 @@
+//! Wire-format v2 property battery.
+//!
+//! Three contracts, each exercised for **every** codec:
+//!
+//! 1. **Round-trip exactness** — decoding an encoded frame reproduces
+//!    the encoder-side [`codec_delivered`] oracle bit-for-bit (all
+//!    lossiness happens at encode; decode is exact w.r.t. what was
+//!    encoded), with and without a delta reference, and the error
+//!    feedback the encoder accumulates equals the oracle's.
+//! 2. **Analytic sizing** — [`wire_size_v2`] matches the encoded frame
+//!    length byte-exactly, so the PS can budget Eq. 5 communication
+//!    time without encoding.
+//! 3. **Typed failure** — any single-byte corruption or truncation
+//!    fails [`frame_checksum_ok`] and decodes to a typed [`WireError`],
+//!    never a panic.
+//!
+//! Plus the analytic per-tensor error budgets for the lossy codecs and
+//! the 20-round error-feedback bias bound (the residual telescopes, so
+//! the time-averaged delivered signal converges to the generated one).
+
+use fedmp_fl::{
+    codec_delivered, decode_state_v2, encode_state_v2, f16_bits_to_f32, f32_to_f16_bits,
+    frame_checksum_ok, wire_size_v2, Codec, ErrorFeedback,
+};
+use fedmp_nn::StateEntry;
+use fedmp_tensor::{seeded_rng, uniform_vec, Tensor};
+use proptest::prelude::*;
+use rand::Rng;
+
+fn entry(name: &str, data: Vec<f32>, dims: &[usize], trainable: bool) -> StateEntry {
+    StateEntry {
+        name: name.to_string(),
+        tensor: Tensor::from_vec(data, dims).expect("test tensor"),
+        trainable,
+    }
+}
+
+/// Bit-exact view of a state for comparisons (NaN-safe, −0.0-aware).
+fn bits(state: &[StateEntry]) -> Vec<(String, bool, Vec<usize>, Vec<u32>)> {
+    state
+        .iter()
+        .map(|e| {
+            (
+                e.name.clone(),
+                e.trainable,
+                e.tensor.dims().to_vec(),
+                e.tensor.data().iter().map(|v| v.to_bits()).collect(),
+            )
+        })
+        .collect()
+}
+
+/// The codec under test, indexed by the proptest draw; `keep` only
+/// matters for the two sparse codecs.
+fn codec_from(idx: usize, keep: f32) -> Codec {
+    match idx {
+        0 => Codec::DenseF32,
+        1 => Codec::DenseF16,
+        2 => Codec::Int8,
+        3 => Codec::TopK { keep },
+        _ => Codec::TopKInt8 { keep },
+    }
+}
+
+/// 1–4 tensors, rank 1–3, dims 1–5, values in ±8 — small enough for
+/// many cases, varied enough to hit every codec branch (including
+/// `k < numel` and `k == numel` top-k selections).
+fn random_state(seed: u64) -> Vec<StateEntry> {
+    let mut rng = seeded_rng(seed);
+    let entries = rng.gen_range(1..5usize);
+    (0..entries)
+        .map(|i| {
+            let rank = rng.gen_range(1..4usize);
+            let dims: Vec<usize> = (0..rank).map(|_| rng.gen_range(1..6usize)).collect();
+            let numel = dims.iter().product();
+            let data = uniform_vec(numel, -8.0, 8.0, &mut rng);
+            entry(&format!("tensor{i}"), data, &dims, i % 2 == 0)
+        })
+        .collect()
+}
+
+/// A same-shaped reference snapshot (the "last acknowledged model"),
+/// derived deterministically so delta codecs see non-trivial deltas.
+fn reference_for(state: &[StateEntry]) -> Vec<StateEntry> {
+    state
+        .iter()
+        .map(|e| {
+            let data = e.tensor.data().iter().map(|v| v * 0.5 - 1.0).collect();
+            entry(&e.name, data, e.tensor.dims(), e.trainable)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn decode_matches_the_encoder_oracle_bit_for_bit(
+        seed in 0u64..100_000,
+        codec_idx in 0usize..5,
+        keep in 0.05f32..1.0,
+        use_ref in 0u8..2,
+    ) {
+        let state = random_state(seed);
+        let codec = codec_from(codec_idx, keep);
+        let reference = if use_ref == 1 { Some(reference_for(&state)) } else { None };
+        let mut ef_encode = ErrorFeedback::new();
+        let mut ef_oracle = ErrorFeedback::new();
+        let frame = encode_state_v2(&state, codec, reference.as_deref(), Some(&mut ef_encode));
+        let oracle = codec_delivered(&state, codec, reference.as_deref(), Some(&mut ef_oracle));
+        let decoded = decode_state_v2(&frame, reference.as_deref()).expect("clean frame decodes");
+        prop_assert_eq!(bits(&decoded), bits(&oracle), "decode != oracle for {}", codec.label());
+        prop_assert!(ef_encode == ef_oracle, "feedback diverged for {}", codec.label());
+        prop_assert!(frame_checksum_ok(&frame));
+        // Decoding the same frame twice is identical (retransmit path).
+        let again = decode_state_v2(&frame, reference.as_deref()).expect("second decode");
+        prop_assert_eq!(bits(&again), bits(&decoded));
+    }
+
+    #[test]
+    fn wire_size_matches_encoded_length_byte_exactly(
+        seed in 0u64..100_000,
+        codec_idx in 0usize..5,
+        keep in 0.05f32..1.0,
+    ) {
+        let state = random_state(seed);
+        let codec = codec_from(codec_idx, keep);
+        let frame = encode_state_v2(&state, codec, None, None);
+        prop_assert_eq!(frame.len(), wire_size_v2(&state, codec), "{}", codec.label());
+    }
+
+    #[test]
+    fn corrupted_frames_fail_typed_never_panic(
+        seed in 0u64..100_000,
+        codec_idx in 0usize..5,
+        keep in 0.05f32..1.0,
+        flip in 0.0f64..1.0,
+    ) {
+        let state = random_state(seed);
+        let codec = codec_from(codec_idx, keep);
+        let frame = encode_state_v2(&state, codec, None, None);
+        let mut bad = frame.to_vec();
+        let pos = ((flip * bad.len() as f64) as usize).min(bad.len() - 1);
+        bad[pos] ^= 0xFF;
+        // A single flipped byte anywhere must be caught: the transport
+        // check rejects it, and full decoding returns a typed error
+        // (FNV-1a steps are bijective, so one-byte flips always change
+        // the checksum; magic flips fail the magic check first).
+        prop_assert!(!frame_checksum_ok(&bad), "flip at {} passed the checksum", pos);
+        prop_assert!(decode_state_v2(&bad, None).is_err(), "flip at {} decoded", pos);
+    }
+
+    #[test]
+    fn truncated_frames_fail_typed_never_panic(
+        seed in 0u64..100_000,
+        codec_idx in 0usize..5,
+        keep in 0.05f32..1.0,
+        cut in 0.0f64..1.0,
+    ) {
+        let state = random_state(seed);
+        let codec = codec_from(codec_idx, keep);
+        let frame = encode_state_v2(&state, codec, None, None);
+        let len = ((cut * frame.len() as f64) as usize).min(frame.len() - 1);
+        prop_assert!(decode_state_v2(&frame[..len], None).is_err(), "prefix {} decoded", len);
+        prop_assert!(!frame_checksum_ok(&frame[..len]));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Analytic error budgets
+// ---------------------------------------------------------------------
+
+fn one_tensor_state(data: Vec<f32>) -> Vec<StateEntry> {
+    let n = data.len();
+    vec![entry("w", data, &[n], true)]
+}
+
+#[test]
+fn int8_error_is_within_half_a_quantization_step() {
+    // Symmetric int8: scale = max|x| / 127, rounding error ≤ scale / 2,
+    // i.e. ≤ max|x| / 254 per coordinate.
+    let mut rng = seeded_rng(41);
+    let data = uniform_vec(512, -3.0, 3.0, &mut rng);
+    let max_abs = data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let bound = max_abs / 254.0 * (1.0 + 1e-5);
+    let state = one_tensor_state(data.clone());
+    let delivered = codec_delivered(&state, Codec::Int8, None, None);
+    for (x, y) in data.iter().zip(delivered[0].tensor.data()) {
+        assert!((x - y).abs() <= bound, "int8 error {} exceeds bound {bound}", (x - y).abs());
+    }
+}
+
+#[test]
+fn f16_error_is_within_half_an_ulp() {
+    // binary16 round-to-nearest: relative error ≤ 2⁻¹¹ in the normal
+    // range, absolute error ≤ 2⁻²⁵ in the subnormal range.
+    let mut rng = seeded_rng(43);
+    let mut data = uniform_vec(512, -4.0, 4.0, &mut rng);
+    data.extend([0.0, -0.0, 1e-6, -1e-6, 6.1e-5, 65504.0]);
+    let state = one_tensor_state(data.clone());
+    let delivered = codec_delivered(&state, Codec::DenseF16, None, None);
+    for (x, y) in data.iter().zip(delivered[0].tensor.data()) {
+        let bound = x.abs() * (1.0 / 2048.0) + f32::powi(2.0, -25);
+        assert!((x - y).abs() <= bound, "f16 error for {x}: {y}");
+        // And the bit conversion itself round-trips through the same
+        // public helpers the codec uses.
+        assert_eq!(*y, f16_bits_to_f32(f32_to_f16_bits(*x)));
+    }
+}
+
+#[test]
+fn error_feedback_keeps_twenty_round_bias_below_epsilon() {
+    // EF telescopes: corrected_r = x_r + residual_{r-1} and
+    // delivered_r = corrected_r − residual_r, so over R rounds
+    //   Σ delivered = Σ x − residual_R.
+    // The residual stays bounded (it is re-fed and re-quantized every
+    // round), so the accumulated bias |Σ delivered − Σ x| / R vanishes
+    // as 1/R — the delivered signal carries the full generated mass.
+    for codec in [Codec::DenseF16, Codec::Int8, Codec::TopKInt8 { keep: 0.25 }] {
+        let mut rng = seeded_rng(47);
+        let n = 64;
+        let rounds = 20;
+        let mut feedback = ErrorFeedback::new();
+        let mut sum_x = vec![0.0f64; n];
+        let mut sum_delivered = vec![0.0f64; n];
+        let mut residual = vec![0.0f32; n];
+        for _ in 0..rounds {
+            let data = uniform_vec(n, -1.0, 1.0, &mut rng);
+            let state = one_tensor_state(data.clone());
+            let delivered = codec_delivered(&state, codec, None, Some(&mut feedback));
+            for i in 0..n {
+                sum_x[i] += data[i] as f64;
+                sum_delivered[i] += delivered[0].tensor.data()[i] as f64;
+            }
+            for (r, (x, y)) in residual.iter_mut().zip(data.iter().zip(delivered[0].tensor.data()))
+            {
+                *r += x - y;
+            }
+        }
+        let label = codec.label();
+        for i in 0..n {
+            // Telescoping identity: the undelivered mass IS the final
+            // residual, to float tolerance.
+            let gap = sum_x[i] - sum_delivered[i];
+            assert!(
+                (gap - residual[i] as f64).abs() < 1e-3,
+                "{label}: residual accounting broke at {i}: gap {gap} vs {}",
+                residual[i]
+            );
+            // Bias vanishes as 1/R: far below one quantization step.
+            let bias = gap.abs() / rounds as f64;
+            assert!(bias < 0.05, "{label}: accumulated bias {bias} at {i}");
+        }
+        assert!(feedback.max_abs() > 0.0, "{label}: lossy codec left no residual");
+    }
+}
+
+#[test]
+fn without_error_feedback_topk_bias_persists() {
+    // The control: the same top-k codec with NO feedback starves the
+    // never-selected coordinates entirely, so its accumulated bias is
+    // an order of magnitude worse — this is what EF buys.
+    let mut rng = seeded_rng(47);
+    let n = 64;
+    let rounds = 20;
+    let codec = Codec::TopKInt8 { keep: 0.25 };
+    let mut gaps = vec![0.0f64; n];
+    for _ in 0..rounds {
+        let data = uniform_vec(n, -1.0, 1.0, &mut rng);
+        let state = one_tensor_state(data.clone());
+        let delivered = codec_delivered(&state, codec, None, None);
+        for i in 0..n {
+            gaps[i] += (data[i] - delivered[0].tensor.data()[i]) as f64;
+        }
+    }
+    let worst_gap = gaps.iter().fold(0.0f64, |m, g| m.max(g.abs()));
+    assert!(
+        worst_gap / rounds as f64 > 0.05,
+        "feedback-free top-k unexpectedly unbiased: {worst_gap}"
+    );
+}

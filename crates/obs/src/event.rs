@@ -131,6 +131,39 @@ pub enum TraceEvent {
         /// Online workers whose contributions were excluded.
         excluded: usize,
     },
+    /// The compression policy resolved a worker's codec pair for a
+    /// round (emitted only by compression-enabled engines, after
+    /// `RoundStart`, one per online worker in index order).
+    CodecSelected {
+        /// Round index.
+        round: usize,
+        /// Worker index.
+        worker: usize,
+        /// Downlink codec label (e.g. `"dense-f32"`, `"dense-f16"`).
+        downlink: String,
+        /// Uplink codec label (e.g. `"topk-int8(0.1)"`).
+        uplink: String,
+        /// Whether the policy classified the device's link as slow
+        /// (bandwidth at or below the policy threshold).
+        slow_link: bool,
+    },
+    /// One direction of a worker's model exchange was encoded with a
+    /// wire-v2 codec. Two events per delivered worker (down, then up),
+    /// immediately before its `LocalTrain`.
+    CompressionApplied {
+        /// Round index.
+        round: usize,
+        /// Worker index.
+        worker: usize,
+        /// `"down"` (PS → worker) or `"up"` (worker → PS).
+        direction: String,
+        /// Codec label the payload was encoded with.
+        codec: String,
+        /// What the same snapshot would cost dense (`f32`), bytes.
+        dense_bytes: u64,
+        /// Actual encoded frame size, bytes.
+        wire_bytes: u64,
+    },
     /// Kernel-scheduler activity since the previous `KernelDispatch`
     /// event (one is emitted per round). Counters come from
     /// `tensor::parallel` and are **thread-count-invariant**: they count
@@ -171,7 +204,7 @@ pub enum TraceEvent {
 
 impl TraceEvent {
     /// Every event kind this enum can emit, in definition order.
-    pub const KINDS: [&'static str; 12] = [
+    pub const KINDS: [&'static str; 14] = [
         "RoundStart",
         "LocalTrain",
         "BanditDecision",
@@ -182,6 +215,8 @@ impl TraceEvent {
         "WorkerExcluded",
         "WorkerRejoined",
         "QuorumAggregate",
+        "CodecSelected",
+        "CompressionApplied",
         "KernelDispatch",
         "RoundEnd",
     ];
@@ -200,6 +235,8 @@ impl TraceEvent {
             TraceEvent::WorkerExcluded { .. } => "WorkerExcluded",
             TraceEvent::WorkerRejoined { .. } => "WorkerRejoined",
             TraceEvent::QuorumAggregate { .. } => "QuorumAggregate",
+            TraceEvent::CodecSelected { .. } => "CodecSelected",
+            TraceEvent::CompressionApplied { .. } => "CompressionApplied",
             TraceEvent::KernelDispatch { .. } => "KernelDispatch",
             TraceEvent::RoundEnd { .. } => "RoundEnd",
         }
@@ -231,6 +268,21 @@ impl TraceEvent {
             TraceEvent::WorkerExcluded { round: 0, worker: 2, reason: "corrupt".into() },
             TraceEvent::WorkerRejoined { round: 1, worker: 2 },
             TraceEvent::QuorumAggregate { round: 0, quorum: 2, participants: 2, excluded: 1 },
+            TraceEvent::CodecSelected {
+                round: 0,
+                worker: 2,
+                downlink: "dense-f16".into(),
+                uplink: "topk-int8(0.1)".into(),
+                slow_link: true,
+            },
+            TraceEvent::CompressionApplied {
+                round: 0,
+                worker: 2,
+                direction: "up".into(),
+                codec: "topk-int8(0.1)".into(),
+                dense_bytes: 1_000_000,
+                wire_bytes: 125_000,
+            },
             TraceEvent::KernelDispatch { round: 0, dispatches: 96, bands: 384 },
             TraceEvent::RoundEnd {
                 round: 0,
