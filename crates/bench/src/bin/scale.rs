@@ -1,0 +1,264 @@
+//! Population-scale benchmark: cohort curve, per-shard memory flatness
+//! and the hierarchical-vs-flat bit-identity gate.
+//!
+//! Three sections, all written to `bench-results/scale.json`:
+//!
+//! 1. **Identity gate** — small real runs of the hierarchical engines
+//!    over every tested `(threads, shards, edges)` configuration,
+//!    including the degenerate `(1, 1)` topology (which IS the flat
+//!    grouping: one reducer folds the whole cohort). All histories must
+//!    be byte-identical, loop and threaded alike, or the bin exits
+//!    non-zero. A direct aggregation-layer check against
+//!    [`average_states`] guards the algebra itself.
+//! 2. **Cohort curve** — streaming shard reduction at the aggregation
+//!    layer over cohorts up to 10⁵ synthetic clients: each shard folds
+//!    its slice into an [`ExactState`] and reports its peak tracked
+//!    allocation. The per-shard peak must stay flat (≤ 10% variation)
+//!    across the whole curve — memory is a function of the model
+//!    shape, not the cohort size.
+//! 3. **Engine rows** — real traced runs at small cohorts over a
+//!    100 000-device population, reporting the `ShardReduced`
+//!    peak-byte meta the engine itself emits.
+//!
+//! Run with `cargo run --release -p fedmp-bench --bin scale`. Set
+//! `FEDMP_BENCH_SMOKE=1` (CI) for a seconds-scale configuration that
+//! exercises the same code paths and gates.
+
+use std::time::Instant;
+
+use fedmp_bench::save_result;
+use fedmp_core::{print_table, run_hier, run_hier_threaded, ExperimentSpec, TaskKind};
+use fedmp_fl::{average_states, ExactState, HierarchyOptions, RunHistory};
+use fedmp_nn::StateEntry;
+use fedmp_obs::{RunManifest, TraceEvent, TraceSession};
+use fedmp_tensor::{parallel, Tensor};
+use serde_json::json;
+
+/// Parameter count of the synthetic template the cohort curve streams
+/// (the curve measures memory shape, not model quality).
+const TEMPLATE_PARAMS: usize = 4096;
+
+fn canonical(h: &RunHistory) -> String {
+    serde_json::to_string(h).expect("serialise history")
+}
+
+/// A deterministic synthetic client update: `TEMPLATE_PARAMS` values
+/// derived from the client id, spanning signs and magnitudes.
+fn synthetic_update(id: u64) -> Vec<StateEntry> {
+    let mut z = id.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xD1B5_4A32_D192_ED03);
+    let vals: Vec<f32> = (0..TEMPLATE_PARAMS)
+        .map(|_| {
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            let u = (z >> 40) as f32 / (1u64 << 24) as f32; // [0, 1)
+            (u - 0.5) * 2e4
+        })
+        .collect();
+    vec![StateEntry::trainable(
+        "w",
+        Tensor::from_vec(vals, &[TEMPLATE_PARAMS]).expect("synthetic template"),
+    )]
+}
+
+/// Streams `cohort` synthetic clients through `shards` reducers and
+/// returns (max per-shard peak bytes, finalised mean) — the
+/// aggregation-layer analogue of one hierarchical round.
+fn stream_cohort(cohort: u64, shards: usize) -> (u64, Vec<StateEntry>) {
+    let template = synthetic_update(0);
+    let mut peak = 0u64;
+    let mut cloud: Option<ExactState> = None;
+    for s in 0..shards as u64 {
+        let lo = s * cohort / shards as u64;
+        let hi = (s + 1) * cohort / shards as u64;
+        let mut acc = ExactState::like(&template);
+        let acc_bytes = acc.tracked_bytes() as u64;
+        let mut shard_peak = acc_bytes;
+        for id in lo..hi {
+            // The streaming contract: materialise one update, fold it,
+            // drop it. The transient is one f32 snapshot.
+            let update = synthetic_update(id);
+            acc.fold(&update);
+            shard_peak = shard_peak.max(acc_bytes + 4 * TEMPLATE_PARAMS as u64);
+        }
+        peak = peak.max(shard_peak);
+        match cloud.as_mut() {
+            Some(c) => c.merge(&acc),
+            None => cloud = Some(acc),
+        }
+    }
+    let mean = cloud.expect("at least one shard").finalize(cohort as usize);
+    (peak, mean)
+}
+
+fn main() {
+    let smoke = std::env::var("FEDMP_BENCH_SMOKE").as_deref() == Ok("1");
+    let mut failures = Vec::new();
+
+    // ── 1. identity gate ────────────────────────────────────────────
+    // The algebra itself: any shard tree == the flat average, bitwise.
+    let flat_cohort: Vec<Vec<StateEntry>> = (0..24).map(synthetic_update).collect();
+    let flat = average_states(&flat_cohort);
+    for shards in [1usize, 3, 8] {
+        let mut cloud: Option<ExactState> = None;
+        for s in 0..shards {
+            let lo = s * flat_cohort.len() / shards;
+            let hi = (s + 1) * flat_cohort.len() / shards;
+            let mut acc = ExactState::like(&flat_cohort[0]);
+            for st in &flat_cohort[lo..hi] {
+                acc.fold(st);
+            }
+            match cloud.as_mut() {
+                Some(c) => c.merge(&acc),
+                None => cloud = Some(acc),
+            }
+        }
+        let hier = cloud.expect("shards >= 1").finalize(flat_cohort.len());
+        let same = flat.iter().zip(&hier).all(|(a, b)| {
+            a.tensor.data().iter().zip(b.tensor.data()).all(|(x, y)| x.to_bits() == y.to_bits())
+        });
+        if !same {
+            failures.push(format!("aggregation algebra: {shards}-shard tree != flat average"));
+        }
+    }
+
+    // The engines: every (threads, shards, edges) config must reproduce
+    // the (1, 1, 1) flat-grouping history byte for byte.
+    let mut spec = ExperimentSpec::small(TaskKind::CnnMnist);
+    spec.fl.rounds = if smoke { 1 } else { 2 };
+    spec.fl.eval_every = spec.fl.rounds;
+    let population = 100_000u64;
+    let cohort = if smoke { 6 } else { 8 };
+    let topologies: &[(usize, usize)] = &[(1, 1), (4, 2), (8, 4)];
+    let threads: &[usize] = if smoke { &[1, 2] } else { &[1, 4] };
+    let mut reference: Option<String> = None;
+    let mut gate_rows = Vec::new();
+    for &(shards, edges) in topologies {
+        let opts = HierarchyOptions { cohort, shards, edges, ..Default::default() };
+        for &t in threads {
+            parallel::override_threads(Some(t));
+            let start = Instant::now();
+            let h_loop = run_hier(&spec, population, &opts);
+            let loop_secs = start.elapsed().as_secs_f64();
+            let start = Instant::now();
+            let h_thr = match run_hier_threaded(&spec, population, &opts) {
+                Ok(h) => h,
+                Err(e) => {
+                    failures.push(format!("threaded hier failed at s={shards} e={edges}: {e}"));
+                    parallel::override_threads(None);
+                    continue;
+                }
+            };
+            let thr_secs = start.elapsed().as_secs_f64();
+            parallel::override_threads(None);
+            let c_loop = canonical(&h_loop);
+            let c_thr = canonical(&h_thr);
+            if c_loop != c_thr {
+                failures.push(format!(
+                    "loop vs threaded histories differ at threads={t} shards={shards} edges={edges}"
+                ));
+            }
+            match &reference {
+                None => reference = Some(c_loop.clone()),
+                Some(r) if *r != c_loop => failures.push(format!(
+                    "history changed vs flat grouping at threads={t} shards={shards} edges={edges}"
+                )),
+                Some(_) => {}
+            }
+            gate_rows.push(json!({
+                "threads": t, "shards": shards, "edges": edges,
+                "loop_secs": loop_secs, "threaded_secs": thr_secs,
+                "identical": c_loop == c_thr,
+            }));
+        }
+    }
+
+    // ── 2. cohort curve ─────────────────────────────────────────────
+    let cohorts: &[u64] = if smoke { &[100, 1_000] } else { &[100, 1_000, 10_000, 100_000] };
+    let shards = 8usize;
+    let mut curve_rows = Vec::new();
+    let mut table = Vec::new();
+    let mut peaks = Vec::new();
+    for &c in cohorts {
+        let start = Instant::now();
+        let (peak, mean) = stream_cohort(c, shards);
+        let secs = start.elapsed().as_secs_f64();
+        // Keep the finalised mean observable so the fold can't be
+        // optimised away.
+        let checksum: u32 = mean[0].tensor.data().iter().map(|v| v.to_bits() >> 24).sum();
+        peaks.push(peak);
+        curve_rows.push(json!({
+            "cohort": c, "shards": shards,
+            "per_shard_peak_bytes": peak,
+            "fold_secs": secs,
+            "mean_checksum": checksum,
+        }));
+        table.push(vec![
+            format!("{c}"),
+            format!("{shards}"),
+            format!("{peak}"),
+            format!("{secs:.2}s"),
+        ]);
+    }
+    let (lo, hi) =
+        (peaks.iter().copied().min().unwrap_or(0), peaks.iter().copied().max().unwrap_or(0));
+    let variation = if lo > 0 { (hi - lo) as f64 / lo as f64 } else { f64::INFINITY };
+    if variation > 0.10 {
+        failures.push(format!(
+            "per-shard peak memory varies {:.1}% across the cohort curve (limit 10%)",
+            variation * 100.0
+        ));
+    }
+    print_table(
+        &format!("cohort curve ({shards} shard reducers, {TEMPLATE_PARAMS}-param template)"),
+        &["cohort", "shards", "per-shard peak B", "fold time"],
+        &table,
+    );
+    println!("per-shard peak variation across curve: {:.2}%", variation * 100.0);
+
+    // ── 3. engine-measured rows ─────────────────────────────────────
+    let engine_cohorts: &[usize] = if smoke { &[6] } else { &[8, 32] };
+    let mut engine_rows = Vec::new();
+    for &c in engine_cohorts {
+        let opts = HierarchyOptions { cohort: c, shards: 4, edges: 2, ..Default::default() };
+        let manifest = RunManifest::new("scale", spec.seed, c, spec.fl.rounds, 1);
+        let session = TraceSession::capture(&manifest);
+        let h = run_hier(&spec, population, &opts);
+        let trace = session.finish();
+        let peak = trace
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ShardReduced { peak_bytes, .. } => Some(*peak_bytes),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        engine_rows.push(json!({
+            "cohort": c, "population": population,
+            "shards": 4, "edges": 2,
+            "rounds": h.rounds.len(),
+            "per_shard_peak_bytes": peak,
+            "final_accuracy": h.final_accuracy(),
+        }));
+        println!("engine run: cohort {c} of {population} devices -> per-shard peak {peak} bytes");
+    }
+
+    save_result(
+        "scale",
+        &json!({
+            "smoke": smoke,
+            "identity_gate": gate_rows,
+            "cohort_curve": curve_rows,
+            "per_shard_peak_variation": variation,
+            "engine_rows": engine_rows,
+            "failures": failures,
+        }),
+    );
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nidentity gate: all (threads, shards, edges) configs bit-identical to flat");
+}

@@ -28,5 +28,8 @@ pub use checkpoint::{load_state, restore_lm, restore_model, save_model};
 pub use config::{BuiltExperiment, ExperimentSpec, TaskKind};
 pub use overhead::{measure_overhead, OverheadReport};
 pub use report::{ensure_dir, print_table, save_json};
-pub use runner::{run_fedmp_custom, run_method, run_methods, run_threaded, speedup_table, Method};
+pub use runner::{
+    run_fedmp_custom, run_hier, run_hier_threaded, run_method, run_methods, run_threaded,
+    speedup_table, Method,
+};
 pub use trace::{maybe_trace, run_manifest, trace_requested};

@@ -2,10 +2,12 @@
 //! experiment and compare outcomes.
 
 use crate::config::ExperimentSpec;
+use fedmp_edgesim::Population;
 use fedmp_fl::{
-    run_async, run_fedmp, run_fedmp_threaded_chaos, run_fedprox, run_flexcom, run_synfl, run_upfl,
-    AsyncMode, AsyncOptions, ChaosOptions, CompressionPolicy, FedMpOptions, FedProxOptions,
-    FlSetup, FlexComOptions, RunHistory, RuntimeError, SyncScheme, UpFlOptions,
+    run_async, run_fedmp, run_fedmp_hier, run_fedmp_hier_threaded, run_fedmp_threaded_chaos,
+    run_fedprox, run_flexcom, run_synfl, run_upfl, AsyncMode, AsyncOptions, ChaosOptions,
+    CompressionPolicy, FedMpOptions, FedProxOptions, FlSetup, FlexComOptions, HierSetup,
+    HierarchyOptions, RunHistory, RuntimeError, SyncScheme, UpFlOptions,
 };
 use serde::{Deserialize, Serialize};
 
@@ -140,6 +142,41 @@ pub fn run_threaded(
     run_fedmp_threaded_chaos(&spec.fl, &setup, built.model, opts, chaos)
 }
 
+/// Runs population-scale hierarchical FedMP ([`run_fedmp_hier`])
+/// against the experiment described by `spec`: the spec's dataset and
+/// model are built as usual, but the fleet is replaced by a lazy
+/// seeded [`Population`] of `population` devices at the spec's
+/// heterogeneity level, sampled `opts.cohort` clients per round.
+/// Traced like [`run_method`] when `FEDMP_TRACE` names a directory.
+pub fn run_hier(spec: &ExperimentSpec, population: u64, opts: &HierarchyOptions) -> RunHistory {
+    let _trace = crate::trace::maybe_trace("FedMP-hier", spec);
+    let built = spec.build();
+    let pop = Population::new(population, spec.seed, spec.level);
+    let mut setup = HierSetup::new(&built.task, pop, built.time);
+    setup.cost_scale = built.cost_scale;
+    run_fedmp_hier(&spec.fl, &setup, built.model, opts)
+}
+
+/// [`run_hier`] on the threaded runtime: every edge aggregator is a
+/// recoverable protocol participant on its own thread
+/// ([`run_fedmp_hier_threaded`]), bit-identical to the loop engine.
+///
+/// # Errors
+/// Propagates the runtime's terminal protocol violations
+/// ([`RuntimeError`]); every *injected* fault is recovered in-run.
+pub fn run_hier_threaded(
+    spec: &ExperimentSpec,
+    population: u64,
+    opts: &HierarchyOptions,
+) -> Result<RunHistory, RuntimeError> {
+    let _trace = crate::trace::maybe_trace("FedMP-hier-threaded", spec);
+    let built = spec.build();
+    let pop = Population::new(population, spec.seed, spec.level);
+    let mut setup = HierSetup::new(&built.task, pop, built.time);
+    setup.cost_scale = built.cost_scale;
+    run_fedmp_hier_threaded(&spec.fl, &setup, built.model, opts)
+}
+
 /// Runs FedMP with caller-supplied options (θ sweeps, custom reward
 /// shaping, BSP ablations) on the experiment described by `spec`.
 pub fn run_fedmp_custom(spec: &ExperimentSpec, opts: &FedMpOptions) -> RunHistory {
@@ -197,6 +234,23 @@ mod tests {
             assert_eq!(h.rounds.len(), 3, "{}", method.name());
             assert!(h.final_accuracy().is_some(), "{}", method.name());
         }
+    }
+
+    #[test]
+    fn hier_runners_agree_end_to_end() {
+        let mut spec = ExperimentSpec::small(TaskKind::CnnMnist);
+        spec.fl.rounds = 2;
+        spec.fl.eval_every = 2;
+        let opts = HierarchyOptions { cohort: 6, shards: 3, edges: 2, ..Default::default() };
+        let h = run_hier(&spec, 100, &opts);
+        assert_eq!(h.rounds.len(), 2);
+        assert!(h.final_accuracy().is_some());
+        let ht = run_hier_threaded(&spec, 100, &opts).expect("threaded hier");
+        assert_eq!(
+            serde_json::to_string(&h).unwrap(),
+            serde_json::to_string(&ht).unwrap(),
+            "core hier runners diverged"
+        );
     }
 
     #[test]

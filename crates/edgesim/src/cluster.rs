@@ -43,6 +43,18 @@ pub enum HeterogeneityLevel {
     High,
 }
 
+/// The cluster mix of a heterogeneity level as (cluster, fraction)
+/// pairs summing to 1. Shared by the finite fleets of
+/// [`heterogeneity_scenario`] and the lazy device populations in
+/// [`crate::Population`], so both draw from the same distribution.
+pub fn level_fractions(level: HeterogeneityLevel) -> [(Cluster, f64); 3] {
+    match level {
+        HeterogeneityLevel::Low => [(Cluster::A, 1.0), (Cluster::B, 0.0), (Cluster::C, 0.0)],
+        HeterogeneityLevel::Medium => [(Cluster::A, 0.5), (Cluster::B, 0.5), (Cluster::C, 0.0)],
+        HeterogeneityLevel::High => [(Cluster::A, 0.3), (Cluster::B, 0.3), (Cluster::C, 0.4)],
+    }
+}
+
 /// Builds the worker fleet for a heterogeneity level, scaled to
 /// `workers` devices while preserving the paper's cluster proportions.
 pub fn heterogeneity_scenario(
@@ -51,11 +63,7 @@ pub fn heterogeneity_scenario(
     rng: &mut StdRng,
 ) -> Vec<DeviceProfile> {
     assert!(workers > 0, "need at least one worker");
-    let fractions: [(Cluster, f64); 3] = match level {
-        HeterogeneityLevel::Low => [(Cluster::A, 1.0), (Cluster::B, 0.0), (Cluster::C, 0.0)],
-        HeterogeneityLevel::Medium => [(Cluster::A, 0.5), (Cluster::B, 0.5), (Cluster::C, 0.0)],
-        HeterogeneityLevel::High => [(Cluster::A, 0.3), (Cluster::B, 0.3), (Cluster::C, 0.4)],
-    };
+    let fractions = level_fractions(level);
     let mut fleet = Vec::with_capacity(workers);
     for (cluster, frac) in fractions {
         let count = (workers as f64 * frac).round() as usize;

@@ -30,13 +30,17 @@ mod device;
 mod drift;
 mod energy;
 mod faults;
+mod population;
 mod queue;
 mod time_model;
 
-pub use cluster::{heterogeneity_scenario, sample_cluster_device, Cluster, HeterogeneityLevel};
+pub use cluster::{
+    heterogeneity_scenario, level_fractions, sample_cluster_device, Cluster, HeterogeneityLevel,
+};
 pub use device::{tx2_profile, ComputeMode, DeviceProfile, LinkQuality, SLOW_LINK_BPS};
 pub use drift::DriftModel;
 pub use energy::{EnergyModel, EnergyReport};
 pub use faults::{deadline_for, FaultInjector};
+pub use population::{class_of, Population, CLASS_COUNT};
 pub use queue::{ArrivalQueue, Completion};
 pub use time_model::{RoundCost, RoundTime, TimeModel};

@@ -1,0 +1,198 @@
+//! Lazy device populations for population-scale rounds.
+//!
+//! The paper's testbed stops at 30 devices; the ROADMAP's north star is
+//! rounds over *millions* of edge clients. A [`Population`] makes that
+//! tractable in simulation by never materialising the fleet: a device's
+//! profile is a **pure function** of `(population seed, device id)`, so
+//! a 10⁵- or 10⁸-device population costs the same handful of bytes, and
+//! any client the round sampler picks can be (re-)derived on demand —
+//! on any thread, in any order — without shared state.
+//!
+//! Per-round cohorts come from [`Population::sample_cohort`]: `k`
+//! distinct device ids drawn uniformly without replacement via a
+//! partial Fisher–Yates shuffle keyed by `(seed, round)`, returned in
+//! ascending id order so every consumer walks the cohort in one fixed,
+//! thread-count-independent order.
+//!
+//! Device *classes* ([`class_of`], [`CLASS_COUNT`]) discretise profiles
+//! into the 4 compute modes × 3 link tiers. Population-scale engines
+//! keep per-class (not per-client) adaptive state — e.g. one E-UCB
+//! pruning agent per class — because a sampled client may never be seen
+//! again, while its class recurs every round.
+
+use crate::cluster::{level_fractions, sample_cluster_device, HeterogeneityLevel};
+use crate::device::{ComputeMode, DeviceProfile, LinkQuality};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Number of distinct device classes: 4 compute modes × 3 link tiers.
+pub const CLASS_COUNT: usize = 12;
+
+/// The class index of a profile in `[0, CLASS_COUNT)`: compute mode
+/// (major) × link tier (minor). Stable across runs — it is a pure
+/// function of the enum variants.
+pub fn class_of(device: &DeviceProfile) -> usize {
+    let mode = match device.mode {
+        ComputeMode::Mode0 => 0,
+        ComputeMode::Mode1 => 1,
+        ComputeMode::Mode2 => 2,
+        ComputeMode::Mode3 => 3,
+    };
+    let link = match device.link {
+        LinkQuality::Near => 0,
+        LinkQuality::Mid => 1,
+        LinkQuality::Far => 2,
+    };
+    mode * 3 + link
+}
+
+/// A seeded, lazily evaluated population of edge devices.
+///
+/// ```
+/// use fedmp_edgesim::{HeterogeneityLevel, Population};
+///
+/// let pop = Population::new(100_000, 7, HeterogeneityLevel::High);
+/// let cohort = pop.sample_cohort(0, 64);
+/// assert_eq!(cohort.len(), 64);
+/// // Profiles are pure functions of (seed, id): no storage, any order.
+/// let d = pop.device(cohort[0]);
+/// assert_eq!(d, pop.device(cohort[0]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Population {
+    /// Total number of devices (ids are `0..size`).
+    pub size: u64,
+    /// Seed deriving every profile and every cohort draw.
+    pub seed: u64,
+    /// Cluster mix the per-device draws follow (§V-E proportions).
+    pub level: HeterogeneityLevel,
+}
+
+impl Population {
+    /// A population of `size` devices drawn i.i.d. from the cluster mix
+    /// of `level`.
+    pub fn new(size: u64, seed: u64, level: HeterogeneityLevel) -> Self {
+        assert!(size > 0, "population must have at least one device");
+        Population { size, seed, level }
+    }
+
+    /// The profile of device `id` — a pure function of
+    /// `(self.seed, id)`, identical no matter when, where or how often
+    /// it is evaluated.
+    pub fn device(&self, id: u64) -> DeviceProfile {
+        assert!(id < self.size, "device id {id} out of range (size {})", self.size);
+        let mut rng =
+            StdRng::seed_from_u64(splitmix64(splitmix64(self.seed ^ 0x00D0_01CE_0000_0000) ^ id));
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let fractions = level_fractions(self.level);
+        let mut acc = 0.0;
+        let mut cluster = fractions[0].0;
+        for (c, frac) in fractions {
+            acc += frac;
+            if u < acc {
+                cluster = c;
+                break;
+            }
+        }
+        sample_cluster_device(cluster, &mut rng)
+    }
+
+    /// Draws `k` distinct device ids for `round`, uniformly without
+    /// replacement, keyed by `(self.seed, round)`. Returned in
+    /// ascending id order — the canonical cohort order all downstream
+    /// per-client processing follows.
+    ///
+    /// The draw is a partial Fisher–Yates shuffle over the virtual
+    /// array `[0, size)` with only the touched slots stored in a
+    /// `BTreeMap`, so cost is O(k log k) regardless of population size.
+    pub fn sample_cohort(&self, round: usize, k: usize) -> Vec<u64> {
+        assert!((k as u64) <= self.size, "cohort of {k} exceeds population of {}", self.size);
+        let mut rng = StdRng::seed_from_u64(splitmix64(
+            splitmix64(self.seed ^ 0x00C0_480E_7000_0000) ^ round as u64,
+        ));
+        let mut swapped: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut cohort = Vec::with_capacity(k);
+        for i in 0..k as u64 {
+            let j = rng.gen_range(i..self.size);
+            let vi = swapped.get(&i).copied().unwrap_or(i);
+            let vj = swapped.get(&j).copied().unwrap_or(j);
+            cohort.push(vj);
+            swapped.insert(j, vi);
+        }
+        cohort.sort_unstable();
+        cohort
+    }
+}
+
+/// SplitMix64 — the same bit-mixing finaliser the `fl` engines use to
+/// derive per-(seed, round, worker) streams; duplicated here because
+/// `edgesim` sits below `fl` in the crate graph.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_is_pure_in_seed_and_id() {
+        let p = Population::new(1_000, 3, HeterogeneityLevel::Medium);
+        for id in [0u64, 1, 500, 999] {
+            assert_eq!(p.device(id), p.device(id));
+        }
+        let q = Population::new(1_000, 4, HeterogeneityLevel::Medium);
+        let differs = (0..100u64).any(|id| p.device(id) != q.device(id));
+        assert!(differs, "different seeds should produce different fleets");
+    }
+
+    #[test]
+    fn cohorts_are_distinct_sorted_and_reproducible() {
+        let p = Population::new(100_000, 9, HeterogeneityLevel::High);
+        for round in 0..5 {
+            let c = p.sample_cohort(round, 256);
+            assert_eq!(c, p.sample_cohort(round, 256), "round {round} not reproducible");
+            assert!(c.windows(2).all(|w| w[0] < w[1]), "round {round} not sorted-distinct");
+            assert!(c.iter().all(|&id| id < p.size));
+        }
+        assert_ne!(p.sample_cohort(0, 256), p.sample_cohort(1, 256));
+    }
+
+    #[test]
+    fn full_population_cohort_is_everyone() {
+        let p = Population::new(64, 1, HeterogeneityLevel::Low);
+        let c = p.sample_cohort(0, 64);
+        assert_eq!(c, (0..64u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn class_indexing_is_a_bijection_over_the_grid() {
+        let mut seen = [false; CLASS_COUNT];
+        for mode in ComputeMode::all() {
+            for link in [LinkQuality::Near, LinkQuality::Mid, LinkQuality::Far] {
+                let idx = class_of(&DeviceProfile { mode, link });
+                assert!(idx < CLASS_COUNT);
+                assert!(!seen[idx], "class index {idx} repeated");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn population_mix_tracks_level_fractions() {
+        // High level: cluster C (modes 2-3, far links) is 40% of draws.
+        let p = Population::new(20_000, 11, HeterogeneityLevel::High);
+        let far = (0..p.size).filter(|&id| p.device(id).link == LinkQuality::Far).count();
+        let frac = far as f64 / p.size as f64;
+        assert!((0.35..0.45).contains(&frac), "far-link fraction {frac} off the 0.4 mix");
+        // Low level: cluster A only — no far links at all.
+        let p = Population::new(5_000, 11, HeterogeneityLevel::Low);
+        assert!((0..p.size).all(|id| p.device(id).link != LinkQuality::Far));
+    }
+}

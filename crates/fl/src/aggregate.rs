@@ -1,15 +1,48 @@
 //! Global aggregation (`③` of Fig. 1): R2SP, BSP, and plain FedAvg.
 
 use fedmp_nn::{state_add, state_scale, StateEntry};
+use fedmp_tensor::{ExactSum, Tensor};
 
 /// Plain FedAvg over full-model snapshots: the elementwise mean.
+///
+/// Each scalar position is summed through a [`ExactSum`] fixed-point
+/// superaccumulator, so the sum is *exact* (one rounding at the end,
+/// then one multiply by `1/n`). This makes the mean permutation- and
+/// grouping-invariant: partitioning the same snapshots into shards and
+/// merging partial accumulators — as the hierarchical aggregation layer
+/// in `fl::hierarchy` does — produces bit-identical results to this
+/// flat call, for every partition.
 pub fn average_states(states: &[Vec<StateEntry>]) -> Vec<StateEntry> {
     assert!(!states.is_empty(), "average of zero states");
-    let mut acc = states[0].clone();
-    for s in &states[1..] {
-        acc = state_add(&acc, s);
+    let inv = 1.0 / states.len() as f32;
+    let template = &states[0];
+    for s in states {
+        assert_eq!(s.len(), template.len(), "average_states: entry count mismatch");
     }
-    state_scale(&acc, 1.0 / states.len() as f32)
+    template
+        .iter()
+        .enumerate()
+        .map(|(j, e)| {
+            let n = e.tensor.numel();
+            let mut accs = vec![ExactSum::new(); n];
+            for s in states {
+                let entry = &s[j];
+                assert_eq!(entry.name, e.name, "average_states: entry name mismatch");
+                let data = entry.tensor.data();
+                assert_eq!(data.len(), n, "average_states: entry shape mismatch");
+                for (acc, &x) in accs.iter_mut().zip(data) {
+                    acc.add(x);
+                }
+            }
+            let vals: Vec<f32> = accs.iter().map(|a| a.value() * inv).collect();
+            StateEntry {
+                name: e.name.clone(),
+                tensor: Tensor::from_vec(vals, e.tensor.dims())
+                    .expect("average_states: tensor rebuild with original shape"),
+                trainable: e.trainable,
+            }
+        })
+        .collect()
 }
 
 /// R2SP (paper §III-C, Eq. 2): each worker's recovered sub-model is

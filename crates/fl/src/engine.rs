@@ -337,6 +337,41 @@ pub(crate) fn emit_compression_applied(
     });
 }
 
+/// Emits `CohortSampled` for a population-scale round's topology.
+pub(crate) fn emit_cohort_sampled(
+    round: usize,
+    population: u64,
+    cohort: usize,
+    shards: usize,
+    edges: usize,
+) {
+    fedmp_obs::emit(|| TraceEvent::CohortSampled { round, population, cohort, shards, edges });
+}
+
+/// Emits `ShardReduced` for one streaming shard reducer.
+pub(crate) fn emit_shard_reduced(round: usize, shard: usize, clients: usize, peak_bytes: u64) {
+    fedmp_obs::emit(|| TraceEvent::ShardReduced { round, shard, clients, peak_bytes });
+}
+
+/// Emits `EdgeAggregate` for one edge aggregator's upload.
+pub(crate) fn emit_edge_aggregate(
+    round: usize,
+    edge: usize,
+    shards: usize,
+    clients: usize,
+    delivered: bool,
+    retries: u32,
+) {
+    fedmp_obs::emit(|| TraceEvent::EdgeAggregate {
+        round,
+        edge,
+        shards,
+        clients,
+        delivered,
+        retries,
+    });
+}
+
 /// Snapshot of the kernel-scheduler counters, taken at engine start as
 /// the baseline for per-round `KernelDispatch` deltas.
 pub(crate) fn kernel_baseline() -> KernelStats {

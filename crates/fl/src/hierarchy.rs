@@ -1,0 +1,1388 @@
+//! Population-scale rounds: cohort sampling, streaming shard reducers
+//! and two-tier (edge → cloud) hierarchical aggregation.
+//!
+//! The flat engines materialise every worker's full model per round —
+//! O(clients × params) memory — which caps cohorts far below realistic
+//! population sizes. This module replaces that with a fan-in tree:
+//!
+//! ```text
+//!   sampled clients ──► shard reducers ──► edge aggregators ──► cloud PS
+//!     (cohort, lazy)      (streaming,        (merge shard         (merge edge
+//!                          O(params) each)    partials)            partials)
+//! ```
+//!
+//! - **Population** — devices come from a seeded lazy
+//!   [`fedmp_edgesim::Population`]; a 10⁵-device fleet is a few bytes,
+//!   and each round samples a cohort without replacement.
+//! - **Streaming shard reduction** — a client's completed update
+//!   (recovered sub-model + residual, §III-C) is folded into its
+//!   shard's [`ExactState`] accumulator immediately after its local
+//!   step and then dropped, so peak memory is O(shards × params)
+//!   regardless of cohort size.
+//! - **Exact aggregation algebra** — shard accumulators hold
+//!   [`ExactSum`] fixed-point registers, so merging shard → edge →
+//!   cloud is integer addition: *any* (shards, edges) partition is
+//!   bit-identical to the flat [`r2sp_aggregate`][crate::r2sp_aggregate]
+//!   over the same delivered cohort. See `docs/SCALE.md` for the full
+//!   argument.
+//! - **Per-class adaptivity** — at population scale a sampled client
+//!   may never return, so E-UCB pruning state lives per *device class*
+//!   (4 compute modes × 3 link tiers): one `select()` per class per
+//!   round, rewarded with the class's mean Eq. 8 outcome.
+//! - **Chaos at both tiers** — a client-tier [`ChaosPlan`] can crash a
+//!   device, lose either link direction or corrupt its upload
+//!   (bounded retransmits with exponential backoff), and an
+//!   independent edge-tier plan applies the same fault surface to each
+//!   edge aggregator's cloud upload. Compression policies apply
+//!   per-link exactly as in the flat engines (feedback-free: per-client
+//!   error-feedback state would be O(population × params)).
+//!
+//! Two engines share one round implementation: [`run_fedmp_hier`]
+//! computes shards through the deterministic round executor
+//! ([`crate::exec::ordered_map`]), while [`run_fedmp_hier_threaded`]
+//! runs each edge aggregator as a recoverable protocol participant on
+//! its own thread — checksummed partial-sum frames, PS-driven
+//! retransmits, crash/drop tolerance — and is bit-identical to the
+//! loop engine at every thread count, including under chaos, because
+//! every fault is a pure function of the seed and every reduction is
+//! exact.
+
+use crate::chaos::{corrupted_copy, ChaosDraw, ChaosOptions, ChaosPlan};
+use crate::engine::{
+    emit_aggregate, emit_codec_selected, emit_cohort_sampled, emit_compression_applied,
+    emit_edge_aggregate, emit_frame_retransmit, emit_kernel_dispatch, emit_local_train,
+    emit_quorum_aggregate, emit_round_end, emit_round_start, emit_shard_reduced,
+    emit_worker_excluded, kernel_baseline, model_round_cost, worker_batches, worker_rng, CostScale,
+    FlConfig,
+};
+use crate::eval::evaluate_image;
+use crate::exec;
+use crate::history::{RoundRecord, RunHistory};
+use crate::local::local_train;
+use crate::runtime::{LiveThreadGuard, RuntimeError};
+use crate::task::ImageTask;
+use crate::wire::{codec_delivered, wire_size_v2, Codec, CompressionPolicy, LinkCodecs};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use fedmp_bandit::{eucb_reward, Bandit, EUcbAgent, EUcbConfig, RewardConfig};
+use fedmp_edgesim::{
+    class_of, DeviceProfile, Population, RoundCost, RoundTime, TimeModel, CLASS_COUNT,
+};
+use fedmp_nn::{state_add, state_numel, state_sub, Sequential, StateEntry};
+use fedmp_pruning::{
+    extract_sequential, plan_sequential_with, recover_state, sparse_state, Importance, PrunePlan,
+};
+use fedmp_tensor::parallel::{sum_f32, sum_f64};
+use fedmp_tensor::{ExactSum, Tensor};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+// ---- exact streaming state ----------------------------------------------
+
+/// A full-model snapshot accumulated exactly: one [`ExactSum`] per
+/// scalar, templated from a concrete state's names/shapes. Folding is
+/// streaming (fold, then drop the source) and merging two accumulators
+/// is integer addition, so any fan-in tree over the same fold multiset
+/// finalises to identical bits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExactState {
+    entries: Vec<ExactEntry>,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct ExactEntry {
+    name: String,
+    dims: Vec<usize>,
+    trainable: bool,
+    accs: Vec<ExactSum>,
+}
+
+impl ExactState {
+    /// A zero accumulator shaped like `template`.
+    pub fn like(template: &[StateEntry]) -> Self {
+        ExactState {
+            entries: template
+                .iter()
+                .map(|e| ExactEntry {
+                    name: e.name.clone(),
+                    dims: e.tensor.dims().to_vec(),
+                    trainable: e.trainable,
+                    accs: vec![ExactSum::new(); e.tensor.numel()],
+                })
+                .collect(),
+        }
+    }
+
+    /// Folds one full-shape snapshot into the accumulator. The caller
+    /// drops `state` right after — that is the streaming contract.
+    pub fn fold(&mut self, state: &[StateEntry]) {
+        assert_eq!(state.len(), self.entries.len(), "ExactState::fold: entry count mismatch");
+        for (entry, s) in self.entries.iter_mut().zip(state.iter()) {
+            assert_eq!(entry.name, s.name, "ExactState::fold: entry name mismatch");
+            let data = s.tensor.data();
+            assert_eq!(data.len(), entry.accs.len(), "ExactState::fold: shape mismatch");
+            for (acc, &x) in entry.accs.iter_mut().zip(data) {
+                acc.add(x);
+            }
+        }
+    }
+
+    /// Merges another accumulator in (shard → edge, edge → cloud).
+    pub fn merge(&mut self, other: &ExactState) {
+        assert_eq!(other.entries.len(), self.entries.len(), "ExactState::merge: entry mismatch");
+        for (a, b) in self.entries.iter_mut().zip(other.entries.iter()) {
+            for (x, y) in a.accs.iter_mut().zip(b.accs.iter()) {
+                x.merge(y);
+            }
+        }
+    }
+
+    /// The mean over `n` folded snapshots, rounded once per scalar then
+    /// scaled by `1/n` — the exact computation
+    /// [`average_states`][crate::average_states] performs, which is why
+    /// a hierarchy finalising here is bit-identical to the flat call.
+    pub fn finalize(&self, n: usize) -> Vec<StateEntry> {
+        assert!(n > 0, "ExactState::finalize over zero participants");
+        let inv = 1.0 / n as f32;
+        self.entries
+            .iter()
+            .map(|e| {
+                let mut t = Tensor::zeros(&e.dims);
+                for (out, acc) in t.data_mut().iter_mut().zip(e.accs.iter()) {
+                    *out = acc.value() * inv;
+                }
+                StateEntry { name: e.name.clone(), tensor: t, trainable: e.trainable }
+            })
+            .collect()
+    }
+
+    /// Scalars tracked by the accumulator.
+    pub fn numel(&self) -> usize {
+        self.entries.iter().map(|e| e.accs.len()).sum()
+    }
+
+    /// Resident bytes of the accumulator itself — constant no matter
+    /// how many snapshots have been folded in.
+    pub fn tracked_bytes(&self) -> usize {
+        self.numel() * ExactSum::state_bytes()
+    }
+
+    /// Serialises the accumulator into a checksummed wire frame (the
+    /// edge → cloud partial-sum upload of the threaded runtime).
+    /// Layout: `magic u32 | count u32 | count × (6 limbs LE + poison
+    /// byte) | FNV-1a-64 of everything before`.
+    pub fn encode(&self) -> Bytes {
+        let count = self.numel() as u32;
+        let mut buf = Vec::with_capacity(8 + count as usize * 49 + 8);
+        buf.extend_from_slice(&PARTIAL_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&count.to_le_bytes());
+        for e in &self.entries {
+            for acc in &e.accs {
+                let (limbs, poison) = acc.to_raw();
+                for limb in limbs {
+                    buf.extend_from_slice(&limb.to_le_bytes());
+                }
+                buf.push(u8::from(poison));
+            }
+        }
+        let sum = fnv1a64(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        Bytes::from(buf)
+    }
+
+    /// Verifies a frame's checksum and decodes it into an accumulator
+    /// shaped like `template`. `Ok(None)` means the checksum failed
+    /// (transit corruption — ask for a retransmit); `Err(())` means a
+    /// verified frame had the wrong structure (protocol violation).
+    #[allow(clippy::result_unit_err)]
+    pub fn decode(frame: &[u8], template: &ExactState) -> Result<Option<ExactState>, ()> {
+        if frame.len() < 16 {
+            return Err(());
+        }
+        let (body, tail) = frame.split_at(frame.len() - 8);
+        let mut sum = [0u8; 8];
+        sum.copy_from_slice(tail);
+        if fnv1a64(body) != u64::from_le_bytes(sum) {
+            return Ok(None);
+        }
+        let mut magic = [0u8; 4];
+        magic.copy_from_slice(&body[0..4]);
+        let mut count = [0u8; 4];
+        count.copy_from_slice(&body[4..8]);
+        let count = u32::from_le_bytes(count) as usize;
+        if u32::from_le_bytes(magic) != PARTIAL_MAGIC
+            || count != template.numel()
+            || body.len() != 8 + count * 49
+        {
+            return Err(());
+        }
+        let mut out = template.clone();
+        for e in out.entries.iter_mut() {
+            for acc in e.accs.iter_mut() {
+                *acc = ExactSum::new();
+            }
+        }
+        let mut off = 8;
+        for e in out.entries.iter_mut() {
+            for acc in e.accs.iter_mut() {
+                let mut limbs = [0u64; 6];
+                for limb in limbs.iter_mut() {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&body[off..off + 8]);
+                    *limb = u64::from_le_bytes(b);
+                    off += 8;
+                }
+                let poison = body[off] != 0;
+                off += 1;
+                *acc = ExactSum::from_raw(limbs, poison);
+            }
+        }
+        Ok(Some(out))
+    }
+}
+
+/// Magic tag of an edge partial-sum frame (`"HPar"`).
+const PARTIAL_MAGIC: u32 = 0x4850_6172;
+
+/// FNV-1a 64-bit, over the frame body (the same family the v2 wire
+/// codecs use; duplicated because the wire module's hasher is private
+/// to its own frame layout).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---- configuration -------------------------------------------------------
+
+/// The simulated deployment of a population-scale run. Unlike
+/// [`crate::FlSetup`], devices come from a lazy [`Population`] rather
+/// than a per-worker list; a sampled client with id `i` trains on data
+/// shard `i mod task.workers()`.
+#[derive(Debug, Clone)]
+pub struct HierSetup<'a> {
+    /// The federated task (data + partition; partitions are reused
+    /// modulo the partition count across the population).
+    pub task: &'a ImageTask,
+    /// The lazy device population cohorts are sampled from.
+    pub population: Population,
+    /// The virtual-clock time model.
+    pub time: TimeModel,
+    /// Width-compensation factors applied to every simulated cost.
+    pub cost_scale: CostScale,
+}
+
+impl<'a> HierSetup<'a> {
+    /// Builds a setup over a task and population.
+    pub fn new(task: &'a ImageTask, population: Population, time: TimeModel) -> Self {
+        HierSetup { task, population, time, cost_scale: CostScale::default() }
+    }
+
+    /// The data shard client `id` trains on.
+    pub fn data_shard(&self, id: u64) -> usize {
+        (id % self.task.workers() as u64) as usize
+    }
+
+    /// Cost-scale-compensated round cost (same convention as
+    /// [`crate::FlSetup::scaled_cost`]).
+    pub fn scaled_cost(&self, cost: &RoundCost) -> RoundCost {
+        RoundCost {
+            train_flops: cost.train_flops * self.cost_scale.flops,
+            download_bytes: cost.download_bytes * self.cost_scale.bytes,
+            upload_bytes: cost.upload_bytes * self.cost_scale.bytes,
+        }
+    }
+}
+
+/// Options of the hierarchical engines.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HierarchyOptions {
+    /// Clients sampled per round (without replacement).
+    pub cohort: usize,
+    /// Streaming shard reducers the cohort is partitioned over
+    /// (contiguously, in cohort order).
+    pub shards: usize,
+    /// Edge aggregators the shards fan in to (contiguously, in shard
+    /// order); also the thread count of the threaded engine.
+    pub edges: usize,
+    /// E-UCB configuration for the per-class agents.
+    pub eucb: EUcbConfig,
+    /// Reward shaping (Eq. 8 guards).
+    pub reward: RewardConfig,
+    /// When set, every class uses this fixed pruning ratio (no bandit).
+    pub fixed_ratio: Option<f32>,
+    /// Filter/neuron importance metric for structured pruning.
+    pub importance: Importance,
+    /// Wire-v2 codec selection per client link. Applied feedback-free:
+    /// per-client error-feedback accumulators would be
+    /// O(population × params), against the whole point of this mode.
+    pub compression: CompressionPolicy,
+    /// Client-tier transport chaos (crash / drop / corrupt / delay per
+    /// sampled client). Its `quorum_frac` also sets the cloud's
+    /// aggregation quorum over the cohort.
+    pub chaos_client: ChaosOptions,
+    /// Edge-tier transport chaos applied to each edge aggregator's
+    /// cloud upload.
+    pub chaos_edge: ChaosOptions,
+}
+
+impl Default for HierarchyOptions {
+    fn default() -> Self {
+        HierarchyOptions {
+            cohort: 16,
+            shards: 4,
+            edges: 2,
+            eucb: EUcbConfig::default(),
+            reward: RewardConfig::default(),
+            fixed_ratio: None,
+            importance: Importance::L1,
+            compression: CompressionPolicy::dense(),
+            chaos_client: ChaosOptions::none(),
+            chaos_edge: ChaosOptions::none(),
+        }
+    }
+}
+
+impl HierarchyOptions {
+    fn validate(&self, population: &Population) {
+        assert!(self.cohort >= 1, "hierarchy: cohort must be at least 1");
+        assert!(self.shards >= 1, "hierarchy: need at least one shard");
+        assert!(self.edges >= 1, "hierarchy: need at least one edge");
+        assert!(self.edges <= self.shards, "hierarchy: more edges than shards");
+        assert!(self.cohort as u64 <= population.size, "hierarchy: cohort exceeds population size");
+    }
+}
+
+/// Contiguous slice of `n` items owned by unit `k` of `parts`.
+fn partition_range(n: usize, parts: usize, k: usize) -> Range<usize> {
+    k * n / parts..(k + 1) * n / parts
+}
+
+// ---- per-round plumbing --------------------------------------------------
+
+/// Everything one device class shares this round: the bandit's ratio,
+/// the pruning plan/sub-model extracted from the global model, the
+/// PS-side residual, and the resolved codec pair. Clients of a class
+/// have identical `DeviceProfile`s, so all of this is class-wide.
+struct ClassPlan {
+    ratio: f32,
+    plan: PrunePlan,
+    /// Sub-model as the clients receive it (post downlink codec).
+    sub: Sequential,
+    /// The received snapshot — the uplink delta base for top-k codecs.
+    received: Option<Vec<StateEntry>>,
+    residual: Vec<StateEntry>,
+    pair: LinkCodecs,
+    device: DeviceProfile,
+    sub_params: usize,
+    down_wire: u64,
+    down_dense: u64,
+}
+
+/// How a client's round ended, decided purely by the chaos draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ClientFate {
+    /// Upload reached its shard reducer after `retries` retransmits.
+    Delivered {
+        /// Checksum-failure retransmits charged to the arrival time.
+        retries: u32,
+    },
+    /// Contribution lost; `trained` distinguishes crash/downlink loss
+    /// (no local step at all) from uplink-side losses.
+    Lost {
+        /// `"crashed"`, `"dropped"` or `"corrupt"`.
+        reason: &'static str,
+        /// Retransmits spent before giving up.
+        retries: u32,
+        /// Whether the client completed its local step first.
+        trained: bool,
+    },
+}
+
+impl ClientFate {
+    fn from_draw(draw: &ChaosDraw, opts: &ChaosOptions) -> Self {
+        if draw.crash {
+            ClientFate::Lost { reason: "crashed", retries: 0, trained: false }
+        } else if draw.drop_down {
+            ClientFate::Lost { reason: "dropped", retries: 0, trained: false }
+        } else if draw.drop_up {
+            ClientFate::Lost { reason: "dropped", retries: 0, trained: true }
+        } else if draw.corrupt_sends > opts.max_retransmits {
+            ClientFate::Lost { reason: "corrupt", retries: opts.max_retransmits, trained: true }
+        } else {
+            ClientFate::Delivered { retries: draw.corrupt_sends }
+        }
+    }
+
+    fn trained(&self) -> bool {
+        match *self {
+            ClientFate::Delivered { .. } => true,
+            ClientFate::Lost { trained, .. } => trained,
+        }
+    }
+
+    fn delivered(&self) -> bool {
+        matches!(self, ClientFate::Delivered { .. })
+    }
+
+    fn retries(&self) -> u32 {
+        match *self {
+            ClientFate::Delivered { retries } | ClientFate::Lost { retries, .. } => retries,
+        }
+    }
+}
+
+/// One client's round bookkeeping (metrics plane — never part of the
+/// aggregated model payload).
+#[derive(Clone)]
+struct ClientMetric {
+    id: u64,
+    class: usize,
+    ratio: f32,
+    fate: ClientFate,
+    mean_loss: f32,
+    delta_loss: f32,
+    samples: usize,
+    time: RoundTime,
+    /// Arrival on the virtual clock: `time.total()` plus chaos delay
+    /// and retransmit backoff.
+    arrival: f64,
+    scaled: RoundCost,
+    up_codec: Codec,
+    up_wire: u64,
+    up_dense: u64,
+}
+
+/// What one shard reducer hands upward: its exact partial sum plus
+/// per-client metrics and the memory-accounting meta.
+struct ShardOutput {
+    acc: ExactState,
+    metrics: Vec<ClientMetric>,
+    folded: usize,
+    peak_bytes: u64,
+}
+
+/// Streams one shard's slice of the cohort: per client — chaos fate,
+/// local step on a class sub-model clone, uplink codec, R2SP completion
+/// — folding each delivered update into the shard accumulator and
+/// dropping it before the next client. Pure in its inputs, so the loop
+/// executor and the threaded edge aggregators compute identical bits.
+#[allow(clippy::too_many_arguments)]
+fn reduce_shard(
+    cfg: &FlConfig,
+    setup: &HierSetup<'_>,
+    global: &Sequential,
+    template: &[StateEntry],
+    cohort: &[u64],
+    range: Range<usize>,
+    classes: &BTreeMap<usize, ClassPlan>,
+    client_plan: &ChaosPlan,
+    round: usize,
+    compressed: bool,
+) -> ShardOutput {
+    let mut acc = ExactState::like(template);
+    let acc_bytes = acc.tracked_bytes() as u64;
+    let mut metrics = Vec::with_capacity(range.len());
+    let mut folded = 0usize;
+    let mut peak_bytes = acc_bytes;
+    let full_params = state_numel(template);
+    for idx in range {
+        let id = cohort[idx];
+        let class = class_of(&setup.population.device(id));
+        let cr = &classes[&class];
+        let draw = client_plan.draw(round, id as usize);
+        let fate = ClientFate::from_draw(&draw, client_plan.options());
+        if !fate.trained() {
+            metrics.push(ClientMetric {
+                id,
+                class,
+                ratio: cr.ratio,
+                fate,
+                mean_loss: 0.0,
+                delta_loss: 0.0,
+                samples: 0,
+                time: RoundTime { comp: 0.0, comm: 0.0 },
+                arrival: 0.0,
+                scaled: RoundCost { train_flops: 0.0, download_bytes: 0.0, upload_bytes: 0.0 },
+                up_codec: cr.pair.uplink,
+                up_wire: 0,
+                up_dense: 0,
+            });
+            continue;
+        }
+        // Local step on a clone of the class sub-model; the clone is
+        // the only per-client model state and dies at the end of this
+        // iteration.
+        let mut sub = cr.sub.clone();
+        let mut batches = worker_batches(
+            setup.task,
+            setup.data_shard(id),
+            cfg.local.batch,
+            client_stream_seed(cfg.seed, id),
+            round,
+        );
+        let outcome = local_train(&mut sub, &mut batches, &cfg.local);
+        let (up_codec, up_wire, up_dense) = if compressed {
+            let trained = sub.state();
+            let delivered = codec_delivered(&trained, cr.pair.uplink, cr.received.as_deref(), None);
+            sub.load_state(&delivered);
+            (
+                cr.pair.uplink,
+                wire_size_v2(&trained, cr.pair.uplink) as u64,
+                wire_size_v2(&trained, Codec::DenseF32) as u64,
+            )
+        } else {
+            (cr.pair.uplink, 0, 0)
+        };
+        let mut cost = model_round_cost(&sub, setup.task.input_chw, &cfg.local);
+        if compressed {
+            cost.download_bytes = cr.down_wire as f64;
+            cost.upload_bytes = up_wire as f64;
+        }
+        let mut rng = worker_rng(cfg.seed ^ 0xA5A5, round, id as usize);
+        let t = setup.time.round_time(&cr.device, &setup.scaled_cost(&cost), &mut rng);
+        let arrival =
+            t.total() + draw.delay_secs + client_plan.options().backoff_total(fate.retries());
+        if fate.delivered() {
+            // R2SP completion, folded immediately, then dropped: the
+            // streaming step that keeps shard memory flat in cohort
+            // size.
+            let completed = state_add(&recover_state(&sub, &cr.plan, global), &cr.residual);
+            acc.fold(&completed);
+            folded += 1;
+        }
+        // Tracked transient: the completed + recovered full-shape
+        // snapshots and the client's sub-model clone (residual and
+        // received are class-shared, not per-client).
+        let transient = (4 * (2 * full_params + cr.sub_params)) as u64;
+        peak_bytes = peak_bytes.max(acc_bytes + transient);
+        metrics.push(ClientMetric {
+            id,
+            class,
+            ratio: cr.ratio,
+            fate,
+            mean_loss: outcome.mean_loss,
+            delta_loss: outcome.delta_loss(),
+            samples: outcome.samples,
+            time: t,
+            arrival,
+            scaled: setup.scaled_cost(&cost),
+            up_codec,
+            up_wire,
+            up_dense,
+        });
+    }
+    ShardOutput { acc, metrics, folded, peak_bytes }
+}
+
+/// Per-client batch-stream seed: clients sharing a data shard must not
+/// share mini-batch order, so the master seed is mixed with the device
+/// id before keying the per-round stream.
+fn client_stream_seed(seed: u64, id: u64) -> u64 {
+    let mut z = seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+/// How an edge aggregator's cloud upload ended, decided purely by the
+/// edge-tier chaos draw.
+#[derive(Debug, Clone, Copy)]
+struct EdgeFate {
+    delivered: bool,
+    retries: u32,
+}
+
+impl EdgeFate {
+    fn from_draw(draw: &ChaosDraw, opts: &ChaosOptions) -> Self {
+        if draw.crash || draw.drop_down || draw.drop_up {
+            EdgeFate { delivered: false, retries: 0 }
+        } else if draw.corrupt_sends > opts.max_retransmits {
+            EdgeFate { delivered: false, retries: opts.max_retransmits }
+        } else {
+            EdgeFate { delivered: true, retries: draw.corrupt_sends }
+        }
+    }
+}
+
+/// Per-round state both engines hand to [`finish_round`]: per-shard
+/// meta, cohort-ordered client metrics and per-edge exact partials.
+struct RoundGather {
+    shard_meta: Vec<(usize, u64)>,
+    metrics: Vec<ClientMetric>,
+    partials: Vec<Option<ExactState>>,
+    edge_fates: Vec<EdgeFate>,
+    edge_shards: Vec<usize>,
+    edge_clients: Vec<usize>,
+}
+
+/// Everything after the fan-in: trace emission in canonical order,
+/// exact cloud merge, quorum + aggregation, per-class bandit feedback,
+/// evaluation and the history record. Shared verbatim by the loop and
+/// threaded engines — their bit-identity is this function applied to
+/// identical gathers.
+#[allow(clippy::too_many_arguments)]
+fn finish_round(
+    cfg: &FlConfig,
+    setup: &HierSetup<'_>,
+    opts: &HierarchyOptions,
+    round: usize,
+    cohort: &[u64],
+    gather: RoundGather,
+    agents: &mut [EUcbAgent],
+    selected: &[usize],
+    global: &mut Sequential,
+    sim_time: &mut f64,
+    kstats: &mut fedmp_tensor::parallel::KernelStats,
+    history: &mut RunHistory,
+) {
+    let RoundGather { shard_meta, metrics, partials, edge_fates, edge_shards, edge_clients } =
+        gather;
+    let chaos_client = &opts.chaos_client;
+    let chaos_edge = &opts.chaos_edge;
+
+    // Per-client events, cohort order.
+    for m in &metrics {
+        if !m.fate.trained() {
+            continue;
+        }
+        emit_local_train(
+            round,
+            m.id as usize,
+            m.ratio,
+            m.mean_loss,
+            m.delta_loss,
+            cfg.local.tau,
+            m.samples,
+            &m.time,
+            &m.scaled,
+        );
+    }
+    for m in &metrics {
+        for attempt in 1..=m.fate.retries() {
+            emit_frame_retransmit(round, m.id as usize, attempt, chaos_client.backoff_for(attempt));
+        }
+    }
+    for m in &metrics {
+        if let ClientFate::Lost { reason, .. } = m.fate {
+            emit_worker_excluded(round, m.id as usize, reason);
+        }
+    }
+
+    // Shard tier.
+    for (s, &(clients, peak)) in shard_meta.iter().enumerate() {
+        emit_shard_reduced(round, s, clients, peak);
+    }
+
+    // Edge tier: retransmits then the aggregate outcome, edge order.
+    let mut edge_retries_total = 0u32;
+    for (e, fate) in edge_fates.iter().enumerate() {
+        for attempt in 1..=fate.retries {
+            emit_frame_retransmit(round, e, attempt, chaos_edge.backoff_for(attempt));
+        }
+        edge_retries_total += fate.retries;
+        emit_edge_aggregate(
+            round,
+            e,
+            edge_shards[e],
+            edge_clients[e],
+            fate.delivered,
+            fate.retries,
+        );
+    }
+
+    // Cloud merge over delivered edges (exact — merge order is fixed
+    // but could be any order without changing a bit).
+    let mut cloud: Option<ExactState> = None;
+    let mut participants = 0usize;
+    for (e, fate) in edge_fates.iter().enumerate() {
+        if !fate.delivered {
+            continue;
+        }
+        if let Some(p) = &partials[e] {
+            participants += edge_clients[e];
+            match cloud.as_mut() {
+                Some(c) => c.merge(p),
+                None => cloud = Some(p.clone()),
+            }
+        }
+    }
+
+    // Arrival bookkeeping: the cloud's round ends when the last
+    // delivered edge partial lands (client arrival + edge backoff); if
+    // nothing was delivered the PS waited out the slowest trained
+    // client.
+    let mut round_time = 0.0f64;
+    let mut any_delivered = false;
+    for (e, fate) in edge_fates.iter().enumerate() {
+        if !fate.delivered {
+            continue;
+        }
+        let mut edge_arrival = 0.0f64;
+        for s in partition_range(shard_meta.len(), edge_fates.len(), e) {
+            for idx in partition_range(cohort.len(), shard_meta.len(), s) {
+                if metrics[idx].fate.delivered() {
+                    edge_arrival = edge_arrival.max(metrics[idx].arrival);
+                }
+            }
+        }
+        edge_arrival += chaos_edge.backoff_total(fate.retries);
+        round_time = round_time.max(edge_arrival);
+        any_delivered = true;
+    }
+    if !any_delivered {
+        for m in &metrics {
+            if m.fate.trained() {
+                round_time = round_time.max(m.arrival);
+            }
+        }
+    }
+    *sim_time += round_time;
+
+    let trained: Vec<&ClientMetric> = metrics.iter().filter(|m| m.fate.trained()).collect();
+    let mean_comp = if trained.is_empty() {
+        0.0
+    } else {
+        sum_f64(trained.iter().map(|m| m.time.comp)) / trained.len() as f64
+    };
+    let mean_comm = if trained.is_empty() {
+        0.0
+    } else {
+        sum_f64(trained.iter().map(|m| m.time.comm)) / trained.len() as f64
+    };
+
+    // Per-class bandit feedback: one Eq. 8 reward per class, from the
+    // class's mean loss delta and mean arrival; classes whose clients
+    // all failed before training abandon their pending pull.
+    if opts.fixed_ratio.is_none() {
+        let t_avg = if trained.is_empty() {
+            0.0
+        } else {
+            sum_f64(trained.iter().map(|m| m.arrival)) / trained.len() as f64
+        };
+        for &class in selected {
+            let members: Vec<&&ClientMetric> =
+                trained.iter().filter(|m| m.class == class).collect();
+            if members.is_empty() {
+                agents[class].abandon();
+                continue;
+            }
+            let k = members.len() as f32;
+            let delta = sum_f32(members.iter().map(|m| m.delta_loss)) / k;
+            let arrival = sum_f64(members.iter().map(|m| m.arrival)) / f64::from(k);
+            agents[class].observe(eucb_reward(delta, arrival, t_avg, &opts.reward));
+        }
+    }
+
+    // ③ Aggregation under the cohort quorum.
+    let quorum = chaos_client.quorum(cohort.len());
+    let aggregated = participants >= quorum && cloud.is_some();
+    if aggregated {
+        if let Some(c) = &cloud {
+            global.load_state(&c.finalize(participants));
+        }
+        if participants < cohort.len() {
+            emit_quorum_aggregate(round, quorum, participants, cohort.len() - participants);
+        }
+        emit_aggregate(round, "R2SP-Hier", participants);
+    }
+
+    let train_loss = if trained.is_empty() {
+        f32::NAN
+    } else {
+        sum_f32(trained.iter().map(|m| m.mean_loss)) / trained.len() as f32
+    };
+    let eval = if aggregated && (round.is_multiple_of(cfg.eval_every) || round + 1 == cfg.rounds) {
+        let r = evaluate_image(global, &setup.task.test, cfg.eval_batch, cfg.eval_max_samples);
+        Some((r.loss, r.accuracy))
+    } else {
+        None
+    };
+    emit_kernel_dispatch(round, kstats);
+    let client_retries: u32 = metrics.iter().map(|m| m.fate.retries()).sum();
+    let rec = RoundRecord {
+        round,
+        sim_time: *sim_time,
+        round_time,
+        mean_comp,
+        mean_comm,
+        train_loss,
+        eval,
+        ratios: metrics.iter().map(|m| m.ratio).collect(),
+        participants,
+        retries: (client_retries + edge_retries_total) as usize,
+        exclusions: cohort.len() - participants,
+    };
+    emit_round_end(&rec);
+    history.rounds.push(rec);
+}
+
+/// Builds the round's per-class plans (bandit selects, pruning,
+/// residuals, codecs) in ascending class order — the order-sensitive
+/// prologue both engines run caller-side.
+fn class_plans(
+    setup: &HierSetup<'_>,
+    opts: &HierarchyOptions,
+    global: &Sequential,
+    cohort: &[u64],
+    agents: &mut [EUcbAgent],
+) -> (BTreeMap<usize, ClassPlan>, Vec<usize>) {
+    let compressed = !opts.compression.is_dense();
+    // Any member's profile is the class profile (class_of is a
+    // bijection onto the mode × link grid), so the first sighting wins.
+    let mut reps: BTreeMap<usize, DeviceProfile> = BTreeMap::new();
+    for &id in cohort {
+        let device = setup.population.device(id);
+        reps.entry(class_of(&device)).or_insert(device);
+    }
+    let present: Vec<usize> = reps.keys().copied().collect();
+    let mut plans = BTreeMap::new();
+    for (&class, device) in &reps {
+        let device = *device;
+        let ratio = match opts.fixed_ratio {
+            Some(r) => r,
+            None => agents[class].select(),
+        };
+        let plan = plan_sequential_with(global, setup.task.input_chw, ratio, opts.importance);
+        let mut sub = extract_sequential(global, &plan);
+        let residual = state_sub(&global.state(), &sparse_state(global, &plan));
+        let pair = opts.compression.select(&device);
+        let (received, down_wire, down_dense) = if compressed {
+            let sub_state = sub.state();
+            let delivered = codec_delivered(&sub_state, pair.downlink, None, None);
+            sub.load_state(&delivered);
+            (
+                Some(delivered),
+                wire_size_v2(&sub_state, pair.downlink) as u64,
+                wire_size_v2(&sub_state, Codec::DenseF32) as u64,
+            )
+        } else {
+            (None, 0, 0)
+        };
+        let sub_params = state_numel(&sub.state());
+        plans.insert(
+            class,
+            ClassPlan {
+                ratio,
+                plan,
+                sub,
+                received,
+                residual,
+                pair,
+                device,
+                sub_params,
+                down_wire,
+                down_dense,
+            },
+        );
+    }
+    (plans, present)
+}
+
+// ---- the loop engine -----------------------------------------------------
+
+/// Runs population-scale FedMP for `cfg.rounds` rounds: per round a
+/// sampled cohort streams through shard reducers fanned out on the
+/// deterministic round executor, shard partials merge at the edges and
+/// the cloud finalises the exact R2SP mean.
+pub fn run_fedmp_hier(
+    cfg: &FlConfig,
+    setup: &HierSetup<'_>,
+    mut global: Sequential,
+    opts: &HierarchyOptions,
+) -> RunHistory {
+    opts.validate(&setup.population);
+    let mut history = RunHistory::new("FedMP-Hier");
+    let mut sim_time = 0.0f64;
+    let mut agents = class_agents(cfg, opts);
+    let mut kstats = kernel_baseline();
+    let client_plan = ChaosPlan::new(cfg.seed, &opts.chaos_client);
+    let edge_plan = ChaosPlan::new(cfg.seed ^ 0xED6E_0000, &opts.chaos_edge);
+    let compressed = !opts.compression.is_dense();
+
+    for round in 0..cfg.rounds {
+        let cohort = setup.population.sample_cohort(round, opts.cohort);
+        emit_cohort_sampled(round, setup.population.size, cohort.len(), opts.shards, opts.edges);
+        let online: Vec<usize> = cohort.iter().map(|&id| id as usize).collect();
+        emit_round_start(round, sim_time, &online);
+
+        let (classes, selected) = class_plans(setup, opts, &global, &cohort, &mut agents);
+        if compressed {
+            for &id in &cohort {
+                let device = setup.population.device(id);
+                let cr = &classes[&class_of(&device)];
+                let slow = device.is_slow_link(opts.compression.slow_link_bps);
+                emit_codec_selected(round, id as usize, &cr.pair, slow);
+            }
+        }
+
+        // Shard fan-out over the round executor: each slot streams its
+        // contiguous cohort slice into one exact accumulator.
+        let template = global.state();
+        let shard_ids: Vec<usize> = (0..opts.shards).collect();
+        let outputs = exec::ordered_map(shard_ids, |_, s| {
+            reduce_shard(
+                cfg,
+                setup,
+                &global,
+                &template,
+                &cohort,
+                partition_range(cohort.len(), opts.shards, s),
+                &classes,
+                &client_plan,
+                round,
+                compressed,
+            )
+        });
+
+        // Per-delivered-client compression events need the class-side
+        // downlink sizes; emit them here in cohort order before the
+        // shared epilogue (which emits LocalTrain etc.).
+        let metrics: Vec<ClientMetric> =
+            outputs.iter().flat_map(|o| o.metrics.iter().cloned()).collect();
+        if compressed {
+            for m in &metrics {
+                if !m.fate.trained() {
+                    continue;
+                }
+                let cr = &classes[&m.class];
+                emit_compression_applied(
+                    round,
+                    m.id as usize,
+                    "down",
+                    cr.pair.downlink,
+                    cr.down_dense,
+                    cr.down_wire,
+                );
+                emit_compression_applied(
+                    round,
+                    m.id as usize,
+                    "up",
+                    m.up_codec,
+                    m.up_dense,
+                    m.up_wire,
+                );
+            }
+        }
+
+        // Edge tier: merge each edge's shard accumulators (exact), then
+        // apply the edge-tier chaos fates.
+        let mut partials: Vec<Option<ExactState>> = Vec::with_capacity(opts.edges);
+        let mut edge_fates = Vec::with_capacity(opts.edges);
+        let mut edge_shards = Vec::with_capacity(opts.edges);
+        let mut edge_clients = Vec::with_capacity(opts.edges);
+        for e in 0..opts.edges {
+            let range = partition_range(opts.shards, opts.edges, e);
+            edge_shards.push(range.len());
+            let mut merged: Option<ExactState> = None;
+            let mut clients = 0usize;
+            for s in range {
+                clients += outputs[s].folded;
+                match merged.as_mut() {
+                    Some(m) => m.merge(&outputs[s].acc),
+                    None => merged = Some(outputs[s].acc.clone()),
+                }
+            }
+            edge_clients.push(clients);
+            partials.push(merged);
+            edge_fates.push(EdgeFate::from_draw(&edge_plan.draw(round, e), &opts.chaos_edge));
+        }
+        let shard_meta: Vec<(usize, u64)> =
+            outputs.iter().map(|o| (o.folded, o.peak_bytes)).collect();
+
+        finish_round(
+            cfg,
+            setup,
+            opts,
+            round,
+            &cohort,
+            RoundGather { shard_meta, metrics, partials, edge_fates, edge_shards, edge_clients },
+            &mut agents,
+            &selected,
+            &mut global,
+            &mut sim_time,
+            &mut kstats,
+            &mut history,
+        );
+    }
+    history
+}
+
+fn class_agents(cfg: &FlConfig, opts: &HierarchyOptions) -> Vec<EUcbAgent> {
+    (0..CLASS_COUNT)
+        .map(|c| {
+            let mut e = opts.eucb;
+            e.seed = e.seed.wrapping_add(c as u64).wrapping_add(cfg.seed);
+            EUcbAgent::new(e)
+        })
+        .collect()
+}
+
+// ---- the threaded engine -------------------------------------------------
+
+/// Edge → cloud protocol messages of the threaded engine.
+enum EdgeMsg {
+    /// The edge's metrics plane plus how its payload will arrive. Sent
+    /// exactly once per round per edge.
+    Report {
+        /// Edge index.
+        edge: usize,
+        /// Per-shard (folded clients, peak bytes), shard order.
+        shard_meta: Vec<(usize, u64)>,
+        /// Cohort-slice client metrics, cohort order.
+        metrics: Vec<ClientMetric>,
+        /// Whether partial-sum frames will follow (`false`: the edge
+        /// crashed or its upload was dropped in transit).
+        sending: bool,
+    },
+    /// One (re)transmission of the edge's partial-sum frame.
+    Frame {
+        /// Edge index.
+        edge: usize,
+        /// The checksummed frame (possibly transit-corrupted).
+        bytes: Bytes,
+    },
+}
+
+/// PS → edge control messages.
+enum EdgeCtl {
+    /// The last frame failed its checksum; send again.
+    Retry,
+    /// The round is settled for this edge; exit.
+    Done,
+}
+
+/// One edge aggregator's round: compute its shards (streaming, same
+/// pure function as the loop engine), merge them exactly, and run the
+/// upload protocol against its chaos draw. The metrics plane is
+/// simulation bookkeeping and always reaches the PS; only the model
+/// payload is subject to transport faults.
+#[allow(clippy::too_many_arguments)]
+fn edge_round(
+    e: usize,
+    cfg: &FlConfig,
+    setup: &HierSetup<'_>,
+    global: &Sequential,
+    template: &[StateEntry],
+    cohort: &[u64],
+    classes: &BTreeMap<usize, ClassPlan>,
+    opts: &HierarchyOptions,
+    client_plan: &ChaosPlan,
+    edge_plan: &ChaosPlan,
+    round: usize,
+    up: &Sender<EdgeMsg>,
+    ctl: &Receiver<EdgeCtl>,
+) {
+    let _guard = LiveThreadGuard::register();
+    let compressed = !opts.compression.is_dense();
+    let mut shard_meta = Vec::new();
+    let mut metrics = Vec::new();
+    let mut merged: Option<ExactState> = None;
+    for s in partition_range(opts.shards, opts.edges, e) {
+        let out = reduce_shard(
+            cfg,
+            setup,
+            global,
+            template,
+            cohort,
+            partition_range(cohort.len(), opts.shards, s),
+            classes,
+            client_plan,
+            round,
+            compressed,
+        );
+        shard_meta.push((out.folded, out.peak_bytes));
+        metrics.extend(out.metrics);
+        match merged.as_mut() {
+            Some(m) => m.merge(&out.acc),
+            None => merged = Some(out.acc),
+        }
+    }
+    let draw = edge_plan.draw(round, e);
+    let sending = !(draw.crash || draw.drop_up || draw.drop_down);
+    if up.send(EdgeMsg::Report { edge: e, shard_meta, metrics, sending }).is_err() {
+        return; // PS abandoned the round; exit quietly.
+    }
+    if !sending {
+        // Wait for Done (or a closed channel) so the PS controls join
+        // order even for faulted edges.
+        while let Ok(EdgeCtl::Retry) = ctl.recv() {}
+        return;
+    }
+    let frame = match &merged {
+        Some(m) => m.encode(),
+        None => ExactState::like(template).encode(),
+    };
+    let mut send_idx = 0u32;
+    loop {
+        let wire =
+            if send_idx < draw.corrupt_sends { corrupted_copy(&frame) } else { frame.clone() };
+        if up.send(EdgeMsg::Frame { edge: e, bytes: wire }).is_err() {
+            return;
+        }
+        match ctl.recv() {
+            Ok(EdgeCtl::Retry) => send_idx += 1,
+            Ok(EdgeCtl::Done) | Err(_) => return,
+        }
+    }
+}
+
+/// Runs population-scale FedMP with each edge aggregator as a
+/// recoverable protocol participant on its own thread. Chaos-off runs
+/// — and chaos-on runs, since every fault is a pure function of the
+/// seed — are bit-identical to [`run_fedmp_hier`] with the same
+/// options, at any thread count.
+pub fn run_fedmp_hier_threaded(
+    cfg: &FlConfig,
+    setup: &HierSetup<'_>,
+    mut global: Sequential,
+    opts: &HierarchyOptions,
+) -> Result<RunHistory, RuntimeError> {
+    opts.validate(&setup.population);
+    let mut history = RunHistory::new("FedMP-Hier");
+    let mut sim_time = 0.0f64;
+    let mut agents = class_agents(cfg, opts);
+    let mut kstats = kernel_baseline();
+    let client_plan = ChaosPlan::new(cfg.seed, &opts.chaos_client);
+    let edge_plan = ChaosPlan::new(cfg.seed ^ 0xED6E_0000, &opts.chaos_edge);
+    let compressed = !opts.compression.is_dense();
+
+    for round in 0..cfg.rounds {
+        let cohort = setup.population.sample_cohort(round, opts.cohort);
+        emit_cohort_sampled(round, setup.population.size, cohort.len(), opts.shards, opts.edges);
+        let online: Vec<usize> = cohort.iter().map(|&id| id as usize).collect();
+        emit_round_start(round, sim_time, &online);
+
+        let (classes, selected) = class_plans(setup, opts, &global, &cohort, &mut agents);
+        if compressed {
+            for &id in &cohort {
+                let device = setup.population.device(id);
+                let cr = &classes[&class_of(&device)];
+                let slow = device.is_slow_link(opts.compression.slow_link_bps);
+                emit_codec_selected(round, id as usize, &cr.pair, slow);
+            }
+        }
+
+        let template = global.state();
+        let gather = run_edges_threaded(
+            cfg,
+            setup,
+            &global,
+            &template,
+            &cohort,
+            &classes,
+            opts,
+            &client_plan,
+            &edge_plan,
+            round,
+        )?;
+
+        if compressed {
+            for m in &gather.metrics {
+                if !m.fate.trained() {
+                    continue;
+                }
+                let cr = &classes[&m.class];
+                emit_compression_applied(
+                    round,
+                    m.id as usize,
+                    "down",
+                    cr.pair.downlink,
+                    cr.down_dense,
+                    cr.down_wire,
+                );
+                emit_compression_applied(
+                    round,
+                    m.id as usize,
+                    "up",
+                    m.up_codec,
+                    m.up_dense,
+                    m.up_wire,
+                );
+            }
+        }
+
+        finish_round(
+            cfg,
+            setup,
+            opts,
+            round,
+            &cohort,
+            gather,
+            &mut agents,
+            &selected,
+            &mut global,
+            &mut sim_time,
+            &mut kstats,
+            &mut history,
+        );
+    }
+    Ok(history)
+}
+
+/// One round of the edge-thread protocol: spawn an aggregator per
+/// edge, collect reports and payload frames with checksum-verified
+/// retransmits, and assemble the same [`RoundGather`] the loop engine
+/// builds. Threads always join before this returns (structurally: the
+/// scope ends after every control sender has issued `Done` or
+/// dropped).
+#[allow(clippy::too_many_arguments)]
+fn run_edges_threaded(
+    cfg: &FlConfig,
+    setup: &HierSetup<'_>,
+    global: &Sequential,
+    template: &[StateEntry],
+    cohort: &[u64],
+    classes: &BTreeMap<usize, ClassPlan>,
+    opts: &HierarchyOptions,
+    client_plan: &ChaosPlan,
+    edge_plan: &ChaosPlan,
+    round: usize,
+) -> Result<RoundGather, RuntimeError> {
+    let edges = opts.edges;
+    let acc_template = ExactState::like(template);
+    let mut shard_meta_by_edge: Vec<Option<Vec<(usize, u64)>>> = (0..edges).map(|_| None).collect();
+    let mut metrics_by_edge: Vec<Option<Vec<ClientMetric>>> = (0..edges).map(|_| None).collect();
+    let mut partials: Vec<Option<ExactState>> = (0..edges).map(|_| None).collect();
+    let mut retries: Vec<u32> = vec![0; edges];
+    let mut result: Result<(), RuntimeError> = Ok(());
+
+    std::thread::scope(|scope| {
+        let (up_tx, up_rx) = bounded::<EdgeMsg>(edges.max(1) * 2);
+        let mut ctls: Vec<Option<Sender<EdgeCtl>>> = Vec::with_capacity(edges);
+        for e in 0..edges {
+            let (ctl_tx, ctl_rx) = bounded::<EdgeCtl>(2);
+            ctls.push(Some(ctl_tx));
+            let up = up_tx.clone();
+            scope.spawn(move || {
+                edge_round(
+                    e,
+                    cfg,
+                    setup,
+                    global,
+                    template,
+                    cohort,
+                    classes,
+                    opts,
+                    client_plan,
+                    edge_plan,
+                    round,
+                    &up,
+                    &ctl_rx,
+                );
+            });
+        }
+        drop(up_tx);
+
+        // Resolution: an edge is settled once its report arrived and —
+        // when it is sending — its frame either decoded or exhausted
+        // the retransmit budget.
+        let mut settled = 0usize;
+        let mut awaiting_frame = vec![false; edges];
+        while settled < edges {
+            let msg = match up_rx.recv() {
+                Ok(m) => m,
+                Err(_) => {
+                    // Every sender gone with edges unsettled: threads
+                    // vanished outside the protocol.
+                    result = Err(RuntimeError::WorkerLost { worker: settled });
+                    break;
+                }
+            };
+            match msg {
+                EdgeMsg::Report { edge, shard_meta, metrics, sending } => {
+                    shard_meta_by_edge[edge] = Some(shard_meta);
+                    metrics_by_edge[edge] = Some(metrics);
+                    if sending {
+                        awaiting_frame[edge] = true;
+                    } else {
+                        if let Some(ctl) = &ctls[edge] {
+                            let _ = ctl.send(EdgeCtl::Done);
+                        }
+                        ctls[edge] = None;
+                        settled += 1;
+                    }
+                }
+                EdgeMsg::Frame { edge, bytes } => {
+                    if !awaiting_frame[edge] {
+                        result = Err(RuntimeError::CorruptFrame { worker: edge, round });
+                        break;
+                    }
+                    match ExactState::decode(&bytes, &acc_template) {
+                        Ok(Some(partial)) => {
+                            partials[edge] = Some(partial);
+                            awaiting_frame[edge] = false;
+                            if let Some(ctl) = &ctls[edge] {
+                                let _ = ctl.send(EdgeCtl::Done);
+                            }
+                            ctls[edge] = None;
+                            settled += 1;
+                        }
+                        Ok(None) => {
+                            // Transit corruption: bounded retransmits.
+                            if retries[edge] < opts.chaos_edge.max_retransmits {
+                                retries[edge] += 1;
+                                if let Some(ctl) = &ctls[edge] {
+                                    let _ = ctl.send(EdgeCtl::Retry);
+                                }
+                            } else {
+                                awaiting_frame[edge] = false;
+                                if let Some(ctl) = &ctls[edge] {
+                                    let _ = ctl.send(EdgeCtl::Done);
+                                }
+                                ctls[edge] = None;
+                                settled += 1;
+                            }
+                        }
+                        Err(()) => {
+                            result = Err(RuntimeError::CorruptFrame { worker: edge, round });
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Release every remaining control channel so faulted paths
+        // can't wedge the scope join.
+        for ctl in ctls.iter_mut() {
+            if let Some(c) = ctl.take() {
+                let _ = c.send(EdgeCtl::Done);
+            }
+        }
+        // Drain stragglers so bounded channels never block an exiting
+        // edge thread.
+        while up_rx.try_recv().is_some() {}
+    });
+    result?;
+
+    // Assemble in edge order; contiguous edge → shard → cohort ranges
+    // make plain concatenation the canonical cohort order.
+    let mut shard_meta = Vec::with_capacity(opts.shards);
+    let mut metrics = Vec::with_capacity(cohort.len());
+    let mut edge_fates = Vec::with_capacity(edges);
+    let mut edge_shards = Vec::with_capacity(edges);
+    let mut edge_clients = Vec::with_capacity(edges);
+    for e in 0..edges {
+        let meta = match shard_meta_by_edge[e].take() {
+            Some(m) => m,
+            None => return Err(RuntimeError::WorkerLost { worker: e }),
+        };
+        let mut clients = 0usize;
+        edge_shards.push(meta.len());
+        for (folded, _) in &meta {
+            clients += folded;
+        }
+        edge_clients.push(clients);
+        shard_meta.extend(meta);
+        if let Some(m) = metrics_by_edge[e].take() {
+            metrics.extend(m);
+        }
+        // The PS-side fate mirrors the edge's own draw (shared plan)
+        // plus the observed retransmit outcome.
+        edge_fates.push(EdgeFate::from_draw(&edge_plan.draw(round, e), &opts.chaos_edge));
+    }
+    Ok(RoundGather { shard_meta, metrics, partials, edge_fates, edge_shards, edge_clients })
+}

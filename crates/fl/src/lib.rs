@@ -32,6 +32,7 @@ mod engine;
 mod engines;
 mod eval;
 pub mod exec;
+mod hierarchy;
 mod history;
 mod lm;
 mod local;
@@ -50,6 +51,9 @@ pub use engines::r#async::{run_async, AsyncMode, AsyncOptions};
 pub use engines::synfl::run_synfl;
 pub use engines::upfl::{run_upfl, UpFlOptions};
 pub use eval::{evaluate_image, evaluate_lm, EvalResult};
+pub use hierarchy::{
+    run_fedmp_hier, run_fedmp_hier_threaded, ExactState, HierSetup, HierarchyOptions,
+};
 pub use history::{RoundRecord, RunHistory};
 pub use lm::{run_lm, LmMethod, LmOptions, LmRunResult, LmSetup};
 pub use local::{local_train, LocalOutcome, LocalTrainConfig};

@@ -183,6 +183,25 @@ pub fn live_worker_threads() -> usize {
 
 static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
 
+/// RAII registration in the live-thread gauge, shared with the
+/// hierarchical edge-aggregator threads so `live_worker_threads()`
+/// covers every runtime-managed thread in the crate.
+pub(crate) struct LiveThreadGuard;
+
+impl LiveThreadGuard {
+    /// Registers the calling thread until the guard drops.
+    pub(crate) fn register() -> Self {
+        LIVE_WORKERS.fetch_add(1, Ordering::SeqCst);
+        LiveThreadGuard
+    }
+}
+
+impl Drop for LiveThreadGuard {
+    fn drop(&mut self) {
+        LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// One worker thread's whole life: receive a dispatch, train, upload —
 /// with the chaos plan applied symmetrically to the PS's copy (both
 /// sides draw the same per-(round, worker) faults). Exits when its

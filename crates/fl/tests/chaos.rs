@@ -30,8 +30,9 @@ fn bits(state: &[StateEntry]) -> Vec<(String, Vec<u32>)> {
 }
 
 /// Independent reference for the R2SP mean, mirroring the production
-/// accumulation order (complete each participant with its residual,
-/// fold left-to-right, then multiply by `1/k`) with raw `f32` loops.
+/// semantics (complete each participant with its residual, sum each
+/// scalar exactly, round once, then multiply by `1/k`) with its own
+/// loops over one `ExactSum` register per parameter.
 fn reference_r2sp(recovered: &[Vec<StateEntry>], residuals: &[Vec<StateEntry>]) -> Vec<Vec<u32>> {
     let completed: Vec<Vec<Vec<f32>>> = recovered
         .iter()
@@ -45,16 +46,21 @@ fn reference_r2sp(recovered: &[Vec<StateEntry>], residuals: &[Vec<StateEntry>]) 
                 .collect()
         })
         .collect();
-    let mut acc = completed[0].clone();
-    for c in &completed[1..] {
-        for (ae, ce) in acc.iter_mut().zip(c.iter()) {
-            for (a, v) in ae.iter_mut().zip(ce.iter()) {
-                *a += v;
-            }
-        }
-    }
     let s = 1.0 / completed.len() as f32;
-    acc.into_iter().map(|e| e.into_iter().map(|v| (v * s).to_bits()).collect()).collect()
+    let entries = completed[0].len();
+    (0..entries)
+        .map(|e| {
+            (0..completed[0][e].len())
+                .map(|i| {
+                    let mut acc = fedmp_tensor::ExactSum::new();
+                    for c in &completed {
+                        acc.add(c[e][i]);
+                    }
+                    (acc.value() * s).to_bits()
+                })
+                .collect()
+        })
+        .collect()
 }
 
 proptest! {

@@ -10,12 +10,15 @@
 //! this binary would corrupt both streams.
 
 use fedmp_data::{iid_partition, mnist_like, ptb_like, TextBatch, TextDataset};
-use fedmp_edgesim::{tx2_profile, ComputeMode, LinkQuality, TimeModel};
+use fedmp_edgesim::{
+    tx2_profile, ComputeMode, HeterogeneityLevel, LinkQuality, Population, TimeModel,
+};
 use fedmp_fl::{
-    run_async, run_fedmp, run_fedmp_threaded, run_fedmp_threaded_chaos, run_fedprox, run_flexcom,
-    run_lm, run_synfl, run_upfl, AsyncMode, AsyncOptions, ChaosOptions, CompressionPolicy,
-    CostScale, FaultOptions, FedMpOptions, FedProxOptions, FlConfig, FlSetup, FlexComOptions,
-    ImageTask, LmMethod, LmOptions, LmSetup, RunHistory, SyncScheme, UpFlOptions,
+    run_async, run_fedmp, run_fedmp_hier, run_fedmp_hier_threaded, run_fedmp_threaded,
+    run_fedmp_threaded_chaos, run_fedprox, run_flexcom, run_lm, run_synfl, run_upfl, AsyncMode,
+    AsyncOptions, ChaosOptions, CompressionPolicy, CostScale, FaultOptions, FedMpOptions,
+    FedProxOptions, FlConfig, FlSetup, FlexComOptions, HierSetup, HierarchyOptions, ImageTask,
+    LmMethod, LmOptions, LmSetup, RunHistory, SyncScheme, UpFlOptions,
 };
 use fedmp_nn::zoo;
 use fedmp_obs::{diff, RunManifest, Trace, TraceSession};
@@ -78,6 +81,20 @@ fn run_all(threads: usize, seed: u64) -> Vec<(&'static str, RunHistory, Trace)> 
     // exercised in the same run.
     let compressed =
         FedMpOptions { compression: CompressionPolicy::adaptive(), ..Default::default() };
+    // Population-scale hierarchy: client-tier chaos on, so the
+    // invariance sweep covers the fate/retransmit machinery too.
+    let hier_setup = HierSetup::new(
+        &task,
+        Population::new(40, seed, HeterogeneityLevel::High),
+        TimeModel::default(),
+    );
+    let hier_opts = HierarchyOptions {
+        cohort: 6,
+        shards: 3,
+        edges: 2,
+        chaos_client: ChaosOptions::demo(seed),
+        ..Default::default()
+    };
     let lm_setup = lm_task();
     let mut lm_rng = seeded_rng(seed ^ 0xF00D);
     let lm_global = zoo::lstm_ptb(30, 0.15, &mut lm_rng);
@@ -141,6 +158,14 @@ fn run_all(threads: usize, seed: u64) -> Vec<(&'static str, RunHistory, Trace)> 
             Box::new(|| {
                 run_fedmp_threaded(&cfg, &setup, global.clone(), &faulty)
                     .expect("threaded faulted runtime")
+            }),
+        ),
+        ("hier", Box::new(|| run_fedmp_hier(&cfg, &hier_setup, global.clone(), &hier_opts))),
+        (
+            "hier-threaded",
+            Box::new(|| {
+                run_fedmp_hier_threaded(&cfg, &hier_setup, global.clone(), &hier_opts)
+                    .expect("threaded hier runtime")
             }),
         ),
         (

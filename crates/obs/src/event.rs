@@ -164,6 +164,53 @@ pub enum TraceEvent {
         /// Actual encoded frame size, bytes.
         wire_bytes: u64,
     },
+    /// A population-scale round sampled its client cohort (emitted by
+    /// the hierarchical engines immediately before `RoundStart`).
+    CohortSampled {
+        /// Round index.
+        round: usize,
+        /// Total population size the cohort was drawn from.
+        population: u64,
+        /// Clients sampled this round (without replacement).
+        cohort: usize,
+        /// Shard reducers the cohort streams into.
+        shards: usize,
+        /// Edge aggregators the shards fan in to.
+        edges: usize,
+    },
+    /// A streaming shard reducer finished folding its slice of the
+    /// cohort into its exact partial sum (one event per shard, in shard
+    /// order, after the round's per-client events).
+    ShardReduced {
+        /// Round index.
+        round: usize,
+        /// Shard index (0-based, cohort-contiguous).
+        shard: usize,
+        /// Clients folded into this shard (delivered ones only).
+        clients: usize,
+        /// Peak tracked allocation of the reducer in bytes: the exact
+        /// accumulator state plus the largest single in-flight client
+        /// update — a function of model shape, **not** of cohort size.
+        peak_bytes: u64,
+    },
+    /// An edge aggregator merged its shards' partial sums and uploaded
+    /// the result to the cloud PS (one event per edge, in edge order,
+    /// after the round's `ShardReduced` events).
+    EdgeAggregate {
+        /// Round index.
+        round: usize,
+        /// Edge aggregator index (0-based).
+        edge: usize,
+        /// Shard reducers merged at this edge.
+        shards: usize,
+        /// Clients covered by those shards (delivered ones only).
+        clients: usize,
+        /// Whether the edge's partial reached the cloud PS (false when
+        /// edge-tier chaos crashed or dropped the upload).
+        delivered: bool,
+        /// Checksum-failure retransmits of the edge→cloud frame.
+        retries: u32,
+    },
     /// Kernel-scheduler activity since the previous `KernelDispatch`
     /// event (one is emitted per round). Counters come from
     /// `tensor::parallel` and are **thread-count-invariant**: they count
@@ -204,7 +251,7 @@ pub enum TraceEvent {
 
 impl TraceEvent {
     /// Every event kind this enum can emit, in definition order.
-    pub const KINDS: [&'static str; 14] = [
+    pub const KINDS: [&'static str; 17] = [
         "RoundStart",
         "LocalTrain",
         "BanditDecision",
@@ -217,6 +264,9 @@ impl TraceEvent {
         "QuorumAggregate",
         "CodecSelected",
         "CompressionApplied",
+        "CohortSampled",
+        "ShardReduced",
+        "EdgeAggregate",
         "KernelDispatch",
         "RoundEnd",
     ];
@@ -237,6 +287,9 @@ impl TraceEvent {
             TraceEvent::QuorumAggregate { .. } => "QuorumAggregate",
             TraceEvent::CodecSelected { .. } => "CodecSelected",
             TraceEvent::CompressionApplied { .. } => "CompressionApplied",
+            TraceEvent::CohortSampled { .. } => "CohortSampled",
+            TraceEvent::ShardReduced { .. } => "ShardReduced",
+            TraceEvent::EdgeAggregate { .. } => "EdgeAggregate",
             TraceEvent::KernelDispatch { .. } => "KernelDispatch",
             TraceEvent::RoundEnd { .. } => "RoundEnd",
         }
@@ -282,6 +335,22 @@ impl TraceEvent {
                 codec: "topk-int8(0.1)".into(),
                 dense_bytes: 1_000_000,
                 wire_bytes: 125_000,
+            },
+            TraceEvent::CohortSampled {
+                round: 0,
+                population: 100_000,
+                cohort: 256,
+                shards: 8,
+                edges: 2,
+            },
+            TraceEvent::ShardReduced { round: 0, shard: 3, clients: 32, peak_bytes: 5_100_000 },
+            TraceEvent::EdgeAggregate {
+                round: 0,
+                edge: 1,
+                shards: 4,
+                clients: 128,
+                delivered: true,
+                retries: 0,
             },
             TraceEvent::KernelDispatch { round: 0, dispatches: 96, bands: 384 },
             TraceEvent::RoundEnd {
