@@ -1,0 +1,198 @@
+//! Intra-crate two-pass call summaries.
+//!
+//! The structural lints need two facts about a callee the per-line
+//! view cannot see:
+//!
+//! - **does it (transitively) emit trace events?** Trace emission is
+//!   order-sensitive — the trace contract says events appear in one
+//!   deterministic order, which only holds while emission stays on the
+//!   caller side of every fan-out. `executor-purity` (L6) therefore
+//!   bans calls to emitting functions inside executor closures.
+//! - **does it return a float iterator?** A helper returning
+//!   `impl Iterator<Item = f32>` hands its caller an unordered-looking
+//!   reduction opportunity that the per-line float-reduction lint (L2)
+//!   cannot connect to a float type. `reduction-escape` (L8) closes
+//!   that hole using this summary.
+//!
+//! Pass 1 records per-function direct facts (trace tokens in the
+//! body, float-iterator return in the signature) and the function's
+//! outgoing call idents. Pass 2 propagates `emits_trace` to a
+//! fixpoint along intra-crate edges. Edges are *by identifier within
+//! one crate* (`crates/<name>`): cross-crate calls are invisible,
+//! which is the documented precision limit — the workspace's emit
+//! helpers (`emit_*`, `fedmp_obs::emit`, `TraceSession`,
+//! `maybe_trace`) are all caught by direct token detection at the
+//! call site regardless, so the summaries only need to carry
+//! *in-crate wrappers* of those.
+//!
+//! Identifier-keyed summaries over-approximate on name collisions
+//! (two `fn new` in one crate share a summary); for a lint that is
+//! the safe direction.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::sketch::{call_idents, Sketch};
+
+/// Per-crate summaries: which fn names (transitively) emit trace
+/// events, and which return `impl Iterator<Item = f32|f64>`.
+#[derive(Debug, Default)]
+pub struct CrateGraph {
+    emits: BTreeMap<String, BTreeSet<String>>,
+    float_iter: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// The crate key for a workspace-relative path: its first two `/`
+/// components (`crates/fl/src/exec.rs` → `crates/fl`), or the first
+/// component for shallower paths.
+pub fn crate_key(path: &str) -> String {
+    path.split('/').take(2).collect::<Vec<_>>().join("/")
+}
+
+/// Direct trace-emission evidence inside a body range: the obs crate
+/// itself, a trace session type, or an `emit_*`/`maybe_trace` call.
+pub fn direct_trace_tokens(text: &str, range: crate::sketch::Extent) -> Option<(usize, String)> {
+    let body = &text[range.start..range.end];
+    for token in ["fedmp_obs", "TraceSession"] {
+        if let Some(pos) = find_token(body, token) {
+            return Some((range.start + pos, token.to_string()));
+        }
+    }
+    for (off, name) in call_idents(text, range) {
+        if name.starts_with("emit_") || name == "maybe_trace" {
+            return Some((off, name));
+        }
+    }
+    None
+}
+
+fn find_token(haystack: &str, needle: &str) -> Option<usize> {
+    let bytes = haystack.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let at = from + pos;
+        from = at + 1;
+        let before_ok = at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+        let end = at + needle.len();
+        let after_ok =
+            end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+    }
+    None
+}
+
+/// Builds the per-crate summaries from every scanned file's sketch.
+pub fn build(files: &[(String, Sketch)]) -> CrateGraph {
+    // fn name -> (direct_emit, outgoing call idents), per crate.
+    let mut facts: BTreeMap<String, BTreeMap<String, (bool, BTreeSet<String>)>> = BTreeMap::new();
+    let mut graph = CrateGraph::default();
+    for (path, sketch) in files {
+        let ckey = crate_key(path);
+        for f in &sketch.fns {
+            let compact_sig = &f.sig;
+            if compact_sig.contains("implIterator<Item=f32>")
+                || compact_sig.contains("implIterator<Item=f64>")
+            {
+                graph.float_iter.entry(ckey.clone()).or_default().insert(f.name.clone());
+            }
+            let Some(body) = f.body else { continue };
+            let direct = direct_trace_tokens(&sketch.text, body).is_some();
+            let calls: BTreeSet<String> =
+                call_idents(&sketch.text, body).into_iter().map(|(_, n)| n).collect();
+            let entry = facts
+                .entry(ckey.clone())
+                .or_default()
+                .entry(f.name.clone())
+                .or_insert((false, BTreeSet::new()));
+            entry.0 |= direct;
+            entry.1.extend(calls);
+        }
+    }
+    // Fixpoint: a fn emits when it has direct evidence or calls an
+    // in-crate fn that does.
+    for (ckey, fns) in &facts {
+        let mut emits: BTreeSet<String> =
+            fns.iter().filter(|(_, (d, _))| *d).map(|(n, _)| n.clone()).collect();
+        loop {
+            let before = emits.len();
+            for (name, (_, calls)) in fns {
+                if !emits.contains(name) && calls.iter().any(|c| emits.contains(c)) {
+                    emits.insert(name.clone());
+                }
+            }
+            if emits.len() == before {
+                break;
+            }
+        }
+        if !emits.is_empty() {
+            graph.emits.insert(ckey.clone(), emits);
+        }
+    }
+    graph
+}
+
+impl CrateGraph {
+    /// Whether `name` in crate `ckey` (transitively) emits trace
+    /// events.
+    pub fn emits(&self, ckey: &str, name: &str) -> bool {
+        self.emits.get(ckey).is_some_and(|s| s.contains(name))
+    }
+
+    /// Fn names in `ckey` returning `impl Iterator<Item = f32|f64>`.
+    pub fn float_iter_fns(&self, ckey: &str) -> impl Iterator<Item = &String> {
+        self.float_iter.get(ckey).into_iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn graph(files: &[(&str, &str)]) -> CrateGraph {
+        let built: Vec<(String, Sketch)> = files
+            .iter()
+            .map(|(p, src)| (p.to_string(), Sketch::build(&scan(p, src))))
+            .collect();
+        build(&built)
+    }
+
+    #[test]
+    fn emission_propagates_to_a_fixpoint_within_a_crate() {
+        let g = graph(&[
+            (
+                "crates/fl/src/a.rs",
+                "fn leaf(r: usize) { emit_round_end(r); }\nfn mid(r: usize) { leaf(r); }\nfn top(r: usize) { mid(r); }\nfn clean(r: usize) -> usize { r + 1 }\n",
+            ),
+            ("crates/fl/src/b.rs", "fn other() { top(0); }\n"),
+        ]);
+        for f in ["leaf", "mid", "top", "other"] {
+            assert!(g.emits("crates/fl", f), "{f} should emit");
+        }
+        assert!(!g.emits("crates/fl", "clean"));
+        // Edges never cross crates.
+        assert!(!g.emits("crates/core", "top"));
+    }
+
+    #[test]
+    fn direct_evidence_covers_obs_types_and_maybe_trace() {
+        let g = graph(&[(
+            "crates/core/src/t.rs",
+            "fn a(s: &S) { let _t = crate::trace::maybe_trace(\"x\", s); }\nfn b() { TraceSession::to_file(); }\nfn c() { fedmp_obs::emit(|| e()); }\n",
+        )]);
+        for f in ["a", "b", "c"] {
+            assert!(g.emits("crates/core", f), "{f}");
+        }
+    }
+
+    #[test]
+    fn float_iterator_returns_are_indexed_by_signature() {
+        let g = graph(&[(
+            "crates/fl/src/h.rs",
+            "pub fn deltas(xs: &[f32]) -> impl Iterator<Item = f32> + '_ { xs.iter().copied() }\npub fn ints(xs: &[u32]) -> impl Iterator<Item = u32> + '_ { xs.iter().copied() }\n",
+        )]);
+        let names: Vec<&String> = g.float_iter_fns("crates/fl").collect();
+        assert_eq!(names, vec!["deltas"]);
+    }
+}

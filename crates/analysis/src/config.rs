@@ -102,6 +102,13 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
             if section.iter().any(String::is_empty) {
                 return err(lineno, "empty section name component");
             }
+            // The header alone enables a lint: `[lints.x]` with no keys
+            // is a valid "run with defaults" configuration.
+            if let [s, lint] = section.as_slice() {
+                if s == "lints" {
+                    cfg.lints.entry(lint.clone()).or_default();
+                }
+            }
             continue;
         }
         let Some(eq) = line.find('=') else {

@@ -1,6 +1,12 @@
-//! Diagnostic records and the two output renderers (human, JSON).
+//! Diagnostic records, the finding sink (which arbitrates inline
+//! suppressions and remembers which ones fired), and the output
+//! renderers (human, JSON, SARIF).
+
+use std::collections::BTreeSet;
 
 use serde::Serialize;
+
+use crate::scanner::SourceFile;
 
 /// One finding: a file, a line, the lint that fired, and why.
 #[derive(Debug, Clone, Serialize, PartialEq, Eq)]
@@ -32,6 +38,55 @@ impl Diagnostic {
     }
 }
 
+/// Where lints report candidate findings. The sink — not each lint —
+/// decides whether an inline `allow(...)` covers the line: suppressed
+/// candidates are recorded in [`Sink::used`] (keyed by the directive's
+/// own line) instead of becoming diagnostics, which is exactly the
+/// bookkeeping the suppression-audit lint diffs against to find dead
+/// directives.
+#[derive(Debug, Default)]
+pub struct Sink {
+    /// Findings that survived suppression.
+    pub findings: Vec<Diagnostic>,
+    /// `(file, directive line, lint)` for every suppression that
+    /// actually absorbed a finding.
+    pub used: BTreeSet<(String, usize, String)>,
+}
+
+impl Sink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reports a candidate finding for 0-indexed line `idx0` of
+    /// `file`, honoring any well-formed inline suppression on that
+    /// line.
+    pub fn report(&mut self, file: &SourceFile, idx0: usize, lint: &str, message: impl Into<String>) {
+        let suppressed = file.lines.get(idx0).and_then(|line| {
+            line.suppressions.iter().find(|s| s.reason_ok && s.lint == lint)
+        });
+        match suppressed {
+            Some(s) => {
+                self.used.insert((file.path.clone(), s.line, lint.to_string()));
+            }
+            None => {
+                self.findings.push(Diagnostic::new(&file.path, idx0 + 1, lint, message));
+            }
+        }
+    }
+}
+
+/// Per-lint counters for the JSON report: how many findings survived
+/// and how many were absorbed by inline suppressions. Review diffs of
+/// the CI artifact make lint drift (new escapes, silently-dead rules)
+/// visible without reading the whole tree.
+#[derive(Debug, Clone, Serialize, PartialEq, Eq)]
+pub struct LintStat {
+    pub lint: String,
+    pub findings: usize,
+    pub suppressions_used: usize,
+}
+
 /// Stable ordering so output (and the JSON artifact) is reproducible:
 /// by file, then line, then lint name.
 pub fn sort(diags: &mut [Diagnostic]) {
@@ -50,7 +105,52 @@ pub struct Report {
     pub files_scanned: usize,
     /// The lints that ran (i.e. were configured), sorted.
     pub lints: Vec<String>,
+    /// Per-lint finding/suppression counters, sorted by lint name.
+    pub summary: Vec<LintStat>,
     pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Renders a report as minimal SARIF 2.1.0 — enough for code-scanning
+/// UIs to place findings: one run, one rule per lint, one result per
+/// diagnostic. File-level findings (line 0) are pinned to line 1,
+/// which SARIF requires to be positive.
+pub fn to_sarif(report: &Report) -> serde_json::Value {
+    let rules: Vec<serde_json::Value> = report
+        .lints
+        .iter()
+        .map(|l| serde_json::json!({ "id": l, "name": l }))
+        .collect();
+    let results: Vec<serde_json::Value> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            serde_json::json!({
+                "ruleId": d.lint,
+                "level": "error",
+                "message": { "text": d.message },
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": { "uri": d.file },
+                        "region": { "startLine": d.line.max(1) }
+                    }
+                }]
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "fedmp-analysis",
+                    "informationUri": "docs/ANALYSIS.md",
+                    "rules": rules
+                }
+            },
+            "results": results
+        }]
+    })
 }
 
 #[cfg(test)]
@@ -61,6 +161,37 @@ mod tests {
     fn renders_clickable_prefix() {
         let d = Diagnostic::new("crates/fl/src/lm.rs", 42, "determinism", "no HashMap here");
         assert_eq!(d.render(), "crates/fl/src/lm.rs:42: [determinism] no HashMap here");
+    }
+
+    #[test]
+    fn sink_records_used_suppressions_instead_of_findings() {
+        let src = "// fedmp-analysis: allow(determinism) -- documented\nlet v = std::env::var(\"X\");\nlet w = Instant::now();\n";
+        let file = crate::scanner::scan("crates/fl/src/x.rs", src);
+        let mut sink = Sink::new();
+        sink.report(&file, 1, "determinism", "env read");
+        sink.report(&file, 2, "determinism", "clock read");
+        assert_eq!(sink.findings.len(), 1);
+        assert_eq!(sink.findings[0].line, 3);
+        assert!(sink.used.contains(&("crates/fl/src/x.rs".to_string(), 1, "determinism".into())));
+    }
+
+    #[test]
+    fn sarif_places_results_and_clamps_file_level_lines() {
+        let report = Report {
+            status: "violations".into(),
+            files_scanned: 1,
+            lints: vec!["determinism".into()],
+            summary: vec![LintStat { lint: "determinism".into(), findings: 1, suppressions_used: 0 }],
+            diagnostics: vec![Diagnostic::new("analysis.toml", 0, "determinism", "m")],
+        };
+        let sarif = to_sarif(&report);
+        assert_eq!(sarif["version"], "2.1.0");
+        let r = &sarif["runs"][0]["results"][0];
+        assert_eq!(r["ruleId"], "determinism");
+        assert_eq!(
+            r["locations"][0]["physicalLocation"]["region"]["startLine"],
+            serde_json::json!(1)
+        );
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! # fedmp-analysis
 //!
 //! A workspace invariant linter: statically enforces the rules the
-//! paper reproduction's claims rest on, without `syn` or rustc —
-//! a comment/string-aware token scanner is enough for every rule here,
-//! and keeps the tool dependency-free and fast enough to run on each
-//! `cargo test`.
+//! paper reproduction's claims rest on, without `syn` or rustc. The
+//! comment/string-aware token scanner handles the line-oriented rules;
+//! on top of it, a structural "syntax sketch" pass ([`sketch`]) finds
+//! call extents, function items and call edges, and an intra-crate
+//! call-summary pass ([`callgraph`]) answers "does this helper emit
+//! trace events / return a float iterator". All of it stays
+//! dependency-free and fast enough to run on each `cargo test`.
 //!
 //! The lints (see `docs/ANALYSIS.md` for the full rationale):
 //!
@@ -16,25 +19,40 @@
 //! | `no-panic` | engines and the threaded runtime fail into typed errors, never aborts |
 //! | `trace-schema` | `TraceEvent::KINDS` and `docs/TRACE_SCHEMA.md` describe the same event set |
 //! | `suppression` | every inline `allow(...)` carries a written reason |
+//! | `executor-purity` | executor closures (`ordered_map`, `scope.spawn`) stay pure: no trace emission, bandit mutation, RNG capture or shared-accumulator writes inside the fan-out |
+//! | `channel-protocol` | every spawn-bearing `thread::scope` drops its channel endpoints on all exit paths, and never recv-blocks on a channel only it can feed |
+//! | `reduction-escape` | `impl Iterator<Item = f32>` helpers are not `.sum()`-ed at call sites (the laundering hole in `float-reduction`) |
+//! | `suppression-audit` | every inline suppression still absorbs a finding, and every config `allow` entry still excuses one — escapes that suppress nothing are findings |
 //!
 //! Configuration lives in the checked-in `analysis.toml`. A finding is
 //! suppressed inline with
 //! `// fedmp-analysis: allow(<lint>) -- <reason>` — the reason is
-//! mandatory; a reason-less directive is itself a finding.
+//! mandatory; a reason-less directive is itself a finding. Every
+//! scope/allow/skip path in the config must exist on disk: a dangling
+//! entry is a config error (exit 2), because an entry matching nothing
+//! is either a typo silently widening the lint's reach or a leftover
+//! silently narrowing it.
 
 // No `unsafe` anywhere in this crate: the only sanctioned unsafe code
 // in the workspace lives in `fedmp-tensor`'s band scheduler. Backed
 // statically by the `unsafe-hygiene` lint in `fedmp-analysis`.
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod config;
 pub mod diagnostics;
 pub mod lints;
 pub mod scanner;
+pub mod sketch;
 pub mod workspace;
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::path::Path;
+
+use diagnostics::{LintStat, Sink};
+use scanner::SourceFile;
+use sketch::Sketch;
 
 pub use config::{Config, ConfigError};
 pub use diagnostics::{Diagnostic, Report};
@@ -75,6 +93,8 @@ pub struct Outcome {
     pub files_scanned: usize,
     /// The lints that ran, sorted by name.
     pub lints_run: Vec<String>,
+    /// Per-lint finding/suppression counters, sorted by lint name.
+    pub summary: Vec<LintStat>,
 }
 
 impl Outcome {
@@ -96,7 +116,43 @@ pub fn check_with_config_path(root: &Path, config_path: &Path) -> Result<Outcome
         source,
     })?;
     let config = config::parse(&text)?;
+    validate_config_paths(root, &config)?;
     check(root, &config)
+}
+
+/// Every `skip`, lint `scope` and lint `allow` entry must name
+/// something that exists on disk. A dangling entry is a hard config
+/// error, not a warning: a typo'd scope silently widens or narrows
+/// what the lint sees, and a leftover allow is a standing escape for
+/// code that no longer exists. `roots` are exempt — they are
+/// prospective mount points the walker skips when absent — as are
+/// lint-specific string keys, which the owning lint validates itself.
+fn validate_config_paths(root: &Path, config: &Config) -> Result<(), ConfigError> {
+    fn ensure(root: &Path, section: &str, entry: &str) -> Result<(), ConfigError> {
+        if root.join(entry).exists() {
+            Ok(())
+        } else {
+            Err(ConfigError {
+                line: 0,
+                message: format!(
+                    "{section} entry `{entry}` matches no file or directory on disk — \
+                     fix the path or delete the entry"
+                ),
+            })
+        }
+    }
+    for entry in &config.skip {
+        ensure(root, "workspace.skip", entry)?;
+    }
+    for (name, lint) in &config.lints {
+        for entry in &lint.scope {
+            ensure(root, &format!("lints.{name}.scope"), entry)?;
+        }
+        for entry in &lint.allow {
+            ensure(root, &format!("lints.{name}.allow"), entry)?;
+        }
+    }
+    Ok(())
 }
 
 /// Runs every configured lint over the workspace rooted at `root`.
@@ -104,21 +160,33 @@ pub fn check(root: &Path, config: &Config) -> Result<Outcome, AnalysisError> {
     let files = workspace::collect_rust_files(root, config).map_err(|source| {
         AnalysisError::Io { path: root.to_string_lossy().into_owned(), source }
     })?;
-    let mut diags: Vec<Diagnostic> = Vec::new();
-    let mut files_scanned = 0usize;
 
+    // Scan the whole tree up front: the structural lints need every
+    // file's sketch (call summaries connect files within a crate)
+    // before any per-file pass can run.
+    let mut scanned: Vec<SourceFile> = Vec::with_capacity(files.len());
     for path in &files {
         let rel = workspace::relative(root, path);
         let raw = std::fs::read_to_string(path)
             .map_err(|source| AnalysisError::Io { path: rel.clone(), source })?;
-        let file = scanner::scan(&rel, &raw);
-        files_scanned += 1;
+        scanned.push(scanner::scan(&rel, &raw));
+    }
+    let files_scanned = scanned.len();
+    let sketches: Vec<(String, Sketch)> =
+        scanned.iter().map(|f| (f.path.clone(), Sketch::build(f))).collect();
+    let graph = callgraph::build(&sketches);
+    let mut sink = Sink::new();
+
+    for (file, (_, sketch)) in scanned.iter().zip(&sketches) {
+        let rel = &file.path;
 
         // The suppression meta-check is always on: a malformed or
-        // reason-less directive is a finding wherever it appears.
+        // reason-less directive is a finding wherever it appears. It
+        // bypasses the sink — a broken escape hatch must not be able
+        // to excuse itself.
         for line in &file.malformed_suppressions {
-            diags.push(Diagnostic::new(
-                &rel,
+            sink.findings.push(Diagnostic::new(
+                rel,
                 *line,
                 "suppression",
                 "malformed `fedmp-analysis:` directive; the form is \
@@ -130,8 +198,8 @@ pub fn check(root: &Path, config: &Config) -> Result<Outcome, AnalysisError> {
         for (idx, line) in file.lines.iter().enumerate() {
             for s in &line.suppressions {
                 if !lints::LINT_NAMES.contains(&s.lint.as_str()) {
-                    diags.push(Diagnostic::new(
-                        &rel,
+                    sink.findings.push(Diagnostic::new(
+                        rel,
                         idx + 1,
                         "suppression",
                         format!(
@@ -145,38 +213,112 @@ pub fn check(root: &Path, config: &Config) -> Result<Outcome, AnalysisError> {
         }
 
         if let Some(cfg) = config.lints.get(lints::determinism::NAME) {
-            if cfg.applies_to(&rel) {
-                lints::determinism::check(&file, cfg, &mut diags);
+            if cfg.applies_to(rel) {
+                lints::determinism::check(file, cfg, &mut sink);
             }
         }
         if let Some(cfg) = config.lints.get(lints::float_reduction::NAME) {
-            if cfg.applies_to(&rel) {
-                lints::float_reduction::check(&file, cfg, &mut diags);
+            if cfg.applies_to(rel) {
+                lints::float_reduction::check(file, cfg, &mut sink);
             }
         }
         // Scope-only: this lint treats `allow` as "unsafe permitted
         // here (with SAFETY comments)", not "don't scan".
         if let Some(cfg) = config.lints.get(lints::unsafe_hygiene::NAME) {
-            if cfg.in_scope(&rel) {
-                lints::unsafe_hygiene::check(&file, cfg, &mut diags);
+            if cfg.in_scope(rel) {
+                lints::unsafe_hygiene::check(file, cfg, &mut sink);
             }
         }
         if let Some(cfg) = config.lints.get(lints::no_panic::NAME) {
-            if cfg.applies_to(&rel) {
-                lints::no_panic::check(&file, cfg, &mut diags);
+            if cfg.applies_to(rel) {
+                lints::no_panic::check(file, cfg, &mut sink);
+            }
+        }
+        if let Some(cfg) = config.lints.get(lints::executor_purity::NAME) {
+            if cfg.applies_to(rel) {
+                lints::executor_purity::check(file, sketch, &graph, cfg, &mut sink);
+            }
+        }
+        if let Some(cfg) = config.lints.get(lints::channel_protocol::NAME) {
+            if cfg.applies_to(rel) {
+                lints::channel_protocol::check(file, sketch, cfg, &mut sink);
+            }
+        }
+        if let Some(cfg) = config.lints.get(lints::reduction_escape::NAME) {
+            if cfg.applies_to(rel) {
+                lints::reduction_escape::check(file, sketch, &graph, cfg, &mut sink);
             }
         }
     }
 
-    // Workspace-level cross-check (runs once, not per file).
+    // Workspace-level cross-check (runs once, not per file). Its
+    // findings are file-level, so it writes past the suppression
+    // arbitration straight into the finding list.
     if let Some(cfg) = config.lints.get(lints::trace_schema::NAME) {
-        lints::trace_schema::check(root, cfg, &mut diags);
+        lints::trace_schema::check(root, cfg, &mut sink.findings);
     }
 
-    diagnostics::sort(&mut diags);
+    // Post-pass: with every sink-reporting lint done, `sink.used` is
+    // complete and the audit can diff directives against it.
+    if config.lints.contains_key(lints::suppression_audit::NAME) {
+        let enabled: BTreeSet<String> = config.lints.keys().cloned().collect();
+        let refs: Vec<&SourceFile> = scanned.iter().collect();
+        lints::suppression_audit::check(&refs, &enabled, &mut sink);
+        audit_config_allows(config, &scanned, &mut sink);
+    }
+
+    let Sink { mut findings, used } = sink;
+    diagnostics::sort(&mut findings);
     let mut lints_run: Vec<String> = config.lints.keys().cloned().collect();
     lints_run.push("suppression".to_string());
     lints_run.sort();
     lints_run.dedup();
-    Ok(Outcome { diagnostics: diags, files_scanned, lints_run })
+    let summary: Vec<LintStat> = lints_run
+        .iter()
+        .map(|l| LintStat {
+            lint: l.clone(),
+            findings: findings.iter().filter(|d| &d.lint == l).count(),
+            suppressions_used: used.iter().filter(|(_, _, lint)| lint == l).count(),
+        })
+        .collect();
+    Ok(Outcome { diagnostics: findings, files_scanned, lints_run, summary })
+}
+
+/// The config half of the suppression audit: an `allow` entry in
+/// `analysis.toml` is live only while the lint it excuses would still
+/// find something under that path. For each auditable lint, rerun it
+/// into a scratch sink over the allowlisted files; entries whose
+/// files produce zero candidates excuse nothing and are findings.
+/// `unsafe-hygiene` is excluded — its allow list means "unsafe
+/// permitted here", a grant that stays meaningful while the file
+/// exists (and config-path validation already guarantees that).
+fn audit_config_allows(config: &Config, scanned: &[SourceFile], sink: &mut Sink) {
+    let auditable: [(&str, fn(&SourceFile, &config::LintConfig, &mut Sink)); 3] = [
+        (lints::determinism::NAME, lints::determinism::check),
+        (lints::float_reduction::NAME, lints::float_reduction::check),
+        (lints::no_panic::NAME, lints::no_panic::check),
+    ];
+    for (name, run) in auditable {
+        let Some(cfg) = config.lints.get(name) else { continue };
+        for entry in &cfg.allow {
+            let mut scratch = Sink::new();
+            for file in scanned {
+                if config::path_has_prefix(&file.path, entry) && cfg.in_scope(&file.path) {
+                    run(file, cfg, &mut scratch);
+                }
+            }
+            if scratch.findings.is_empty() && scratch.used.is_empty() {
+                sink.findings.push(Diagnostic::new(
+                    "analysis.toml",
+                    0,
+                    lints::suppression_audit::NAME,
+                    format!(
+                        "`lints.{name}.allow` entry `{entry}` excuses nothing: the lint \
+                         finds no candidate under that path — delete the entry (the escape \
+                         is a standing invitation to reintroduce the violation silently)"
+                    ),
+                ));
+            }
+        }
+    }
 }

@@ -1,0 +1,475 @@
+//! L7 — channel-protocol hygiene.
+//!
+//! The threaded runtime's join guarantee (PR 5) is structural: a
+//! `thread::scope` only returns once every spawned thread exits, and
+//! a spawned thread only exits once the channel protocol lets it —
+//! so every exit path of the scope body must drop its channel
+//! endpoints *before the scope ends*, or a parked peer deadlocks the
+//! join. This lint machine-checks that shape in the runtime files.
+//! For each spawn-bearing `thread::scope(...)` extent it reconstructs
+//! the channels declared at the body's top level (`let (tx, rx) =
+//! bounded/unbounded/channel(...)`), tracks `.clone()` aliases and
+//! sender containers (`Vec<Sender<_>>` bindings, plus anything a
+//! sender is `.push`ed or index-assigned into), and then requires:
+//!
+//! - **receiver teardown**: when a sender (or an alias of it) moves
+//!   into a spawn, the caller-side receiver must be `drop(...)`ed at
+//!   top level (or itself move into a spawn) — otherwise a worker
+//!   blocked on `send` never observes disconnect;
+//! - **sender teardown**: when the receiver moves into a spawn, every
+//!   caller-side sender residue — the original name, each alias, and
+//!   each container holding one — must be `drop(...)`ed at top level,
+//!   or a worker blocked on `recv` never observes disconnect;
+//! - **no self-deadlock recv**: a top-level `.recv(` on a receiver
+//!   whose paired sender never reaches any spawn can only be fed by
+//!   the very thread that is now blocking on it;
+//! - **no early exit**: a `?` or `return` in the scope body's
+//!   top-level statement position (outside every nested call,
+//!   including the sanctioned immediately-invoked fallible closure)
+//!   jumps past the teardown drops. Capture the error and fall
+//!   through instead — the `(|| -> Result<..> { ... })()` pattern the
+//!   runtime uses.
+//!
+//! Heuristic limits: channels created and consumed entirely inside
+//! helper functions are out of view (the scope files keep creation at
+//! scope top level by convention), and sender containers are tracked
+//! by name, not dataflow. Both directions fail loud, not silent: a
+//! missed drop is a finding, and a false positive takes a reasoned
+//! suppression on the channel's `let (` line.
+
+use std::collections::BTreeSet;
+
+use crate::config::LintConfig;
+use crate::diagnostics::Sink;
+use crate::scanner::SourceFile;
+use crate::sketch::{Extent, Sketch};
+
+pub const NAME: &str = "channel-protocol";
+
+pub fn check(file: &SourceFile, sketch: &Sketch, _cfg: &LintConfig, out: &mut Sink) {
+    for scope in sketch.call_extents("thread::scope(") {
+        let spawns: Vec<Extent> =
+            sketch.call_extents(".spawn(").into_iter().filter(|s| scope.contains(s)).collect();
+        if spawns.is_empty() {
+            continue;
+        }
+        // Top-level view: the scope body with spawn argument lists
+        // blanked, so offsets still map back into the sketch text.
+        let mut top: Vec<u8> = sketch.text[scope.start..scope.end].bytes().collect();
+        for s in &spawns {
+            for b in &mut top[s.start - scope.start..s.end - scope.start] {
+                if *b != b'\n' {
+                    *b = b' ';
+                }
+            }
+        }
+        let top = String::from_utf8(top).expect("blanking is ascii-safe");
+        let spawned_text: String = spawns
+            .iter()
+            .map(|s| &sketch.text[s.start..s.end])
+            .collect::<Vec<_>>()
+            .join("\n");
+
+        let pairs = channel_pairs(&top);
+        if pairs.is_empty() {
+            continue;
+        }
+        let aliases = clone_aliases(&top, &pairs);
+        let containers = sender_containers(&top, &pairs, &aliases);
+        let drops = dropped_names(&top);
+
+        for p in &pairs {
+            let line = sketch.line_at(scope.start + p.offset);
+            let mut senders: Vec<&str> = vec![p.tx.as_str()];
+            senders.extend(aliases.iter().filter(|(_, of)| of == &p.tx).map(|(a, _)| a.as_str()));
+            let sender_spawned = senders.iter().any(|s| token_in(&spawned_text, s));
+            let rx_spawned = token_in(&spawned_text, &p.rx);
+
+            if sender_spawned && !rx_spawned && !drops.contains(&p.rx) {
+                out.report(
+                    file,
+                    line - 1,
+                    NAME,
+                    format!(
+                        "receiver `{}` stays caller-side while `{}` moves into a spawned \
+                         thread, but is never `drop(...)`ed at the scope's top level; a \
+                         worker parked in `send` can then never observe disconnect and the \
+                         scope join hangs — drop it on every exit path before the scope ends",
+                        p.rx, p.tx
+                    ),
+                );
+            }
+            if rx_spawned {
+                // Residues: the tx itself (unless consumed into a
+                // container or moved into a spawn), aliases likewise,
+                // and every container that received one.
+                let consumed: BTreeSet<&str> =
+                    containers.iter().map(|(_, s)| s.as_str()).collect();
+                let mut residue: Vec<&str> = senders
+                    .iter()
+                    .filter(|s| !consumed.contains(**s) && !token_in(&spawned_text, s))
+                    .copied()
+                    .collect();
+                residue.extend(
+                    containers
+                        .iter()
+                        .filter(|(_, s)| senders.contains(&s.as_str()))
+                        .map(|(c, _)| c.as_str()),
+                );
+                for r in residue {
+                    if !drops.contains(r) {
+                        out.report(
+                            file,
+                            line - 1,
+                            NAME,
+                            format!(
+                                "sender residue `{r}` (for receiver `{}`) is never \
+                                 `drop(...)`ed at the scope's top level; a worker parked in \
+                                 `recv` can then never observe disconnect and the scope join \
+                                 hangs — drop every caller-side sender before the scope ends",
+                                p.rx
+                            ),
+                        );
+                    }
+                }
+            }
+            if !sender_spawned {
+                // A top-level recv on this receiver can only be fed by
+                // the thread that is blocking on it.
+                let needle = format!("{}.recv(", p.rx);
+                if let Some(pos) = top.find(&needle) {
+                    out.report(
+                        file,
+                        sketch.line_at(scope.start + pos) - 1,
+                        NAME,
+                        format!(
+                            "`{}.recv(...)` but `{}` never moves into a spawned thread: the \
+                             only sender is held by the thread now blocking on the receive — \
+                             a structural self-deadlock",
+                            p.rx, p.tx
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Early exits at statement position (paren depth 0 within the
+        // scope body) jump past every drop below them.
+        for (pos, what) in early_exits(&top) {
+            out.report(
+                file,
+                sketch.line_at(scope.start + pos) - 1,
+                NAME,
+                format!(
+                    "`{what}` at the top level of a spawn-bearing scope body skips the \
+                     channel teardown below it; capture the error and fall through to the \
+                     drops instead (the `(|| -> Result<_, _> {{ ... }})()` pattern)"
+                ),
+            );
+        }
+    }
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+fn token_in(haystack: &str, needle: &str) -> bool {
+    let bytes = haystack.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let at = from + pos;
+        from = at + 1;
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1]);
+        let end = at + needle.len();
+        let after_ok = end >= bytes.len() || !is_ident_char(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}
+
+#[derive(Debug)]
+struct ChannelPair {
+    tx: String,
+    rx: String,
+    /// Offset of the `let (` in the top-level view.
+    offset: usize,
+}
+
+/// `let (tx, rx) = bounded/unbounded/channel(...)` destructures.
+fn channel_pairs(top: &str) -> Vec<ChannelPair> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = top[from..].find("let (") {
+        let at = from + pos;
+        from = at + 5;
+        let inner = &top[at + 5..];
+        let Some(close) = inner.find(')') else { continue };
+        let names: Vec<&str> = inner[..close].split(',').map(str::trim).collect();
+        if names.len() != 2 || names.iter().any(|n| n.is_empty()) {
+            continue;
+        }
+        let rest = &inner[close + 1..];
+        let Some(semi) = rest.find(';') else { continue };
+        let rhs = &rest[..semi];
+        if ["bounded", "unbounded", "channel"].iter().any(|t| token_in(rhs, t)) {
+            out.push(ChannelPair {
+                tx: names[0].to_string(),
+                rx: names[1].to_string(),
+                offset: at,
+            });
+        }
+    }
+    out
+}
+
+/// `let a = tx.clone();` aliases of known senders, to a fixpoint so
+/// aliases of aliases resolve to the original sender.
+fn clone_aliases(top: &str, pairs: &[ChannelPair]) -> Vec<(String, String)> {
+    let mut aliases: Vec<(String, String)> = Vec::new();
+    loop {
+        let mut grew = false;
+        let mut from = 0usize;
+        while let Some(pos) = top[from..].find("let ") {
+            let at = from + pos;
+            from = at + 4;
+            let rest = &top[at + 4..];
+            let Some(eq) = rest.find('=') else { continue };
+            let name = rest[..eq].trim().trim_start_matches("mut ").trim();
+            if name.is_empty() || !name.bytes().all(is_ident_char) {
+                continue;
+            }
+            let Some(semi) = rest[eq..].find(';') else { continue };
+            let rhs = rest[eq + 1..eq + semi].trim();
+            let Some(base) = rhs.strip_suffix(".clone()") else { continue };
+            let resolves = pairs.iter().any(|p| p.tx == base)
+                || aliases.iter().any(|(a, _)| a == base);
+            if resolves && !aliases.iter().any(|(a, _)| a == name) {
+                let root = aliases
+                    .iter()
+                    .find(|(a, _)| a == base)
+                    .map(|(_, of)| of.clone())
+                    .unwrap_or_else(|| base.to_string());
+                aliases.push((name.to_string(), root));
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    aliases
+}
+
+/// `(container, sender)` links: a container annotated `Sender<`, or
+/// any name a known sender is `.push(...)`ed or `[..] = ...`-assigned
+/// into.
+fn sender_containers(
+    top: &str,
+    pairs: &[ChannelPair],
+    aliases: &[(String, String)],
+) -> Vec<(String, String)> {
+    let senders: Vec<&str> = pairs
+        .iter()
+        .map(|p| p.tx.as_str())
+        .chain(aliases.iter().map(|(a, _)| a.as_str()))
+        .collect();
+    let mut out = Vec::new();
+    let bytes = top.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if is_ident_char(bytes[i]) && !bytes[i].is_ascii_digit() && (i == 0 || !is_ident_char(bytes[i - 1]))
+        {
+            let start = i;
+            while i < bytes.len() && is_ident_char(bytes[i]) {
+                i += 1;
+            }
+            let name = &top[start..i];
+            // `c.push(<sender>...)`
+            if top[i..].starts_with(".push(") {
+                let args_start = i + ".push(".len();
+                if let Some(close) = top[args_start..].find(')') {
+                    let args = &top[args_start..args_start + close];
+                    for s in &senders {
+                        if token_in(args, s) {
+                            out.push((name.to_string(), s.to_string()));
+                        }
+                    }
+                }
+            }
+            // `c[...] = <sender>;`
+            if top[i..].starts_with('[') {
+                if let Some(close) = top[i..].find(']') {
+                    let after = top[i + close + 1..].trim_start();
+                    if let Some(rhs) = after.strip_prefix('=') {
+                        if let Some(semi) = rhs.find(';') {
+                            for s in &senders {
+                                if token_in(&rhs[..semi], s) {
+                                    out.push((name.to_string(), s.to_string()));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Names appearing in top-level `drop(<name>)` calls.
+fn dropped_names(top: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut from = 0usize;
+    while let Some(pos) = top[from..].find("drop(") {
+        let at = from + pos;
+        from = at + 5;
+        let bytes = top.as_bytes();
+        if at > 0 && is_ident_char(bytes[at - 1]) {
+            continue;
+        }
+        if let Some(close) = top[at + 5..].find(')') {
+            let name = top[at + 5..at + 5 + close].trim().trim_start_matches('&');
+            if name.bytes().all(is_ident_char) && !name.is_empty() {
+                out.insert(name.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// `?` / `return` at paren depth 0 of the (blanked) scope body. A `?`
+/// after a closing paren is depth 0 — that is the escaping kind; one
+/// inside any argument list (including the fallible-closure body) is
+/// not. `?` in types (`?Sized`) is excluded by its `:`/`<` prefix.
+fn early_exits(top: &str) -> Vec<(usize, &'static str)> {
+    let bytes = top.as_bytes();
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => depth += 1,
+            b')' => depth -= 1,
+            b'?' if depth == 0 => {
+                let prev = top[..i].trim_end().chars().next_back();
+                if !matches!(prev, Some(':' | '<' | '+')) {
+                    out.push((i, "?"));
+                }
+            }
+            b'r' if depth == 0
+                && top[i..].starts_with("return")
+                && (i == 0 || !is_ident_char(bytes[i - 1]))
+                && bytes.get(i + 6).map(|c| !is_ident_char(*c)).unwrap_or(true) =>
+            {
+                out.push((i, "return"));
+                i += 5;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+    use crate::sketch::Sketch;
+
+    fn run(src: &str) -> Vec<crate::diagnostics::Diagnostic> {
+        let file = scan("crates/fl/src/runtime.rs", src);
+        let sketch = Sketch::build(&file);
+        let mut out = Sink::new();
+        check(&file, &sketch, &LintConfig::default(), &mut out);
+        out.findings
+    }
+
+    const GOOD: &str = "\
+pub fn run(n: usize) {\n\
+    std::thread::scope(|scope| {\n\
+        let (up_tx, up_rx) = bounded::<u32>(4);\n\
+        let mut downlinks: Vec<Sender<u32>> = Vec::new();\n\
+        for w in 0..n {\n\
+            let (down_tx, down_rx) = bounded::<u32>(2);\n\
+            downlinks.push(down_tx);\n\
+            let utx = up_tx.clone();\n\
+            scope.spawn(move || worker(w, down_rx, utx));\n\
+        }\n\
+        let outcome = (|| -> Result<(), E> {\n\
+            let v = up_rx.recv()?;\n\
+            handle(v)?;\n\
+            Ok(())\n\
+        })();\n\
+        drop(downlinks);\n\
+        drop(up_rx);\n\
+        outcome\n\
+    });\n\
+}\n";
+
+    #[test]
+    fn the_sanctioned_runtime_shape_is_clean() {
+        assert!(run(GOOD).is_empty(), "{:?}", run(GOOD));
+    }
+
+    #[test]
+    fn missing_receiver_drop_is_flagged_on_the_channel_line() {
+        let src = GOOD.replace("drop(up_rx);\n", "");
+        let out = run(&src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 3);
+        assert!(out[0].message.contains("`up_rx`"));
+    }
+
+    #[test]
+    fn missing_sender_container_drop_is_flagged() {
+        let src = GOOD.replace("drop(downlinks);\n", "");
+        let out = run(&src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 6, "anchored at the downlink channel declaration");
+        assert!(out[0].message.contains("`downlinks`"));
+    }
+
+    #[test]
+    fn recv_with_unspawned_sender_is_a_self_deadlock() {
+        let src = "\
+pub fn run() {\n\
+    std::thread::scope(|scope| {\n\
+        let (cmd_tx, cmd_rx) = bounded::<u32>(1);\n\
+        scope.spawn(move || work());\n\
+        let c = cmd_rx.recv();\n\
+        drop(cmd_tx);\n\
+        drop(cmd_rx);\n\
+        c\n\
+    });\n\
+}\n";
+        let out = run(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 5);
+        assert!(out[0].message.contains("self-deadlock"));
+    }
+
+    #[test]
+    fn top_level_question_mark_is_an_early_exit() {
+        let src = GOOD.replace(
+            "let outcome = (|| -> Result<(), E> {\n",
+            "early(up_rx.recv())?;\nlet outcome = (|| -> Result<(), E> {\n",
+        );
+        let out = run(&src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("skips the channel teardown"));
+    }
+
+    #[test]
+    fn scopes_without_channels_or_spawns_are_ignored() {
+        let out = run(
+            "pub fn f() {\n    std::thread::scope(|s| {\n        s.spawn(|| work());\n        compute()\n    });\n}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

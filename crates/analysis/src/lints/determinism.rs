@@ -18,7 +18,7 @@
 //!   derive from the experiment seed.
 
 use crate::config::LintConfig;
-use crate::diagnostics::Diagnostic;
+use crate::diagnostics::Sink;
 use crate::scanner::{contains_token, SourceFile};
 
 pub const NAME: &str = "determinism";
@@ -67,19 +67,14 @@ const BANNED: &[(&str, &str)] = &[
 ];
 
 /// Runs the lint over one file already known to be in scope.
-pub fn check(file: &SourceFile, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+pub fn check(file: &SourceFile, _cfg: &LintConfig, out: &mut Sink) {
     for (idx, line) in file.lines.iter().enumerate() {
-        if line.in_test || line.suppresses(NAME) {
+        if line.in_test {
             continue;
         }
         for (token, why) in BANNED {
             if contains_token(&line.code, token) {
-                out.push(Diagnostic::new(
-                    &file.path,
-                    idx + 1,
-                    NAME,
-                    format!("`{token}` in deterministic code: {why}"),
-                ));
+                out.report(file, idx, NAME, format!("`{token}` in deterministic code: {why}"));
             }
         }
     }
@@ -90,11 +85,11 @@ mod tests {
     use super::*;
     use crate::scanner::scan;
 
-    fn run(src: &str) -> Vec<Diagnostic> {
+    fn run(src: &str) -> Vec<crate::diagnostics::Diagnostic> {
         let file = scan("crates/fl/src/x.rs", src);
-        let mut out = Vec::new();
+        let mut out = Sink::new();
         check(&file, &LintConfig::default(), &mut out);
-        out
+        out.findings
     }
 
     #[test]

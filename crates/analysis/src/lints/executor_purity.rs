@@ -1,0 +1,373 @@
+//! L6 — executor purity.
+//!
+//! The determinism argument for every fan-out in the workspace — the
+//! round executor (`fedmp_fl::exec::ordered_map`) and the scoped
+//! worker threads — is the same: *order-sensitive state never enters
+//! the parallel region*. Bandit RNG draws, error-feedback
+//! accumulators and trace emission all have one canonical order that
+//! only the caller's serial loop can provide; per-item work must be a
+//! pure function of the item plus state derived from the item's own
+//! seed. PR 4–7 established this by hand-audit; this lint makes it
+//! structural. Inside every `ordered_map(...)` and `.spawn(...)` call
+//! extent it bans:
+//!
+//! - trace emission: direct tokens (`fedmp_obs`, `TraceSession`,
+//!   `emit_*`, `maybe_trace`) and calls to in-crate functions whose
+//!   call summary says they transitively emit;
+//! - bandit mutation: `.select(` / `.observe(` / `.abandon(` — the
+//!   EUCB agents advance their RNG per call, so call order is result
+//!   order;
+//! - RNGs captured from outside: an identifier ending in `rng` that
+//!   is neither bound inside the extent (via `let`, `for` or a
+//!   closure parameter) nor a function being called (`worker_rng(...)`
+//!   constructs per-item RNGs and is the sanctioned pattern);
+//! - captured-accumulator mutation: `.push(`/`.extend(`/`.insert(`
+//!   on, or `+=` into, a name not bound inside the extent — results
+//!   must come back through the executor's slot-ordered return value,
+//!   never through a shared collection.
+//!
+//! The known precision limits: call edges do not cross crates (see
+//! `callgraph`), and the first argument of `ordered_map` — evaluated
+//! caller-side — is scanned along with the closure. Both err on the
+//! side of firing; the escape hatch is a reasoned inline suppression,
+//! e.g. `fedmp_core::run_methods`, whose fan-out is serialized up
+//! front whenever tracing is requested.
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::{crate_key, direct_trace_tokens, CrateGraph};
+use crate::config::LintConfig;
+use crate::diagnostics::Sink;
+use crate::scanner::SourceFile;
+use crate::sketch::{call_idents, Extent, Sketch};
+
+pub const NAME: &str = "executor-purity";
+
+const BANDIT_CALLS: &[&str] = &[".select(", ".observe(", ".abandon("];
+
+pub fn check(
+    file: &SourceFile,
+    sketch: &Sketch,
+    graph: &CrateGraph,
+    _cfg: &LintConfig,
+    out: &mut Sink,
+) {
+    let ckey = crate_key(&file.path);
+    let mut regions = sketch.call_extents("ordered_map(");
+    regions.extend(sketch.call_extents(".spawn("));
+    // Nested regions (a spawn inside an ordered_map argument) would
+    // double-report; keep outermost extents only.
+    let outer: Vec<Extent> = regions
+        .iter()
+        .filter(|r| !regions.iter().any(|o| o != *r && o.contains(r)))
+        .copied()
+        .collect();
+
+    // (line, detail) — dedup so one offending line reports once per
+    // reason even when tokens repeat.
+    let mut hits: BTreeSet<(usize, String)> = BTreeSet::new();
+    for region in outer {
+        let body = &sketch.text[region.start..region.end];
+        let bound = bound_idents(body);
+
+        if let Some((off, token)) = direct_trace_tokens(&sketch.text, region) {
+            hits.insert((
+                sketch.line_at(off),
+                format!(
+                    "trace emission (`{token}`) inside an executor closure; events must be \
+                     emitted from the caller's serial loop so the trace order is a function \
+                     of the seed, not the schedule"
+                ),
+            ));
+        }
+        for (off, name) in call_idents(&sketch.text, region) {
+            if name.starts_with("emit_") || name == "maybe_trace" {
+                continue; // already covered by the direct-token hit
+            }
+            if graph.emits(&ckey, &name) {
+                hits.insert((
+                    sketch.line_at(off),
+                    format!(
+                        "`{name}` (transitively) emits trace events but is called inside an \
+                         executor closure; move the call to the caller side of the fan-out, \
+                         or serialize the fan-out whenever tracing is requested"
+                    ),
+                ));
+            }
+        }
+        for call in BANDIT_CALLS {
+            let mut from = 0usize;
+            while let Some(pos) = body[from..].find(call) {
+                let at = from + pos;
+                from = at + 1;
+                hits.insert((
+                    sketch.line_at(region.start + at),
+                    format!(
+                        "`{call}...)` inside an executor closure advances order-sensitive \
+                         bandit/policy state; make the decisions in the caller's serial loop \
+                         and pass the results into the closure",
+                        call = call.trim_end_matches('(')
+                    ),
+                ));
+            }
+        }
+        for (off, ident) in rng_captures(body, &bound) {
+            hits.insert((
+                sketch.line_at(region.start + off),
+                format!(
+                    "RNG `{ident}` captured from outside the executor closure; the draw order \
+                     would depend on the schedule — derive a per-item RNG inside the closure \
+                     from the item's own seed (see `worker_rng`)"
+                ),
+            ));
+        }
+        for (off, recv, op) in captured_mutations(body, &bound) {
+            hits.insert((
+                sketch.line_at(region.start + off),
+                format!(
+                    "`{recv}{op}` mutates state captured from outside the executor closure; \
+                     completion order is schedule-dependent — return per-item results and \
+                     fold them caller-side in slot order"
+                ),
+            ));
+        }
+    }
+    for (line, message) in hits {
+        out.report(file, line - 1, NAME, message);
+    }
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Names bound *inside* the extent: `let` patterns, `for` patterns and
+/// closure parameter lists. Everything else reaching into the region
+/// is a capture.
+fn bound_idents(body: &str) -> BTreeSet<String> {
+    let mut bound = BTreeSet::new();
+    let bytes = body.as_bytes();
+    // `let <pat> =` / `for <pat> in`
+    for (kw, stop) in [("let", "="), ("for", " in ")] {
+        let mut from = 0usize;
+        while let Some(pos) = body[from..].find(kw) {
+            let at = from + pos;
+            from = at + kw.len();
+            let before_ok = at == 0 || !is_ident_char(bytes[at - 1]);
+            let after_ok = bytes.get(at + kw.len()).is_some_and(|c| c.is_ascii_whitespace());
+            if !before_ok || !after_ok {
+                continue;
+            }
+            let rest = &body[at + kw.len()..];
+            let end = rest.find(stop).or_else(|| rest.find(';')).unwrap_or(rest.len());
+            collect_idents(&rest[..end.min(200)], &mut bound);
+        }
+    }
+    // Closure parameter lists: a `|` opening right after `(`, `,`,
+    // `=`, `{` or another control position. `||` (empty params) binds
+    // nothing; `a || b` boolean-or is rejected by the prefix check.
+    let mut i = 0usize;
+    while let Some(pos) = body[i..].find('|') {
+        let at = i + pos;
+        i = at + 1;
+        let prev = body[..at].trim_end().chars().next_back();
+        let opens = matches!(prev, None | Some('(' | ',' | '=' | '{' | '>'));
+        if !opens {
+            continue;
+        }
+        if let Some(close) = body[at + 1..].find('|') {
+            let params = &body[at + 1..at + 1 + close];
+            if params.len() <= 120 && !params.contains('\n') {
+                collect_idents(params, &mut bound);
+                i = at + 1 + close + 1;
+            }
+        }
+    }
+    bound
+}
+
+fn collect_idents(text: &str, out: &mut BTreeSet<String>) {
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if is_ident_char(bytes[i]) && !bytes[i].is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && is_ident_char(bytes[i]) {
+                i += 1;
+            }
+            let name = &text[start..i];
+            if !matches!(name, "mut" | "ref" | "move") {
+                out.insert(name.to_string());
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Occurrences of identifiers ending in `rng` that are used as values
+/// (not called) and not bound inside the extent.
+fn rng_captures(body: &str, bound: &BTreeSet<String>) -> Vec<(usize, String)> {
+    let bytes = body.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if is_ident_char(bytes[i]) && !bytes[i].is_ascii_digit() && (i == 0 || !is_ident_char(bytes[i - 1]))
+        {
+            let start = i;
+            while i < bytes.len() && is_ident_char(bytes[i]) {
+                i += 1;
+            }
+            let name = &body[start..i];
+            if name.ends_with("rng")
+                && bytes.get(i) != Some(&b'(')
+                && !bound.contains(name)
+            {
+                out.push((start, name.to_string()));
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// `(offset, receiver, operation)` for mutations of captured names.
+fn captured_mutations(body: &str, bound: &BTreeSet<String>) -> Vec<(usize, String, String)> {
+    let bytes = body.as_bytes();
+    let mut out = Vec::new();
+    for op in [".push(", ".extend(", ".insert("] {
+        let mut from = 0usize;
+        while let Some(pos) = body[from..].find(op) {
+            let at = from + pos;
+            from = at + 1;
+            if let Some(recv) = ident_ending_at(body, at) {
+                if !bound.contains(&recv) {
+                    out.push((at, recv, op.trim_end_matches('(').to_string()));
+                }
+            }
+        }
+    }
+    let mut from = 0usize;
+    while let Some(pos) = body[from..].find("+=") {
+        let at = from + pos;
+        from = at + 2;
+        // LHS: walk back over ws, an optional `[...]` index, to the name.
+        let mut j = at;
+        while j > 0 && bytes[j - 1].is_ascii_whitespace() {
+            j -= 1;
+        }
+        if j > 0 && bytes[j - 1] == b']' {
+            if let Some(open) = body[..j].rfind('[') {
+                j = open;
+            }
+        }
+        if let Some(recv) = ident_ending_at(body, j) {
+            if !bound.contains(&recv) {
+                out.push((at, recv, " +=".to_string()));
+            }
+        }
+    }
+    out
+}
+
+/// The identifier whose last char sits just before byte `at`.
+fn ident_ending_at(body: &str, at: usize) -> Option<String> {
+    let bytes = body.as_bytes();
+    let mut start = at;
+    while start > 0 && is_ident_char(bytes[start - 1]) {
+        start -= 1;
+    }
+    if start == at || bytes[start].is_ascii_digit() {
+        return None;
+    }
+    Some(body[start..at].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+    use crate::sketch::Sketch;
+
+    fn run(src: &str) -> Vec<crate::diagnostics::Diagnostic> {
+        let file = scan("crates/fl/src/x.rs", src);
+        let sketch = Sketch::build(&file);
+        let graph = crate::callgraph::build(&[("crates/fl/src/x.rs".to_string(),
+            Sketch::build(&file))]);
+        let mut out = Sink::new();
+        check(&file, &sketch, &graph, &LintConfig::default(), &mut out);
+        out.findings
+    }
+
+    #[test]
+    fn flags_emission_bandit_rng_and_accumulator_in_closures() {
+        let src = "\
+fn note(r: usize) { emit_round_end(r); }\n\
+pub fn run(items: Vec<u32>, mut rng: R, agent: &mut A, acc: &mut Vec<u32>) {\n\
+    ordered_map(items, |i, x| {\n\
+        let arm = agent.select(x);\n\
+        let n = rng.next_u32();\n\
+        note(i);\n\
+        acc.push(x);\n\
+        arm + n\n\
+    });\n\
+}\n";
+        let out = run(src);
+        let lines: Vec<usize> = out.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![4, 5, 6, 7], "{out:?}");
+        assert!(out[0].message.contains("bandit"));
+        assert!(out[1].message.contains("RNG `rng`"));
+        assert!(out[2].message.contains("`note`"));
+        assert!(out[3].message.contains("acc.push"));
+    }
+
+    #[test]
+    fn sanctioned_patterns_stay_clean() {
+        // Per-item RNG derived inside; results via return value; no
+        // emission. `worker_rng(` is a call, not a capture.
+        let src = "\
+pub fn run(items: Vec<u32>, seed: u64) -> Vec<f32> {\n\
+    ordered_map(items, |i, x| {\n\
+        let mut rng = worker_rng(seed, i, x);\n\
+        let mut local = Vec::new();\n\
+        local.push(rng.next_u32());\n\
+        local[0] as f32\n\
+    })\n\
+}\n";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn spawn_regions_are_checked_too() {
+        let src = "\
+pub fn go(scope: &S, tx: Sender<u32>) {\n\
+    scope.spawn(move || {\n\
+        fedmp_obs::emit(|| event());\n\
+        tx.send(1).ok();\n\
+    });\n\
+}\n";
+        let out = run(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 3);
+        assert!(out[0].message.contains("fedmp_obs"));
+    }
+
+    #[test]
+    fn suppression_with_reason_is_honored() {
+        let src = "\
+fn note(r: usize) { emit_round_end(r); }\n\
+pub fn run(items: Vec<u32>) {\n\
+    // fedmp-analysis: allow(executor-purity) -- fan-out is serialized whenever tracing is on\n\
+    ordered_map(items, |i, _x| note(i));\n\
+}\n";
+        let file = scan("crates/fl/src/x.rs", src);
+        let sketch = Sketch::build(&file);
+        let graph =
+            crate::callgraph::build(&[("crates/fl/src/x.rs".to_string(), Sketch::build(&file))]);
+        let mut out = Sink::new();
+        check(&file, &sketch, &graph, &LintConfig::default(), &mut out);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert!(!out.used.is_empty());
+    }
+}

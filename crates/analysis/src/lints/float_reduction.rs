@@ -22,7 +22,7 @@
 //! the overwhelmingly common single-line forms at review time.
 
 use crate::config::LintConfig;
-use crate::diagnostics::Diagnostic;
+use crate::diagnostics::Sink;
 use crate::scanner::SourceFile;
 
 pub const NAME: &str = "float-reduction";
@@ -32,9 +32,9 @@ const TYPED_CALLS: &[&str] =
 
 const ORDER_INSENSITIVE: &[&str] = &["f32::max", "f32::min", "f64::max", "f64::min"];
 
-pub fn check(file: &SourceFile, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+pub fn check(file: &SourceFile, _cfg: &LintConfig, out: &mut Sink) {
     for (idx, line) in file.lines.iter().enumerate() {
-        if line.in_test || line.suppresses(NAME) {
+        if line.in_test {
             continue;
         }
         let code = compact(&line.code);
@@ -57,16 +57,16 @@ pub fn check(file: &SourceFile, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
             }
         }
         if let Some(what) = flag {
-            out.push(Diagnostic::new(
-                &file.path,
-                idx + 1,
+            out.report(
+                file,
+                idx,
                 NAME,
                 format!(
                     "{what}; float addition is non-associative, so route the reduction \
                      through `fedmp_tensor::parallel::sum_f32`/`sum_f64` (fixed left-to-right \
                      order) to keep results bit-identical across refactors"
                 ),
-            ));
+            );
         }
     }
 }
@@ -114,11 +114,11 @@ mod tests {
     use super::*;
     use crate::scanner::scan;
 
-    fn run(src: &str) -> Vec<Diagnostic> {
+    fn run(src: &str) -> Vec<crate::diagnostics::Diagnostic> {
         let file = scan("crates/fl/src/x.rs", src);
-        let mut out = Vec::new();
+        let mut out = Sink::new();
         check(&file, &LintConfig::default(), &mut out);
-        out
+        out.findings
     }
 
     #[test]

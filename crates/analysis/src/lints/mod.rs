@@ -7,13 +7,27 @@
 //! `[lints.<name>]` table exists in `analysis.toml`) and which files
 //! each one sees.
 
+pub mod channel_protocol;
 pub mod determinism;
+pub mod executor_purity;
 pub mod float_reduction;
 pub mod no_panic;
+pub mod reduction_escape;
+pub mod suppression_audit;
 pub mod trace_schema;
 pub mod unsafe_hygiene;
 
 /// Canonical lint names, as they appear in `analysis.toml` and in
 /// `allow(...)` suppressions.
-pub const LINT_NAMES: [&str; 6] =
-    ["determinism", "float-reduction", "no-panic", "suppression", "trace-schema", "unsafe-hygiene"];
+pub const LINT_NAMES: [&str; 10] = [
+    "channel-protocol",
+    "determinism",
+    "executor-purity",
+    "float-reduction",
+    "no-panic",
+    "reduction-escape",
+    "suppression",
+    "suppression-audit",
+    "trace-schema",
+    "unsafe-hygiene",
+];

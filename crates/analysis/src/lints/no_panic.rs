@@ -15,7 +15,7 @@
 //! Test code is exempt (panics are how tests fail).
 
 use crate::config::LintConfig;
-use crate::diagnostics::Diagnostic;
+use crate::diagnostics::Sink;
 use crate::scanner::{contains_token, SourceFile};
 
 pub const NAME: &str = "no-panic";
@@ -31,21 +31,21 @@ const BANNED: &[(&str, bool, &str)] = &[
     ("unimplemented!", true, "unfinished code must not ship on the engine hot path"),
 ];
 
-pub fn check(file: &SourceFile, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+pub fn check(file: &SourceFile, _cfg: &LintConfig, out: &mut Sink) {
     for (idx, line) in file.lines.iter().enumerate() {
-        if line.in_test || line.suppresses(NAME) {
+        if line.in_test {
             continue;
         }
         let code = compact(&line.code);
         for (needle, boundary, why) in BANNED {
             let hit = if *boundary { contains_token(&code, needle) } else { code.contains(needle) };
             if hit {
-                out.push(Diagnostic::new(
-                    &file.path,
-                    idx + 1,
+                out.report(
+                    file,
+                    idx,
                     NAME,
                     format!("`{needle}` on an engine/runtime hot path: {why}"),
-                ));
+                );
             }
         }
     }
@@ -60,11 +60,11 @@ mod tests {
     use super::*;
     use crate::scanner::scan;
 
-    fn run(src: &str) -> Vec<Diagnostic> {
+    fn run(src: &str) -> Vec<crate::diagnostics::Diagnostic> {
         let file = scan("crates/fl/src/runtime.rs", src);
-        let mut out = Vec::new();
+        let mut out = Sink::new();
         check(&file, &LintConfig::default(), &mut out);
-        out
+        out.findings
     }
 
     #[test]

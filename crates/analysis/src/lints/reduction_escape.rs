@@ -1,0 +1,186 @@
+//! L8 — reduction escape.
+//!
+//! The float-reduction lint (L2) bans `.sum()` / `.fold()` over float
+//! iterators line-by-line, but it can only see a float when one is
+//! named on the line. A helper that returns
+//! `impl Iterator<Item = f32>` launders the type away: at the call
+//! site `deltas(xs).sum::<f32>()` looks like any other reduction over
+//! an opaque iterator, and L2 only catches it when the turbofish
+//! happens to name the float. This lint closes the hole with the
+//! call-summary pass: for every in-crate function the sketch indexed
+//! as returning `impl Iterator<Item = f32|f64>`, it finds call sites
+//! and walks the method chain hanging off them. `sum` / `product`
+//! anywhere down the chain — including through adapters like `.map()`
+//! or `.filter()` — is a finding; `fold` is one unless its arguments
+//! use the order-insensitive `f32::max`-family combiners L2 also
+//! exempts. The remedy is the same as L2's: route the values through
+//! `fedmp_tensor::parallel::sum_f32` / `sum_f64` (pairwise, split
+//! order fixed) instead of folding in iterator order.
+//!
+//! Like the call graph itself, matching is identifier-based within
+//! one crate: a same-named function imported from another crate
+//! over-approximates (flags where it should not) — suppress with a
+//! reasoned `allow(reduction-escape)` in that case.
+
+use crate::callgraph::{crate_key, CrateGraph};
+use crate::config::LintConfig;
+use crate::diagnostics::Sink;
+use crate::scanner::SourceFile;
+use crate::sketch::Sketch;
+
+pub const NAME: &str = "reduction-escape";
+
+const ORDER_FREE: &[&str] = &["f32::max", "f32::min", "f64::max", "f64::min"];
+
+pub fn check(
+    file: &SourceFile,
+    sketch: &Sketch,
+    graph: &CrateGraph,
+    _cfg: &LintConfig,
+    out: &mut Sink,
+) {
+    let ckey = crate_key(&file.path);
+    for helper in graph.float_iter_fns(&ckey) {
+        let needle = format!("{helper}(");
+        for ext in sketch.call_extents(&needle) {
+            // Skip the definition itself: `fn deltas(`.
+            let before = sketch.text[..ext.start - needle.len()].trim_end();
+            if before.ends_with("fn") {
+                continue;
+            }
+            let call_line = sketch.line_at(ext.start);
+            if file.lines.get(call_line - 1).is_some_and(|l| l.in_test) {
+                continue;
+            }
+            if let Some(red) = chain_reduction(&sketch.text, ext.end + 1) {
+                out.report(
+                    file,
+                    call_line - 1,
+                    NAME,
+                    format!(
+                        "`{helper}(...)` returns `impl Iterator<Item = f32/f64>` and the \
+                         call chain ends in `.{red}(...)` — an iteration-order-sensitive \
+                         float reduction L2 cannot see through the helper; use \
+                         `fedmp_tensor::parallel::sum_f32`/`sum_f64` on the collected \
+                         values instead"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Walks the method chain starting right after a call's closing `)`
+/// (at byte `from`): `.ident`, optional turbofish, `(args)`, repeat.
+/// Returns the reducing method name when the chain hits one.
+fn chain_reduction(text: &str, mut from: usize) -> Option<&'static str> {
+    let bytes = text.as_bytes();
+    loop {
+        // Skip whitespace between chain links (multi-line chains).
+        while from < bytes.len() && (bytes[from] as char).is_whitespace() {
+            from += 1;
+        }
+        if bytes.get(from) != Some(&b'.') {
+            return None;
+        }
+        from += 1;
+        let name_start = from;
+        while from < bytes.len() && is_ident_char(bytes[from]) {
+            from += 1;
+        }
+        if from == name_start {
+            return None; // `.0`, `.await` handled as idents; bare `.` is not
+        }
+        let name = &text[name_start..from];
+        // Optional turbofish: `sum::<f32>(`.
+        if bytes.get(from) == Some(&b':') && bytes.get(from + 1) == Some(&b':') {
+            if bytes.get(from + 2) == Some(&b'<') {
+                match crate::sketch::match_angle(text, from + 2) {
+                    Some(close) => from = close + 1,
+                    None => return None,
+                }
+            } else {
+                return None;
+            }
+        }
+        if bytes.get(from) != Some(&b'(') {
+            // Field access / `.await` — the chain continues only if a
+            // call follows, which the next loop turn would need a `(`
+            // for; treat as end of chain.
+            return None;
+        }
+        let close = crate::sketch::match_paren(text, from)?;
+        match name {
+            "sum" | "product" => return Some(if name == "sum" { "sum" } else { "product" }),
+            "fold" => {
+                let args = &text[from + 1..close];
+                if ORDER_FREE.iter().any(|t| args.contains(t)) {
+                    return None;
+                }
+                return Some("fold");
+            }
+            _ => {
+                from = close + 1; // adapter — keep walking the chain
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+    use crate::sketch::Sketch;
+
+    fn run(src: &str) -> Vec<crate::diagnostics::Diagnostic> {
+        let path = "crates/fl/src/h.rs";
+        let file = scan(path, src);
+        let sketch = Sketch::build(&file);
+        let graph = crate::callgraph::build(&[(path.to_string(), Sketch::build(&file))]);
+        let mut out = Sink::new();
+        check(&file, &sketch, &graph, &LintConfig::default(), &mut out);
+        out.findings
+    }
+
+    const HELPER: &str =
+        "pub fn deltas(xs: &[f32]) -> impl Iterator<Item = f32> + '_ {\n    xs.iter().copied()\n}\n";
+
+    #[test]
+    fn sum_at_the_call_site_is_flagged() {
+        let src = format!("{HELPER}pub fn total(xs: &[f32]) -> f32 {{\n    deltas(xs).sum::<f32>()\n}}\n");
+        let out = run(&src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 5);
+        assert!(out[0].message.contains("`deltas(...)`"));
+    }
+
+    #[test]
+    fn reductions_through_adapters_are_still_caught() {
+        let src = format!(
+            "{HELPER}pub fn total(xs: &[f32]) -> f32 {{\n    deltas(xs)\n        .map(|v| v * v)\n        .filter(|v| *v > 0.0)\n        .sum()\n}}\n"
+        );
+        let out = run(&src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 5, "anchored at the helper call, not the distant .sum()");
+    }
+
+    #[test]
+    fn order_free_folds_and_collects_are_clean() {
+        let src = format!(
+            "{HELPER}pub fn peak(xs: &[f32]) -> f32 {{\n    deltas(xs).fold(f32::MIN, f32::max)\n}}\npub fn gather(xs: &[f32]) -> Vec<f32> {{\n    deltas(xs).collect()\n}}\n"
+        );
+        assert!(run(&src).is_empty(), "{:?}", run(&src));
+    }
+
+    #[test]
+    fn definition_and_test_code_are_exempt() {
+        let src = format!(
+            "{HELPER}#[cfg(test)]\nmod tests {{\n    #[test]\n    fn t() {{\n        assert_eq!(super::deltas(&[1.0]).sum::<f32>(), 1.0);\n    }}\n}}\n"
+        );
+        assert!(run(&src).is_empty(), "{:?}", run(&src));
+    }
+}

@@ -13,21 +13,21 @@
 //! `#[cfg(test)]` regions: unsafe code is unsafe in tests too.
 
 use crate::config::LintConfig;
-use crate::diagnostics::Diagnostic;
+use crate::diagnostics::Sink;
 use crate::scanner::{contains_token, SourceFile};
 
 pub const NAME: &str = "unsafe-hygiene";
 
-pub fn check(file: &SourceFile, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+pub fn check(file: &SourceFile, cfg: &LintConfig, out: &mut Sink) {
     let allowed_file = cfg.allow.iter().any(|p| crate::config::path_has_prefix(&file.path, p));
     for (idx, line) in file.lines.iter().enumerate() {
-        if line.suppresses(NAME) || !contains_token(&line.code, "unsafe") {
+        if !contains_token(&line.code, "unsafe") {
             continue;
         }
         if !allowed_file {
-            out.push(Diagnostic::new(
-                &file.path,
-                idx + 1,
+            out.report(
+                file,
+                idx,
                 NAME,
                 format!(
                     "`unsafe` outside the allowlisted modules ({}); all other crates are \
@@ -35,16 +35,16 @@ pub fn check(file: &SourceFile, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
                      fedmp-tensor or find a safe formulation",
                     cfg.allow.join(", ")
                 ),
-            ));
+            );
         } else if !has_safety_comment(file, idx) {
-            out.push(Diagnostic::new(
-                &file.path,
-                idx + 1,
+            out.report(
+                file,
+                idx,
                 NAME,
                 "`unsafe` without a `// SAFETY:` comment; state the invariant that makes \
                  this sound on the line above (why the raw pointers are disjoint, why the \
                  lifetime is honored, ...)",
-            ));
+            );
         }
     }
 }
@@ -88,39 +88,39 @@ mod tests {
     fn unsafe_outside_allowlist_is_flagged_even_in_tests() {
         let src = "#[cfg(test)]\nmod tests {\n    fn t() { unsafe { std::hint::unreachable_unchecked() } }\n}\n";
         let file = scan("crates/fl/src/lm.rs", src);
-        let mut out = Vec::new();
+        let mut out = Sink::new();
         check(&file, &cfg(), &mut out);
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].line, 3);
-        assert!(out[0].message.contains("forbid(unsafe_code)"));
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].line, 3);
+        assert!(out.findings[0].message.contains("forbid(unsafe_code)"));
     }
 
     #[test]
     fn allowlisted_unsafe_needs_a_safety_comment() {
         let src = "fn f(p: *mut f32) {\n    unsafe { *p = 0.0 };\n}\n\n// SAFETY: the pointer is valid for writes by construction.\nunsafe fn g(p: *mut f32) { unsafe { *p = 1.0 } }\n";
         let file = scan("crates/tensor/src/parallel.rs", src);
-        let mut out = Vec::new();
+        let mut out = Sink::new();
         check(&file, &cfg(), &mut out);
-        assert_eq!(out.len(), 1, "{out:?}");
-        assert_eq!(out[0].line, 2);
-        assert!(out[0].message.contains("SAFETY:"));
+        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+        assert_eq!(out.findings[0].line, 2);
+        assert!(out.findings[0].message.contains("SAFETY:"));
     }
 
     #[test]
     fn safety_comment_above_attributes_still_counts() {
         let src = "// SAFETY: disjoint bands, see BandQueue docs.\n#[allow(clippy::mut_from_ref)]\nunsafe impl<T: Send> Sync for Q<T> {}\n";
         let file = scan("crates/tensor/src/parallel.rs", src);
-        let mut out = Vec::new();
+        let mut out = Sink::new();
         check(&file, &cfg(), &mut out);
-        assert!(out.is_empty(), "{out:?}");
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
     }
 
     #[test]
     fn mentions_in_comments_and_strings_do_not_fire() {
         let src = "// unsafe is discussed here\nlet s = \"unsafe\";\n";
         let file = scan("crates/fl/src/lm.rs", src);
-        let mut out = Vec::new();
+        let mut out = Sink::new();
         check(&file, &cfg(), &mut out);
-        assert!(out.is_empty());
+        assert!(out.findings.is_empty());
     }
 }

@@ -1,7 +1,7 @@
 //! The `fedmp-analysis` CLI.
 //!
 //! ```text
-//! cargo run -p fedmp-analysis -- check [--json] [--root DIR] [--config FILE]
+//! cargo run -p fedmp-analysis -- check [--format text|json|sarif] [--root DIR] [--config FILE]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage/config error.
@@ -14,28 +14,39 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fedmp_analysis::diagnostics::Report;
+use fedmp_analysis::diagnostics::{to_sarif, Report};
 
 const USAGE: &str = "\
 fedmp-analysis — workspace invariant linter
 
 USAGE:
-    fedmp-analysis check [--json] [--root DIR] [--config FILE]
+    fedmp-analysis check [--format FMT] [--root DIR] [--config FILE]
 
 OPTIONS:
-    --json           emit a machine-readable report on stdout
+    --format FMT     output format: text (default), json, or sarif
+    --json           shorthand for --format json
     --root DIR       workspace root to scan (default: current directory)
     --config FILE    config file (default: <root>/analysis.toml)
     -h, --help       print this help
 ";
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 struct Args {
-    json: bool,
+    format: Format,
     root: PathBuf,
     config: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
+    // The CLI boundary is the one sanctioned argv read in the
+    // workspace — nothing downstream of config parsing sees it.
+    // fedmp-analysis: allow(determinism) -- argv parsing is the CLI entry point, not simulation state
     let mut argv = std::env::args().skip(1);
     match argv.next().as_deref() {
         Some("check") => {}
@@ -43,10 +54,21 @@ fn parse_args() -> Result<Args, String> {
         Some(other) => return Err(format!("unknown subcommand `{other}`")),
         None => return Err("missing subcommand (expected `check`)".to_string()),
     }
-    let mut args = Args { json: false, root: PathBuf::from("."), config: None };
+    let mut args = Args { format: Format::Text, root: PathBuf::from("."), config: None };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
-            "--json" => args.json = true,
+            "--json" => args.format = Format::Json,
+            "--format" => {
+                let fmt = argv
+                    .next()
+                    .ok_or_else(|| "--format requires an argument (text|json|sarif)".to_string())?;
+                args.format = match fmt.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format `{other}` (text|json|sarif)")),
+                };
+            }
             "--root" => {
                 args.root = argv
                     .next()
@@ -89,30 +111,39 @@ fn main() -> ExitCode {
     };
 
     let status = if outcome.is_clean() { "clean" } else { "violations" };
-    if args.json {
-        let report = Report {
-            status: status.to_string(),
-            files_scanned: outcome.files_scanned,
-            lints: outcome.lints_run.clone(),
-            diagnostics: outcome.diagnostics.clone(),
-        };
-        match serde_json::to_string_pretty(&report) {
-            Ok(s) => println!("{s}"),
-            Err(e) => {
-                eprintln!("fedmp-analysis: failed to serialize report: {e}");
-                return ExitCode::from(2);
+    match args.format {
+        Format::Json | Format::Sarif => {
+            let report = Report {
+                status: status.to_string(),
+                files_scanned: outcome.files_scanned,
+                lints: outcome.lints_run.clone(),
+                summary: outcome.summary.clone(),
+                diagnostics: outcome.diagnostics.clone(),
+            };
+            let rendered = if args.format == Format::Sarif {
+                serde_json::to_string_pretty(&to_sarif(&report)).map_err(|e| e.to_string())
+            } else {
+                serde_json::to_string_pretty(&report).map_err(|e| e.to_string())
+            };
+            match rendered {
+                Ok(s) => println!("{s}"),
+                Err(e) => {
+                    eprintln!("fedmp-analysis: failed to serialize report: {e}");
+                    return ExitCode::from(2);
+                }
             }
         }
-    } else {
-        for d in &outcome.diagnostics {
-            println!("{}", d.render());
+        Format::Text => {
+            for d in &outcome.diagnostics {
+                println!("{}", d.render());
+            }
+            println!(
+                "fedmp-analysis: {} file(s) scanned, {} lint(s) active, {} finding(s)",
+                outcome.files_scanned,
+                outcome.lints_run.len(),
+                outcome.diagnostics.len()
+            );
         }
-        println!(
-            "fedmp-analysis: {} file(s) scanned, {} lint(s) active, {} finding(s)",
-            outcome.files_scanned,
-            outcome.lints_run.len(),
-            outcome.diagnostics.len()
-        );
     }
     if outcome.is_clean() {
         ExitCode::SUCCESS

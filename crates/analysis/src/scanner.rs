@@ -20,6 +20,10 @@ pub struct Suppression {
     /// non-empty. Reason-less suppressions do **not** suppress; they
     /// are reported by the `suppression` meta-lint instead.
     pub reason_ok: bool,
+    /// 1-indexed line of the directive comment itself (which may be
+    /// above the code line it covers). The suppression-audit lint keys
+    /// its used/dead bookkeeping on this line.
+    pub line: usize,
 }
 
 /// One physical source line, post-stripping.
@@ -58,6 +62,10 @@ pub struct SourceFile {
     /// Lines carrying a `fedmp-analysis:` marker that failed to parse
     /// or omitted the mandatory reason (1-indexed).
     pub malformed_suppressions: Vec<usize>,
+    /// Every well-formed directive in the file, in order, whether or
+    /// not it attached to a code line. The suppression-audit lint
+    /// diffs this list against the suppressions that actually fired.
+    pub directives: Vec<Suppression>,
 }
 
 /// Scans `source`, producing the stripped line table for `path`.
@@ -68,12 +76,13 @@ pub fn scan(path: &str, source: &str) -> SourceFile {
         .map(|(code, comment)| Line { code, comment, in_test: false, suppressions: Vec::new() })
         .collect();
     mark_test_regions(&mut lines);
-    let malformed = attach_suppressions(&mut lines);
+    let (malformed, directives) = attach_suppressions(&mut lines);
     SourceFile {
         path: path.to_string(),
         raw: source.to_string(),
         lines,
         malformed_suppressions: malformed,
+        directives,
     }
 }
 
@@ -287,19 +296,21 @@ fn mark_test_regions(lines: &mut [Line]) {
 /// A directive must *begin* the comment (after doc-comment `/`/`!`
 /// markers and whitespace). Mid-sentence mentions of the marker —
 /// prose *about* the directive syntax — are not directive attempts.
-fn attach_suppressions(lines: &mut [Line]) -> Vec<usize> {
+fn attach_suppressions(lines: &mut [Line]) -> (Vec<usize>, Vec<Suppression>) {
     const MARKER: &str = "fedmp-analysis:";
     let mut malformed = Vec::new();
+    let mut directives = Vec::new();
     let mut pending: Vec<Suppression> = Vec::new();
     for (idx, line) in lines.iter_mut().enumerate() {
         let has_code = !line.code.trim().is_empty();
         let anchored = line.comment.trim_start_matches(['/', '!', ' ', '\t']);
         if let Some(tail) = anchored.strip_prefix(MARKER) {
-            match parse_directive(tail) {
+            match parse_directive(tail, idx + 1) {
                 Some(s) => {
                     if !s.reason_ok {
                         malformed.push(idx + 1);
                     }
+                    directives.push(s.clone());
                     if has_code {
                         line.suppressions.push(s);
                     } else {
@@ -313,12 +324,12 @@ fn attach_suppressions(lines: &mut [Line]) -> Vec<usize> {
             line.suppressions.append(&mut pending);
         }
     }
-    malformed
+    (malformed, directives)
 }
 
 /// Parses the tail after `fedmp-analysis:`. Expected shape:
 /// ` allow(<lint>) -- <reason>`.
-fn parse_directive(tail: &str) -> Option<Suppression> {
+fn parse_directive(tail: &str, line: usize) -> Option<Suppression> {
     let tail = tail.trim_start();
     let rest = tail.strip_prefix("allow(")?;
     let close = rest.find(')')?;
@@ -331,7 +342,7 @@ fn parse_directive(tail: &str) -> Option<Suppression> {
         Some(reason) => !reason.trim().is_empty(),
         None => false,
     };
-    Some(Suppression { lint, reason_ok })
+    Some(Suppression { lint, reason_ok, line })
 }
 
 /// True when `needle` occurs in `haystack` delimited by non-identifier
@@ -424,6 +435,65 @@ mod tests {
         let f = scan("a.rs", src);
         assert_eq!(f.malformed_suppressions, vec![1]);
         assert!(!f.lines[0].suppresses("determinism"));
+    }
+
+    #[test]
+    fn directives_are_recorded_with_their_own_line() {
+        let src = "// fedmp-analysis: allow(determinism) -- env knob\nlet v = std::env::var(\"X\");\nlet w = 2; // fedmp-analysis: allow(no-panic) -- total\n";
+        let f = scan("a.rs", src);
+        assert_eq!(f.directives.len(), 2);
+        assert_eq!((f.directives[0].line, f.directives[0].lint.as_str()), (1, "determinism"));
+        assert_eq!((f.directives[1].line, f.directives[1].lint.as_str()), (3, "no-panic"));
+        // The standalone directive covers line 2 but keeps line 1 as
+        // its own identity.
+        assert_eq!(f.lines[1].suppressions[0].line, 1);
+    }
+
+    #[test]
+    fn dangling_directive_at_eof_is_still_recorded() {
+        // No code line follows, so it suppresses nothing — exactly the
+        // shape the suppression-audit lint must be able to see.
+        let src = "let x = 1;\n// fedmp-analysis: allow(determinism) -- covers nothing\n";
+        let f = scan("a.rs", src);
+        assert_eq!(f.directives.len(), 1);
+        assert!(f.lines.iter().all(|l| l.suppressions.is_empty()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_hide_quotes_and_markers() {
+        // A `"#` inside r##"..."## must not close the literal, and a
+        // directive-shaped string must not become a directive. The
+        // trailing real comment still parses.
+        let src = "let a = r##\"tricky \"# not the end // fedmp-analysis: allow(no-panic) -- fake\"##; // real comment\nlet b = x.unwrap();\n";
+        let f = scan("a.rs", src);
+        assert!(f.lines[0].code.contains("let a = r\""), "{}", f.lines[0].code);
+        assert!(!f.lines[0].code.contains("tricky"));
+        assert!(f.directives.is_empty(), "{:?}", f.directives);
+        assert_eq!(f.lines[0].comment.trim(), "real comment");
+        assert!(f.lines[1].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn multiline_raw_string_keeps_banned_tokens_blanked() {
+        let src = "let q = r#\"line one\nHashMap across lines\nunsafe { }\"#;\nlet z = 1;\n";
+        let f = scan("a.rs", src);
+        for l in &f.lines[0..3] {
+            assert!(!l.code.contains("HashMap") && !l.code.contains("unsafe"), "{:?}", l.code);
+        }
+        assert_eq!(f.lines[3].code.trim(), "let z = 1;");
+    }
+
+    #[test]
+    fn nested_block_comments_do_not_resurface_code() {
+        // The inner `*/` must not close the outer comment; everything
+        // up to the second `*/` stays comment, including directive
+        // markers, which never parse from inside a block.
+        let src = "/* outer /* inner */ still comment fedmp-analysis: allow(x) */ let k = 1;\n/* a /* b /* c */ */ unsafe */ let m = 2;\n";
+        let f = scan("a.rs", src);
+        assert_eq!(f.lines[0].code.trim(), "let k = 1;");
+        assert!(f.directives.is_empty());
+        assert_eq!(f.lines[1].code.trim(), "let m = 2;");
+        assert!(!f.lines[1].code.contains("unsafe"));
     }
 
     #[test]

@@ -107,6 +107,69 @@ fn suppression_fixture_flags_reasonless_and_unknown_directives() {
 }
 
 #[test]
+fn executor_purity_fixture_flags_every_impurity() {
+    let out = run("fail_executor_purity");
+    let keys = keys(&out);
+    assert!(
+        keys.iter().all(|(f, _, l)| f == "crates/fl/src/bad.rs" && l == "executor-purity"),
+        "{keys:?}"
+    );
+    let lines: Vec<usize> = keys.iter().map(|(_, n, _)| *n).collect();
+    assert_eq!(
+        lines,
+        vec![10, 11, 12, 13, 21],
+        "bandit call, rng capture, transitive emitter, accumulator push, direct emission — \
+         the reasoned escape at the bottom stays silent"
+    );
+}
+
+#[test]
+fn channel_protocol_fixture_breaks_all_four_rules() {
+    let out = run("fail_channel_protocol");
+    let keys = keys(&out);
+    assert!(
+        keys.iter().all(|(f, _, l)| f == "crates/fl/src/runtime.rs" && l == "channel-protocol"),
+        "{keys:?}"
+    );
+    let lines: Vec<usize> = keys.iter().map(|(_, n, _)| *n).collect();
+    assert_eq!(
+        lines,
+        vec![6, 10, 16, 17],
+        "undropped receiver, undropped sender container, top-level `?`, self-deadlock recv — \
+         the escaped scope below stays silent"
+    );
+}
+
+#[test]
+fn reduction_escape_fixture_flags_laundered_sums() {
+    let out = run("fail_reduction_escape");
+    let keys = keys(&out);
+    assert_eq!(
+        keys,
+        vec![
+            ("crates/num/src/bad.rs".to_string(), 9, "reduction-escape".to_string()),
+            ("crates/num/src/bad.rs".to_string(), 13, "reduction-escape".to_string()),
+        ],
+        "direct sum and adapter-chained sum fire; order-free fold and the escape stay silent"
+    );
+}
+
+#[test]
+fn suppression_audit_fixture_finds_dead_escapes() {
+    let out = run("fail_suppression_audit");
+    let keys = keys(&out);
+    assert_eq!(
+        keys,
+        vec![
+            ("analysis.toml".to_string(), 0, "suppression-audit".to_string()),
+            ("crates/fl/src/bad.rs".to_string(), 4, "suppression-audit".to_string()),
+            ("crates/fl/src/bad.rs".to_string(), 9, "suppression-audit".to_string()),
+        ],
+        "dead config allow entry and both dead inline directives; the live directive survives"
+    );
+}
+
+#[test]
 fn pass_fixture_is_clean() {
     let out = run("pass");
     assert!(out.is_clean(), "{:?}", out.diagnostics);
@@ -124,6 +187,10 @@ fn every_lint_has_a_fixture_that_fires_it() {
         ("fail_no_panic", "no-panic"),
         ("fail_trace_schema", "trace-schema"),
         ("fail_suppression", "suppression"),
+        ("fail_executor_purity", "executor-purity"),
+        ("fail_channel_protocol", "channel-protocol"),
+        ("fail_reduction_escape", "reduction-escape"),
+        ("fail_suppression_audit", "suppression-audit"),
     ];
     for (fixture, lint) in by_fixture {
         let out = run(fixture);

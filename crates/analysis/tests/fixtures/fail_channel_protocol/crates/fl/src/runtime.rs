@@ -1,0 +1,30 @@
+//! Seeded channel-protocol violations: one scope breaking all four
+//! rules, and one scope whose violation carries a reasoned escape.
+
+pub fn run(n: usize) -> Result<(), E> {
+    std::thread::scope(|scope| {
+        let (up_tx, up_rx) = bounded::<u32>(4);
+        let (cmd_tx, cmd_rx) = bounded::<u32>(1);
+        let mut jobs: Vec<Sender<u32>> = Vec::new();
+        for w in 0..n {
+            let (job_tx, job_rx) = bounded::<u32>(2);
+            jobs.push(job_tx);
+            let utx = up_tx.clone();
+            scope.spawn(move || worker(w, job_rx, utx));
+        }
+        drop(up_tx);
+        let first = up_rx.recv()?;
+        let cmd = cmd_rx.recv();
+        handle(first, cmd)
+    })
+}
+
+pub fn excused(n: usize) {
+    std::thread::scope(|scope| {
+        // fedmp-analysis: allow(channel-protocol) -- fixture proves the reasoned escape works
+        let (tx, rx) = bounded::<u32>(n.max(1));
+        scope.spawn(move || feed(tx));
+        let v = rx.recv();
+        drop(v);
+    });
+}

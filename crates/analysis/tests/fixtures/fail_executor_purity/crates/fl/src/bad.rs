@@ -1,0 +1,28 @@
+//! Seeded executor-purity violations: everything an executor closure
+//! must not do, plus one reasoned escape.
+
+fn note(round: usize) {
+    emit_round_end(round);
+}
+
+pub fn run(items: Vec<usize>, agent: &mut Bandit, rng: &mut R, acc: &mut Vec<f32>) {
+    let out = ordered_map(items, |i, x| {
+        let arm = agent.select(x);
+        let n = rng.next_u32();
+        note(i);
+        acc.push(x as f32);
+        arm + n as usize + x
+    });
+    drop(out);
+}
+
+pub fn spawned(scope: &S) {
+    scope.spawn(move || {
+        fedmp_obs::emit(|| event());
+    });
+}
+
+pub fn excused(items: Vec<usize>) -> Vec<usize> {
+    // fedmp-analysis: allow(executor-purity) -- fixture proves the reasoned escape works
+    ordered_map(items, |i, _x| { note(i); i })
+}

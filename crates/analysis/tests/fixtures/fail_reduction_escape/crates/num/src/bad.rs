@@ -1,0 +1,25 @@
+//! Seeded reduction-escape violations: float-iterator helpers
+//! `.sum()`-ed at call sites, directly and through adapters.
+
+pub fn deltas(xs: &[f32]) -> impl Iterator<Item = f32> + '_ {
+    xs.iter().copied()
+}
+
+pub fn total(xs: &[f32]) -> f32 {
+    deltas(xs).sum::<f32>()
+}
+
+pub fn scaled(xs: &[f32]) -> f32 {
+    deltas(xs)
+        .map(|v| v * 2.0)
+        .sum()
+}
+
+pub fn peak(xs: &[f32]) -> f32 {
+    deltas(xs).fold(f32::MIN, f32::max)
+}
+
+pub fn excused(xs: &[f32]) -> f32 {
+    // fedmp-analysis: allow(reduction-escape) -- fixture proves the reasoned escape works
+    deltas(xs).product::<f32>()
+}

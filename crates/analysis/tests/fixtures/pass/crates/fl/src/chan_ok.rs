@@ -1,0 +1,24 @@
+//! The sanctioned scoped-channel shape: fallible closure for `?`,
+//! every endpoint dropped before the scope ends.
+
+pub fn run(n: usize) -> Result<(), E> {
+    let mut result = Ok(());
+    std::thread::scope(|scope| {
+        let (up_tx, up_rx) = bounded::<u32>(4);
+        let mut downlinks: Vec<Sender<u32>> = Vec::new();
+        for w in 0..n {
+            let (down_tx, down_rx) = bounded::<u32>(2);
+            downlinks.push(down_tx);
+            let utx = up_tx.clone();
+            scope.spawn(move || worker(w, down_rx, utx));
+        }
+        drop(up_tx);
+        result = (|| -> Result<(), E> {
+            let v = up_rx.recv()?;
+            handle(v)
+        })();
+        drop(downlinks);
+        drop(up_rx);
+    });
+    result
+}

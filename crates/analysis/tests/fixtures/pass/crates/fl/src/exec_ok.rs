@@ -1,0 +1,13 @@
+//! Executor-pure closures: worker-derived RNG, locally-bound state,
+//! emission kept on the caller side of the fan-out.
+
+pub fn run(items: Vec<usize>, seed: u64) -> Vec<f32> {
+    let out = ordered_map(items, |i, x| {
+        let mut rng = worker_rng(seed, i, x);
+        let mut local = Vec::new();
+        local.push(rng.next_u32() as f32);
+        local[0]
+    });
+    emit_round_end(out.len());
+    out
+}

@@ -1,0 +1,15 @@
+//! Float-iterator helpers used safely: order-free folds, and
+//! collect-then-funnel through the sanctioned fixed-order reducer.
+
+pub fn deltas(xs: &[f32]) -> impl Iterator<Item = f32> + '_ {
+    xs.iter().copied()
+}
+
+pub fn peak(xs: &[f32]) -> f32 {
+    deltas(xs).fold(f32::MIN, f32::max)
+}
+
+pub fn total(xs: &[f32]) -> f32 {
+    let vals: Vec<f32> = deltas(xs).collect();
+    sum_f32(vals.iter().copied())
+}

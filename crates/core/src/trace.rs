@@ -43,16 +43,18 @@ static TRACE_SEQ: AtomicUsize = AtomicUsize::new(0);
 /// [`crate::run_methods`]) use this to fall back to serial execution,
 /// because trace sessions are process-exclusive.
 pub fn trace_requested() -> bool {
-    // fedmp-analysis: allow(determinism) -- FEDMP_TRACE only selects where the
-    // trace is written; it never influences the simulated run itself.
-    std::env::var("FEDMP_TRACE").is_ok_and(|d| !d.is_empty())
+    trace_dir().is_some()
+}
+
+/// The single sanctioned `FEDMP_TRACE` read: the one place this crate
+/// touches the environment, so exactly one suppression covers it.
+fn trace_dir() -> Option<String> {
+    // fedmp-analysis: allow(determinism) -- FEDMP_TRACE only selects where the trace is written; it never influences the simulated run itself
+    std::env::var("FEDMP_TRACE").ok().filter(|d| !d.is_empty())
 }
 
 pub fn maybe_trace(engine: &str, spec: &ExperimentSpec) -> Option<TraceSession> {
-    // fedmp-analysis: allow(determinism) -- FEDMP_TRACE only selects where the
-    // trace is written; it never influences the simulated run itself.
-    let dir = std::env::var("FEDMP_TRACE").ok().filter(|d| !d.is_empty())?;
-    let dir = PathBuf::from(dir);
+    let dir = PathBuf::from(trace_dir()?);
     std::fs::create_dir_all(&dir).ok()?;
     let slug: String = engine
         .chars()

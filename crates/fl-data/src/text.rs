@@ -95,7 +95,7 @@ pub fn ptb_like(vocab: usize, n_tokens: usize, seed: u64) -> TextDataset {
 
     // Zipfian unigram CDF.
     let weights: Vec<f32> = (1..=vocab).map(|r| 1.0 / r as f32).collect();
-    let total: f32 = weights.iter().sum();
+    let total = fedmp_tensor::parallel::sum_f32(weights.iter().copied());
     let mut cdf = Vec::with_capacity(vocab);
     let mut acc = 0.0;
     for w in &weights {

@@ -1353,8 +1353,13 @@ fn run_edges_threaded(
             }
         }
         // Drain stragglers so bounded channels never block an exiting
-        // edge thread.
+        // edge thread, then drop both endpoint collections before the
+        // scope ends: a late `send` must observe disconnect (and bail
+        // via its error path) rather than park on a full channel and
+        // wedge the join.
         while up_rx.try_recv().is_some() {}
+        drop(ctls);
+        drop(up_rx);
     });
     result?;
 

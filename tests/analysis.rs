@@ -1,6 +1,7 @@
 //! The invariant linter as a tier-1 test: `cargo test` alone must
 //! catch a determinism leak, a stray `unsafe`, a panic on the engine
-//! hot path, or trace-schema drift — no CI required.
+//! hot path, an impure executor closure, or trace-schema drift — no
+//! CI required.
 
 use std::path::Path;
 
@@ -29,14 +30,26 @@ fn workspace_satisfies_invariant_contract() {
     assert_eq!(
         outcome.lints_run,
         vec![
+            "channel-protocol",
             "determinism",
+            "executor-purity",
             "float-reduction",
             "no-panic",
+            "reduction-escape",
             "suppression",
+            "suppression-audit",
             "trace-schema",
             "unsafe-hygiene"
         ]
     );
+    // The per-lint summary covers every active lint, so report diffs
+    // make lint drift visible.
+    assert_eq!(outcome.summary.len(), outcome.lints_run.len());
+    assert!(outcome.summary.iter().all(|s| s.findings == 0));
+    // At least the runner's executor-purity escape and the trace-dir
+    // determinism escape are live suppressions.
+    let used: usize = outcome.summary.iter().map(|s| s.suppressions_used).sum();
+    assert!(used >= 2, "expected live inline suppressions, counted {used}");
 }
 
 /// Seeding a violation into a copy of a deterministic crate makes the
@@ -69,6 +82,67 @@ fn seeded_violation_fails_under_the_live_config() {
         "a HashMap seeded into crates/fl must fail under the live analysis.toml"
     );
     assert_eq!(hits[0].line, 1, "the `use` line is the first finding");
+
+    std::fs::remove_dir_all(&staged).ok();
+}
+
+/// An executor closure seeded with trace emission fails under the live
+/// config: the structural lints run with the same teeth as the
+/// line-oriented ones.
+#[test]
+fn seeded_executor_impurity_fails_under_the_live_config() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let config_text =
+        std::fs::read_to_string(root.join("analysis.toml")).expect("read analysis.toml");
+    let config = fedmp_analysis::config::parse(&config_text).expect("parse analysis.toml");
+
+    // A distinct staging dir from the test above: both run in parallel
+    // under the default harness.
+    let staged = root.join("target/analysis-seeded-exec");
+    let dir = staged.join("crates/fl/src");
+    std::fs::create_dir_all(&dir).expect("create staged tree");
+    std::fs::write(
+        dir.join("seeded.rs"),
+        "pub fn run(items: Vec<usize>) -> Vec<usize> {\n    ordered_map(items, |i, x| {\n        emit_round_end(i);\n        x\n    })\n}\n",
+    )
+    .expect("write seeded violation");
+
+    let outcome = fedmp_analysis::check(&staged, &config).expect("analysis run failed");
+    let hits: Vec<_> = outcome
+        .diagnostics
+        .iter()
+        .filter(|d| d.lint == "executor-purity" && d.file == "crates/fl/src/seeded.rs")
+        .collect();
+    assert_eq!(hits.len(), 1, "{:?}", outcome.diagnostics);
+    assert_eq!(hits[0].line, 3, "anchored at the emission inside the closure");
+
+    std::fs::remove_dir_all(&staged).ok();
+}
+
+/// A config entry pointing at nothing on disk is a hard config error
+/// naming the entry — not a silently-inert scope.
+#[test]
+fn dangling_config_entry_is_a_hard_error() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let staged = root.join("target/analysis-dangling-config");
+    std::fs::create_dir_all(staged.join("crates/fl/src")).expect("create staged tree");
+    std::fs::write(staged.join("crates/fl/src/lib.rs"), "pub fn f() {}\n").expect("write file");
+    std::fs::write(
+        staged.join("analysis.toml"),
+        "[workspace]\nroots = [\"crates\"]\n\n[lints.determinism]\nscope = [\"crates/fl/src\", \"crates/gone/src\"]\n",
+    )
+    .expect("write config");
+
+    let err = fedmp_analysis::check_root(&staged).expect_err("dangling entry must fail");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("lints.determinism.scope") && msg.contains("crates/gone/src"),
+        "error must name the section and the entry: {msg}"
+    );
+    assert!(
+        matches!(err, fedmp_analysis::AnalysisError::Config(_)),
+        "dangling entries are config errors (exit 2), not findings"
+    );
 
     std::fs::remove_dir_all(&staged).ok();
 }
