@@ -71,7 +71,8 @@ fn find_token(haystack: &str, needle: &str) -> Option<usize> {
     while let Some(pos) = haystack[from..].find(needle) {
         let at = from + pos;
         from = at + 1;
-        let before_ok = at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+        let before_ok =
+            at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
         let end = at + needle.len();
         let after_ok =
             end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
@@ -151,10 +152,8 @@ mod tests {
     use crate::scanner::scan;
 
     fn graph(files: &[(&str, &str)]) -> CrateGraph {
-        let built: Vec<(String, Sketch)> = files
-            .iter()
-            .map(|(p, src)| (p.to_string(), Sketch::build(&scan(p, src))))
-            .collect();
+        let built: Vec<(String, Sketch)> =
+            files.iter().map(|(p, src)| (p.to_string(), Sketch::build(&scan(p, src)))).collect();
         build(&built)
     }
 

@@ -61,10 +61,17 @@ impl Sink {
     /// Reports a candidate finding for 0-indexed line `idx0` of
     /// `file`, honoring any well-formed inline suppression on that
     /// line.
-    pub fn report(&mut self, file: &SourceFile, idx0: usize, lint: &str, message: impl Into<String>) {
-        let suppressed = file.lines.get(idx0).and_then(|line| {
-            line.suppressions.iter().find(|s| s.reason_ok && s.lint == lint)
-        });
+    pub fn report(
+        &mut self,
+        file: &SourceFile,
+        idx0: usize,
+        lint: &str,
+        message: impl Into<String>,
+    ) {
+        let suppressed = file
+            .lines
+            .get(idx0)
+            .and_then(|line| line.suppressions.iter().find(|s| s.reason_ok && s.lint == lint));
         match suppressed {
             Some(s) => {
                 self.used.insert((file.path.clone(), s.line, lint.to_string()));
@@ -115,11 +122,8 @@ pub struct Report {
 /// diagnostic. File-level findings (line 0) are pinned to line 1,
 /// which SARIF requires to be positive.
 pub fn to_sarif(report: &Report) -> serde_json::Value {
-    let rules: Vec<serde_json::Value> = report
-        .lints
-        .iter()
-        .map(|l| serde_json::json!({ "id": l, "name": l }))
-        .collect();
+    let rules: Vec<serde_json::Value> =
+        report.lints.iter().map(|l| serde_json::json!({ "id": l, "name": l })).collect();
     let results: Vec<serde_json::Value> = report
         .diagnostics
         .iter()
@@ -181,7 +185,11 @@ mod tests {
             status: "violations".into(),
             files_scanned: 1,
             lints: vec!["determinism".into()],
-            summary: vec![LintStat { lint: "determinism".into(), findings: 1, suppressions_used: 0 }],
+            summary: vec![LintStat {
+                lint: "determinism".into(),
+                findings: 1,
+                suppressions_used: 0,
+            }],
             diagnostics: vec![Diagnostic::new("analysis.toml", 0, "determinism", "m")],
         };
         let sarif = to_sarif(&report);

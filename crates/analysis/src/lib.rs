@@ -292,8 +292,11 @@ pub fn check(root: &Path, config: &Config) -> Result<Outcome, AnalysisError> {
 /// `unsafe-hygiene` is excluded — its allow list means "unsafe
 /// permitted here", a grant that stays meaningful while the file
 /// exists (and config-path validation already guarantees that).
+/// A per-file lint pass, as rerun by the suppression audit.
+type LintFn = fn(&SourceFile, &config::LintConfig, &mut Sink);
+
 fn audit_config_allows(config: &Config, scanned: &[SourceFile], sink: &mut Sink) {
-    let auditable: [(&str, fn(&SourceFile, &config::LintConfig, &mut Sink)); 3] = [
+    let auditable: [(&str, LintFn); 3] = [
         (lints::determinism::NAME, lints::determinism::check),
         (lints::float_reduction::NAME, lints::float_reduction::check),
         (lints::no_panic::NAME, lints::no_panic::check),

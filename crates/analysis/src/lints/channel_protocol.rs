@@ -64,11 +64,8 @@ pub fn check(file: &SourceFile, sketch: &Sketch, _cfg: &LintConfig, out: &mut Si
             }
         }
         let top = String::from_utf8(top).expect("blanking is ascii-safe");
-        let spawned_text: String = spawns
-            .iter()
-            .map(|s| &sketch.text[s.start..s.end])
-            .collect::<Vec<_>>()
-            .join("\n");
+        let spawned_text: String =
+            spawns.iter().map(|s| &sketch.text[s.start..s.end]).collect::<Vec<_>>().join("\n");
 
         let pairs = channel_pairs(&top);
         if pairs.is_empty() {
@@ -103,8 +100,7 @@ pub fn check(file: &SourceFile, sketch: &Sketch, _cfg: &LintConfig, out: &mut Si
                 // Residues: the tx itself (unless consumed into a
                 // container or moved into a spawn), aliases likewise,
                 // and every container that received one.
-                let consumed: BTreeSet<&str> =
-                    containers.iter().map(|(_, s)| s.as_str()).collect();
+                let consumed: BTreeSet<&str> = containers.iter().map(|(_, s)| s.as_str()).collect();
                 let mut residue: Vec<&str> = senders
                     .iter()
                     .filter(|s| !consumed.contains(**s) && !token_in(&spawned_text, s))
@@ -244,8 +240,8 @@ fn clone_aliases(top: &str, pairs: &[ChannelPair]) -> Vec<(String, String)> {
             let Some(semi) = rest[eq..].find(';') else { continue };
             let rhs = rest[eq + 1..eq + semi].trim();
             let Some(base) = rhs.strip_suffix(".clone()") else { continue };
-            let resolves = pairs.iter().any(|p| p.tx == base)
-                || aliases.iter().any(|(a, _)| a == base);
+            let resolves =
+                pairs.iter().any(|p| p.tx == base) || aliases.iter().any(|(a, _)| a == base);
             if resolves && !aliases.iter().any(|(a, _)| a == name) {
                 let root = aliases
                     .iter()
@@ -280,7 +276,9 @@ fn sender_containers(
     let bytes = top.as_bytes();
     let mut i = 0usize;
     while i < bytes.len() {
-        if is_ident_char(bytes[i]) && !bytes[i].is_ascii_digit() && (i == 0 || !is_ident_char(bytes[i - 1]))
+        if is_ident_char(bytes[i])
+            && !bytes[i].is_ascii_digit()
+            && (i == 0 || !is_ident_char(bytes[i - 1]))
         {
             let start = i;
             while i < bytes.len() && is_ident_char(bytes[i]) {

@@ -212,17 +212,16 @@ fn rng_captures(body: &str, bound: &BTreeSet<String>) -> Vec<(usize, String)> {
     let mut out = Vec::new();
     let mut i = 0usize;
     while i < bytes.len() {
-        if is_ident_char(bytes[i]) && !bytes[i].is_ascii_digit() && (i == 0 || !is_ident_char(bytes[i - 1]))
+        if is_ident_char(bytes[i])
+            && !bytes[i].is_ascii_digit()
+            && (i == 0 || !is_ident_char(bytes[i - 1]))
         {
             let start = i;
             while i < bytes.len() && is_ident_char(bytes[i]) {
                 i += 1;
             }
             let name = &body[start..i];
-            if name.ends_with("rng")
-                && bytes.get(i) != Some(&b'(')
-                && !bound.contains(name)
-            {
+            if name.ends_with("rng") && bytes.get(i) != Some(&b'(') && !bound.contains(name) {
                 out.push((start, name.to_string()));
             }
         } else {
@@ -293,8 +292,8 @@ mod tests {
     fn run(src: &str) -> Vec<crate::diagnostics::Diagnostic> {
         let file = scan("crates/fl/src/x.rs", src);
         let sketch = Sketch::build(&file);
-        let graph = crate::callgraph::build(&[("crates/fl/src/x.rs".to_string(),
-            Sketch::build(&file))]);
+        let graph =
+            crate::callgraph::build(&[("crates/fl/src/x.rs".to_string(), Sketch::build(&file))]);
         let mut out = Sink::new();
         check(&file, &sketch, &graph, &LintConfig::default(), &mut out);
         out.findings

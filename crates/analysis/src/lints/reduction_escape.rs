@@ -151,7 +151,9 @@ mod tests {
 
     #[test]
     fn sum_at_the_call_site_is_flagged() {
-        let src = format!("{HELPER}pub fn total(xs: &[f32]) -> f32 {{\n    deltas(xs).sum::<f32>()\n}}\n");
+        let src = format!(
+            "{HELPER}pub fn total(xs: &[f32]) -> f32 {{\n    deltas(xs).sum::<f32>()\n}}\n"
+        );
         let out = run(&src);
         assert_eq!(out.len(), 1, "{out:?}");
         assert_eq!(out[0].line, 5);

@@ -84,8 +84,7 @@ let n = 1; // fedmp-analysis: allow(no-panic) -- nothing panics here anymore\n";
         crate::lints::determinism::check(&file, &LintConfig::default(), &mut sink);
         crate::lints::no_panic::check(&file, &LintConfig::default(), &mut sink);
         check(&[&file], &enabled(), &mut sink);
-        let audits: Vec<_> =
-            sink.findings.iter().filter(|d| d.lint == NAME).collect();
+        let audits: Vec<_> = sink.findings.iter().filter(|d| d.lint == NAME).collect();
         assert_eq!(audits.len(), 1, "{audits:?}");
         assert_eq!(audits[0].line, 3);
         assert!(audits[0].message.contains("allow(no-panic)"));

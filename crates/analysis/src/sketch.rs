@@ -298,7 +298,9 @@ mod tests {
 
     #[test]
     fn call_idents_take_last_path_segment_and_skip_keywords() {
-        let s = sketch("fn f() {\n    exec::ordered_map(v, g);\n    if cond(x) { h(y) } else { Some(z) }\n}\n");
+        let s = sketch(
+            "fn f() {\n    exec::ordered_map(v, g);\n    if cond(x) { h(y) } else { Some(z) }\n}\n",
+        );
         let body = s.fns[0].body.unwrap();
         let names: Vec<String> = call_idents(&s.text, body).into_iter().map(|(_, n)| n).collect();
         assert_eq!(names, vec!["ordered_map", "cond", "h"]);

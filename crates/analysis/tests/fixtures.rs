@@ -59,8 +59,9 @@ fn unsafe_hygiene_fixture_covers_both_failure_modes() {
             ("crates/app/src/bad.rs".to_string(), 6, "unsafe-hygiene".to_string()),
             ("crates/app/src/bad.rs".to_string(), 14, "unsafe-hygiene".to_string()),
             ("crates/low/src/sched.rs".to_string(), 10, "unsafe-hygiene".to_string()),
+            ("crates/low/src/simd.rs".to_string(), 15, "unsafe-hygiene".to_string()),
         ],
-        "outside allowlist (incl. tests), and allowlisted-but-undocumented"
+        "outside allowlist (incl. tests), allowlisted-but-undocumented, and an un-commented SIMD intrinsic load"
     );
 }
 

@@ -1,20 +1,35 @@
-//! Reference-vs-blocked kernel benchmark.
+//! Reference vs scalar-blocked vs SIMD kernel benchmark, plus the
+//! pruning-aware fast-path table.
 //!
 //! Times the naive `*_reference` GEMM kernels against the cache-blocked
-//! production kernels on the GEMM shapes the width-1.0 model zoo
-//! actually runs (im2col convolutions and linear layers, batch 64), plus
-//! the conv2d forward pass itself, and writes the speedups to
+//! scalar kernels and the AVX2/FMA microkernels on the GEMM shapes the
+//! width-1.0 model zoo actually runs (im2col convolutions and linear
+//! layers, batch 64), plus the conv2d forward pass itself, then
+//! measures what structured pruning buys at the kernel level: a
+//! ρ-pruned conv/FC layer through `conv2d_forward_pruned` /
+//! `matmul_nt_pruned` against its dense baseline. Writes everything to
 //! `bench-results/kernels.json`. Run with:
 //!
 //! ```text
 //! cargo run --release -p fedmp-bench --bin kernels
 //! ```
+//!
+//! Set `FEDMP_BENCH_SMOKE=1` (CI) to cut repetitions and skip the
+//! timing-based gates; the *equivalence* gates — every path against the
+//! reference oracle, every pruned run bitwise against dense-on-extracted
+//! — always run, so a smoke pass still proves the kernels compute the
+//! same numbers. Timing gates in full mode: on AVX2 hosts the headline
+//! SIMD GEMM must beat the scalar blocked kernel ≥ 2×, and the
+//! 70 %-pruned (out-only) layers must cost ≤ 40 % of their dense time
+//! (the kept-FLOPs fraction is 30 % — time must track FLOPs).
 
 use std::time::Instant;
 
+use fedmp_pruning::ratio_keep_count;
+use fedmp_tensor::simd::{self, SimdPath};
 use fedmp_tensor::{
-    conv2d_forward, im2col, matmul_nt_reference, matmul_reference, matmul_tn_reference, parallel,
-    seeded_rng, Conv2dSpec, Tensor,
+    conv2d_forward, conv2d_forward_pruned, im2col, matmul_nt_pruned, matmul_nt_reference,
+    matmul_reference, matmul_tn_reference, parallel, seeded_rng, Conv2dSpec, Tensor,
 };
 use serde_json::json;
 
@@ -68,6 +83,59 @@ fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     best
 }
 
+/// Best-of-reps for a *pair* of kernels, alternating them within one
+/// measurement window (`d p d p …`). The pruned table gates on the
+/// ratio of the two, and on a shared host a frequency dip during one
+/// side's window would skew a ratio of separately-timed bests;
+/// interleaving makes any dip hit both sides alike.
+fn time_pair_ms<R1, R2>(
+    reps: usize,
+    mut d: impl FnMut() -> R1,
+    mut p: impl FnMut() -> R2,
+) -> (f64, f64) {
+    std::hint::black_box(d()); // warm-up
+    std::hint::black_box(p());
+    let (mut bd, mut bp) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(d());
+        bd = bd.min(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        std::hint::black_box(p());
+        bp = bp.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (bd, bp)
+}
+
+/// Runs `f` with the SIMD dispatch forced to `path`, then restores the
+/// default (`FEDMP_SIMD`-configured) dispatch.
+fn with_path<R>(path: SimdPath, f: impl FnOnce() -> R) -> R {
+    simd::override_path(Some(path));
+    let out = f();
+    simd::override_path(None);
+    out
+}
+
+/// Equivalence gate: `got` agrees with the oracle within a relative
+/// tolerance (the paths re-associate / fuse float ops, so bitwise
+/// equality is only promised *within* a path, not across paths).
+fn assert_close(got: &Tensor, want: &Tensor, what: &str) {
+    assert_eq!(got.dims(), want.dims(), "{what}: dims");
+    for (i, (x, y)) in got.data().iter().zip(want.data().iter()).enumerate() {
+        let tol = 1e-3 + 1e-4 * y.abs();
+        assert!((x - y).abs() <= tol, "{what}: element {i}: {x} vs {y}");
+    }
+}
+
+/// Bitwise gate: the pruned fast path must match the dense kernel on
+/// physically extracted operands down to the last ulp.
+fn assert_bits_eq(got: &Tensor, want: &Tensor, what: &str) {
+    assert_eq!(got.dims(), want.dims(), "{what}: dims");
+    for (i, (x, y)) in got.data().iter().zip(want.data().iter()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+    }
+}
+
 /// The pre-blocking conv2d forward: sequential batch loop over
 /// `im2col` + reference GEMM, kept here as the benchmark baseline.
 fn conv2d_forward_reference(
@@ -98,10 +166,74 @@ fn conv2d_forward_reference(
     out
 }
 
+/// Physically extracts the kept rows/columns of a `[out, in]` weight.
+fn gather_2d(w: &Tensor, kept_out: &[usize], kept_in: &[usize]) -> Tensor {
+    let inf = w.dims()[1];
+    let mut out = Tensor::zeros(&[kept_out.len(), kept_in.len()]);
+    for (r, &fo) in kept_out.iter().enumerate() {
+        for (c, &fi) in kept_in.iter().enumerate() {
+            out.data_mut()[r * kept_in.len() + c] = w.data()[fo * inf + fi];
+        }
+    }
+    out
+}
+
+/// Physically extracts kept filters/channels of an `[oc, c, kh, kw]`
+/// conv weight.
+fn gather_conv_weight(w: &Tensor, kept_out: &[usize], kept_in: &[usize]) -> Tensor {
+    let d = w.dims();
+    let (c, kh, kw) = (d[1], d[2], d[3]);
+    let k2 = kh * kw;
+    let mut out = Tensor::zeros(&[kept_out.len(), kept_in.len(), kh, kw]);
+    for (r, &fo) in kept_out.iter().enumerate() {
+        for (j, &fi) in kept_in.iter().enumerate() {
+            let src = &w.data()[(fo * c + fi) * k2..(fo * c + fi + 1) * k2];
+            let base = (r * kept_in.len() + j) * k2;
+            out.data_mut()[base..base + k2].copy_from_slice(src);
+        }
+    }
+    out
+}
+
+/// Gathers kept channels of an `[n, c, h, w]` activation.
+fn gather_channels(x: &Tensor, kept: &[usize]) -> Tensor {
+    let d = x.dims();
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let img = h * w;
+    let mut out = Tensor::zeros(&[n, kept.len(), h, w]);
+    for i in 0..n {
+        for (j, &ch) in kept.iter().enumerate() {
+            let src = &x.data()[(i * c + ch) * img..(i * c + ch + 1) * img];
+            let base = (i * kept.len() + j) * img;
+            out.data_mut()[base..base + img].copy_from_slice(src);
+        }
+    }
+    out
+}
+
+/// Gathers kept columns of an `[m, f]` activation matrix.
+fn gather_cols(x: &Tensor, kept: &[usize]) -> Tensor {
+    let d = x.dims();
+    let (m, f) = (d[0], d[1]);
+    let mut out = Tensor::zeros(&[m, kept.len()]);
+    for r in 0..m {
+        for (c, &fi) in kept.iter().enumerate() {
+            out.data_mut()[r * kept.len() + c] = x.data()[r * f + fi];
+        }
+    }
+    out
+}
+
 fn main() {
+    let smoke = std::env::var("FEDMP_BENCH_SMOKE").as_deref() == Ok("1");
+    let has_avx2 = simd::avx2_supported();
+    let detected = simd::detected_features();
+    let selected = simd::active_path();
+    println!("cpu: detected {detected}, dispatch selects `{}`", selected.name());
+
     let mut rng = seeded_rng(0xBE7C);
     let mut gemm_rows = Vec::new();
-    let mut headline: Option<(String, usize, f64)> = None;
+    let mut headline: Option<(String, usize, f64, Option<f64>)> = None;
 
     for case in GEMM_CASES {
         let (m, k, n) = (case.m, case.k, case.n);
@@ -114,25 +246,47 @@ fn main() {
         };
         let a = Tensor::randn(a_dims, &mut rng);
         let b = Tensor::randn(b_dims, &mut rng);
-        let reps = (200_000_000 / flops).clamp(3, 50);
+        let run = |op: Op| match op {
+            Op::Nn => a.matmul(&b),
+            Op::Nt => a.matmul_nt(&b),
+            Op::Tn => a.matmul_tn(&b),
+        };
+        let reference = match case.op {
+            Op::Nn => matmul_reference(&a, &b),
+            Op::Nt => matmul_nt_reference(&a, &b),
+            Op::Tn => matmul_tn_reference(&a, &b),
+        };
+        // Equivalence gates before any timing: both paths vs oracle.
+        with_path(SimdPath::Scalar, || {
+            assert_close(&run(case.op), &reference, &format!("{}/scalar", case.name));
+        });
+        if has_avx2 {
+            with_path(SimdPath::Avx2, || {
+                assert_close(&run(case.op), &reference, &format!("{}/simd", case.name));
+            });
+        }
+
+        let reps = if smoke { 2 } else { (200_000_000 / flops).clamp(3, 50) };
         let reference_ms = time_ms(reps, || match case.op {
             Op::Nn => matmul_reference(&a, &b),
             Op::Nt => matmul_nt_reference(&a, &b),
             Op::Tn => matmul_tn_reference(&a, &b),
         });
-        let blocked_ms = time_ms(reps, || match case.op {
-            Op::Nn => a.matmul(&b),
-            Op::Nt => a.matmul_nt(&b),
-            Op::Tn => a.matmul_tn(&b),
-        });
-        let speedup = reference_ms / blocked_ms;
+        let scalar_ms = with_path(SimdPath::Scalar, || time_ms(reps, || run(case.op)));
+        let simd_ms =
+            has_avx2.then(|| with_path(SimdPath::Avx2, || time_ms(reps, || run(case.op))));
+        let gflops = |ms: f64| flops as f64 / (ms * 1e6);
+        let speedup = reference_ms / scalar_ms;
+        let simd_speedup = simd_ms.map(|s| scalar_ms / s);
         println!(
-            "gemm {:<24} {}  {m}x{k}x{n}: ref {reference_ms:8.3} ms  blocked {blocked_ms:8.3} ms  {speedup:5.2}x",
+            "gemm {:<24} {}  {m}x{k}x{n}: ref {reference_ms:8.3} ms  scalar {scalar_ms:8.3} ms  simd {}  {speedup:5.2}x ref/scalar{}",
             case.name,
             case.op.name(),
+            simd_ms.map_or("     n/a".into(), |s| format!("{s:8.3} ms")),
+            simd_speedup.map_or(String::new(), |s| format!("  {s:5.2}x scalar/simd")),
         );
-        if headline.as_ref().is_none_or(|&(_, f, _)| flops > f) {
-            headline = Some((case.name.to_string(), flops, speedup));
+        if headline.as_ref().is_none_or(|&(_, f, _, _)| flops > f) {
+            headline = Some((case.name.to_string(), flops, speedup, simd_speedup));
         }
         gemm_rows.push(json!({
             "name": case.name,
@@ -140,8 +294,12 @@ fn main() {
             "m": m, "k": k, "n": n,
             "flops": flops,
             "reference_ms": reference_ms,
-            "blocked_ms": blocked_ms,
-            "speedup": speedup,
+            "scalar_ms": scalar_ms,
+            "simd_ms": simd_ms,
+            "gflops_scalar": gflops(scalar_ms),
+            "gflops_simd": simd_ms.map(gflops),
+            "speedup_scalar_vs_reference": speedup,
+            "speedup_simd_vs_scalar": simd_speedup,
         }));
     }
 
@@ -155,37 +313,212 @@ fn main() {
         let input = Tensor::randn(&[n, c, h, w], &mut rng);
         let weight = Tensor::randn(&[oc, c, kh, kh], &mut rng);
         let bias = Tensor::zeros(&[oc]);
-        let reference_ms = time_ms(3, || conv2d_forward_reference(&input, &weight, &bias, &spec));
-        let blocked_ms = time_ms(3, || conv2d_forward(&input, &weight, &bias, &spec));
-        let speedup = reference_ms / blocked_ms;
+        let reference = conv2d_forward_reference(&input, &weight, &bias, &spec);
+        with_path(SimdPath::Scalar, || {
+            assert_close(
+                &conv2d_forward(&input, &weight, &bias, &spec),
+                &reference,
+                &format!("{name}/scalar"),
+            );
+        });
+        if has_avx2 {
+            with_path(SimdPath::Avx2, || {
+                assert_close(
+                    &conv2d_forward(&input, &weight, &bias, &spec),
+                    &reference,
+                    &format!("{name}/simd"),
+                );
+            });
+        }
+        let conv_reps = if smoke { 1 } else { 3 };
+        let reference_ms =
+            time_ms(conv_reps, || conv2d_forward_reference(&input, &weight, &bias, &spec));
+        let scalar_ms = with_path(SimdPath::Scalar, || {
+            time_ms(conv_reps, || conv2d_forward(&input, &weight, &bias, &spec))
+        });
+        let simd_ms = has_avx2.then(|| {
+            with_path(SimdPath::Avx2, || {
+                time_ms(conv_reps, || conv2d_forward(&input, &weight, &bias, &spec))
+            })
+        });
+        let speedup = reference_ms / scalar_ms;
         println!(
-            "conv {name:<24} ref {reference_ms:8.3} ms  blocked {blocked_ms:8.3} ms  {speedup:5.2}x"
+            "conv {name:<24} ref {reference_ms:8.3} ms  scalar {scalar_ms:8.3} ms  simd {}  {speedup:5.2}x ref/scalar",
+            simd_ms.map_or("     n/a".into(), |s| format!("{s:8.3} ms")),
         );
         conv_rows.push(json!({
             "name": name,
             "batch": n, "in_channels": c, "h": h, "w": w,
             "out_channels": oc, "kernel": kh, "stride": stride, "padding": padding,
             "reference_ms": reference_ms,
-            "blocked_ms": blocked_ms,
-            "speedup": speedup,
+            "scalar_ms": scalar_ms,
+            "simd_ms": simd_ms,
+            "speedup_scalar_vs_reference": speedup,
+            "speedup_simd_vs_scalar": simd_ms.map(|s| scalar_ms / s),
         }));
     }
 
-    let (headline_name, headline_flops, headline_speedup) = headline.expect("at least one case");
+    // ------------------------------------------------------------------
+    // Pruning-aware fast paths: what does a ρ-pruned layer actually
+    // cost, relative to its dense self, under the default dispatch?
+    //
+    // `out_only` prunes the filter/neuron dimension alone (kept-FLOPs
+    // fraction = 1−ρ — the linearity the paper's cost model assumes);
+    // `chained` prunes both dimensions as plan-chained interior layers
+    // do (kept fraction ≈ (1−ρ)²).
+    // ------------------------------------------------------------------
+    let mut pruned_rows = Vec::new();
+    let pruned_reps = if smoke { 1 } else { 7 };
+
+    // Conv layer: alexnet/conv2 geometry, batch 8.
+    let (cn, cc, chh, cww, coc, ckh) = (8usize, 64usize, 16usize, 16usize, 192usize, 3usize);
+    let cspec = Conv2dSpec { kh: ckh, kw: ckh, stride: 1, padding: 1 };
+    let cinput = Tensor::randn(&[cn, cc, chh, cww], &mut rng);
+    let cweight = Tensor::randn(&[coc, cc, ckh, ckh], &mut rng);
+    let cbias = Tensor::randn(&[coc], &mut rng);
+
+    // Linear layer: alexnet/fc1 geometry, batch 64.
+    let (lm, lif, lof) = (64usize, 4096usize, 512usize);
+    let lx = Tensor::randn(&[lm, lif], &mut rng);
+    let lw = Tensor::randn(&[lof, lif], &mut rng);
+
+    for ratio in [0.3f32, 0.5, 0.7] {
+        for chained in [false, true] {
+            let ko_c = ratio_keep_count(coc, ratio);
+            let ki_c = if chained { ratio_keep_count(cc, ratio) } else { cc };
+            let kept_out: Vec<usize> = (0..ko_c).collect();
+            let kept_in: Vec<usize> = (0..ki_c).collect();
+
+            // Bitwise gate: pruned kernel == dense kernel on extracted
+            // operands (always, smoke included).
+            let got = conv2d_forward_pruned(&cinput, &cweight, &cbias, &cspec, &kept_out, &kept_in);
+            let sub_w = gather_conv_weight(&cweight, &kept_out, &kept_in);
+            let sub_b = {
+                let mut b = Tensor::zeros(&[ko_c]);
+                for (i, &f) in kept_out.iter().enumerate() {
+                    b.data_mut()[i] = cbias.data()[f];
+                }
+                b
+            };
+            let sub_in =
+                if ki_c == cc { cinput.clone() } else { gather_channels(&cinput, &kept_in) };
+            let want = conv2d_forward(&sub_in, &sub_w, &sub_b, &cspec);
+            let variant = if chained { "chained" } else { "out_only" };
+            assert_bits_eq(&got, &want, &format!("conv ratio {ratio} {variant}"));
+
+            let (conv_dense_ms, pruned_ms) = time_pair_ms(
+                pruned_reps,
+                || conv2d_forward(&cinput, &cweight, &cbias, &cspec),
+                || conv2d_forward_pruned(&cinput, &cweight, &cbias, &cspec, &kept_out, &kept_in),
+            );
+            let kept_flops_frac = (ko_c * ki_c) as f64 / (coc * cc) as f64;
+            let time_frac = pruned_ms / conv_dense_ms;
+            println!(
+                "pruned conv  ratio {ratio:.1} {variant:<8} kept {ko_c:3}/{coc} x {ki_c:3}/{cc}: {pruned_ms:8.3} ms  ({:.1}% of dense, {:.1}% of FLOPs)",
+                time_frac * 100.0,
+                kept_flops_frac * 100.0,
+            );
+            pruned_rows.push(json!({
+                "layer": "alexnet/conv2_b8",
+                "kind": "conv",
+                "ratio": ratio,
+                "variant": variant,
+                "kept_out": ko_c, "out_full": coc,
+                "kept_in": ki_c, "in_full": cc,
+                "kept_flops_frac": kept_flops_frac,
+                "dense_ms": conv_dense_ms,
+                "pruned_ms": pruned_ms,
+                "time_frac": time_frac,
+            }));
+            if !smoke && !chained && (ratio - 0.7).abs() < 1e-6 {
+                assert!(
+                    time_frac <= 0.40,
+                    "pruned conv gate: 70%-pruned layer cost {:.1}% of dense (> 40%)",
+                    time_frac * 100.0
+                );
+            }
+
+            // Linear layer, same kept-set construction.
+            let ko_l = ratio_keep_count(lof, ratio);
+            let ki_l = if chained { ratio_keep_count(lif, ratio) } else { lif };
+            let kept_out_l: Vec<usize> = (0..ko_l).collect();
+            let kept_in_l: Vec<usize> = (0..ki_l).collect();
+            let got = matmul_nt_pruned(&lx, &lw, &kept_out_l, &kept_in_l);
+            let sub_w = gather_2d(&lw, &kept_out_l, &kept_in_l);
+            let sub_x = if ki_l == lif { lx.clone() } else { gather_cols(&lx, &kept_in_l) };
+            let want = sub_x.matmul_nt(&sub_w);
+            assert_bits_eq(&got, &want, &format!("linear ratio {ratio} {variant}"));
+
+            let (lin_dense_ms, pruned_ms) = time_pair_ms(
+                pruned_reps,
+                || lx.matmul_nt(&lw),
+                || matmul_nt_pruned(&lx, &lw, &kept_out_l, &kept_in_l),
+            );
+            let kept_flops_frac = (ko_l * ki_l) as f64 / (lof * lif) as f64;
+            let time_frac = pruned_ms / lin_dense_ms;
+            println!(
+                "pruned fc    ratio {ratio:.1} {variant:<8} kept {ko_l:3}/{lof} x {ki_l:4}/{lif}: {pruned_ms:8.3} ms  ({:.1}% of dense, {:.1}% of FLOPs)",
+                time_frac * 100.0,
+                kept_flops_frac * 100.0,
+            );
+            pruned_rows.push(json!({
+                "layer": "alexnet/fc1_b64",
+                "kind": "linear",
+                "ratio": ratio,
+                "variant": variant,
+                "kept_out": ko_l, "out_full": lof,
+                "kept_in": ki_l, "in_full": lif,
+                "kept_flops_frac": kept_flops_frac,
+                "dense_ms": lin_dense_ms,
+                "pruned_ms": pruned_ms,
+                "time_frac": time_frac,
+            }));
+            if !smoke && !chained && (ratio - 0.7).abs() < 1e-6 {
+                assert!(
+                    time_frac <= 0.40,
+                    "pruned fc gate: 70%-pruned layer cost {:.1}% of dense (> 40%)",
+                    time_frac * 100.0
+                );
+            }
+        }
+    }
+
+    let (headline_name, headline_flops, headline_speedup, headline_simd) =
+        headline.expect("at least one case");
+    if !smoke && has_avx2 {
+        let simd_speedup = headline_simd.expect("AVX2 host must have timed the SIMD path");
+        assert!(
+            simd_speedup >= 2.0,
+            "simd gate: headline {headline_name} SIMD speedup {simd_speedup:.2}x < 2x over scalar"
+        );
+    } else if !has_avx2 {
+        println!("simd gate skipped: AVX2+FMA not detected on this host");
+    }
+
     let report = json!({
         "generated_by": "cargo run --release -p fedmp-bench --bin kernels",
         "threads": parallel::configured_threads(),
+        "host_cpu_features": {
+            "detected": detected,
+            "selected_path": selected.name(),
+            "avx2": has_avx2,
+        },
         "gemm": gemm_rows,
         "conv": conv_rows,
+        "pruned": pruned_rows,
         "headline": {
             "shape": headline_name,
             "flops": headline_flops,
             "speedup_vs_reference": headline_speedup,
+            "speedup_simd_vs_scalar": headline_simd,
         },
     });
     std::fs::create_dir_all("bench-results").expect("create bench-results/");
     let path = "bench-results/kernels.json";
     std::fs::write(path, serde_json::to_string_pretty(&report).expect("serialise"))
         .expect("write kernels.json");
-    println!("wrote {path} (headline {headline_name}: {headline_speedup:.2}x)");
+    println!(
+        "wrote {path} (headline {headline_name}: {headline_speedup:.2}x vs ref{})",
+        headline_simd.map_or(String::new(), |s| format!(", simd {s:.2}x vs scalar")),
+    );
 }

@@ -9,8 +9,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Builds the manifest describing a run of `engine` on `spec`:
 /// schema version, engine name, seed, worker count, round count, the
-/// effective kernel thread count, an FNV-1a hash of the serialised
-/// spec, and crate versions.
+/// effective kernel thread count, the active GEMM dispatch path, an
+/// FNV-1a hash of the serialised spec, and crate versions.
 pub fn run_manifest(engine: &str, spec: &ExperimentSpec) -> RunManifest {
     let serialised = serde_json::to_string(spec).expect("spec serialises");
     let mut m = RunManifest::new(
@@ -20,6 +20,7 @@ pub fn run_manifest(engine: &str, spec: &ExperimentSpec) -> RunManifest {
         spec.fl.rounds,
         fedmp_tensor::parallel::configured_threads(),
     );
+    m.simd_path = fedmp_tensor::simd::active_path().name().to_string();
     m.config_hash = fedmp_obs::config_hash(&serialised);
     m.crate_versions.insert("fedmp-core".to_string(), env!("CARGO_PKG_VERSION").to_string());
     m
@@ -80,6 +81,7 @@ mod tests {
         assert_eq!(m.workers, spec.workers);
         assert_eq!(m.rounds, spec.fl.rounds);
         assert_eq!(m.config_hash.len(), 16);
+        assert!(["avx2", "scalar"].contains(&m.simd_path.as_str()));
         assert!(m.crate_versions.contains_key("fedmp-core"));
         assert!(m.crate_versions.contains_key("fedmp-obs"));
 

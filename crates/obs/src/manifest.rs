@@ -27,6 +27,14 @@ pub struct RunManifest {
     /// thread counts, so `diff` reports this field separately rather
     /// than as a divergence.
     pub threads: usize,
+    /// GEMM dispatch path in effect (`"avx2"` / `"scalar"`, from
+    /// `FEDMP_SIMD` or runtime detection). Informational like
+    /// `threads`, but with a twist: the paths differ in FMA rounding,
+    /// so event streams only diff clean between runs that *agree* on
+    /// this field. Empty in traces predating the field
+    /// (`serde(default)`).
+    #[serde(default)]
+    pub simd_path: String,
     /// FNV-1a 64-bit hash (hex) of the serialised experiment
     /// configuration — see [`config_hash`].
     pub config_hash: String,
@@ -48,6 +56,7 @@ impl RunManifest {
             workers,
             rounds,
             threads,
+            simd_path: String::new(),
             config_hash: String::new(),
             crate_versions,
         }
@@ -64,6 +73,7 @@ impl RunManifest {
             ("workers", self.workers.to_string()),
             ("rounds", self.rounds.to_string()),
             ("threads", self.threads.to_string()),
+            ("simd_path", js(&self.simd_path)),
             ("config_hash", js(&self.config_hash)),
             ("crate_versions", serde_json::to_string(&self.crate_versions).unwrap_or_default()),
         ]

@@ -1,0 +1,125 @@
+//! Pruning-aware inference without sub-model materialisation.
+//!
+//! [`extract_sequential`](crate::extract_sequential) copies every kept
+//! filter/neuron into a physically smaller model before it can run.
+//! This module runs the same computation **directly against the
+//! full-size parameters**: conv and FC layers dispatch to the
+//! pruning-aware tensor kernels (`conv2d_forward_pruned` /
+//! `matmul_nt_pruned`), which gather only the kept weight panels and
+//! skip masked channels inside im2col — so a ρ-pruned layer costs
+//! ≈ (1−ρ)² of the dense GEMM FLOPs and never allocates the sub-model's
+//! parameter copies. Cheap layer kinds (batch norm, activations, pools,
+//! flatten) are extracted per call — parameter gathers of vectors, not
+//! weight matrices — and run dense.
+//!
+//! The contract, enforced by `tests/fastpath.rs` at 1 and 4 threads:
+//! [`forward_pruned`] is **bit-identical** to
+//! `extract_sequential(model, plan).forward(input, false)`. It holds
+//! because the pruned kernels consume byte-identical gathered operands
+//! through the same deterministic GEMM/band machinery, and every other
+//! layer kind literally runs the extracted node.
+//!
+//! This is an **inference** path (the paper's deployment story for a
+//! ρ-pruned worker): nothing is cached, so there is no backward pass —
+//! training still goes through the extracted sub-model.
+
+use crate::iss::LstmPlan;
+use crate::plan::{LayerPlan, PrunePlan};
+use crate::rebuild::extract_node;
+use fedmp_nn::{LayerNode, LstmLm, Sequential};
+use fedmp_tensor::Tensor;
+
+/// Inference forward of the `plan`-pruned sub-model computed against
+/// the full-size `model`, bit-identical to
+/// `extract_sequential(model, plan).forward(input, false)`.
+pub fn forward_pruned(model: &Sequential, plan: &PrunePlan, input: &Tensor) -> Tensor {
+    assert_eq!(model.layers.len(), plan.layers.len(), "fastpath: plan/model layer count mismatch");
+    let mut x = input.clone();
+    for (node, lp) in model.layers.iter().zip(plan.layers.iter()) {
+        x = forward_node(node, lp, &x);
+    }
+    x
+}
+
+fn forward_node(node: &LayerNode, lp: &LayerPlan, x: &Tensor) -> Tensor {
+    match (node, lp) {
+        (LayerNode::Conv2d(conv), LayerPlan::Conv { kept_out, kept_in }) => {
+            conv.forward_pruned(x, kept_out, kept_in)
+        }
+        (LayerNode::Linear(lin), LayerPlan::Linear { kept_out, kept_in }) => {
+            lin.forward_pruned(x, kept_out, kept_in)
+        }
+        (LayerNode::Residual(block), LayerPlan::Residual { body, shortcut }) => {
+            // Mirrors `ResidualBlock::forward` at inference: body and
+            // shortcut chains on clones of the input, elementwise add,
+            // then ReLU (no mask cache — no backward here).
+            assert_eq!(block.body.len(), body.len(), "fastpath: residual body plan mismatch");
+            assert_eq!(
+                block.shortcut.len(),
+                shortcut.len(),
+                "fastpath: residual shortcut plan mismatch"
+            );
+            let mut main = x.clone();
+            for (n, p) in block.body.iter().zip(body.iter()) {
+                main = forward_node(n, p, &main);
+            }
+            let mut side = x.clone();
+            for (n, p) in block.shortcut.iter().zip(shortcut.iter()) {
+                side = forward_node(n, p, &side);
+            }
+            assert_eq!(main.dims(), side.dims(), "fastpath: body/shortcut output shapes differ");
+            let pre = main.add(&side);
+            pre.map(|v| if v > 0.0 { v } else { 0.0 })
+        }
+        // Batch norm (vector-parameter gathers) and parameterless
+        // layers: extracting the node is as cheap as any bespoke path
+        // would be, and running it keeps bit-identity trivially.
+        (node, lp) => extract_node(node, lp).forward(x, false),
+    }
+}
+
+/// Decoder logits of an ISS-pruned LSTM language model computed against
+/// the full-size decoder: `hidden` is the last LSTM layer's output
+/// (either already shrunk to the kept units, or full-width with pruned
+/// units present), and the result is bit-identical to the extracted
+/// decoder of [`extract_lstm`](crate::extract_lstm) on the shrunk
+/// hidden state. The decoder keeps every output row (the vocabulary is
+/// never pruned), so only the input features are gathered.
+pub fn lstm_decoder_pruned(lm: &LstmLm, plan: &LstmPlan, hidden: &Tensor) -> Tensor {
+    let kept_in = plan.kept.last().expect("fastpath: empty LSTM plan");
+    let all_rows: Vec<usize> = (0..lm.decoder.out_features()).collect();
+    lm.decoder.forward_pruned(hidden, &all_rows, kept_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::plan_sequential;
+    use crate::rebuild::extract_sequential;
+    use fedmp_nn::zoo;
+    use fedmp_tensor::seeded_rng;
+
+    #[test]
+    fn fastpath_matches_extracted_on_cnn() {
+        let mut rng = seeded_rng(230);
+        let m = zoo::cnn_mnist(0.25, &mut rng);
+        let x = Tensor::randn(&[2, 1, 28, 28], &mut rng);
+        for ratio in [0.0, 0.3, 0.7] {
+            let plan = plan_sequential(&m, (1, 28, 28), ratio);
+            let mut sub = extract_sequential(&m, &plan);
+            assert_eq!(forward_pruned(&m, &plan, &x), sub.forward(&x, false), "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn lstm_decoder_fastpath_matches_extracted() {
+        let mut rng = seeded_rng(231);
+        let lm = zoo::lstm_ptb(30, 0.25, &mut rng);
+        let plan = crate::iss::plan_lstm(&lm, 0.5);
+        let sub = crate::iss::extract_lstm(&lm, &plan);
+        let kept = plan.kept.last().unwrap();
+        let hidden = Tensor::randn(&[3, kept.len()], &mut rng);
+        let mut dec = sub.decoder.clone();
+        assert_eq!(lstm_decoder_pruned(&lm, &plan, &hidden), dec.forward(&hidden, false));
+    }
+}

@@ -35,6 +35,7 @@
 // in the workspace lives in `fedmp-tensor`'s band scheduler. Backed
 // statically by the `unsafe-hygiene` lint in `fedmp-analysis`.
 #![forbid(unsafe_code)]
+mod fastpath;
 mod iss;
 mod plan;
 mod quant;
@@ -42,6 +43,7 @@ mod rebuild;
 mod topk;
 mod unstructured;
 
+pub use fastpath::{forward_pruned, lstm_decoder_pruned};
 pub use iss::{extract_lstm, plan_lstm, recover_lstm_state, sparse_lstm_state, LstmPlan};
 pub use plan::{
     plan_sequential, plan_sequential_with, ratio_keep_count, Importance, LayerPlan, PrunePlan,

@@ -22,7 +22,11 @@ pub fn extract_sequential(model: &Sequential, plan: &PrunePlan) -> Sequential {
     Sequential::new(layers)
 }
 
-fn extract_node(node: &LayerNode, plan: &LayerPlan) -> LayerNode {
+/// Extracts one node (crate-visible so the kernel fast path in
+/// [`crate::fastpath`] can materialise the cheap layer kinds — batch
+/// norm, activations, pools — while conv/FC run pruning-aware kernels
+/// against the full-size weights).
+pub(crate) fn extract_node(node: &LayerNode, plan: &LayerPlan) -> LayerNode {
     match (node, plan) {
         (LayerNode::Conv2d(conv), LayerPlan::Conv { kept_out, kept_in }) => {
             let weight = gather_conv_weight(&conv.weight.value, kept_out, kept_in);

@@ -1,0 +1,108 @@
+//! Pruned fast path ≡ extracted sub-model, bit for bit.
+//!
+//! `pruning::forward_pruned` runs a plan directly against the full-size
+//! parameters through the pruning-aware kernels
+//! (`conv2d_forward_pruned` / `matmul_nt_pruned`). The contract is
+//! **bitwise equality** with `extract_sequential(model, plan)
+//! .forward(x, false)`: the fast path gathers byte-identical weight
+//! panels and feeds them through the same deterministic GEMM/band
+//! machinery, so not even the last ulp may differ. That has to hold
+//!
+//! * across architectures, including residual blocks whose skip
+//!   connections pin the block output width,
+//! * across pruning ratios (0 = dense as a degenerate case),
+//! * at 1 and 4 threads (the band decomposition is shape-only), and
+//! * on both SIMD dispatch paths — equality is *within* a path; dense
+//!   and pruned runs under the same `FEDMP_SIMD` use the same kernel.
+
+use std::sync::Mutex;
+
+use fedmp_nn::zoo;
+use fedmp_pruning::{extract_sequential, forward_pruned, plan_sequential};
+use fedmp_tensor::simd::{self, SimdPath};
+use fedmp_tensor::{parallel, seeded_rng, Tensor};
+
+/// Serialises tests that flip the process-global SIMD path override.
+static PATH_LOCK: Mutex<()> = Mutex::new(());
+
+fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.dims(), b.dims(), "{what}: dims");
+    for (i, (x, y)) in a.data().iter().zip(b.data().iter()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+    }
+}
+
+fn with_path<R>(path: SimdPath, f: impl FnOnce() -> R) -> R {
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            simd::override_path(None);
+        }
+    }
+    simd::override_path(Some(path));
+    let _reset = Reset;
+    f()
+}
+
+fn forced_paths() -> Vec<SimdPath> {
+    let mut paths = vec![SimdPath::Scalar];
+    if simd::avx2_supported() {
+        paths.push(SimdPath::Avx2);
+    }
+    paths
+}
+
+/// Every (model, input-shape) pair the structured planner supports.
+fn check_model(
+    model: &fedmp_nn::Sequential,
+    chw: (usize, usize, usize),
+    input: &Tensor,
+    ratios: &[f32],
+    label: &str,
+) {
+    let _guard = PATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for &ratio in ratios {
+        let plan = plan_sequential(model, chw, ratio);
+        let mut sub = extract_sequential(model, &plan);
+        for path in forced_paths() {
+            for threads in [1usize, 4] {
+                let (fast, dense) = with_path(path, || {
+                    parallel::override_threads(Some(threads));
+                    let fast = forward_pruned(model, &plan, input);
+                    let dense = sub.forward(input, false);
+                    parallel::override_threads(None);
+                    (fast, dense)
+                });
+                assert_bits_eq(
+                    &fast,
+                    &dense,
+                    &format!("{label} ratio {ratio} path {} threads {threads}", path.name()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cnn_mnist_fastpath_is_bitwise_identical() {
+    let mut rng = seeded_rng(1201);
+    let model = zoo::cnn_mnist(0.25, &mut rng);
+    let x = Tensor::randn(&[2, 1, 28, 28], &mut rng);
+    check_model(&model, (1, 28, 28), &x, &[0.0, 0.3, 0.5, 0.7], "cnn_mnist");
+}
+
+#[test]
+fn alexnet_cifar_fastpath_is_bitwise_identical() {
+    let mut rng = seeded_rng(1202);
+    let model = zoo::alexnet_cifar(0.125, &mut rng);
+    let x = Tensor::randn(&[1, 3, 32, 32], &mut rng);
+    check_model(&model, (3, 32, 32), &x, &[0.3, 0.7], "alexnet_cifar");
+}
+
+#[test]
+fn resnet_tiny_fastpath_is_bitwise_identical() {
+    let mut rng = seeded_rng(1203);
+    let model = zoo::resnet_tiny(0.125, &mut rng);
+    let x = Tensor::randn(&[1, 3, 64, 64], &mut rng);
+    check_model(&model, (3, 64, 64), &x, &[0.5], "resnet_tiny");
+}

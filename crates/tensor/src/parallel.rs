@@ -36,6 +36,11 @@ static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 static DISPATCHES: AtomicU64 = AtomicU64::new(0);
 static BANDS: AtomicU64 = AtomicU64::new(0);
 
+static GEMM_SIMD_DENSE: AtomicU64 = AtomicU64::new(0);
+static GEMM_SCALAR_DENSE: AtomicU64 = AtomicU64::new(0);
+static GEMM_SIMD_PRUNED: AtomicU64 = AtomicU64::new(0);
+static GEMM_SCALAR_PRUNED: AtomicU64 = AtomicU64::new(0);
+
 /// Monotonic process-wide kernel-scheduler counters, read by the
 /// observability layer (`fedmp-obs`) to emit per-round `KernelDispatch`
 /// events as deltas between two snapshots.
@@ -51,6 +56,16 @@ pub struct KernelStats {
     pub dispatches: u64,
     /// Total bands those invocations were decomposed into.
     pub bands: u64,
+    /// GEMM dispatches that ran the SIMD kernel on dense operands.
+    pub gemm_simd_dense: u64,
+    /// GEMM dispatches that ran the scalar kernel on dense operands.
+    pub gemm_scalar_dense: u64,
+    /// GEMM dispatches that ran the SIMD kernel for a pruning-aware
+    /// fast path (shape-shrunken conv/FC submodel work).
+    pub gemm_simd_pruned: u64,
+    /// GEMM dispatches that ran the scalar kernel for a pruning-aware
+    /// fast path.
+    pub gemm_scalar_pruned: u64,
 }
 
 /// Snapshot of the process-wide [`KernelStats`] counters.
@@ -58,7 +73,26 @@ pub fn kernel_stats() -> KernelStats {
     KernelStats {
         dispatches: DISPATCHES.load(Ordering::Relaxed),
         bands: BANDS.load(Ordering::Relaxed),
+        gemm_simd_dense: GEMM_SIMD_DENSE.load(Ordering::Relaxed),
+        gemm_scalar_dense: GEMM_SCALAR_DENSE.load(Ordering::Relaxed),
+        gemm_simd_pruned: GEMM_SIMD_PRUNED.load(Ordering::Relaxed),
+        gemm_scalar_pruned: GEMM_SCALAR_PRUNED.load(Ordering::Relaxed),
     }
+}
+
+/// Records which GEMM kernel path a dispatch selected
+/// (`simd`/`scalar` × `dense`/`pruned`). Counted once per GEMM call,
+/// before banding, so the numbers are thread-count-invariant for a
+/// fixed `FEDMP_SIMD` setting (they *do* differ across settings — path
+/// choice is configuration, like the thread count itself).
+pub fn record_gemm_path(simd: bool, pruned: bool) {
+    let counter = match (simd, pruned) {
+        (true, false) => &GEMM_SIMD_DENSE,
+        (false, false) => &GEMM_SCALAR_DENSE,
+        (true, true) => &GEMM_SIMD_PRUNED,
+        (false, true) => &GEMM_SCALAR_PRUNED,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
 }
 
 thread_local! {

@@ -1,0 +1,680 @@
+//! Explicit SIMD GEMM microkernels and the `FEDMP_SIMD` path switch.
+//!
+//! The blocked scalar kernel in `crate::matmul` is what LLVM
+//! auto-vectorises against the x86-64 baseline (SSE2). This module adds
+//! a hand-written AVX2/FMA band kernel — 4×16 register-blocked, eight
+//! YMM accumulators held across each `KC`-sized `k` tile — plus the
+//! runtime machinery that decides, once per process, which kernel the
+//! dispatch in `matmul::gemm_nn_into` uses:
+//!
+//! 1. a test/bench override ([`override_path`]),
+//! 2. the `FEDMP_SIMD` environment variable (`auto` | `avx2` | `scalar`),
+//! 3. runtime CPU feature detection (`avx2` **and** `fma` required).
+//!
+//! A request for `avx2` on a host without the features downgrades to
+//! the scalar path with a warning rather than risking an illegal
+//! instruction; `scalar` always wins so any run can be reproduced
+//! bit-for-bit on a machine without AVX2.
+//!
+//! # Determinism under SIMD
+//!
+//! The workspace contract — bit-identical results run-to-run and at any
+//! thread count for a fixed configuration — holds for the AVX2 kernel
+//! by the same argument as the scalar one:
+//!
+//! * every output element is accumulated in **one fixed lane** of one
+//!   accumulator register as a single FMA chain ascending in `k`; there
+//!   are no horizontal sums, so lanes never interact. The `KC` tiling
+//!   only inserts exact f32 store/load round-trips of the running value
+//!   between tiles — tile boundaries are a function of `k` alone;
+//! * which sub-kernel (16-wide / 8-wide / scalar-tail) owns an element
+//!   is a function of the shape alone, never of the thread count — the
+//!   band decomposition above this kernel is likewise shape-only;
+//! * FMA is an IEEE 754 fused operation (one rounding), so each chain
+//!   is a pure function of its inputs.
+//!
+//! The SIMD result *differs* from the scalar path in the last ulps
+//! (fused vs separate rounding, different tile widths) — that
+//! cross-path difference is bounded by the tolerance proptests, while
+//! each path is exactly reproducible on its own.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Which inner GEMM kernel the dispatch uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdPath {
+    /// Hand-written AVX2/FMA 4×16 register-blocked kernel.
+    Avx2,
+    /// The portable blocked scalar kernel (LLVM auto-vectorised against
+    /// the target baseline).
+    Scalar,
+}
+
+impl SimdPath {
+    /// Stable lowercase name, as accepted by `FEDMP_SIMD` and reported
+    /// in benches/traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdPath::Avx2 => "avx2",
+            SimdPath::Scalar => "scalar",
+        }
+    }
+}
+
+/// Whether this host can run the AVX2 kernel (needs `avx2` + `fma`).
+pub fn avx2_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static SUPPORTED: OnceLock<bool> = OnceLock::new();
+        *SUPPORTED
+            .get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Detected ISA summary for bench metadata, e.g. `"x86_64:avx2+fma"` or
+/// `"x86_64:baseline"`; non-x86 hosts report the architecture alone.
+pub fn detected_features() -> String {
+    let arch = std::env::consts::ARCH;
+    if avx2_supported() {
+        format!("{arch}:avx2+fma")
+    } else {
+        format!("{arch}:baseline")
+    }
+}
+
+const OVERRIDE_NONE: u8 = 0;
+const OVERRIDE_AVX2: u8 = 1;
+const OVERRIDE_SCALAR: u8 = 2;
+
+static OVERRIDE: AtomicU8 = AtomicU8::new(OVERRIDE_NONE);
+static CONFIGURED: OnceLock<SimdPath> = OnceLock::new();
+
+fn configured_path() -> SimdPath {
+    *CONFIGURED.get_or_init(|| {
+        // The env read below is the one sanctioned ambient input of this
+        // module (mirroring FEDMP_THREADS in `parallel`): read once,
+        // pre-run, then pinned for the process lifetime.
+        match std::env::var("FEDMP_SIMD") {
+            Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+                "scalar" => SimdPath::Scalar,
+                "avx2" => {
+                    if avx2_supported() {
+                        SimdPath::Avx2
+                    } else {
+                        eprintln!(
+                            "FEDMP_SIMD=avx2 requested but this host lacks avx2+fma; \
+                             falling back to the scalar kernel"
+                        );
+                        SimdPath::Scalar
+                    }
+                }
+                "auto" | "" => auto_path(),
+                _ => {
+                    eprintln!("FEDMP_SIMD={raw:?} is not one of auto|avx2|scalar; using auto");
+                    auto_path()
+                }
+            },
+            Err(_) => auto_path(),
+        }
+    })
+}
+
+fn auto_path() -> SimdPath {
+    if avx2_supported() {
+        SimdPath::Avx2
+    } else {
+        SimdPath::Scalar
+    }
+}
+
+/// The kernel path GEMM dispatch will use: the [`override_path`] value
+/// if one is set, else the `FEDMP_SIMD` choice, else auto-detection.
+/// An override of [`SimdPath::Avx2`] on a host without the features
+/// resolves to [`SimdPath::Scalar`] (the kernel is never selected
+/// unsupported, which is what makes `gemm_band_avx2` safe to call).
+pub fn active_path() -> SimdPath {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        OVERRIDE_AVX2 if avx2_supported() => SimdPath::Avx2,
+        OVERRIDE_AVX2 => SimdPath::Scalar,
+        OVERRIDE_SCALAR => SimdPath::Scalar,
+        _ => configured_path(),
+    }
+}
+
+/// Forces the kernel path for this process (`None` restores the
+/// `FEDMP_SIMD`/auto default). Intended for tests and benches that
+/// compare both paths within one process; like
+/// [`crate::parallel::override_threads`], kernels running concurrently
+/// with a change may use either path, so bitwise path comparisons must
+/// serialise their flips.
+pub fn override_path(path: Option<SimdPath>) {
+    let v = match path {
+        None => OVERRIDE_NONE,
+        Some(SimdPath::Avx2) => OVERRIDE_AVX2,
+        Some(SimdPath::Scalar) => OVERRIDE_SCALAR,
+    };
+    OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// One band of the AVX2/FMA kernel: `C += A @ B` over `rows × n` of the
+/// output with the full `k` extent, matching the contract of the scalar
+/// `matmul::gemm_band`.
+///
+/// # Panics
+/// Panics if the slice lengths disagree with `rows`/`k`/`n`, or if the
+/// caller selected this kernel on a host without avx2+fma — dispatch
+/// must route through [`active_path`], which never does.
+pub(crate) fn gemm_band_avx2(a: &[f32], b: &[f32], rows: usize, k: usize, n: usize, c: &mut [f32]) {
+    assert_eq!(a.len(), rows * k, "gemm_band_avx2: lhs len");
+    assert_eq!(b.len(), k * n, "gemm_band_avx2: rhs len");
+    assert_eq!(c.len(), rows * n, "gemm_band_avx2: out len");
+    assert!(avx2_supported(), "gemm_band_avx2 selected without avx2+fma");
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: the assert above proves the host supports avx2+fma at
+    // runtime, which is the only precondition of the target_feature fn.
+    unsafe {
+        x86::gemm_band(a, b, rows, k, n, c)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    unreachable!("avx2_supported() is false on non-x86_64, so the assert above already fired");
+}
+
+/// Cache-tiled transpose (`dst[c * rows + r] = src[r * cols + c]`)
+/// through AVX2 8×8 in-register blocks. A transpose is pure element
+/// copies, so this is **bit-identical** to the scalar tile loop in
+/// `matmul::pack_transpose_into` — which path packs a panel never
+/// affects any numeric result, only how fast the pack runs.
+///
+/// # Panics
+/// Panics if the slice lengths disagree with `rows`/`cols`, or if
+/// called on a host without avx2+fma (dispatch must check
+/// [`active_path`] first).
+pub(crate) fn transpose_avx2(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
+    assert_eq!(src.len(), rows * cols, "transpose_avx2: src len");
+    assert_eq!(dst.len(), src.len(), "transpose_avx2: dst len");
+    assert!(avx2_supported(), "transpose_avx2 selected without avx2+fma");
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: the assert above proves the host supports avx2+fma at
+    // runtime, which is the only precondition of the target_feature fn.
+    unsafe {
+        x86::transpose(src, rows, cols, dst)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    unreachable!("avx2_supported() is false on non-x86_64, so the assert above already fired");
+}
+
+/// [`transpose_avx2`] over a **row subset**: transposes the logical
+/// `[row_ids.len(), src_cols]` matrix whose row `i` is row `row_ids[i]`
+/// of `src`, without materialising the gathered matrix first. Pure
+/// element copies — bit-identical to gather-then-transpose.
+///
+/// # Panics
+/// Panics if any row id is out of range, if `dst` is not
+/// `row_ids.len() * src_cols` long, or if called on a host without
+/// avx2+fma (dispatch must check [`active_path`] first).
+pub(crate) fn transpose_rows_avx2(
+    src: &[f32],
+    src_cols: usize,
+    row_ids: &[usize],
+    dst: &mut [f32],
+) {
+    assert!(
+        row_ids.iter().all(|&r| (r + 1) * src_cols <= src.len()),
+        "transpose_rows_avx2: row id out of range"
+    );
+    assert_eq!(dst.len(), row_ids.len() * src_cols, "transpose_rows_avx2: dst len");
+    assert!(avx2_supported(), "transpose_rows_avx2 selected without avx2+fma");
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: the assert above proves the host supports avx2+fma at
+    // runtime, which is the only precondition of the target_feature fn.
+    unsafe {
+        x86::transpose_rows(src, src_cols, row_ids, dst)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    unreachable!("avx2_supported() is false on non-x86_64, so the assert above already fired");
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! The AVX2/FMA band kernel proper. Everything here is compiled
+    //! with `target_feature(enable = "avx2,fma")` and reached only
+    //! through the runtime-detection gate in the parent module.
+
+    use core::arch::x86_64::{
+        __m256, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_permute2f128_ps, _mm256_set1_ps,
+        _mm256_setzero_ps, _mm256_shuffle_ps, _mm256_storeu_ps, _mm256_unpackhi_ps,
+        _mm256_unpacklo_ps,
+    };
+
+    /// Cache-tiled transpose with an 8×8 in-register inner block
+    /// (unpack / shuffle / 128-bit-lane permute — the classic AVX
+    /// pattern). Element copies only: bit-identical to the scalar
+    /// tile loop whatever the tiling.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) fn transpose(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
+        const TILE: usize = 32;
+        for r0 in (0..rows).step_by(TILE) {
+            let r_end = (r0 + TILE).min(rows);
+            for c0 in (0..cols).step_by(TILE) {
+                let c_end = (c0 + TILE).min(cols);
+                let mut r = r0;
+                while r + 8 <= r_end {
+                    let mut c = c0;
+                    while c + 8 <= c_end {
+                        t8x8(src, rows, cols, r, c, dst);
+                        c += 8;
+                    }
+                    for rr in r..r + 8 {
+                        for cc in c..c_end {
+                            dst[cc * rows + rr] = src[rr * cols + cc];
+                        }
+                    }
+                    r += 8;
+                }
+                for rr in r..r_end {
+                    for cc in c0..c_end {
+                        dst[cc * rows + rr] = src[rr * cols + cc];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Transposes the 8×8 block at `src[r.., c..]` into `dst[c.., r..]`
+    /// entirely in registers.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    fn t8x8(src: &[f32], rows: usize, cols: usize, r: usize, c: usize, dst: &mut [f32]) {
+        let mut i = [_mm256_setzero_ps(); 8];
+        for (q, iq) in i.iter_mut().enumerate() {
+            *iq = load8(src, (r + q) * cols + c);
+        }
+        store_t8x8(shuffle8(i), dst, rows, r, c);
+    }
+
+    /// [`t8x8`] with the 8 source rows at arbitrary row bases
+    /// (`row_ids[q] * cols`) — the gathered-row transpose inner block.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    fn t8x8_rows(
+        src: &[f32],
+        cols: usize,
+        row_ids: &[usize],
+        rows: usize,
+        r: usize,
+        c: usize,
+        dst: &mut [f32],
+    ) {
+        let mut i = [_mm256_setzero_ps(); 8];
+        for (q, iq) in i.iter_mut().enumerate() {
+            *iq = load8(src, row_ids[r + q] * cols + c);
+        }
+        store_t8x8(shuffle8(i), dst, rows, r, c);
+    }
+
+    /// The classic AVX 8×8 transpose shuffle network (unpack / shuffle
+    /// / 128-bit-lane permute): returns the transposed registers.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    fn shuffle8(i: [__m256; 8]) -> [__m256; 8] {
+        let t0 = _mm256_unpacklo_ps(i[0], i[1]);
+        let t1 = _mm256_unpackhi_ps(i[0], i[1]);
+        let t2 = _mm256_unpacklo_ps(i[2], i[3]);
+        let t3 = _mm256_unpackhi_ps(i[2], i[3]);
+        let t4 = _mm256_unpacklo_ps(i[4], i[5]);
+        let t5 = _mm256_unpackhi_ps(i[4], i[5]);
+        let t6 = _mm256_unpacklo_ps(i[6], i[7]);
+        let t7 = _mm256_unpackhi_ps(i[6], i[7]);
+        let s0 = _mm256_shuffle_ps::<0x44>(t0, t2);
+        let s1 = _mm256_shuffle_ps::<0xEE>(t0, t2);
+        let s2 = _mm256_shuffle_ps::<0x44>(t1, t3);
+        let s3 = _mm256_shuffle_ps::<0xEE>(t1, t3);
+        let s4 = _mm256_shuffle_ps::<0x44>(t4, t6);
+        let s5 = _mm256_shuffle_ps::<0xEE>(t4, t6);
+        let s6 = _mm256_shuffle_ps::<0x44>(t5, t7);
+        let s7 = _mm256_shuffle_ps::<0xEE>(t5, t7);
+        [
+            _mm256_permute2f128_ps::<0x20>(s0, s4),
+            _mm256_permute2f128_ps::<0x20>(s1, s5),
+            _mm256_permute2f128_ps::<0x20>(s2, s6),
+            _mm256_permute2f128_ps::<0x20>(s3, s7),
+            _mm256_permute2f128_ps::<0x31>(s0, s4),
+            _mm256_permute2f128_ps::<0x31>(s1, s5),
+            _mm256_permute2f128_ps::<0x31>(s2, s6),
+            _mm256_permute2f128_ps::<0x31>(s3, s7),
+        ]
+    }
+
+    /// Stores the transposed 8×8 block to `dst[c.., r..]` (dst stride
+    /// `rows`).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    fn store_t8x8(o: [__m256; 8], dst: &mut [f32], rows: usize, r: usize, c: usize) {
+        for (q, oq) in o.iter().enumerate() {
+            store8(dst, (c + q) * rows + r, *oq);
+        }
+    }
+
+    /// Gathered-row variant of [`transpose`]: logical row `i` lives at
+    /// `src[row_ids[i] * src_cols ..]`. Same tiling, same element
+    /// copies, bit-identical output.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) fn transpose_rows(src: &[f32], src_cols: usize, row_ids: &[usize], dst: &mut [f32]) {
+        const TILE: usize = 32;
+        let (rows, cols) = (row_ids.len(), src_cols);
+        for r0 in (0..rows).step_by(TILE) {
+            let r_end = (r0 + TILE).min(rows);
+            for c0 in (0..cols).step_by(TILE) {
+                let c_end = (c0 + TILE).min(cols);
+                let mut r = r0;
+                while r + 8 <= r_end {
+                    let mut c = c0;
+                    while c + 8 <= c_end {
+                        t8x8_rows(src, cols, row_ids, rows, r, c, dst);
+                        c += 8;
+                    }
+                    for rr in r..r + 8 {
+                        for cc in c..c_end {
+                            dst[cc * rows + rr] = src[row_ids[rr] * cols + cc];
+                        }
+                    }
+                    r += 8;
+                }
+                for rr in r..r_end {
+                    for cc in c0..c_end {
+                        dst[cc * rows + rr] = src[row_ids[rr] * cols + cc];
+                    }
+                }
+            }
+        }
+    }
+
+    /// `k`-tile size: large enough to amortise the C round-trip between
+    /// tiles, small enough that a tile's 16-column B strip (`KC × 16`
+    /// floats = 16 KiB) stays L1-resident while every row block of the
+    /// band traverses it.
+    const KC: usize = 256;
+
+    /// Entry point: `KC`-sized `k` tiles; inside each tile the column
+    /// strips are the outer loop (so a strip's B panel is reused by all
+    /// row blocks straight out of L1) and the 4-row/1-row blocks the
+    /// inner one. Tiling only inserts exact f32 store/load round-trips
+    /// of the running C value between tiles — the per-element FMA chain
+    /// still consumes `k` in ascending order. The caller
+    /// (`gemm_band_avx2`) has asserted all slice geometry.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) fn gemm_band(a: &[f32], b: &[f32], rows: usize, k: usize, n: usize, c: &mut [f32]) {
+        let mut p0 = 0;
+        loop {
+            let p1 = (p0 + KC).min(k);
+            let mut j = 0;
+            while j + 16 <= n {
+                let mut i = 0;
+                while i + 4 <= rows {
+                    rows4(a, b, i, k, p0, p1, n, j, c);
+                    i += 4;
+                }
+                while i < rows {
+                    rows1(a, b, i, k, p0, p1, n, j, c);
+                    i += 1;
+                }
+                j += 16;
+            }
+            while j + 8 <= n {
+                let mut i = 0;
+                while i + 4 <= rows {
+                    rows4_w8(a, b, i, k, p0, p1, n, j, c);
+                    i += 4;
+                }
+                while i < rows {
+                    rows1_w8(a, b, i, k, p0, p1, n, j, c);
+                    i += 1;
+                }
+                j += 8;
+            }
+            if j < n {
+                for i in 0..rows {
+                    tail_cols(a, b, i, k, p0, p1, n, j, c);
+                }
+            }
+            p0 = p1;
+            if p0 >= k {
+                break;
+            }
+        }
+    }
+
+    /// 4×16 block at rows `i..i+4`, columns `j..j+16`, over the `k`
+    /// tile `p0..p1`: eight YMM accumulators live across the tile.
+    /// Each element is one FMA chain ascending in `k` in a fixed lane.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    fn rows4(
+        a: &[f32],
+        b: &[f32],
+        i: usize,
+        k: usize,
+        p0: usize,
+        p1: usize,
+        n: usize,
+        j: usize,
+        c: &mut [f32],
+    ) {
+        let bp = b.as_ptr();
+        let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            *accr = [load8(c, (i + r) * n + j), load8(c, (i + r) * n + j + 8)];
+        }
+        for p in p0..p1 {
+            let base = p * n + j;
+            // SAFETY: p < k and j + 16 <= n, so base + 16 <=
+            // k * n == b.len(); unaligned loads are permitted.
+            let b0 = unsafe { _mm256_loadu_ps(bp.add(base)) };
+            // SAFETY: as above — base + 8 + 8 <= b.len().
+            let b1 = unsafe { _mm256_loadu_ps(bp.add(base + 8)) };
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(a[(i + r) * k + p]);
+                accr[0] = _mm256_fmadd_ps(av, b0, accr[0]);
+                accr[1] = _mm256_fmadd_ps(av, b1, accr[1]);
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            store8(c, (i + r) * n + j, accr[0]);
+            store8(c, (i + r) * n + j + 8, accr[1]);
+        }
+    }
+
+    /// 4×8 block (column tail) at rows `i..i+4`, columns `j..j+8`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    fn rows4_w8(
+        a: &[f32],
+        b: &[f32],
+        i: usize,
+        k: usize,
+        p0: usize,
+        p1: usize,
+        n: usize,
+        j: usize,
+        c: &mut [f32],
+    ) {
+        let bp = b.as_ptr();
+        let mut acc = [_mm256_setzero_ps(); 4];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            *accr = load8(c, (i + r) * n + j);
+        }
+        for p in p0..p1 {
+            let base = p * n + j;
+            // SAFETY: p < k and j + 8 <= n, so base + 8 <= b.len().
+            let bv = unsafe { _mm256_loadu_ps(bp.add(base)) };
+            for (r, accr) in acc.iter_mut().enumerate() {
+                *accr = _mm256_fmadd_ps(_mm256_set1_ps(a[(i + r) * k + p]), bv, *accr);
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            store8(c, (i + r) * n + j, *accr);
+        }
+    }
+
+    /// 1×16 block (row tail) at row `i`, columns `j..j+16`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    fn rows1(
+        a: &[f32],
+        b: &[f32],
+        i: usize,
+        k: usize,
+        p0: usize,
+        p1: usize,
+        n: usize,
+        j: usize,
+        c: &mut [f32],
+    ) {
+        let bp = b.as_ptr();
+        let mut acc0 = load8(c, i * n + j);
+        let mut acc1 = load8(c, i * n + j + 8);
+        for p in p0..p1 {
+            let base = p * n + j;
+            // SAFETY: p < k and j + 16 <= n, so base + 16 <= b.len().
+            let b0 = unsafe { _mm256_loadu_ps(bp.add(base)) };
+            // SAFETY: as above — base + 8 + 8 <= b.len().
+            let b1 = unsafe { _mm256_loadu_ps(bp.add(base + 8)) };
+            let av = _mm256_set1_ps(a[i * k + p]);
+            acc0 = _mm256_fmadd_ps(av, b0, acc0);
+            acc1 = _mm256_fmadd_ps(av, b1, acc1);
+        }
+        store8(c, i * n + j, acc0);
+        store8(c, i * n + j + 8, acc1);
+    }
+
+    /// 1×8 block (row and column tail) at row `i`, columns `j..j+8`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    fn rows1_w8(
+        a: &[f32],
+        b: &[f32],
+        i: usize,
+        k: usize,
+        p0: usize,
+        p1: usize,
+        n: usize,
+        j: usize,
+        c: &mut [f32],
+    ) {
+        let bp = b.as_ptr();
+        let mut acc = load8(c, i * n + j);
+        for p in p0..p1 {
+            let base = p * n + j;
+            // SAFETY: p < k and j + 8 <= n, so base + 8 <= b.len().
+            let bv = unsafe { _mm256_loadu_ps(bp.add(base)) };
+            acc = _mm256_fmadd_ps(_mm256_set1_ps(a[i * k + p]), bv, acc);
+        }
+        store8(c, i * n + j, acc);
+    }
+
+    /// Scalar tail columns `j0..n` of row `i` over the `k` tile
+    /// `p0..p1`, with the same fused multiply-add and ascending-`k`
+    /// chain as the vector lanes (`mul_add` compiles to `vfmadd` under
+    /// the enabled features).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    fn tail_cols(
+        a: &[f32],
+        b: &[f32],
+        i: usize,
+        k: usize,
+        p0: usize,
+        p1: usize,
+        n: usize,
+        j0: usize,
+        c: &mut [f32],
+    ) {
+        for jj in j0..n {
+            let mut acc = c[i * n + jj];
+            for p in p0..p1 {
+                acc = a[i * k + p].mul_add(b[p * n + jj], acc);
+            }
+            c[i * n + jj] = acc;
+        }
+    }
+
+    /// Eight lanes of `s` starting at `off`, bounds-checked.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    fn load8(s: &[f32], off: usize) -> __m256 {
+        let lanes = &s[off..off + 8];
+        // SAFETY: `lanes` is a checked slice of exactly 8 f32s; the
+        // unaligned load reads precisely those 32 bytes.
+        unsafe { _mm256_loadu_ps(lanes.as_ptr()) }
+    }
+
+    /// Stores eight lanes into `s` starting at `off`, bounds-checked.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    fn store8(s: &mut [f32], off: usize, v: __m256) {
+        let lanes = &mut s[off..off + 8];
+        // SAFETY: `lanes` is a checked slice of exactly 8 f32s; the
+        // unaligned store writes precisely those 32 bytes.
+        unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), v) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_names_round_trip() {
+        assert_eq!(SimdPath::Avx2.name(), "avx2");
+        assert_eq!(SimdPath::Scalar.name(), "scalar");
+    }
+
+    #[test]
+    fn detected_features_names_the_arch() {
+        assert!(detected_features().starts_with(std::env::consts::ARCH));
+    }
+
+    #[test]
+    fn scalar_override_always_wins() {
+        override_path(Some(SimdPath::Scalar));
+        assert_eq!(active_path(), SimdPath::Scalar);
+        override_path(None);
+    }
+
+    #[test]
+    fn avx2_override_is_clamped_to_support() {
+        override_path(Some(SimdPath::Avx2));
+        let got = active_path();
+        if avx2_supported() {
+            assert_eq!(got, SimdPath::Avx2);
+        } else {
+            assert_eq!(got, SimdPath::Scalar);
+        }
+        override_path(None);
+    }
+
+    #[test]
+    fn avx2_band_matches_scalar_shape_contract() {
+        if !avx2_supported() {
+            return;
+        }
+        // 5 rows exercises the 4-row block plus a 1-row tail; n = 21
+        // exercises 16-wide, (no 8-wide), and 5 scalar tail columns.
+        let (rows, k, n) = (5, 7, 21);
+        let a: Vec<f32> = (0..rows * k).map(|v| (v as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|v| (v as f32 * 0.21).cos()).collect();
+        let mut c = vec![0.0f32; rows * n];
+        gemm_band_avx2(&a, &b, rows, k, n, &mut c);
+        for i in 0..rows {
+            for j in 0..n {
+                let mut want = 0.0f64;
+                for p in 0..k {
+                    want += a[i * k + p] as f64 * b[p * n + j] as f64;
+                }
+                let got = c[i * n + j] as f64;
+                assert!((got - want).abs() < 1e-4, "c[{i},{j}] = {got} vs {want}");
+            }
+        }
+    }
+}

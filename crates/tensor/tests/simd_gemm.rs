@@ -1,0 +1,213 @@
+//! SIMD microkernel contract tests.
+//!
+//! Three obligations, mirroring `tensor::simd`'s module doc:
+//!
+//! 1. **Accuracy** — the AVX2 kernel agrees with the naive reference
+//!    oracles within tolerance on every transpose variant, with shapes
+//!    drawn to straddle the microkernel's column widths (16/8/scalar
+//!    tail) and row block (4): ones, primes, and block-size ± 1.
+//! 2. **Determinism** — for a *fixed* path the result is bit-identical
+//!    run-to-run and across thread counts (each output element is one
+//!    fixed-lane FMA chain ascending `k`; band ownership is a function
+//!    of shape only).
+//! 3. **Fallback** — the forced-scalar path is the pre-SIMD blocked
+//!    kernel, so it stays bit-invariant across thread counts too (the
+//!    whole tier-1 suite re-runs under `FEDMP_SIMD=scalar` in CI to pin
+//!    its values against the golden tests).
+//!
+//! The path override is process-global, so every test that flips it
+//! holds `PATH_LOCK` for its whole body; the proptest cases draw shapes
+//! but mutate the override only inside the lock.
+
+use std::sync::Mutex;
+
+use fedmp_tensor::simd::{self, SimdPath};
+use fedmp_tensor::{
+    matmul_nt_reference, matmul_reference, matmul_tn_reference, parallel, seeded_rng, Tensor,
+};
+use proptest::prelude::*;
+
+/// Serialises tests that flip the process-global SIMD path override.
+static PATH_LOCK: Mutex<()> = Mutex::new(());
+
+/// Shapes that straddle every boundary the SIMD microkernel cares
+/// about: degenerate 1s, primes (never a multiple of anything), and
+/// the 16-wide / 8-wide column blocks, 4-row block and 64-row band
+/// each at −1 / exact / +1.
+const EDGE_SIZES: &[usize] = &[1, 2, 3, 5, 7, 8, 9, 13, 15, 16, 17, 31, 63, 64, 65, 127, 128, 129];
+
+const TOL: f32 = 1e-4;
+
+fn assert_close(got: &Tensor, want: &Tensor, what: &str) -> Result<(), String> {
+    prop_assert_eq!(got.dims(), want.dims(), "{}: dims", what);
+    for (i, (x, y)) in got.data().iter().zip(want.data().iter()).enumerate() {
+        prop_assert!((x - y).abs() <= TOL, "{}: element {}: {} vs {}", what, i, x, y);
+    }
+    Ok(())
+}
+
+fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.dims(), b.dims(), "{what}: dims");
+    for (i, (x, y)) in a.data().iter().zip(b.data().iter()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+    }
+}
+
+/// Runs `f` with the SIMD path forced to `path`, restoring the default
+/// dispatch afterwards even on panic (the lock guard would otherwise
+/// poison every later test).
+fn with_path<R>(path: SimdPath, f: impl FnOnce() -> R) -> R {
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            simd::override_path(None);
+        }
+    }
+    simd::override_path(Some(path));
+    let _reset = Reset;
+    f()
+}
+
+fn forced_paths() -> Vec<SimdPath> {
+    let mut paths = vec![SimdPath::Scalar];
+    if simd::avx2_supported() {
+        paths.push(SimdPath::Avx2);
+    }
+    paths
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All three transpose variants match the reference oracles on both
+    /// forced paths across tail-heavy shapes.
+    #[test]
+    fn gemm_tail_shapes_match_reference_on_both_paths(
+        mi in 0usize..18,
+        ki in 0usize..18,
+        ni in 0usize..18,
+        s in 0u64..1 << 32,
+    ) {
+        let (m, k, n) = (EDGE_SIZES[mi], EDGE_SIZES[ki], EDGE_SIZES[ni]);
+        let mut rng = seeded_rng(s);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let bt = Tensor::randn(&[n, k], &mut rng);
+        let at = Tensor::randn(&[k, m], &mut rng);
+        let nn_ref = matmul_reference(&a, &b);
+        let nt_ref = matmul_nt_reference(&a, &bt);
+        let tn_ref = matmul_tn_reference(&at, &b);
+
+        let _guard = PATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for path in forced_paths() {
+            let (nn, nt, tn) =
+                with_path(path, || (a.matmul(&b), a.matmul_nt(&bt), at.matmul_tn(&b)));
+            assert_close(&nn, &nn_ref, &format!("nn/{}", path.name()))?;
+            assert_close(&nt, &nt_ref, &format!("nt/{}", path.name()))?;
+            assert_close(&tn, &tn_ref, &format!("tn/{}", path.name()))?;
+        }
+    }
+
+    /// For a fixed forced path the kernels are bit-invariant across
+    /// thread counts — SIMD included.
+    #[test]
+    fn fixed_path_is_bit_invariant_across_threads(
+        mi in 0usize..18,
+        ki in 0usize..18,
+        ni in 0usize..18,
+        s in 0u64..1 << 32,
+    ) {
+        let (m, k, n) = (EDGE_SIZES[mi], EDGE_SIZES[ki], EDGE_SIZES[ni]);
+        let mut rng = seeded_rng(s);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let bt = Tensor::randn(&[n, k], &mut rng);
+
+        let _guard = PATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for path in forced_paths() {
+            let (seq, par) = with_path(path, || {
+                parallel::override_threads(Some(1));
+                let seq = (a.matmul(&b), a.matmul_nt(&bt));
+                parallel::override_threads(Some(4));
+                let par = (a.matmul(&b), a.matmul_nt(&bt));
+                parallel::override_threads(None);
+                (seq, par)
+            });
+            for (s_t, p_t) in [(&seq.0, &par.0), (&seq.1, &par.1)] {
+                prop_assert_eq!(s_t.dims(), p_t.dims());
+                for (x, y) in s_t.data().iter().zip(p_t.data().iter()) {
+                    prop_assert_eq!(
+                        x.to_bits(), y.to_bits(),
+                        "{}: 1 vs 4 threads: {} vs {}", path.name(), x, y
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The SIMD path is bit-identical run-to-run: repeated evaluations of
+/// the same GEMM produce the same bits (each element is one fixed FMA
+/// chain — nothing in the kernel depends on timing or iteration count).
+#[test]
+fn simd_path_is_bit_identical_run_to_run() {
+    if !simd::avx2_supported() {
+        eprintln!("skipping: AVX2+FMA not available on this host");
+        return;
+    }
+    let _guard = PATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = seeded_rng(41);
+    let a = Tensor::randn(&[67, 130], &mut rng);
+    let b = Tensor::randn(&[130, 65], &mut rng);
+    let bt = Tensor::randn(&[65, 130], &mut rng);
+    let (first_nn, first_nt) = with_path(SimdPath::Avx2, || (a.matmul(&b), a.matmul_nt(&bt)));
+    for run in 0..5 {
+        let (nn, nt) = with_path(SimdPath::Avx2, || (a.matmul(&b), a.matmul_nt(&bt)));
+        assert_bits_eq(&nn, &first_nn, &format!("nn run {run}"));
+        assert_bits_eq(&nt, &first_nt, &format!("nt run {run}"));
+    }
+}
+
+/// Forcing the scalar path yields exactly the blocked scalar kernel:
+/// invariant across thread counts, and — when the host has no AVX2 —
+/// identical to the default dispatch.
+#[test]
+fn forced_scalar_is_the_blocked_kernel() {
+    let _guard = PATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = seeded_rng(42);
+    let a = Tensor::randn(&[66, 129], &mut rng);
+    let b = Tensor::randn(&[129, 63], &mut rng);
+    let scalar = with_path(SimdPath::Scalar, || a.matmul(&b));
+    let scalar_again = with_path(SimdPath::Scalar, || {
+        parallel::override_threads(Some(4));
+        let out = a.matmul(&b);
+        parallel::override_threads(None);
+        out
+    });
+    assert_bits_eq(&scalar, &scalar_again, "scalar 1 vs 4 threads");
+    if !simd::avx2_supported() {
+        assert_bits_eq(&scalar, &a.matmul(&b), "scalar vs default on non-AVX2 host");
+    }
+}
+
+/// The two paths agree within tolerance but are *not* promised to be
+/// bitwise equal to each other (FMA fuses the multiply-add rounding);
+/// this pins the tolerance contract the cross-path comparison relies
+/// on at a shape exercising all three column sub-kernels.
+#[test]
+fn paths_agree_within_tolerance_across_column_subkernels() {
+    if !simd::avx2_supported() {
+        eprintln!("skipping: AVX2+FMA not available on this host");
+        return;
+    }
+    let _guard = PATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = seeded_rng(43);
+    // n = 16 + 8 + 3: one full 16-wide block, one 8-wide, a scalar tail.
+    let a = Tensor::randn(&[9, 257], &mut rng);
+    let b = Tensor::randn(&[257, 27], &mut rng);
+    let simd_out = with_path(SimdPath::Avx2, || a.matmul(&b));
+    let scalar_out = with_path(SimdPath::Scalar, || a.matmul(&b));
+    for (i, (x, y)) in simd_out.data().iter().zip(scalar_out.data().iter()).enumerate() {
+        assert!((x - y).abs() <= TOL, "element {i}: simd {x} vs scalar {y}");
+    }
+}
