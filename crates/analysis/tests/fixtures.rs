@@ -171,6 +171,26 @@ fn suppression_audit_fixture_finds_dead_escapes() {
 }
 
 #[test]
+fn transport_scope_fixture_fires_in_both_new_scopes() {
+    // Mirrors the real workspace's file-granular scope additions for
+    // the socket transport: `fl/src/transport.rs` and the node binary
+    // under no-panic, the node binary under determinism. The same
+    // panic shape in `fl/src/engine.rs` proves scoping stays exact.
+    let out = run("fail_transport_scope");
+    let keys = keys(&out);
+    assert_eq!(
+        keys,
+        vec![
+            ("crates/bench/src/bin/fedmp_node.rs".to_string(), 5, "determinism".to_string()),
+            ("crates/bench/src/bin/fedmp_node.rs".to_string(), 6, "no-panic".to_string()),
+            ("crates/fl/src/transport.rs".to_string(), 6, "no-panic".to_string()),
+        ],
+        "ambient args + panic-shaped exit in the node binary, panicking decoder in transport; \
+         the out-of-scope engine copy stays silent"
+    );
+}
+
+#[test]
 fn pass_fixture_is_clean() {
     let out = run("pass");
     assert!(out.is_clean(), "{:?}", out.diagnostics);

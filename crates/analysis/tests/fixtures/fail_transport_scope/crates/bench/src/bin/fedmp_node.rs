@@ -1,0 +1,7 @@
+//! The node binary sits in both new scopes: ambient input needs a
+//! reasoned escape, and failure paths must exit typed.
+
+pub fn rounds_flag() -> usize {
+    let arg = std::env::args().nth(1); // fires determinism: ambient input
+    arg.and_then(|a| a.parse().ok()).expect("usage: fedmp-node <rounds>") // fires no-panic
+}

@@ -1,0 +1,7 @@
+//! Outside the file-granular transport scope: the same panic shape
+//! stays silent here, proving the scope entry really is one file.
+
+pub fn decode_len(header: &[u8]) -> usize {
+    let bytes: [u8; 4] = header[..4].try_into().unwrap(); // out of scope: silent
+    u32::from_le_bytes(bytes) as usize
+}

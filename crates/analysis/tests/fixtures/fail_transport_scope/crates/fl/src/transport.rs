@@ -1,0 +1,8 @@
+//! Scoped-file violation: the framing decoder must fail typed, never
+//! panic — a panicking decoder turns wire corruption into a crash
+//! instead of a retransmit.
+
+pub fn decode_len(header: &[u8]) -> usize {
+    let bytes: [u8; 4] = header[..4].try_into().unwrap(); // fires no-panic
+    u32::from_le_bytes(bytes) as usize
+}

@@ -18,9 +18,10 @@ use std::time::Instant;
 use fedmp_bench::save_result;
 use fedmp_core::{ExperimentSpec, TaskKind};
 use fedmp_fl::{
-    run_async, run_fedmp, run_fedmp_threaded, run_fedmp_threaded_chaos, run_fedprox, run_flexcom,
-    run_synfl, run_upfl, AsyncMode, AsyncOptions, ChaosOptions, FaultOptions, FedMpOptions,
-    FedProxOptions, FlSetup, FlexComOptions, RunHistory, UpFlOptions,
+    run_async, run_fedmp, run_fedmp_sockets, run_fedmp_threaded, run_fedmp_threaded_chaos,
+    run_fedprox, run_flexcom, run_synfl, run_upfl, unique_socket_path, AsyncMode, AsyncOptions,
+    ChaosOptions, FaultOptions, FedMpOptions, FedProxOptions, FlSetup, FlexComOptions, RunHistory,
+    SocketRunOptions, ThreadNodes, UpFlOptions,
 };
 use fedmp_tensor::parallel;
 use serde_json::json;
@@ -52,6 +53,7 @@ fn main() {
     let built = spec.build();
     let setup =
         FlSetup::with_cost_scale(&built.task, built.devices.clone(), built.time, built.cost_scale);
+    let task = std::sync::Arc::new(built.task.clone());
     let global = built.model;
     let cfg = spec.fl;
 
@@ -80,6 +82,31 @@ fn main() {
             Box::new(|| {
                 run_fedmp_threaded(&cfg, &setup, global.clone(), &FedMpOptions::default())
                     .expect("threaded runtime")
+            }),
+        ),
+        (
+            "FedMP-sockets",
+            Box::new(|| {
+                // Fresh socket + node fleet per run; this row measures
+                // the full framing/syscall cost of a round, so the gap
+                // to FedMP-threaded is the transport tax.
+                let sock = SocketRunOptions::new(unique_socket_path("rounds-bench"), Vec::new());
+                let mut spawner = ThreadNodes {
+                    task: std::sync::Arc::clone(&task),
+                    socket: sock.socket.clone(),
+                    connect_attempts: 12,
+                    connect_backoff: core::time::Duration::from_millis(2),
+                };
+                run_fedmp_sockets(
+                    &cfg,
+                    &setup,
+                    global.clone(),
+                    &FedMpOptions::default(),
+                    &ChaosOptions::none(),
+                    &sock,
+                    &mut spawner,
+                )
+                .expect("socket runtime")
             }),
         ),
     ];

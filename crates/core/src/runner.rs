@@ -4,10 +4,11 @@
 use crate::config::ExperimentSpec;
 use fedmp_edgesim::Population;
 use fedmp_fl::{
-    run_async, run_fedmp, run_fedmp_hier, run_fedmp_hier_threaded, run_fedmp_threaded_chaos,
-    run_fedprox, run_flexcom, run_synfl, run_upfl, AsyncMode, AsyncOptions, ChaosOptions,
-    CompressionPolicy, FedMpOptions, FedProxOptions, FlSetup, FlexComOptions, HierSetup,
-    HierarchyOptions, RunHistory, RuntimeError, SyncScheme, UpFlOptions,
+    run_async, run_fedmp, run_fedmp_hier, run_fedmp_hier_threaded, run_fedmp_sockets,
+    run_fedmp_threaded_chaos, run_fedprox, run_flexcom, run_synfl, run_upfl, AsyncMode,
+    AsyncOptions, ChaosOptions, CompressionPolicy, FedMpOptions, FedProxOptions, FlSetup,
+    FlexComOptions, HierSetup, HierarchyOptions, ImageTask, NodeSpawner, RunHistory, RuntimeError,
+    SocketRunOptions, SyncScheme, UpFlOptions,
 };
 use serde::{Deserialize, Serialize};
 
@@ -143,6 +144,50 @@ pub fn run_threaded(
     run_fedmp_threaded_chaos(&spec.fl, &setup, built.model, opts, chaos)
 }
 
+/// Runs FedMP on the real socket transport
+/// ([`fedmp_fl::run_fedmp_sockets`]): the PS binds the Unix socket in
+/// `sock`, `spawner` brings up one node per worker (in-process threads
+/// or real OS processes), and the round protocol crosses the kernel as
+/// length-prefixed frames with `chaos` re-mapped to packet-level
+/// faults. Traced like [`run_method`] when `FEDMP_TRACE` names a
+/// directory.
+///
+/// # Errors
+/// Propagates terminal protocol and transport violations
+/// ([`RuntimeError`]); every *injected* fault is recovered in-run.
+pub fn run_sockets<S: NodeSpawner>(
+    spec: &ExperimentSpec,
+    opts: &FedMpOptions,
+    chaos: &ChaosOptions,
+    sock: &SocketRunOptions,
+    spawner: &mut S,
+) -> Result<RunHistory, RuntimeError> {
+    let _trace = crate::trace::maybe_trace("FedMP-sockets", spec);
+    let built = spec.build();
+    let setup =
+        FlSetup::with_cost_scale(&built.task, built.devices.clone(), built.time, built.cost_scale);
+    run_fedmp_sockets(&spec.fl, &setup, built.model, opts, chaos, sock, spawner)
+}
+
+/// The experiment spec serialised for shipment to worker nodes inside
+/// the socket SETUP frame: `fedmp-node --role worker` rebuilds its
+/// dataset shard from exactly these bytes, so PS and workers provably
+/// derive their data from one seed. Serialising a spec cannot fail
+/// (it is a plain value tree), so the empty-blob fallback is dead in
+/// practice and merely keeps this path total.
+pub fn spec_blob(spec: &ExperimentSpec) -> Vec<u8> {
+    serde_json::to_vec(spec).unwrap_or_default()
+}
+
+/// Worker-side inverse of [`spec_blob`]: rebuild the training task a
+/// socket node should serve from the SETUP payload. `None` means the
+/// blob did not parse as an [`ExperimentSpec`], which the node reports
+/// as a handshake failure rather than guessing at a dataset.
+pub fn task_from_blob(blob: &[u8]) -> Option<ImageTask> {
+    let spec: ExperimentSpec = serde_json::from_slice(blob).ok()?;
+    Some(spec.build().task)
+}
+
 /// Runs population-scale hierarchical FedMP ([`run_fedmp_hier`])
 /// against the experiment described by `spec`: the spec's dataset and
 /// model are built as usual, but the fleet is replaced by a lazy
@@ -271,6 +316,35 @@ mod tests {
                 m.name()
             );
         }
+    }
+
+    #[test]
+    fn socket_runner_matches_the_loop_engine() {
+        let mut spec = ExperimentSpec::small(TaskKind::CnnMnist);
+        spec.fl.rounds = 2;
+        spec.fl.eval_every = 2;
+        let opts = FedMpOptions::default();
+        let h_loop = run_method(&spec, Method::FedMp);
+
+        let task = std::sync::Arc::new(spec.build().task);
+        let sock =
+            SocketRunOptions::new(fedmp_fl::unique_socket_path("core-runner"), spec_blob(&spec));
+        let mut spawner = fedmp_fl::ThreadNodes {
+            task,
+            socket: sock.socket.clone(),
+            connect_attempts: 12,
+            connect_backoff: core::time::Duration::from_millis(2),
+        };
+        let h_sock = run_sockets(&spec, &opts, &ChaosOptions::none(), &sock, &mut spawner)
+            .expect("socket run");
+        assert_eq!(
+            serde_json::to_string(&h_loop).unwrap(),
+            serde_json::to_string(&h_sock).unwrap(),
+            "core socket runner diverged from the loop engine"
+        );
+        let rebuilt = task_from_blob(&spec_blob(&spec)).expect("blob round trip");
+        assert_eq!(rebuilt.workers(), spec.workers);
+        assert!(task_from_blob(b"not a spec").is_none());
     }
 
     #[test]

@@ -118,9 +118,10 @@ impl ChaosOptions {
     }
 
     /// Virtual backoff charged for retransmit attempt `attempt`
-    /// (1-based): `backoff_secs · 2^(attempt−1)`.
+    /// (1-based): `backoff_secs · 2^(attempt−1)`, via the shared
+    /// [`backoff_scale`] schedule.
     pub fn backoff_for(&self, attempt: u32) -> f64 {
-        self.backoff_secs * 2f64.powi(attempt.saturating_sub(1).min(62) as i32)
+        self.backoff_secs * backoff_scale(attempt)
     }
 
     /// Total virtual backoff after `retries` retransmits: the geometric
@@ -134,6 +135,27 @@ impl Default for ChaosOptions {
     fn default() -> Self {
         Self::none()
     }
+}
+
+/// The one exponential-backoff schedule both recovery layers share:
+/// attempt `a` (1-based) scales the base delay by `2^(a−1)`, with the
+/// exponent capped at 62 so the factor never overflows. The runtime's
+/// virtual-clock retransmit penalty ([`ChaosOptions::backoff_for`])
+/// and the transport's wall-clock connect/accept retries
+/// ([`backoff`]) both derive from this function, which is what keeps
+/// the two layers in lockstep.
+pub fn backoff_scale(attempt: u32) -> f64 {
+    (1u64 << attempt.saturating_sub(1).min(62)) as f64
+}
+
+/// Wall-clock flavour of the shared schedule, used by `fl::transport`
+/// for connect/accept retry sleeps: `base · 2^(attempt−1)` with the
+/// same exponent cap, saturating at `Duration::from_nanos(u64::MAX)`
+/// instead of overflowing.
+pub fn backoff(base: core::time::Duration, attempt: u32) -> core::time::Duration {
+    let factor = 1u64 << attempt.saturating_sub(1).min(62);
+    let nanos = base.as_nanos().saturating_mul(factor as u128).min(u64::MAX as u128) as u64;
+    core::time::Duration::from_nanos(nanos)
 }
 
 /// One worker-round's fault decisions, drawn by [`ChaosPlan::draw`].
@@ -302,6 +324,33 @@ mod tests {
         assert_eq!(opts.backoff_total(0), 0.0);
         assert_eq!(opts.backoff_total(3), 0.5 + 1.0 + 2.0);
         assert!(opts.backoff_total(u32::MAX).is_finite());
+    }
+
+    #[test]
+    fn shared_backoff_schedule_is_pinned_across_layers() {
+        use core::time::Duration;
+        // The scale itself: 1, 1, 2, 4, 8, … capped at 2^62.
+        assert_eq!(backoff_scale(0), 1.0);
+        assert_eq!(backoff_scale(1), 1.0);
+        assert_eq!(backoff_scale(2), 2.0);
+        assert_eq!(backoff_scale(3), 4.0);
+        assert_eq!(backoff_scale(4), 8.0);
+        assert_eq!(backoff_scale(63), (1u64 << 62) as f64);
+        assert_eq!(backoff_scale(u32::MAX), (1u64 << 62) as f64);
+        // Wall-clock flavour pins the exact same doubling sequence.
+        let base = Duration::from_millis(10);
+        assert_eq!(backoff(base, 1), Duration::from_millis(10));
+        assert_eq!(backoff(base, 2), Duration::from_millis(20));
+        assert_eq!(backoff(base, 3), Duration::from_millis(40));
+        assert_eq!(backoff(base, 4), Duration::from_millis(80));
+        // Saturates rather than overflowing at absurd attempt counts.
+        assert_eq!(backoff(Duration::from_secs(1), u32::MAX), Duration::from_nanos(u64::MAX));
+        assert_eq!(backoff(Duration::ZERO, u32::MAX), Duration::ZERO);
+        // The virtual-clock layer is the same schedule scaled by secs.
+        let opts = ChaosOptions { backoff_secs: 0.25, ..ChaosOptions::none() };
+        for attempt in 1..=8 {
+            assert_eq!(opts.backoff_for(attempt), 0.25 * backoff_scale(attempt));
+        }
     }
 
     #[test]

@@ -275,6 +275,28 @@ pub(crate) fn emit_worker_rejoined(round: usize, worker: usize) {
     fedmp_obs::emit(|| TraceEvent::WorkerRejoined { round, worker });
 }
 
+/// Emits `ConnEstablished` for one socket-transport reconnect.
+pub(crate) fn emit_conn_established(round: usize, worker: usize, attempts: u32) {
+    fedmp_obs::emit(|| TraceEvent::ConnEstablished { round, worker, attempts });
+}
+
+/// Emits `FrameTimeout` for one frame the chaos plane dropped on the
+/// wire (`direction` is `"down"` or `"up"`).
+pub(crate) fn emit_frame_timeout(round: usize, worker: usize, direction: &str) {
+    let direction = direction.to_string();
+    fedmp_obs::emit(move || TraceEvent::FrameTimeout { round, worker, direction });
+}
+
+/// Emits `ConnReset` for one chaos-severed worker connection.
+pub(crate) fn emit_conn_reset(round: usize, worker: usize) {
+    fedmp_obs::emit(|| TraceEvent::ConnReset { round, worker });
+}
+
+/// Emits `NodeRespawned` for one restarted worker process.
+pub(crate) fn emit_node_respawned(round: usize, worker: usize, generation: u32) {
+    fedmp_obs::emit(|| TraceEvent::NodeRespawned { round, worker, generation });
+}
+
 /// Emits `QuorumAggregate` for a partial-but-quorate round.
 pub(crate) fn emit_quorum_aggregate(
     round: usize,

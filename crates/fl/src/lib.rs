@@ -39,10 +39,11 @@ mod local;
 mod metrics;
 mod runtime;
 mod task;
+mod transport;
 mod wire;
 
 pub use aggregate::{average_states, bsp_aggregate, mix_states, quorum_aggregate, r2sp_aggregate};
-pub use chaos::{ChaosDraw, ChaosOptions, ChaosPlan};
+pub use chaos::{backoff, backoff_scale, ChaosDraw, ChaosOptions, ChaosPlan};
 pub use engine::{CostScale, FlConfig, FlSetup, SyncScheme};
 pub use engines::fedmp::{run_fedmp, FaultOptions, FedMpOptions};
 pub use engines::fedprox::{run_fedprox, FedProxOptions};
@@ -62,6 +63,11 @@ pub use runtime::{
     live_worker_threads, run_fedmp_threaded, run_fedmp_threaded_chaos, RuntimeError,
 };
 pub use task::ImageTask;
+pub use transport::{
+    connect_with_retry, run_fedmp_sockets, serve_worker, unique_socket_path, NodeHandle,
+    NodeSpawner, ProcessNodes, Served, SocketRunOptions, ThreadNodes, TransportError,
+    TransportFault,
+};
 pub use wire::{
     codec_delivered, decode_state, decode_state_v2, encode_state, encode_state_v2, f16_bits_to_f32,
     f32_to_f16_bits, frame_checksum_ok, frame_codec, topk_len, wire_size, wire_size_v2, Codec,

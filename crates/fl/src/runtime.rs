@@ -85,8 +85,9 @@ use fedmp_pruning::{
 use fedmp_tensor::parallel::{sum_f32, sum_f64};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// A PS → worker message.
-enum DownlinkMsg {
+/// A PS → worker message. Shared with `fl::transport`, which carries
+/// the same protocol over sockets.
+pub(crate) enum DownlinkMsg {
     /// This round's sub-model dispatch.
     Dispatch {
         /// Round index.
@@ -108,14 +109,14 @@ enum DownlinkMsg {
 }
 
 /// A worker → PS message.
-struct UplinkMsg {
-    worker: usize,
-    round: usize,
-    body: UplinkBody,
+pub(crate) struct UplinkMsg {
+    pub(crate) worker: usize,
+    pub(crate) round: usize,
+    pub(crate) body: UplinkBody,
 }
 
 /// The payload of an [`UplinkMsg`].
-enum UplinkBody {
+pub(crate) enum UplinkBody {
     /// The trained upload: wire frame (possibly corrupted in transit),
     /// architecture template and training outcome.
     Model { frame: Bytes, template: Sequential, outcome: LocalOutcome },
@@ -156,6 +157,16 @@ pub enum RuntimeError {
         /// The worker whose channel went away.
         worker: usize,
     },
+    /// A socket-transport operation failed terminally — bind, accept,
+    /// connect, node spawn, handshake, frame I/O, or process reap.
+    /// Never produced by the in-process channel transport.
+    Transport {
+        /// The worker the operation concerned (0 for fleet-wide
+        /// failures such as binding the listener).
+        worker: usize,
+        /// Which transport operation failed.
+        fault: crate::transport::TransportFault,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -166,6 +177,9 @@ impl std::fmt::Display for RuntimeError {
             }
             RuntimeError::WorkerLost { worker } => {
                 write!(f, "worker {worker} disconnected outside the crash/rejoin protocol")
+            }
+            RuntimeError::Transport { worker, fault } => {
+                write!(f, "socket transport failed for worker {worker}: {fault}")
             }
         }
     }
@@ -202,6 +216,175 @@ impl Drop for LiveThreadGuard {
     }
 }
 
+/// Sends an uplink reply, tolerating a departed PS: a closed channel
+/// means the PS already tore the run down (its receiver is dropped on
+/// every exit path), which is an expected teardown race, not an error
+/// — the worker must exit quietly rather than panic or retry. Returns
+/// whether the PS was still listening.
+pub(crate) fn send_uplink(tx: &Sender<UplinkMsg>, msg: UplinkMsg) -> bool {
+    tx.send(msg).is_ok()
+}
+
+/// The worker half of the recoverable protocol, shared verbatim by the
+/// in-process channel runtime and `fl::transport`'s socket nodes:
+/// per-dispatch chaos draws, local training, lossy encode, and the
+/// retransmission cache. Keeping this in one place is what makes the
+/// two transports bit-identical under the same seed.
+pub(crate) struct WorkerProtocol<'a> {
+    w: usize,
+    task: &'a ImageTask,
+    local: LocalTrainConfig,
+    seed: u64,
+    plan: crate::chaos::ChaosPlan,
+    link: LinkCodecs,
+    compressed: bool,
+    /// The clean upload frame of the current round plus how many times
+    /// it has been sent — the retransmission source.
+    cached: Option<(Bytes, u32)>,
+    /// Uplink error feedback lives worker-side, exactly where the lossy
+    /// encode happens. A respawned (crashed) worker starts from a zero
+    /// accumulator — deterministic, since the crash schedule is a pure
+    /// function of the chaos plan.
+    feedback: ErrorFeedback,
+}
+
+/// What the transport must do with one protocol reply.
+pub(crate) enum WorkerStep {
+    /// Send the reply and keep serving.
+    Reply(UplinkMsg),
+    /// The chaos plan crashed the worker: the channel transport sends
+    /// this final announcement before exiting; the socket transport
+    /// realises it as a connection reset (close without a word) that
+    /// the PS reads as the same `Crashed` report. Stop serving after.
+    Crash(UplinkMsg),
+}
+
+impl<'a> WorkerProtocol<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        w: usize,
+        task: &'a ImageTask,
+        local: LocalTrainConfig,
+        seed: u64,
+        plan: crate::chaos::ChaosPlan,
+        link: LinkCodecs,
+        compressed: bool,
+    ) -> Self {
+        WorkerProtocol {
+            w,
+            task,
+            local,
+            seed,
+            plan,
+            link,
+            compressed,
+            cached: None,
+            feedback: ErrorFeedback::new(),
+        }
+    }
+
+    /// Handles one dispatch. `template` may be `None` only for a lost
+    /// dispatch (a dropped downlink carries no payload over a socket);
+    /// a present-but-lost payload is ignored identically either way.
+    pub(crate) fn on_dispatch(
+        &mut self,
+        round: usize,
+        frame: Bytes,
+        template: Option<Sequential>,
+        lost: bool,
+    ) -> WorkerStep {
+        let w = self.w;
+        let draw = self.plan.draw(round, w);
+        if draw.crash {
+            return WorkerStep::Crash(UplinkMsg { worker: w, round, body: UplinkBody::Crashed });
+        }
+        if lost {
+            self.cached = None;
+            return WorkerStep::Reply(UplinkMsg { worker: w, round, body: UplinkBody::Lost });
+        }
+        let Some(template) = template else {
+            // A delivered dispatch with no template is a framing-layer
+            // protocol violation — surface it as undecodable.
+            self.cached = None;
+            return WorkerStep::Reply(UplinkMsg {
+                worker: w,
+                round,
+                body: UplinkBody::Undecodable,
+            });
+        };
+        // One OS thread (or process) per worker is already the
+        // parallelism level here; run the kernels beneath sequentially
+        // so the band scheduler does not oversubscribe the host
+        // (results are identical — kernels are thread-count invariant).
+        let local = self.local;
+        let compressed = self.compressed;
+        let link = self.link;
+        let task = self.task;
+        let seed = self.seed;
+        let feedback = &mut self.feedback;
+        let trained = fedmp_tensor::parallel::with_nested_sequential(|| {
+            // `decode_state_v2` accepts v1 (dense) and v2 (compressed)
+            // frames alike; a compressed dispatch reconstructs exactly
+            // the snapshot the PS's `codec_delivered` oracle predicts.
+            decode_state_v2(&frame, None).ok().map(|state| {
+                let mut model = template;
+                model.load_state(&state);
+                let mut batches = worker_batches(task, w, local.batch, seed, round);
+                let outcome = local_train(&mut model, &mut batches, &local);
+                // Encode (and fold the residual into the error
+                // feedback) even when chaos later drops the upload —
+                // the loss is in transit, after the encoder ran.
+                let up = if compressed {
+                    encode_state_v2(&model.state(), link.uplink, Some(&state), Some(feedback))
+                } else {
+                    encode_state(&model.state())
+                };
+                (up, model, outcome)
+            })
+        });
+        let reply = match trained {
+            None => {
+                self.cached = None;
+                UplinkMsg { worker: w, round, body: UplinkBody::Undecodable }
+            }
+            Some((clean, model, outcome)) if draw.drop_up => {
+                // Trained, but the upload vanishes in transit.
+                let _ = (clean, model, outcome);
+                self.cached = None;
+                UplinkMsg { worker: w, round, body: UplinkBody::Lost }
+            }
+            Some((clean, model, outcome)) => {
+                let frame =
+                    if draw.corrupt_sends > 0 { corrupted_copy(&clean) } else { clean.clone() };
+                self.cached = Some((clean, 1));
+                UplinkMsg {
+                    worker: w,
+                    round,
+                    body: UplinkBody::Model { frame, template: model, outcome },
+                }
+            }
+        };
+        WorkerStep::Reply(reply)
+    }
+
+    /// Handles one retransmit request against the cached clean frame.
+    pub(crate) fn on_retransmit(&mut self, round: usize) -> WorkerStep {
+        let w = self.w;
+        let reply = match self.cached.as_mut() {
+            Some((clean, sends)) => {
+                let draw = self.plan.draw(round, w);
+                let corrupt = *sends < draw.corrupt_sends;
+                *sends += 1;
+                let frame = if corrupt { corrupted_copy(clean) } else { clean.clone() };
+                UplinkMsg { worker: w, round, body: UplinkBody::Frame { frame } }
+            }
+            // Nothing cached to resend — report the exchange lost.
+            None => UplinkMsg { worker: w, round, body: UplinkBody::Lost },
+        };
+        WorkerStep::Reply(reply)
+    }
+}
+
 /// One worker thread's whole life: receive a dispatch, train, upload —
 /// with the chaos plan applied symmetrically to the PS's copy (both
 /// sides draw the same per-(round, worker) faults). Exits when its
@@ -220,102 +403,27 @@ fn worker_loop(
     compressed: bool,
 ) {
     LIVE_WORKERS.fetch_add(1, Ordering::SeqCst);
-    // The clean upload frame of the current round plus how many times
-    // it has been sent — the retransmission source.
-    let mut cached: Option<(Bytes, u32)> = None;
-    // Uplink error feedback lives worker-side, exactly where the lossy
-    // encode happens. A respawned (crashed) worker starts from a zero
-    // accumulator — deterministic, since the crash schedule is a pure
-    // function of the chaos plan.
-    let mut feedback = ErrorFeedback::new();
+    let mut proto = WorkerProtocol::new(w, task, local, seed, plan, link, compressed);
     while let Ok(msg) = down_rx.recv() {
-        let reply = match msg {
+        let step = match msg {
             DownlinkMsg::Dispatch { round, frame, template, lost } => {
-                let draw = plan.draw(round, w);
-                if draw.crash {
-                    let _ =
-                        uplink_tx.send(UplinkMsg { worker: w, round, body: UplinkBody::Crashed });
+                proto.on_dispatch(round, frame, Some(template), lost)
+            }
+            DownlinkMsg::Retransmit { round } => proto.on_retransmit(round),
+        };
+        match step {
+            WorkerStep::Crash(reply) => {
+                // Best-effort announcement: the PS may already be gone.
+                send_uplink(&uplink_tx, reply);
+                break;
+            }
+            // A closed uplink means the PS already abandoned the run;
+            // exit quietly instead of panicking in a worker.
+            WorkerStep::Reply(reply) => {
+                if !send_uplink(&uplink_tx, reply) {
                     break;
                 }
-                if lost {
-                    cached = None;
-                    UplinkMsg { worker: w, round, body: UplinkBody::Lost }
-                } else {
-                    // One OS thread per worker is already the
-                    // parallelism level here; run the kernels beneath
-                    // sequentially so the band scheduler does not
-                    // oversubscribe the host (results are identical —
-                    // kernels are thread-count invariant).
-                    let trained = fedmp_tensor::parallel::with_nested_sequential(|| {
-                        // `decode_state_v2` accepts v1 (dense) and v2
-                        // (compressed) frames alike; a compressed
-                        // dispatch reconstructs exactly the snapshot the
-                        // PS's `codec_delivered` oracle predicts.
-                        decode_state_v2(&frame, None).ok().map(|state| {
-                            let mut model = template;
-                            model.load_state(&state);
-                            let mut batches = worker_batches(task, w, local.batch, seed, round);
-                            let outcome = local_train(&mut model, &mut batches, &local);
-                            // Encode (and fold the residual into the
-                            // error feedback) even when chaos later
-                            // drops the upload — the loss is in transit,
-                            // after the encoder ran.
-                            let up = if compressed {
-                                encode_state_v2(
-                                    &model.state(),
-                                    link.uplink,
-                                    Some(&state),
-                                    Some(&mut feedback),
-                                )
-                            } else {
-                                encode_state(&model.state())
-                            };
-                            (up, model, outcome)
-                        })
-                    });
-                    match trained {
-                        None => {
-                            cached = None;
-                            UplinkMsg { worker: w, round, body: UplinkBody::Undecodable }
-                        }
-                        Some((clean, model, outcome)) if draw.drop_up => {
-                            // Trained, but the upload vanishes in transit.
-                            let _ = (clean, model, outcome);
-                            cached = None;
-                            UplinkMsg { worker: w, round, body: UplinkBody::Lost }
-                        }
-                        Some((clean, model, outcome)) => {
-                            let frame = if draw.corrupt_sends > 0 {
-                                corrupted_copy(&clean)
-                            } else {
-                                clean.clone()
-                            };
-                            cached = Some((clean, 1));
-                            UplinkMsg {
-                                worker: w,
-                                round,
-                                body: UplinkBody::Model { frame, template: model, outcome },
-                            }
-                        }
-                    }
-                }
             }
-            DownlinkMsg::Retransmit { round } => match cached.as_mut() {
-                Some((clean, sends)) => {
-                    let draw = plan.draw(round, w);
-                    let corrupt = *sends < draw.corrupt_sends;
-                    *sends += 1;
-                    let frame = if corrupt { corrupted_copy(clean) } else { clean.clone() };
-                    UplinkMsg { worker: w, round, body: UplinkBody::Frame { frame } }
-                }
-                // Nothing cached to resend — report the exchange lost.
-                None => UplinkMsg { worker: w, round, body: UplinkBody::Lost },
-            },
-        };
-        // A closed uplink means the PS already abandoned the run; exit
-        // quietly instead of panicking in a worker.
-        if uplink_tx.send(reply).is_err() {
-            break;
         }
     }
     LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
@@ -355,23 +463,57 @@ pub fn run_fedmp_threaded(
     run_fedmp_threaded_chaos(cfg, setup, global, opts, &ChaosOptions::none())
 }
 
-/// Runs FedMP on the threaded runtime under a seeded transport fault
-/// plane — see the module docs for the recovery policy.
-///
-/// # Errors
-/// Every injected fault is recovered in-run; the returned
-/// [`RuntimeError`]s ([`RuntimeError::CorruptFrame`],
-/// [`RuntimeError::WorkerLost`]) report *protocol violations* — an
-/// undecodable checksum-verified frame, a thread gone without a crash
-/// announcement — which cannot occur with the in-process channels used
-/// here, but are surfaced as typed errors rather than panics so the
-/// library has no panic paths (see `docs/ANALYSIS.md`, `no-panic`).
-pub fn run_fedmp_threaded_chaos(
+/// The transport a [`run_recovery_rounds`] PS drives. Everything
+/// order-sensitive — chaos draws, bandit updates, trace emission,
+/// aggregation — stays in the shared recovery core; a fleet only moves
+/// frames and restarts dead workers. Implemented by the in-process
+/// [`ChannelFleet`] and by `fl::transport`'s socket fleet, which is
+/// what makes chaos-off socket traces bit-identical to the loop
+/// engine: both transports literally run the same PS code.
+pub(crate) trait Fleet {
+    /// Restarts a crashed worker before the round begins (thread
+    /// respawn / process restart + reconnect). Transport-level trace
+    /// events (`NodeRespawned`, `ConnEstablished`) are emitted here;
+    /// the core emits the `WorkerRejoined` that follows.
+    fn respawn(&mut self, round: usize, worker: usize) -> Result<(), RuntimeError>;
+    /// Sends this round's dispatch. `lost` means the chaos plan drops
+    /// the downlink: the payload must not reach the worker's protocol
+    /// state machine (the socket fleet sends a payload-free marker so
+    /// the lock-step protocol survives without wall-clock timeouts).
+    fn dispatch(
+        &mut self,
+        round: usize,
+        worker: usize,
+        frame: Bytes,
+        template: Sequential,
+        lost: bool,
+    ) -> Result<(), RuntimeError>;
+    /// Requests a retransmission of the worker's cached clean upload.
+    fn retransmit(&mut self, round: usize, worker: usize) -> Result<(), RuntimeError>;
+    /// Blocks for the next uplink message of `round`'s collection
+    /// barrier.
+    fn recv(&mut self, round: usize) -> Result<UplinkMsg, RuntimeError>;
+    /// Post-barrier notification that `worker`'s contribution was
+    /// excluded for `reason` — the hook the socket fleet uses to emit
+    /// `FrameTimeout`/`ConnReset` immediately before the core's
+    /// `WorkerExcluded`. Default: nothing.
+    fn note_excluded(&mut self, round: usize, worker: usize, reason: &str) {
+        let _ = (round, worker, reason);
+    }
+}
+
+/// The PS-side recovery policy, shared by every transport: §V-A churn
+/// and deadlines, bounded retransmits with exponential backoff, quorum
+/// partial aggregation, worker exclusion and rejoin, honest bandit
+/// feedback, and all trace emission — exactly the loop-engine
+/// semantics, driven over whatever the [`Fleet`] moves frames with.
+pub(crate) fn run_recovery_rounds<F: Fleet>(
     cfg: &FlConfig,
     setup: &FlSetup<'_>,
     mut global: Sequential,
     opts: &FedMpOptions,
     chaos: &ChaosOptions,
+    fleet: &mut F,
 ) -> Result<RunHistory, RuntimeError> {
     let workers = setup.workers();
     let mut history = RunHistory::new(match opts.sync {
@@ -394,8 +536,7 @@ pub fn run_fedmp_threaded_chaos(
     let mut fault_rng = fedmp_tensor::seeded_rng(cfg.seed ^ 0xFA17);
     let plan = crate::chaos::ChaosPlan::new(cfg.seed, chaos);
     // Per-worker codec pairs are a pure function of the device profile,
-    // so they are fixed for the whole run and can be handed to the
-    // worker threads at spawn time.
+    // so they are fixed for the whole run.
     let compression = opts.compression;
     let compressed = !compression.is_dense();
     let links: Vec<LinkCodecs> =
@@ -405,8 +546,477 @@ pub fn run_fedmp_threaded_chaos(
     // per-round kernel deltas are exact (all worker kernels for the
     // round have run by the time the barrier clears).
     let mut kstats = kernel_baseline();
+    let mut crashed = vec![false; workers];
 
-    let result = std::thread::scope(|scope| {
+    for round in 0..cfg.rounds {
+        // Rejoin: restart last round's crashed workers; they
+        // get this round's global model re-dispatched like
+        // everyone else.
+        for (w, down) in crashed.iter_mut().enumerate() {
+            if !*down {
+                continue;
+            }
+            fleet.respawn(round, w)?;
+            *down = false;
+            emit_worker_rejoined(round, w);
+        }
+
+        // §V-A churn: offline workers are not dispatched.
+        let online: Vec<usize> = match injector.as_mut() {
+            Some(inj) => inj.step(&mut fault_rng),
+            None => (0..workers).collect(),
+        };
+        emit_round_start(round, sim_time, &online);
+        if online.is_empty() {
+            let rec = RoundRecord { round, sim_time, ..Default::default() };
+            emit_kernel_dispatch(round, &mut kstats);
+            emit_round_end(&rec);
+            history.rounds.push(rec);
+            continue;
+        }
+        if compressed {
+            for &w in &online {
+                let slow = setup.devices[w].is_slow_link(compression.slow_link_bps);
+                emit_codec_selected(round, w, &links[w], slow);
+            }
+        }
+
+        // ① PS side: ratios, plans, residuals for the online
+        // fleet (same order and formulas as the loop engine).
+        let ratios: Vec<f32> = online
+            .iter()
+            .map(|&w| match opts.fixed_ratio {
+                Some(r) => r,
+                None => agents[w].select(),
+            })
+            .collect();
+        let plans: Vec<_> = ratios
+            .iter()
+            .map(|&r| plan_sequential_with(&global, setup.task.input_chw, r, opts.importance))
+            .collect();
+        let residuals: Vec<_> = plans
+            .iter()
+            .map(|p| {
+                let r = state_sub(&global.state(), &sparse_state(&global, p));
+                if opts.quantize_residuals {
+                    dequantize_state(&quantize_state(&r))
+                } else {
+                    r
+                }
+            })
+            .collect();
+
+        // Dispatch frames: sub-model extraction and wire
+        // encoding fan out across the round executor, then the
+        // sends happen serially in worker order.
+        let prepared = exec::ordered_map((0..online.len()).collect(), |_, i| {
+            let sub = extract_sequential(&global, &plans[i]);
+            let sub_state = sub.state();
+            if compressed {
+                let pair = links[online[i]];
+                let frame = encode_state_v2(&sub_state, pair.downlink, None, None);
+                let info = DownInfo {
+                    received: codec_delivered(&sub_state, pair.downlink, None, None),
+                    wire_bytes: frame.len() as u64,
+                    dense_bytes: wire_size_v2(&sub_state, Codec::DenseF32) as u64,
+                };
+                (sub, frame, Some(info))
+            } else {
+                (sub, encode_state(&sub_state), None)
+            }
+        });
+        let mut down_info: Vec<Option<DownInfo>> = Vec::with_capacity(online.len());
+        for (i, (sub, frame, info)) in prepared.into_iter().enumerate() {
+            let w = online[i];
+            down_info.push(info);
+            let lost = plan.draw(round, w).drop_down;
+            fleet.dispatch(round, w, frame, sub, lost)?;
+        }
+
+        // Collection barrier: drive every dispatched exchange
+        // to a terminal outcome (delivered / excluded). This
+        // loop does **no** order-sensitive processing — arrival
+        // order varies run to run; everything deterministic
+        // happens after the barrier, in worker order.
+        enum Slot {
+            Waiting,
+            PendingRetry { template: Sequential, outcome: LocalOutcome },
+            Delivered { frame: Bytes, template: Sequential, outcome: LocalOutcome },
+            Excluded(&'static str),
+        }
+        let mut pos = vec![usize::MAX; workers];
+        for (i, &w) in online.iter().enumerate() {
+            pos[w] = i;
+        }
+        let mut slots: Vec<Slot> = online.iter().map(|_| Slot::Waiting).collect();
+        let mut retries = vec![0u32; online.len()];
+        let mut outstanding = online.len();
+        while outstanding > 0 {
+            let msg = fleet.recv(round)?;
+            let w = msg.worker;
+            if msg.round != round || w >= workers || pos[w] == usize::MAX {
+                // Stale or phantom message — the lock-step
+                // protocol cannot produce one; skip defensively.
+                continue;
+            }
+            let i = pos[w];
+            let framed = match msg.body {
+                UplinkBody::Model { frame, template, outcome } => Some((frame, template, outcome)),
+                UplinkBody::Frame { frame } => {
+                    match std::mem::replace(&mut slots[i], Slot::Waiting) {
+                        Slot::PendingRetry { template, outcome } => {
+                            Some((frame, template, outcome))
+                        }
+                        // A retransmission with nothing pending
+                        // is a protocol violation.
+                        _ => return Err(RuntimeError::CorruptFrame { worker: w, round }),
+                    }
+                }
+                UplinkBody::Lost => {
+                    slots[i] = Slot::Excluded("dropped");
+                    outstanding -= 1;
+                    None
+                }
+                UplinkBody::Crashed => {
+                    crashed[w] = true;
+                    slots[i] = Slot::Excluded("crashed");
+                    outstanding -= 1;
+                    None
+                }
+                UplinkBody::Undecodable => {
+                    return Err(RuntimeError::CorruptFrame { worker: w, round })
+                }
+            };
+            if let Some((frame, template, outcome)) = framed {
+                if frame_checksum_ok(&frame) {
+                    slots[i] = Slot::Delivered { frame, template, outcome };
+                    outstanding -= 1;
+                } else if retries[i] < chaos.max_retransmits {
+                    // Bounded retransmit: ask the worker to
+                    // resend its cached clean frame.
+                    retries[i] += 1;
+                    slots[i] = Slot::PendingRetry { template, outcome };
+                    fleet.retransmit(round, w)?;
+                } else {
+                    slots[i] = Slot::Excluded("corrupt");
+                    outstanding -= 1;
+                }
+            }
+        }
+
+        // Post-barrier: fold the outcomes in worker order.
+        let mut deliveries: Vec<Delivery> = Vec::with_capacity(online.len());
+        let mut transport_excluded: Vec<(usize, &'static str)> = Vec::new();
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Slot::Delivered { frame, template, outcome } => {
+                    deliveries.push(Delivery { pos: i, frame, template, outcome });
+                }
+                Slot::Excluded(reason) => transport_excluded.push((i, reason)),
+                // The barrier drives every slot terminal.
+                Slot::Waiting | Slot::PendingRetry { .. } => {
+                    return Err(RuntimeError::WorkerLost { worker: online[i] })
+                }
+            }
+        }
+
+        // Virtual-clock accounting for delivered uploads (same
+        // formulas as the loop engine), plus the chaos
+        // penalties: retransmit backoff and injected delay.
+        let mut times = Vec::with_capacity(deliveries.len());
+        let mut mean_comp = 0.0;
+        let mut mean_comm = 0.0;
+        for d in &deliveries {
+            let w = online[d.pos];
+            let mut cost = model_round_cost(&d.template, setup.task.input_chw, &cfg.local);
+            // Compressed links pay their actual encoded frame
+            // sizes in Eq. 5 (same override as the loop engine).
+            if let Some(info) = &down_info[d.pos] {
+                cost.download_bytes = info.wire_bytes as f64;
+                cost.upload_bytes = d.frame.len() as f64;
+                let pair = links[w];
+                emit_compression_applied(
+                    round,
+                    w,
+                    "down",
+                    pair.downlink,
+                    info.dense_bytes,
+                    info.wire_bytes,
+                );
+                let up_dense = wire_size_v2(&d.template.state(), Codec::DenseF32) as u64;
+                emit_compression_applied(
+                    round,
+                    w,
+                    "up",
+                    pair.uplink,
+                    up_dense,
+                    d.frame.len() as u64,
+                );
+            }
+            let mut rng = worker_rng(cfg.seed ^ 0xA5A5, round, w);
+            let t = setup.simulate_round(w, &cost, &mut rng);
+            mean_comp += t.comp;
+            mean_comm += t.comm;
+            emit_local_train(
+                round,
+                w,
+                ratios[d.pos],
+                d.outcome.mean_loss,
+                d.outcome.delta_loss(),
+                cfg.local.tau,
+                d.outcome.samples,
+                &t,
+                &setup.scaled_cost(&cost),
+            );
+            let draw = plan.draw(round, w);
+            times.push(t.total() + draw.delay_secs + chaos.backoff_total(retries[d.pos]));
+        }
+        let dn = deliveries.len().max(1) as f64;
+        mean_comp /= dn;
+        mean_comm /= dn;
+        for (i, &r) in retries.iter().enumerate() {
+            for attempt in 1..=r {
+                emit_frame_retransmit(round, online[i], attempt, chaos.backoff_for(attempt));
+            }
+        }
+
+        // §V-A deadline over the delivered arrivals: stragglers
+        // past `factor · d` are excluded from aggregation (but
+        // still trained and still teach the bandit, exactly
+        // like the loop engine).
+        let deadline =
+            opts.faults.and_then(|f| deadline_for(&times, f.deadline_frac, f.deadline_factor));
+        let kept: Vec<usize> = match deadline {
+            Some(d) => (0..deliveries.len()).filter(|&k| times[k] <= d).collect(),
+            None => (0..deliveries.len()).collect(),
+        };
+        let max_t = times.iter().copied().fold(0.0, f64::max);
+        let undelivered = online.len() - deliveries.len();
+        let round_time = match deadline {
+            // With lost exchanges the PS waits the whole
+            // deadline window for arrivals that never come.
+            Some(d) if undelivered > 0 => d,
+            Some(d) => max_t.min(d),
+            None => max_t,
+        };
+        sim_time += round_time;
+
+        // Exclusion events, worker order: transport exclusions
+        // then deadline stragglers, merged by online position.
+        let mut excluded = vec![None::<&'static str>; online.len()];
+        for &(i, reason) in &transport_excluded {
+            excluded[i] = Some(reason);
+        }
+        for (k, d) in deliveries.iter().enumerate() {
+            if !kept.contains(&k) {
+                excluded[d.pos] = Some("deadline");
+            }
+        }
+        for (i, reason) in excluded.iter().enumerate() {
+            if let Some(reason) = reason {
+                fleet.note_excluded(round, online[i], reason);
+                emit_worker_excluded(round, online[i], reason);
+            }
+        }
+
+        // Bandit feedback (Eq. 8) for every delivered worker;
+        // a worker whose outcome never arrived (lost, corrupt
+        // beyond the budget, crashed) abandons its pull — no
+        // reward can honestly be assigned to it.
+        if opts.fixed_ratio.is_none() {
+            let mut delivered = vec![false; online.len()];
+            for d in &deliveries {
+                delivered[d.pos] = true;
+            }
+            if !deliveries.is_empty() {
+                let t_avg = sum_f64(times.iter().copied()) / deliveries.len() as f64;
+                for (k, d) in deliveries.iter().enumerate() {
+                    agents[online[d.pos]].observe(eucb_reward(
+                        d.outcome.delta_loss(),
+                        times[k],
+                        t_avg,
+                        &opts.reward,
+                    ));
+                }
+            }
+            for (i, &w) in online.iter().enumerate() {
+                if !delivered[i] {
+                    agents[w].abandon();
+                }
+            }
+        }
+
+        // ③ Decode the kept uploads and aggregate under the
+        // quorum. Frame decode and state recovery fan out; the
+        // fallible results come back in worker order.
+        let decoded =
+            exec::ordered_map(kept.iter().map(|&k| &deliveries[k]).collect(), |_, d: &Delivery| {
+                // Compressed uplinks decode against the snapshot
+                // the worker trained from (its decoded downlink,
+                // which `codec_delivered` predicted exactly).
+                let reference = down_info[d.pos].as_ref().map(|i| i.received.as_slice());
+                decode_state_v2(&d.frame, reference).map(|state| {
+                    let mut model = d.template.clone();
+                    model.load_state(&state);
+                    recover_state(&model, &plans[d.pos], &global)
+                })
+            });
+        let mut recovered = Vec::with_capacity(kept.len());
+        for (k, dec) in kept.iter().zip(decoded) {
+            let w = online[deliveries[*k].pos];
+            recovered.push(dec.map_err(|_| RuntimeError::CorruptFrame { worker: w, round })?);
+        }
+        let kept_residuals: Vec<_> =
+            kept.iter().map(|&k| residuals[deliveries[k].pos].clone()).collect();
+        let quorum = chaos.quorum(online.len());
+        let new_state = match opts.sync {
+            SyncScheme::R2SP => quorum_aggregate(&recovered, &kept_residuals, quorum),
+            SyncScheme::BSP => {
+                if recovered.is_empty() || recovered.len() < quorum {
+                    None
+                } else {
+                    Some(bsp_aggregate(&recovered))
+                }
+            }
+        };
+        let participants = match new_state {
+            Some(s) => {
+                global.load_state(&s);
+                if kept.len() < online.len() {
+                    emit_quorum_aggregate(round, quorum, kept.len(), online.len() - kept.len());
+                }
+                emit_aggregate(
+                    round,
+                    match opts.sync {
+                        SyncScheme::R2SP => "R2SP",
+                        SyncScheme::BSP => "BSP",
+                    },
+                    kept.len(),
+                );
+                kept.len()
+            }
+            // Below quorum: the round's uploads are discarded
+            // and the global model carries over unchanged.
+            None => 0,
+        };
+
+        let train_loss =
+            sum_f32(kept.iter().map(|&k| deliveries[k].outcome.mean_loss)) / kept.len() as f32;
+        let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
+            let r =
+                evaluate_image(&mut global, &setup.task.test, cfg.eval_batch, cfg.eval_max_samples);
+            Some((r.loss, r.accuracy))
+        } else {
+            None
+        };
+        emit_kernel_dispatch(round, &mut kstats);
+        let rec = RoundRecord {
+            round,
+            sim_time,
+            round_time,
+            mean_comp,
+            mean_comm,
+            train_loss,
+            eval,
+            ratios,
+            participants,
+            retries: retries.iter().map(|&r| r as usize).sum(),
+            exclusions: online.len() - kept.len(),
+        };
+        emit_round_end(&rec);
+        history.rounds.push(rec);
+    }
+    Ok(history)
+}
+
+/// The in-process [`Fleet`]: crossbeam channels to scoped worker
+/// threads, exactly the transport the runtime has always used. Respawn
+/// means a fresh thread with a fresh channel pair.
+struct ChannelFleet<'a, 'scope, 'env> {
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    downlinks: &'a mut Vec<Sender<DownlinkMsg>>,
+    uplink_tx: &'a Sender<UplinkMsg>,
+    uplink_rx: &'a Receiver<UplinkMsg>,
+    task: &'env ImageTask,
+    local: LocalTrainConfig,
+    seed: u64,
+    plan: crate::chaos::ChaosPlan,
+    links: &'a [LinkCodecs],
+    compressed: bool,
+}
+
+impl Fleet for ChannelFleet<'_, '_, '_> {
+    fn respawn(&mut self, _round: usize, worker: usize) -> Result<(), RuntimeError> {
+        let (down_tx, down_rx) = bounded::<DownlinkMsg>(2);
+        let utx = self.uplink_tx.clone();
+        let task = self.task;
+        let local = self.local;
+        let seed = self.seed;
+        let plan = self.plan;
+        let link = self.links[worker];
+        let compressed = self.compressed;
+        self.scope.spawn(move || {
+            worker_loop(worker, down_rx, utx, task, local, seed, plan, link, compressed)
+        });
+        self.downlinks[worker] = down_tx;
+        Ok(())
+    }
+
+    fn dispatch(
+        &mut self,
+        round: usize,
+        worker: usize,
+        frame: Bytes,
+        template: Sequential,
+        lost: bool,
+    ) -> Result<(), RuntimeError> {
+        self.downlinks[worker]
+            .send(DownlinkMsg::Dispatch { round, frame, template, lost })
+            .map_err(|_| RuntimeError::WorkerLost { worker })
+    }
+
+    fn retransmit(&mut self, round: usize, worker: usize) -> Result<(), RuntimeError> {
+        self.downlinks[worker]
+            .send(DownlinkMsg::Retransmit { round })
+            .map_err(|_| RuntimeError::WorkerLost { worker })
+    }
+
+    fn recv(&mut self, _round: usize) -> Result<UplinkMsg, RuntimeError> {
+        // The PS holds an uplink sender for respawns, so a closed
+        // channel is unreachable; fail typed, not loud.
+        self.uplink_rx.recv().map_err(|_| RuntimeError::WorkerLost { worker: 0 })
+    }
+}
+
+/// Runs FedMP on the threaded runtime under a seeded transport fault
+/// plane — see the module docs for the recovery policy.
+///
+/// # Errors
+/// Every injected fault is recovered in-run; the returned
+/// [`RuntimeError`]s ([`RuntimeError::CorruptFrame`],
+/// [`RuntimeError::WorkerLost`]) report *protocol violations* — an
+/// undecodable checksum-verified frame, a thread gone without a crash
+/// announcement — which cannot occur with the in-process channels used
+/// here, but are surfaced as typed errors rather than panics so the
+/// library has no panic paths (see `docs/ANALYSIS.md`, `no-panic`).
+pub fn run_fedmp_threaded_chaos(
+    cfg: &FlConfig,
+    setup: &FlSetup<'_>,
+    global: Sequential,
+    opts: &FedMpOptions,
+    chaos: &ChaosOptions,
+) -> Result<RunHistory, RuntimeError> {
+    let workers = setup.workers();
+    let plan = crate::chaos::ChaosPlan::new(cfg.seed, chaos);
+    // Per-worker codec pairs are a pure function of the device profile,
+    // so they are fixed for the whole run and can be handed to the
+    // worker threads at spawn time.
+    let compression = opts.compression;
+    let compressed = !compression.is_dense();
+    let links: Vec<LinkCodecs> =
+        (0..workers).map(|w| compression.select(&setup.devices[w])).collect();
+
+    std::thread::scope(|scope| {
         let (uplink_tx, uplink_rx) = bounded::<UplinkMsg>(workers.max(1));
         let mut downlinks: Vec<Sender<DownlinkMsg>> = Vec::with_capacity(workers);
         for (w, &link) in links.iter().enumerate() {
@@ -420,429 +1030,25 @@ pub fn run_fedmp_threaded_chaos(
             });
             downlinks.push(down_tx);
         }
-        let mut crashed = vec![false; workers];
 
         // The PS loop runs in a fallible block so protocol violations
         // propagate as typed `RuntimeError`s; the channels are torn
         // down after it on *every* exit path (see below).
-        let ps = (|| -> Result<(), RuntimeError> {
-            for round in 0..cfg.rounds {
-                // Rejoin: restart last round's crashed workers with a
-                // fresh channel pair; they get this round's global
-                // model re-dispatched like everyone else.
-                for w in 0..workers {
-                    if !crashed[w] {
-                        continue;
-                    }
-                    let (down_tx, down_rx) = bounded::<DownlinkMsg>(2);
-                    let utx = uplink_tx.clone();
-                    let task = setup.task;
-                    let local = cfg.local;
-                    let seed = cfg.seed;
-                    let link = links[w];
-                    scope.spawn(move || {
-                        worker_loop(w, down_rx, utx, task, local, seed, plan, link, compressed)
-                    });
-                    downlinks[w] = down_tx;
-                    crashed[w] = false;
-                    emit_worker_rejoined(round, w);
-                }
-
-                // §V-A churn: offline workers are not dispatched.
-                let online: Vec<usize> = match injector.as_mut() {
-                    Some(inj) => inj.step(&mut fault_rng),
-                    None => (0..workers).collect(),
-                };
-                emit_round_start(round, sim_time, &online);
-                if online.is_empty() {
-                    let rec = RoundRecord { round, sim_time, ..Default::default() };
-                    emit_kernel_dispatch(round, &mut kstats);
-                    emit_round_end(&rec);
-                    history.rounds.push(rec);
-                    continue;
-                }
-                if compressed {
-                    for &w in &online {
-                        let slow = setup.devices[w].is_slow_link(compression.slow_link_bps);
-                        emit_codec_selected(round, w, &links[w], slow);
-                    }
-                }
-
-                // ① PS side: ratios, plans, residuals for the online
-                // fleet (same order and formulas as the loop engine).
-                let ratios: Vec<f32> = online
-                    .iter()
-                    .map(|&w| match opts.fixed_ratio {
-                        Some(r) => r,
-                        None => agents[w].select(),
-                    })
-                    .collect();
-                let plans: Vec<_> = ratios
-                    .iter()
-                    .map(|&r| {
-                        plan_sequential_with(&global, setup.task.input_chw, r, opts.importance)
-                    })
-                    .collect();
-                let residuals: Vec<_> = plans
-                    .iter()
-                    .map(|p| {
-                        let r = state_sub(&global.state(), &sparse_state(&global, p));
-                        if opts.quantize_residuals {
-                            dequantize_state(&quantize_state(&r))
-                        } else {
-                            r
-                        }
-                    })
-                    .collect();
-
-                // Dispatch frames: sub-model extraction and wire
-                // encoding fan out across the round executor, then the
-                // sends happen serially in worker order.
-                let prepared = exec::ordered_map((0..online.len()).collect(), |_, i| {
-                    let sub = extract_sequential(&global, &plans[i]);
-                    let sub_state = sub.state();
-                    if compressed {
-                        let pair = links[online[i]];
-                        let frame = encode_state_v2(&sub_state, pair.downlink, None, None);
-                        let info = DownInfo {
-                            received: codec_delivered(&sub_state, pair.downlink, None, None),
-                            wire_bytes: frame.len() as u64,
-                            dense_bytes: wire_size_v2(&sub_state, Codec::DenseF32) as u64,
-                        };
-                        (sub, frame, Some(info))
-                    } else {
-                        (sub, encode_state(&sub_state), None)
-                    }
-                });
-                let mut down_info: Vec<Option<DownInfo>> = Vec::with_capacity(online.len());
-                for (i, (sub, frame, info)) in prepared.into_iter().enumerate() {
-                    let w = online[i];
-                    down_info.push(info);
-                    let lost = plan.draw(round, w).drop_down;
-                    downlinks[w]
-                        .send(DownlinkMsg::Dispatch { round, frame, template: sub, lost })
-                        .map_err(|_| RuntimeError::WorkerLost { worker: w })?;
-                }
-
-                // Collection barrier: drive every dispatched exchange
-                // to a terminal outcome (delivered / excluded). This
-                // loop does **no** order-sensitive processing — arrival
-                // order varies run to run; everything deterministic
-                // happens after the barrier, in worker order.
-                enum Slot {
-                    Waiting,
-                    PendingRetry { template: Sequential, outcome: LocalOutcome },
-                    Delivered { frame: Bytes, template: Sequential, outcome: LocalOutcome },
-                    Excluded(&'static str),
-                }
-                let mut pos = vec![usize::MAX; workers];
-                for (i, &w) in online.iter().enumerate() {
-                    pos[w] = i;
-                }
-                let mut slots: Vec<Slot> = online.iter().map(|_| Slot::Waiting).collect();
-                let mut retries = vec![0u32; online.len()];
-                let mut outstanding = online.len();
-                while outstanding > 0 {
-                    let Ok(msg) = uplink_rx.recv() else {
-                        // The PS holds an uplink sender for respawns,
-                        // so this is unreachable; fail typed, not loud.
-                        return Err(RuntimeError::WorkerLost { worker: 0 });
-                    };
-                    let w = msg.worker;
-                    if msg.round != round || w >= workers || pos[w] == usize::MAX {
-                        // Stale or phantom message — the lock-step
-                        // protocol cannot produce one; skip defensively.
-                        continue;
-                    }
-                    let i = pos[w];
-                    let framed = match msg.body {
-                        UplinkBody::Model { frame, template, outcome } => {
-                            Some((frame, template, outcome))
-                        }
-                        UplinkBody::Frame { frame } => {
-                            match std::mem::replace(&mut slots[i], Slot::Waiting) {
-                                Slot::PendingRetry { template, outcome } => {
-                                    Some((frame, template, outcome))
-                                }
-                                // A retransmission with nothing pending
-                                // is a protocol violation.
-                                _ => return Err(RuntimeError::CorruptFrame { worker: w, round }),
-                            }
-                        }
-                        UplinkBody::Lost => {
-                            slots[i] = Slot::Excluded("dropped");
-                            outstanding -= 1;
-                            None
-                        }
-                        UplinkBody::Crashed => {
-                            crashed[w] = true;
-                            slots[i] = Slot::Excluded("crashed");
-                            outstanding -= 1;
-                            None
-                        }
-                        UplinkBody::Undecodable => {
-                            return Err(RuntimeError::CorruptFrame { worker: w, round })
-                        }
-                    };
-                    if let Some((frame, template, outcome)) = framed {
-                        if frame_checksum_ok(&frame) {
-                            slots[i] = Slot::Delivered { frame, template, outcome };
-                            outstanding -= 1;
-                        } else if retries[i] < chaos.max_retransmits {
-                            // Bounded retransmit: ask the worker to
-                            // resend its cached clean frame.
-                            retries[i] += 1;
-                            slots[i] = Slot::PendingRetry { template, outcome };
-                            downlinks[w]
-                                .send(DownlinkMsg::Retransmit { round })
-                                .map_err(|_| RuntimeError::WorkerLost { worker: w })?;
-                        } else {
-                            slots[i] = Slot::Excluded("corrupt");
-                            outstanding -= 1;
-                        }
-                    }
-                }
-
-                // Post-barrier: fold the outcomes in worker order.
-                let mut deliveries: Vec<Delivery> = Vec::with_capacity(online.len());
-                let mut transport_excluded: Vec<(usize, &'static str)> = Vec::new();
-                for (i, slot) in slots.into_iter().enumerate() {
-                    match slot {
-                        Slot::Delivered { frame, template, outcome } => {
-                            deliveries.push(Delivery { pos: i, frame, template, outcome });
-                        }
-                        Slot::Excluded(reason) => transport_excluded.push((i, reason)),
-                        // The barrier drives every slot terminal.
-                        Slot::Waiting | Slot::PendingRetry { .. } => {
-                            return Err(RuntimeError::WorkerLost { worker: online[i] })
-                        }
-                    }
-                }
-
-                // Virtual-clock accounting for delivered uploads (same
-                // formulas as the loop engine), plus the chaos
-                // penalties: retransmit backoff and injected delay.
-                let mut times = Vec::with_capacity(deliveries.len());
-                let mut mean_comp = 0.0;
-                let mut mean_comm = 0.0;
-                for d in &deliveries {
-                    let w = online[d.pos];
-                    let mut cost = model_round_cost(&d.template, setup.task.input_chw, &cfg.local);
-                    // Compressed links pay their actual encoded frame
-                    // sizes in Eq. 5 (same override as the loop engine).
-                    if let Some(info) = &down_info[d.pos] {
-                        cost.download_bytes = info.wire_bytes as f64;
-                        cost.upload_bytes = d.frame.len() as f64;
-                        let pair = links[w];
-                        emit_compression_applied(
-                            round,
-                            w,
-                            "down",
-                            pair.downlink,
-                            info.dense_bytes,
-                            info.wire_bytes,
-                        );
-                        let up_dense = wire_size_v2(&d.template.state(), Codec::DenseF32) as u64;
-                        emit_compression_applied(
-                            round,
-                            w,
-                            "up",
-                            pair.uplink,
-                            up_dense,
-                            d.frame.len() as u64,
-                        );
-                    }
-                    let mut rng = worker_rng(cfg.seed ^ 0xA5A5, round, w);
-                    let t = setup.simulate_round(w, &cost, &mut rng);
-                    mean_comp += t.comp;
-                    mean_comm += t.comm;
-                    emit_local_train(
-                        round,
-                        w,
-                        ratios[d.pos],
-                        d.outcome.mean_loss,
-                        d.outcome.delta_loss(),
-                        cfg.local.tau,
-                        d.outcome.samples,
-                        &t,
-                        &setup.scaled_cost(&cost),
-                    );
-                    let draw = plan.draw(round, w);
-                    times.push(t.total() + draw.delay_secs + chaos.backoff_total(retries[d.pos]));
-                }
-                let dn = deliveries.len().max(1) as f64;
-                mean_comp /= dn;
-                mean_comm /= dn;
-                for (i, &r) in retries.iter().enumerate() {
-                    for attempt in 1..=r {
-                        emit_frame_retransmit(
-                            round,
-                            online[i],
-                            attempt,
-                            chaos.backoff_for(attempt),
-                        );
-                    }
-                }
-
-                // §V-A deadline over the delivered arrivals: stragglers
-                // past `factor · d` are excluded from aggregation (but
-                // still trained and still teach the bandit, exactly
-                // like the loop engine).
-                let deadline = opts
-                    .faults
-                    .and_then(|f| deadline_for(&times, f.deadline_frac, f.deadline_factor));
-                let kept: Vec<usize> = match deadline {
-                    Some(d) => (0..deliveries.len()).filter(|&k| times[k] <= d).collect(),
-                    None => (0..deliveries.len()).collect(),
-                };
-                let max_t = times.iter().copied().fold(0.0, f64::max);
-                let undelivered = online.len() - deliveries.len();
-                let round_time = match deadline {
-                    // With lost exchanges the PS waits the whole
-                    // deadline window for arrivals that never come.
-                    Some(d) if undelivered > 0 => d,
-                    Some(d) => max_t.min(d),
-                    None => max_t,
-                };
-                sim_time += round_time;
-
-                // Exclusion events, worker order: transport exclusions
-                // then deadline stragglers, merged by online position.
-                let mut excluded = vec![None::<&'static str>; online.len()];
-                for &(i, reason) in &transport_excluded {
-                    excluded[i] = Some(reason);
-                }
-                for (k, d) in deliveries.iter().enumerate() {
-                    if !kept.contains(&k) {
-                        excluded[d.pos] = Some("deadline");
-                    }
-                }
-                for (i, reason) in excluded.iter().enumerate() {
-                    if let Some(reason) = reason {
-                        emit_worker_excluded(round, online[i], reason);
-                    }
-                }
-
-                // Bandit feedback (Eq. 8) for every delivered worker;
-                // a worker whose outcome never arrived (lost, corrupt
-                // beyond the budget, crashed) abandons its pull — no
-                // reward can honestly be assigned to it.
-                if opts.fixed_ratio.is_none() {
-                    let mut delivered = vec![false; online.len()];
-                    for d in &deliveries {
-                        delivered[d.pos] = true;
-                    }
-                    if !deliveries.is_empty() {
-                        let t_avg = sum_f64(times.iter().copied()) / deliveries.len() as f64;
-                        for (k, d) in deliveries.iter().enumerate() {
-                            agents[online[d.pos]].observe(eucb_reward(
-                                d.outcome.delta_loss(),
-                                times[k],
-                                t_avg,
-                                &opts.reward,
-                            ));
-                        }
-                    }
-                    for (i, &w) in online.iter().enumerate() {
-                        if !delivered[i] {
-                            agents[w].abandon();
-                        }
-                    }
-                }
-
-                // ③ Decode the kept uploads and aggregate under the
-                // quorum. Frame decode and state recovery fan out; the
-                // fallible results come back in worker order.
-                let decoded = exec::ordered_map(
-                    kept.iter().map(|&k| &deliveries[k]).collect(),
-                    |_, d: &Delivery| {
-                        // Compressed uplinks decode against the snapshot
-                        // the worker trained from (its decoded downlink,
-                        // which `codec_delivered` predicted exactly).
-                        let reference = down_info[d.pos].as_ref().map(|i| i.received.as_slice());
-                        decode_state_v2(&d.frame, reference).map(|state| {
-                            let mut model = d.template.clone();
-                            model.load_state(&state);
-                            recover_state(&model, &plans[d.pos], &global)
-                        })
-                    },
-                );
-                let mut recovered = Vec::with_capacity(kept.len());
-                for (k, dec) in kept.iter().zip(decoded) {
-                    let w = online[deliveries[*k].pos];
-                    recovered
-                        .push(dec.map_err(|_| RuntimeError::CorruptFrame { worker: w, round })?);
-                }
-                let kept_residuals: Vec<_> =
-                    kept.iter().map(|&k| residuals[deliveries[k].pos].clone()).collect();
-                let quorum = chaos.quorum(online.len());
-                let new_state = match opts.sync {
-                    SyncScheme::R2SP => quorum_aggregate(&recovered, &kept_residuals, quorum),
-                    SyncScheme::BSP => {
-                        if recovered.is_empty() || recovered.len() < quorum {
-                            None
-                        } else {
-                            Some(bsp_aggregate(&recovered))
-                        }
-                    }
-                };
-                let participants = match new_state {
-                    Some(s) => {
-                        global.load_state(&s);
-                        if kept.len() < online.len() {
-                            emit_quorum_aggregate(
-                                round,
-                                quorum,
-                                kept.len(),
-                                online.len() - kept.len(),
-                            );
-                        }
-                        emit_aggregate(
-                            round,
-                            match opts.sync {
-                                SyncScheme::R2SP => "R2SP",
-                                SyncScheme::BSP => "BSP",
-                            },
-                            kept.len(),
-                        );
-                        kept.len()
-                    }
-                    // Below quorum: the round's uploads are discarded
-                    // and the global model carries over unchanged.
-                    None => 0,
-                };
-
-                let train_loss = sum_f32(kept.iter().map(|&k| deliveries[k].outcome.mean_loss))
-                    / kept.len() as f32;
-                let eval = if round % cfg.eval_every == 0 || round + 1 == cfg.rounds {
-                    let r = evaluate_image(
-                        &mut global,
-                        &setup.task.test,
-                        cfg.eval_batch,
-                        cfg.eval_max_samples,
-                    );
-                    Some((r.loss, r.accuracy))
-                } else {
-                    None
-                };
-                emit_kernel_dispatch(round, &mut kstats);
-                let rec = RoundRecord {
-                    round,
-                    sim_time,
-                    round_time,
-                    mean_comp,
-                    mean_comm,
-                    train_loss,
-                    eval,
-                    ratios,
-                    participants,
-                    retries: retries.iter().map(|&r| r as usize).sum(),
-                    exclusions: online.len() - kept.len(),
-                };
-                emit_round_end(&rec);
-                history.rounds.push(rec);
-            }
-            Ok(())
+        #[allow(clippy::redundant_closure_call)] // try-block emulation
+        let ps = (|| -> Result<RunHistory, RuntimeError> {
+            let mut fleet = ChannelFleet {
+                scope,
+                downlinks: &mut downlinks,
+                uplink_tx: &uplink_tx,
+                uplink_rx: &uplink_rx,
+                task: setup.task,
+                local: cfg.local,
+                seed: cfg.seed,
+                plan,
+                links: &links,
+                compressed,
+            };
+            run_recovery_rounds(cfg, setup, global, opts, chaos, &mut fleet)
         })();
 
         // Join guarantee, on BOTH exit paths: closing every downlink
@@ -852,9 +1058,7 @@ pub fn run_fedmp_threaded_chaos(
         drop(downlinks);
         drop(uplink_rx);
         ps
-    });
-    result?;
-    Ok(history)
+    })
 }
 
 #[cfg(test)]
@@ -1001,5 +1205,20 @@ mod tests {
             .expect("chaos run a");
         let b = run_fedmp_threaded_chaos(&cfg, &setup, global, &opts, &chaos).expect("chaos run b");
         assert_eq!(canonical(&a), canonical(&b));
+    }
+
+    #[test]
+    fn send_uplink_tolerates_a_departed_ps() {
+        // The PS drops its receiver on every exit path; a worker
+        // mid-send must observe `false` and exit quietly — never panic
+        // or block. Regression test for the teardown race.
+        let (tx, rx) = bounded::<UplinkMsg>(1);
+        drop(rx);
+        let msg = UplinkMsg { worker: 0, round: 3, body: UplinkBody::Lost };
+        assert!(!send_uplink(&tx, msg), "send into a closed uplink must report failure");
+        // And a crash announcement on the same dead channel is equally
+        // harmless (the worker_loop ignores the result by design).
+        let crash = UplinkMsg { worker: 1, round: 3, body: UplinkBody::Crashed };
+        assert!(!send_uplink(&tx, crash));
     }
 }

@@ -119,6 +119,55 @@ pub enum TraceEvent {
         /// Worker index.
         worker: usize,
     },
+    /// The socket runtime (re-)established a transport connection to a
+    /// worker node after a fault (initial, fault-free connections are
+    /// silent so chaos-off socket traces stay identical to the loop
+    /// engine's).
+    ConnEstablished {
+        /// Round index the connection was established for.
+        round: usize,
+        /// Worker index.
+        worker: usize,
+        /// Accept/connect attempts spent before the connection stood
+        /// (1 = first try).
+        attempts: u32,
+    },
+    /// A frame of a worker's model exchange never arrived: the chaos
+    /// plan dropped it at the packet level and the PS's delivery
+    /// deadline lapsed (socket runtime only; emitted post-barrier in
+    /// worker order, immediately before the worker's `WorkerExcluded`).
+    FrameTimeout {
+        /// Round index.
+        round: usize,
+        /// Worker index.
+        worker: usize,
+        /// Which leg was lost: `"down"` (PS → worker dispatch) or
+        /// `"up"` (worker → PS upload).
+        direction: String,
+    },
+    /// A worker node's connection reset mid-round — the socket runtime's
+    /// observation of a crashed worker process (EOF / reset on the
+    /// uplink). Emitted post-barrier in worker order, immediately before
+    /// the worker's `WorkerExcluded` with reason `"crashed"`.
+    ConnReset {
+        /// Round index.
+        round: usize,
+        /// Worker index.
+        worker: usize,
+    },
+    /// A crashed worker node process was relaunched by the PS (socket
+    /// runtime's analogue of the threaded runtime's thread respawn).
+    /// Emitted at the start of the round, immediately before the
+    /// worker's `ConnEstablished` and `WorkerRejoined`.
+    NodeRespawned {
+        /// Round index the node rejoins in.
+        round: usize,
+        /// Worker index.
+        worker: usize,
+        /// How many times this worker's node has been respawned so far
+        /// in the run (1-based).
+        generation: u32,
+    },
     /// The PS aggregated a *partial* round: a quorum of uploads arrived
     /// but at least one online worker's contribution was excluded.
     QuorumAggregate {
@@ -268,7 +317,7 @@ pub enum TraceEvent {
 
 impl TraceEvent {
     /// Every event kind this enum can emit, in definition order.
-    pub const KINDS: [&'static str; 17] = [
+    pub const KINDS: [&'static str; 21] = [
         "RoundStart",
         "LocalTrain",
         "BanditDecision",
@@ -278,6 +327,10 @@ impl TraceEvent {
         "FrameRetransmit",
         "WorkerExcluded",
         "WorkerRejoined",
+        "ConnEstablished",
+        "FrameTimeout",
+        "ConnReset",
+        "NodeRespawned",
         "QuorumAggregate",
         "CodecSelected",
         "CompressionApplied",
@@ -301,6 +354,10 @@ impl TraceEvent {
             TraceEvent::FrameRetransmit { .. } => "FrameRetransmit",
             TraceEvent::WorkerExcluded { .. } => "WorkerExcluded",
             TraceEvent::WorkerRejoined { .. } => "WorkerRejoined",
+            TraceEvent::ConnEstablished { .. } => "ConnEstablished",
+            TraceEvent::FrameTimeout { .. } => "FrameTimeout",
+            TraceEvent::ConnReset { .. } => "ConnReset",
+            TraceEvent::NodeRespawned { .. } => "NodeRespawned",
             TraceEvent::QuorumAggregate { .. } => "QuorumAggregate",
             TraceEvent::CodecSelected { .. } => "CodecSelected",
             TraceEvent::CompressionApplied { .. } => "CompressionApplied",
@@ -337,6 +394,10 @@ impl TraceEvent {
             TraceEvent::FrameRetransmit { round: 0, worker: 2, attempt: 1, backoff_secs: 0.5 },
             TraceEvent::WorkerExcluded { round: 0, worker: 2, reason: "corrupt".into() },
             TraceEvent::WorkerRejoined { round: 1, worker: 2 },
+            TraceEvent::ConnEstablished { round: 1, worker: 2, attempts: 1 },
+            TraceEvent::FrameTimeout { round: 0, worker: 2, direction: "up".into() },
+            TraceEvent::ConnReset { round: 0, worker: 2 },
+            TraceEvent::NodeRespawned { round: 1, worker: 2, generation: 1 },
             TraceEvent::QuorumAggregate { round: 0, quorum: 2, participants: 2, excluded: 1 },
             TraceEvent::CodecSelected {
                 round: 0,
